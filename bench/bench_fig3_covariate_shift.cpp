@@ -1,0 +1,115 @@
+// Fig. 3: best vs worst feature selection under covariate shift.
+//
+// The paper plots AND traces from two different programs in the feature
+// space of (a) the 3 *lowest* between-class KL peaks -- one fused cluster --
+// and (b) the 3 *highest* peaks -- two separate clusters, i.e. the features
+// that discriminate classes best are also the most program-sensitive.
+//
+// We reproduce the effect quantitatively with a cluster-separation score:
+//     d = ||mean(prog A) - mean(prog B)|| / (spread(prog A) + spread(prog B))
+// d >> 1 means the two programs form separate clusters (the failure mode);
+// d << 1 means they fuse (the desirable case).
+#include "bench/common.hpp"
+
+#include <cmath>
+
+#include "features/selection.hpp"
+
+using namespace sidis;
+
+namespace {
+
+double separation_score(const std::vector<linalg::Vector>& a,
+                        const std::vector<linalg::Vector>& b) {
+  const auto mean_of = [](const std::vector<linalg::Vector>& v) {
+    linalg::Vector m(v.front().size(), 0.0);
+    for (const auto& x : v) m = linalg::add(m, x);
+    return linalg::scale(m, 1.0 / static_cast<double>(v.size()));
+  };
+  const auto spread_of = [](const std::vector<linalg::Vector>& v, const linalg::Vector& m) {
+    double acc = 0.0;
+    for (const auto& x : v) acc += linalg::squared_distance(x, m);
+    return std::sqrt(acc / static_cast<double>(v.size()));
+  };
+  const linalg::Vector ma = mean_of(a);
+  const linalg::Vector mb = mean_of(b);
+  const double denom = spread_of(a, ma) + spread_of(b, mb);
+  return std::sqrt(linalg::squared_distance(ma, mb)) / std::max(denom, 1e-12);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 3 -- best vs worst KL feature selection under program shift");
+  std::mt19937_64 rng(static_cast<std::uint64_t>(bench::env_int("SIDIS_SEED", 3)));
+
+  const auto device = sim::DeviceModel::make(0);
+  const sim::AcquisitionCampaign profiling(device, sim::SessionContext::make(0));
+  // The second program is captured in a later session whose probe chain
+  // gained ~30% (the same mismatch the Table-3 bench uses).  A gain shift
+  // moves every coefficient in proportion to its own magnitude -- and the
+  // highest between-class KL peaks sit at the highest-amplitude points, so
+  // they shift the most.  That is the paper's Fig.-3 observation.
+  sim::SessionContext later = sim::SessionContext::make(0);
+  later.id = 2;
+  later.gain = 1.30;
+  const sim::AcquisitionCampaign other(device, later);
+
+  const std::size_t and_cls = bench::class_id(avr::Mnemonic::kAnd);
+  const std::size_t adc_cls = bench::class_id(avr::Mnemonic::kAdc);
+  const std::size_t n = bench::traces_per_class(200);
+
+  // AND traces from two measurement contexts.
+  sim::TraceSet and_a, and_b;
+  const sim::ProgramContext prog_a = sim::ProgramContext::make(0);
+  const sim::ProgramContext prog_b = sim::ProgramContext::make(57);
+  for (std::size_t i = 0; i < n; ++i) {
+    and_a.push_back(profiling.capture_trace(avr::random_instance(and_cls, rng), prog_a, rng));
+    and_b.push_back(other.capture_trace(avr::random_instance(and_cls, rng), prog_b, rng));
+  }
+  // ADC profiling traces to build the between-class KL map against.
+  const sim::TraceSet adc = profiling.capture_class(adc_cls, n, 10, rng);
+
+  const dsp::Cwt cwt{dsp::CwtConfig{}};
+  const auto m_and = features::compute_class_moments(cwt, and_a);
+  const auto m_adc = features::compute_class_moments(cwt, adc);
+  const linalg::Matrix between = features::between_class_kl_map(m_adc, m_and);
+  const auto peaks = stats::local_maxima_2d(between);
+
+  const auto project = [&](const sim::TraceSet& traces,
+                           const std::vector<stats::GridPoint>& pts) {
+    std::vector<linalg::Vector> out;
+    out.reserve(traces.size());
+    for (const sim::Trace& t : traces) {
+      out.push_back(features::extract_features(cwt, t.samples, pts));
+    }
+    return out;
+  };
+
+  const auto low3 = stats::bottom_k(peaks, 3);
+  const auto high3 = stats::top_k(peaks, 3);
+  const double d_low = separation_score(project(and_a, low3), project(and_b, low3));
+  const double d_high = separation_score(project(and_a, high3), project(and_b, high3));
+
+  std::printf("  cluster-separation score of the two AND programs\n");
+  std::printf("    3 lowest KL peaks  (paper: one fused cluster)    d = %6.3f\n", d_low);
+  std::printf("    3 highest KL peaks (paper: two separate clusters) d = %6.3f\n", d_high);
+  std::printf("  shape check: d(high) / d(low) = %.1fx -- the most discriminative\n"
+              "  features are the most program-sensitive, motivating CSA.\n",
+              d_high / std::max(d_low, 1e-12));
+
+  // Ablation the DESIGN.md calls out: the same comparison on raw time-domain
+  // samples (no CWT), where the DC shift hits every feature.
+  std::vector<stats::GridPoint> time_pts;
+  for (std::size_t k = 100; k < 103; ++k) time_pts.push_back({0, k, 0.0});
+  const auto raw = [&](const sim::TraceSet& ts) {
+    std::vector<linalg::Vector> out;
+    for (const sim::Trace& t : ts) {
+      out.push_back({t.samples[100], t.samples[150], t.samples[200]});
+    }
+    return out;
+  };
+  std::printf("  ablation -- raw time-domain samples: d = %.3f\n",
+              separation_score(raw(and_a), raw(and_b)));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 5(b): SR of the 12 first-group instructions (ADD, ADC, SUB, SBC, AND,
+// OR, EOR, CPSE, CP, CPC, MOV, MOVW) vs number of principal components.
+//
+// Paper shape: saturates at 99.7% (SVM); other groups saturate > 99.5% with
+// >= 50 variables.  This is the hard level of the hierarchy: all 12 classes
+// share the two-register ALU datapath, so only small signature deviations
+// and operand statistics separate them.
+#include "bench/common.hpp"
+
+using namespace sidis;
+
+int main() {
+  bench::print_header("Fig. 5(b) -- SR of 1st-group instructions vs number of components");
+  std::mt19937_64 rng(static_cast<std::uint64_t>(bench::env_int("SIDIS_SEED", 5)));
+
+  const sim::AcquisitionCampaign campaign(sim::DeviceModel::make(0),
+                                          sim::SessionContext::make(0));
+
+  const std::size_t n_train = bench::traces_per_class(220);
+  const std::size_t n_test = std::max<std::size_t>(n_train / 5, 20);
+  const auto g1 = avr::classes_in_group(1);
+
+  std::vector<sim::TraceSet> train_sets, test_sets;
+  train_sets.reserve(g1.size());
+  test_sets.reserve(g1.size());
+  for (std::size_t cls : g1) {
+    train_sets.push_back(campaign.capture_class(cls, n_train, 10, rng));
+    test_sets.push_back(campaign.capture_class(cls, n_test, 10, rng));
+  }
+  features::LabeledTraces train_input, test_input;
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    train_input.labels.push_back(static_cast<int>(g1[i]));
+    train_input.sets.push_back(&train_sets[i]);
+    test_input.labels.push_back(static_cast<int>(g1[i]));
+    test_input.sets.push_back(&test_sets[i]);
+  }
+  std::printf("  12 classes, %zu train + %zu test traces per class\n\n", n_train, n_test);
+
+  const std::vector<std::size_t> ks = bench::fast_mode()
+                                          ? std::vector<std::size_t>{3, 10, 50}
+                                          : std::vector<std::size_t>{3, 5, 10, 20, 30, 43, 50};
+  const auto sr = bench::sweep_components(train_input, test_input, core::csa_config(), ks);
+
+  std::printf("\n");
+  bench::print_row("SVM @ saturation", 99.7, 100.0 * sr[2].back());
+  bench::print_row("QDA @ saturation", 99.6, 100.0 * sr[1].back());
+  std::printf("  shape check: within-group SR saturates slightly below the group-level\n"
+              "  SR of Fig. 5(a); curves rise with the component count.\n");
+  std::printf("  note: exact encoding aliases (CPSE/CP vs SUB-family operand statistics,\n"
+              "  MOV vs register copies) are the residual confusions at small corpora.\n");
+  return 0;
+}

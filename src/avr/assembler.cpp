@@ -1,0 +1,291 @@
+#include "avr/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace sidis::avr {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::string_view strip_comment(std::string_view s) {
+  const std::size_t semi = s.find(';');
+  if (semi != std::string_view::npos) s = s.substr(0, semi);
+  const std::size_t slashes = s.find("//");
+  if (slashes != std::string_view::npos) s = s.substr(0, slashes);
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& msg) { throw std::invalid_argument(msg); }
+
+long parse_int(std::string_view tok) {
+  tok = trim(tok);
+  if (tok.empty()) fail("expected a number");
+  bool neg = false;
+  if (tok.front() == '+' || tok.front() == '-') {
+    neg = tok.front() == '-';
+    tok.remove_prefix(1);
+  }
+  int base = 10;
+  if (tok.size() > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X')) {
+    base = 16;
+    tok.remove_prefix(2);
+  } else if (tok.size() > 2 && tok[0] == '0' && (tok[1] == 'b' || tok[1] == 'B')) {
+    base = 2;
+    tok.remove_prefix(2);
+  }
+  long value = 0;
+  const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), value, base);
+  if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) {
+    fail("malformed number '" + std::string(tok) + "'");
+  }
+  return neg ? -value : value;
+}
+
+std::uint8_t parse_reg(std::string_view tok) {
+  tok = trim(tok);
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    fail("expected register, got '" + std::string(tok) + "'");
+  }
+  const long n = parse_int(tok.substr(1));
+  if (n < 0 || n > 31) fail("register index out of range");
+  return static_cast<std::uint8_t>(n);
+}
+
+std::int16_t parse_rel(std::string_view tok) {
+  tok = trim(tok);
+  // GNU syntax: ".<byte offset>" relative to the *next* instruction.
+  if (!tok.empty() && tok.front() == '.') tok.remove_prefix(1);
+  const long bytes = parse_int(tok);
+  if (bytes % 2 != 0) fail("relative offset must be even (bytes)");
+  return static_cast<std::int16_t>(bytes / 2);
+}
+
+struct MemOperand {
+  AddrMode mode = AddrMode::kNone;
+  std::uint8_t q = 0;
+  std::uint16_t abs = 0;
+};
+
+MemOperand parse_mem(std::string_view tok) {
+  tok = trim(tok);
+  MemOperand m;
+  if (tok.empty()) fail("expected memory operand");
+  auto upper = std::string(tok);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  if (upper == "X") { m.mode = AddrMode::kX; return m; }
+  if (upper == "X+") { m.mode = AddrMode::kXPostInc; return m; }
+  if (upper == "-X") { m.mode = AddrMode::kXPreDec; return m; }
+  if (upper == "Y") { m.mode = AddrMode::kY; return m; }
+  if (upper == "Y+") { m.mode = AddrMode::kYPostInc; return m; }
+  if (upper == "-Y") { m.mode = AddrMode::kYPreDec; return m; }
+  if (upper == "Z") { m.mode = AddrMode::kZ; return m; }
+  if (upper == "Z+") { m.mode = AddrMode::kZPostInc; return m; }
+  if (upper == "-Z") { m.mode = AddrMode::kZPreDec; return m; }
+  if (upper.size() > 2 && (upper[0] == 'Y' || upper[0] == 'Z') && upper[1] == '+') {
+    const long q = parse_int(std::string_view(upper).substr(2));
+    if (q < 0 || q > 63) fail("displacement out of range");
+    m.mode = upper[0] == 'Y' ? AddrMode::kYDisp : AddrMode::kZDisp;
+    m.q = static_cast<std::uint8_t>(q);
+    return m;
+  }
+  // Otherwise an absolute data address.
+  const long a = parse_int(tok);
+  if (a < 0 || a > 0xFFFF) fail("absolute address out of range");
+  m.mode = AddrMode::kAbs;
+  m.abs = static_cast<std::uint16_t>(a);
+  return m;
+}
+
+std::vector<std::string_view> split_operands(std::string_view rest) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= rest.size()) {
+    const std::size_t comma = rest.find(',', start);
+    if (comma == std::string_view::npos) {
+      const std::string_view tok = trim(rest.substr(start));
+      if (!tok.empty()) out.push_back(tok);
+      break;
+    }
+    out.push_back(trim(rest.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Instruction assemble_line(std::string_view raw) {
+  const std::string_view line = trim(strip_comment(raw));
+  if (line.empty()) fail("empty statement");
+
+  const std::size_t sp = line.find_first_of(" \t");
+  const std::string_view mn_text = sp == std::string_view::npos ? line : line.substr(0, sp);
+  const std::string_view rest = sp == std::string_view::npos ? std::string_view{} : trim(line.substr(sp));
+
+  const auto mn = mnemonic_from_name(mn_text);
+  if (!mn) fail("unknown mnemonic '" + std::string(mn_text) + "'");
+
+  Instruction in;
+  in.mnemonic = *mn;
+  const auto ops = split_operands(rest);
+  const auto need = [&](std::size_t n) {
+    if (ops.size() != n) {
+      fail(std::string(mn_text) + ": expected " + std::to_string(n) + " operand(s), got " +
+           std::to_string(ops.size()));
+    }
+  };
+
+  switch (info(*mn).signature) {
+    case OperandSignature::kNone:
+      need(0);
+      if (*mn == Mnemonic::kLpm || *mn == Mnemonic::kElpm) in.mode = AddrMode::kR0;
+      break;
+    case OperandSignature::kRdRr:
+      need(2);
+      in.rd = parse_reg(ops[0]);
+      in.rr = parse_reg(ops[1]);
+      break;
+    case OperandSignature::kRdK: {
+      need(2);
+      in.rd = parse_reg(ops[0]);
+      const long k = parse_int(ops[1]);
+      if (k < 0 || k > 255) fail("immediate out of range");
+      in.k8 = static_cast<std::uint8_t>(k);
+      break;
+    }
+    case OperandSignature::kRd:
+      need(1);
+      in.rd = parse_reg(ops[0]);
+      break;
+    case OperandSignature::kRelK:
+      need(1);
+      in.rel = parse_rel(ops[0]);
+      break;
+    case OperandSignature::kAbsK: {
+      need(1);
+      const long a = parse_int(ops[0]);
+      if (a < 0 || a % 2 != 0) fail("absolute byte address must be even and >= 0");
+      in.k22 = static_cast<std::uint32_t>(a / 2);
+      break;
+    }
+    case OperandSignature::kRdMem: {
+      // Plain "LPM" (implicit R0) handled above; here LPM/ELPM/LD/LDD/LDS.
+      if ((*mn == Mnemonic::kLpm || *mn == Mnemonic::kElpm) && ops.empty()) {
+        in.mode = AddrMode::kR0;
+        break;
+      }
+      need(2);
+      in.rd = parse_reg(ops[0]);
+      const MemOperand m = parse_mem(ops[1]);
+      in.mode = m.mode;
+      in.q = m.q;
+      in.k16 = m.abs;
+      break;
+    }
+    case OperandSignature::kRrMem: {
+      need(2);
+      const MemOperand m = parse_mem(ops[0]);
+      in.rr = parse_reg(ops[1]);
+      in.mode = m.mode;
+      in.q = m.q;
+      in.k16 = m.abs;
+      break;
+    }
+    case OperandSignature::kRegBit: {
+      need(2);
+      const std::uint8_t r = parse_reg(ops[0]);
+      if (*mn == Mnemonic::kSbrc || *mn == Mnemonic::kSbrs) {
+        in.rr = r;
+      } else {
+        in.rd = r;
+      }
+      const long b = parse_int(ops[1]);
+      if (b < 0 || b > 7) fail("bit index out of range");
+      in.bit = static_cast<std::uint8_t>(b);
+      break;
+    }
+    case OperandSignature::kIoBit: {
+      need(2);
+      const long a = parse_int(ops[0]);
+      const long b = parse_int(ops[1]);
+      if (a < 0 || a > 31) fail("I/O address out of range");
+      if (b < 0 || b > 7) fail("bit index out of range");
+      in.io = static_cast<std::uint8_t>(a);
+      in.bit = static_cast<std::uint8_t>(b);
+      break;
+    }
+    case OperandSignature::kSflagRel: {
+      need(2);
+      const long s = parse_int(ops[0]);
+      if (s < 0 || s > 7) fail("flag index out of range");
+      in.sflag = static_cast<std::uint8_t>(s);
+      in.rel = parse_rel(ops[1]);
+      break;
+    }
+    case OperandSignature::kSflag: {
+      need(1);
+      const long s = parse_int(ops[0]);
+      if (s < 0 || s > 7) fail("flag index out of range");
+      in.sflag = static_cast<std::uint8_t>(s);
+      break;
+    }
+    case OperandSignature::kRdIo: {
+      need(2);
+      in.rd = parse_reg(ops[0]);
+      const long a = parse_int(ops[1]);
+      if (a < 0 || a > 63) fail("I/O address out of range");
+      in.io = static_cast<std::uint8_t>(a);
+      break;
+    }
+    case OperandSignature::kRrIo: {
+      need(2);
+      const long a = parse_int(ops[0]);
+      if (a < 0 || a > 63) fail("I/O address out of range");
+      in.io = static_cast<std::uint8_t>(a);
+      in.rr = parse_reg(ops[1]);
+      break;
+    }
+  }
+  return in;
+}
+
+AssemblyResult assemble(std::string_view source) {
+  AssemblyResult result;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    ++line_no;
+    const std::size_t nl = source.find('\n', start);
+    const std::string_view raw =
+        nl == std::string_view::npos ? source.substr(start) : source.substr(start, nl - start);
+    const std::string_view stmt = trim(strip_comment(raw));
+    if (!stmt.empty()) {
+      try {
+        result.program.push_back(assemble_line(stmt));
+      } catch (const std::invalid_argument& e) {
+        result.errors.push_back({line_no, e.what()});
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return result;
+}
+
+std::string disassemble_listing(const std::vector<Instruction>& program) {
+  std::ostringstream os;
+  for (const Instruction& in : program) os << to_string(in) << '\n';
+  return os.str();
+}
+
+}  // namespace sidis::avr

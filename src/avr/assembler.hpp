@@ -1,0 +1,39 @@
+// Text assembler for the AVR subset.
+//
+// Accepts the same syntax `to_string` emits (GNU-style ".<bytes>" relative
+// offsets, "r<N>" registers, X/Y+/−Z/Y+q memory operands, decimal or 0x hex
+// immediates) plus comments (';' or '//') and blank lines.  Used by the
+// examples and by tests that round-trip assembly -> binary -> assembly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "avr/isa.hpp"
+
+namespace sidis::avr {
+
+/// Error describing the first line that failed to assemble.
+struct AssemblyError {
+  std::size_t line = 0;     ///< 1-based source line
+  std::string message;
+};
+
+/// Result of assembling a source listing.
+struct AssemblyResult {
+  std::vector<Instruction> program;
+  std::vector<AssemblyError> errors;  ///< empty on success
+  bool ok() const { return errors.empty(); }
+};
+
+/// Assembles a full listing (newline-separated).
+AssemblyResult assemble(std::string_view source);
+
+/// Assembles a single statement; throws std::invalid_argument on failure.
+Instruction assemble_line(std::string_view line);
+
+/// Renders a program listing, one instruction per line.
+std::string disassemble_listing(const std::vector<Instruction>& program);
+
+}  // namespace sidis::avr

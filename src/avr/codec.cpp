@@ -1,0 +1,646 @@
+#include "avr/codec.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sidis::avr {
+
+namespace {
+
+[[noreturn]] void bad(const Instruction& in, const char* why) {
+  throw std::invalid_argument("encode " + std::string(name(in.mnemonic)) + ": " + why);
+}
+
+void check_reg(const Instruction& in, std::uint8_t r) {
+  if (r > 31) bad(in, "register index out of range");
+}
+
+void check_high_reg(const Instruction& in, std::uint8_t r) {
+  if (r < 16 || r > 31) bad(in, "register must be r16..r31");
+}
+
+std::uint16_t two_reg(std::uint16_t base, std::uint8_t d, std::uint8_t r) {
+  return static_cast<std::uint16_t>(base | ((r & 0x10u) << 5) | ((d & 0x1Fu) << 4) |
+                                    (r & 0x0Fu));
+}
+
+std::uint16_t imm_reg(std::uint16_t base, std::uint8_t d, std::uint8_t k) {
+  return static_cast<std::uint16_t>(base | ((k & 0xF0u) << 4) |
+                                    (static_cast<unsigned>(d - 16) << 4) | (k & 0x0Fu));
+}
+
+std::uint16_t one_reg(std::uint16_t suffix, std::uint8_t d) {
+  return static_cast<std::uint16_t>(0x9400u | (static_cast<unsigned>(d) << 4) | suffix);
+}
+
+// q bits of LDD/STD: ..q.qq......qqq -> bit13=q5, bits11..10=q4..q3, bits2..0=q2..q0
+std::uint16_t disp_bits(std::uint8_t q) {
+  return static_cast<std::uint16_t>(((q & 0x20u) << 8) | ((q & 0x18u) << 7) | (q & 0x07u));
+}
+
+}  // namespace
+
+Instruction canonicalize(const Instruction& in) {
+  Instruction out = in;
+  std::uint8_t s = 0;
+  bool set = false;
+  if (is_flag_shorthand(in.mnemonic, &s, &set)) {
+    out.mnemonic = set ? Mnemonic::kBset : Mnemonic::kBclr;
+    out.sflag = s;
+    return out;
+  }
+  if (is_branch_shorthand(in.mnemonic, &s, &set)) {
+    out.mnemonic = set ? Mnemonic::kBrbs : Mnemonic::kBrbc;
+    out.sflag = s;
+    return out;
+  }
+  switch (in.mnemonic) {
+    case Mnemonic::kTst: out.mnemonic = Mnemonic::kAnd; out.rr = in.rd; break;
+    case Mnemonic::kClr: out.mnemonic = Mnemonic::kEor; out.rr = in.rd; break;
+    case Mnemonic::kLsl: out.mnemonic = Mnemonic::kAdd; out.rr = in.rd; break;
+    case Mnemonic::kRol: out.mnemonic = Mnemonic::kAdc; out.rr = in.rd; break;
+    case Mnemonic::kSer: out.mnemonic = Mnemonic::kLdi; out.k8 = 0xFF; break;
+    case Mnemonic::kSbr: out.mnemonic = Mnemonic::kOri; break;
+    case Mnemonic::kLdd:
+      if (in.q == 0) {
+        out.mnemonic = Mnemonic::kLd;
+        out.mode = in.mode == AddrMode::kYDisp ? AddrMode::kY : AddrMode::kZ;
+      }
+      break;
+    case Mnemonic::kStd:
+      if (in.q == 0) {
+        out.mnemonic = Mnemonic::kSt;
+        out.mode = in.mode == AddrMode::kYDisp ? AddrMode::kY : AddrMode::kZ;
+      }
+      break;
+    case Mnemonic::kCbr:
+      out.mnemonic = Mnemonic::kAndi;
+      out.k8 = static_cast<std::uint8_t>(~in.k8);
+      break;
+    default: break;
+  }
+  return out;
+}
+
+Instruction prettify(const Instruction& in) {
+  Instruction out = in;
+  if (in.mnemonic == Mnemonic::kBset || in.mnemonic == Mnemonic::kBclr) {
+    const bool set = in.mnemonic == Mnemonic::kBset;
+    static constexpr Mnemonic kSetNames[8] = {
+        Mnemonic::kSec, Mnemonic::kSez, Mnemonic::kSen, Mnemonic::kSev,
+        Mnemonic::kSes, Mnemonic::kSeh, Mnemonic::kSet, Mnemonic::kSei};
+    static constexpr Mnemonic kClrNames[8] = {
+        Mnemonic::kClc, Mnemonic::kClz, Mnemonic::kCln, Mnemonic::kClv,
+        Mnemonic::kCls, Mnemonic::kClh, Mnemonic::kClt, Mnemonic::kCli};
+    out.mnemonic = set ? kSetNames[in.sflag & 7] : kClrNames[in.sflag & 7];
+    out.sflag = 0;
+    return out;
+  }
+  if (in.mnemonic == Mnemonic::kBrbs || in.mnemonic == Mnemonic::kBrbc) {
+    const bool set = in.mnemonic == Mnemonic::kBrbs;
+    static constexpr Mnemonic kOnSet[8] = {
+        Mnemonic::kBrcs, Mnemonic::kBreq, Mnemonic::kBrmi, Mnemonic::kBrvs,
+        Mnemonic::kBrlt, Mnemonic::kBrhs, Mnemonic::kBrts, Mnemonic::kBrie};
+    static constexpr Mnemonic kOnClr[8] = {
+        Mnemonic::kBrcc, Mnemonic::kBrne, Mnemonic::kBrpl, Mnemonic::kBrvc,
+        Mnemonic::kBrge, Mnemonic::kBrhc, Mnemonic::kBrtc, Mnemonic::kBrid};
+    out.mnemonic = set ? kOnSet[in.sflag & 7] : kOnClr[in.sflag & 7];
+    out.sflag = 0;
+    return out;
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> encode(const Instruction& raw) {
+  const Instruction in = canonicalize(raw);
+  const auto word = [](std::uint16_t w) { return std::vector<std::uint16_t>{w}; };
+
+  switch (in.mnemonic) {
+    case Mnemonic::kCpc:  check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x0400, in.rd, in.rr));
+    case Mnemonic::kSbc:  check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x0800, in.rd, in.rr));
+    case Mnemonic::kAdd:  check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x0C00, in.rd, in.rr));
+    case Mnemonic::kCpse: check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x1000, in.rd, in.rr));
+    case Mnemonic::kCp:   check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x1400, in.rd, in.rr));
+    case Mnemonic::kSub:  check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x1800, in.rd, in.rr));
+    case Mnemonic::kAdc:  check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x1C00, in.rd, in.rr));
+    case Mnemonic::kAnd:  check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x2000, in.rd, in.rr));
+    case Mnemonic::kEor:  check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x2400, in.rd, in.rr));
+    case Mnemonic::kOr:   check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x2800, in.rd, in.rr));
+    case Mnemonic::kMov:  check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x2C00, in.rd, in.rr));
+    case Mnemonic::kMul:  check_reg(in, in.rd); check_reg(in, in.rr); return word(two_reg(0x9C00, in.rd, in.rr));
+
+    case Mnemonic::kMovw:
+      if ((in.rd | in.rr) & 1) bad(in, "MOVW needs even register pairs");
+      check_reg(in, in.rd); check_reg(in, in.rr);
+      return word(static_cast<std::uint16_t>(0x0100u | ((in.rd / 2u) << 4) | (in.rr / 2u)));
+    case Mnemonic::kMuls:
+      check_high_reg(in, in.rd); check_high_reg(in, in.rr);
+      return word(static_cast<std::uint16_t>(0x0200u | (static_cast<unsigned>(in.rd - 16) << 4) |
+                                             static_cast<unsigned>(in.rr - 16)));
+
+    case Mnemonic::kCpi:  check_high_reg(in, in.rd); return word(imm_reg(0x3000, in.rd, in.k8));
+    case Mnemonic::kSbci: check_high_reg(in, in.rd); return word(imm_reg(0x4000, in.rd, in.k8));
+    case Mnemonic::kSubi: check_high_reg(in, in.rd); return word(imm_reg(0x5000, in.rd, in.k8));
+    case Mnemonic::kOri:  check_high_reg(in, in.rd); return word(imm_reg(0x6000, in.rd, in.k8));
+    case Mnemonic::kAndi: check_high_reg(in, in.rd); return word(imm_reg(0x7000, in.rd, in.k8));
+    case Mnemonic::kLdi:  check_high_reg(in, in.rd); return word(imm_reg(0xE000, in.rd, in.k8));
+
+    case Mnemonic::kAdiw:
+    case Mnemonic::kSbiw: {
+      if (in.rd != 24 && in.rd != 26 && in.rd != 28 && in.rd != 30) {
+        bad(in, "register must be r24/r26/r28/r30");
+      }
+      if (in.k8 > 63) bad(in, "immediate must be 0..63");
+      const std::uint16_t base = in.mnemonic == Mnemonic::kAdiw ? 0x9600 : 0x9700;
+      return word(static_cast<std::uint16_t>(
+          base | ((in.k8 & 0x30u) << 2) | ((static_cast<unsigned>(in.rd - 24) / 2u) << 4) |
+          (in.k8 & 0x0Fu)));
+    }
+
+    case Mnemonic::kCom:  check_reg(in, in.rd); return word(one_reg(0x0, in.rd));
+    case Mnemonic::kNeg:  check_reg(in, in.rd); return word(one_reg(0x1, in.rd));
+    case Mnemonic::kSwap: check_reg(in, in.rd); return word(one_reg(0x2, in.rd));
+    case Mnemonic::kInc:  check_reg(in, in.rd); return word(one_reg(0x3, in.rd));
+    case Mnemonic::kAsr:  check_reg(in, in.rd); return word(one_reg(0x5, in.rd));
+    case Mnemonic::kLsr:  check_reg(in, in.rd); return word(one_reg(0x6, in.rd));
+    case Mnemonic::kRor:  check_reg(in, in.rd); return word(one_reg(0x7, in.rd));
+    case Mnemonic::kDec:  check_reg(in, in.rd); return word(one_reg(0xA, in.rd));
+
+    case Mnemonic::kBset:
+      if (in.sflag > 7) bad(in, "flag index must be 0..7");
+      return word(static_cast<std::uint16_t>(0x9408u | (static_cast<unsigned>(in.sflag) << 4)));
+    case Mnemonic::kBclr:
+      if (in.sflag > 7) bad(in, "flag index must be 0..7");
+      return word(static_cast<std::uint16_t>(0x9488u | (static_cast<unsigned>(in.sflag) << 4)));
+
+    case Mnemonic::kBrbs:
+    case Mnemonic::kBrbc: {
+      if (in.sflag > 7) bad(in, "flag index must be 0..7");
+      if (in.rel < -64 || in.rel > 63) bad(in, "branch offset must be -64..63 words");
+      const std::uint16_t base = in.mnemonic == Mnemonic::kBrbs ? 0xF000 : 0xF400;
+      return word(static_cast<std::uint16_t>(base | ((static_cast<unsigned>(in.rel) & 0x7Fu) << 3) |
+                                             in.sflag));
+    }
+
+    case Mnemonic::kRjmp:
+    case Mnemonic::kRcall: {
+      if (in.rel < -2048 || in.rel > 2047) bad(in, "offset must be -2048..2047 words");
+      const std::uint16_t base = in.mnemonic == Mnemonic::kRjmp ? 0xC000 : 0xD000;
+      return word(static_cast<std::uint16_t>(base | (static_cast<unsigned>(in.rel) & 0xFFFu)));
+    }
+
+    case Mnemonic::kJmp:
+    case Mnemonic::kCall: {
+      if (in.k22 > 0x3FFFFF) bad(in, "address exceeds 22 bits");
+      const std::uint16_t suffix = in.mnemonic == Mnemonic::kJmp ? 0xC : 0xE;
+      const std::uint32_t hi = in.k22 >> 16;
+      const auto w0 = static_cast<std::uint16_t>(0x9400u | ((hi >> 1) << 4) | (hi & 1u) | suffix);
+      return {w0, static_cast<std::uint16_t>(in.k22 & 0xFFFFu)};
+    }
+
+    case Mnemonic::kLds:
+      check_reg(in, in.rd);
+      return {static_cast<std::uint16_t>(0x9000u | (static_cast<unsigned>(in.rd) << 4)), in.k16};
+    case Mnemonic::kSts:
+      check_reg(in, in.rr);
+      return {static_cast<std::uint16_t>(0x9200u | (static_cast<unsigned>(in.rr) << 4)), in.k16};
+
+    case Mnemonic::kLd: {
+      check_reg(in, in.rd);
+      std::uint16_t base = 0;
+      switch (in.mode) {
+        case AddrMode::kX: base = 0x900C; break;
+        case AddrMode::kXPostInc: base = 0x900D; break;
+        case AddrMode::kXPreDec: base = 0x900E; break;
+        case AddrMode::kY: base = 0x8008; break;
+        case AddrMode::kYPostInc: base = 0x9009; break;
+        case AddrMode::kYPreDec: base = 0x900A; break;
+        case AddrMode::kZ: base = 0x8000; break;
+        case AddrMode::kZPostInc: base = 0x9001; break;
+        case AddrMode::kZPreDec: base = 0x9002; break;
+        default: bad(in, "invalid LD addressing mode");
+      }
+      return word(static_cast<std::uint16_t>(base | (static_cast<unsigned>(in.rd) << 4)));
+    }
+    case Mnemonic::kLdd: {
+      check_reg(in, in.rd);
+      if (in.q > 63) bad(in, "displacement must be 0..63");
+      std::uint16_t base = 0;
+      switch (in.mode) {
+        case AddrMode::kYDisp: base = 0x8008; break;
+        case AddrMode::kZDisp: base = 0x8000; break;
+        default: bad(in, "invalid LDD addressing mode");
+      }
+      return word(static_cast<std::uint16_t>(base | disp_bits(in.q) |
+                                             (static_cast<unsigned>(in.rd) << 4)));
+    }
+    case Mnemonic::kSt: {
+      check_reg(in, in.rr);
+      std::uint16_t base = 0;
+      switch (in.mode) {
+        case AddrMode::kX: base = 0x920C; break;
+        case AddrMode::kXPostInc: base = 0x920D; break;
+        case AddrMode::kXPreDec: base = 0x920E; break;
+        case AddrMode::kY: base = 0x8208; break;
+        case AddrMode::kYPostInc: base = 0x9209; break;
+        case AddrMode::kYPreDec: base = 0x920A; break;
+        case AddrMode::kZ: base = 0x8200; break;
+        case AddrMode::kZPostInc: base = 0x9201; break;
+        case AddrMode::kZPreDec: base = 0x9202; break;
+        default: bad(in, "invalid ST addressing mode");
+      }
+      return word(static_cast<std::uint16_t>(base | (static_cast<unsigned>(in.rr) << 4)));
+    }
+    case Mnemonic::kStd: {
+      check_reg(in, in.rr);
+      if (in.q > 63) bad(in, "displacement must be 0..63");
+      std::uint16_t base = 0;
+      switch (in.mode) {
+        case AddrMode::kYDisp: base = 0x8208; break;
+        case AddrMode::kZDisp: base = 0x8200; break;
+        default: bad(in, "invalid STD addressing mode");
+      }
+      return word(static_cast<std::uint16_t>(base | disp_bits(in.q) |
+                                             (static_cast<unsigned>(in.rr) << 4)));
+    }
+
+    case Mnemonic::kLpm:
+      switch (in.mode) {
+        case AddrMode::kR0: return word(0x95C8);
+        case AddrMode::kZ:
+          check_reg(in, in.rd);
+          return word(static_cast<std::uint16_t>(0x9004u | (static_cast<unsigned>(in.rd) << 4)));
+        case AddrMode::kZPostInc:
+          check_reg(in, in.rd);
+          return word(static_cast<std::uint16_t>(0x9005u | (static_cast<unsigned>(in.rd) << 4)));
+        default: bad(in, "invalid LPM addressing mode");
+      }
+    case Mnemonic::kElpm:
+      switch (in.mode) {
+        case AddrMode::kR0: return word(0x95D8);
+        case AddrMode::kZ:
+          check_reg(in, in.rd);
+          return word(static_cast<std::uint16_t>(0x9006u | (static_cast<unsigned>(in.rd) << 4)));
+        case AddrMode::kZPostInc:
+          check_reg(in, in.rd);
+          return word(static_cast<std::uint16_t>(0x9007u | (static_cast<unsigned>(in.rd) << 4)));
+        default: bad(in, "invalid ELPM addressing mode");
+      }
+
+    case Mnemonic::kSbi:
+    case Mnemonic::kCbi:
+    case Mnemonic::kSbic:
+    case Mnemonic::kSbis: {
+      if (in.io > 31) bad(in, "I/O address must be 0..31");
+      if (in.bit > 7) bad(in, "bit index must be 0..7");
+      std::uint16_t base = 0;
+      switch (in.mnemonic) {
+        case Mnemonic::kCbi: base = 0x9800; break;
+        case Mnemonic::kSbic: base = 0x9900; break;
+        case Mnemonic::kSbi: base = 0x9A00; break;
+        default: base = 0x9B00; break;
+      }
+      return word(static_cast<std::uint16_t>(base | (static_cast<unsigned>(in.io) << 3) | in.bit));
+    }
+
+    case Mnemonic::kSbrc:
+    case Mnemonic::kSbrs: {
+      check_reg(in, in.rr);
+      if (in.bit > 7) bad(in, "bit index must be 0..7");
+      const std::uint16_t base = in.mnemonic == Mnemonic::kSbrc ? 0xFC00 : 0xFE00;
+      return word(static_cast<std::uint16_t>(base | (static_cast<unsigned>(in.rr) << 4) | in.bit));
+    }
+    case Mnemonic::kBst:
+    case Mnemonic::kBld: {
+      check_reg(in, in.rd);
+      if (in.bit > 7) bad(in, "bit index must be 0..7");
+      const std::uint16_t base = in.mnemonic == Mnemonic::kBst ? 0xFA00 : 0xF800;
+      return word(static_cast<std::uint16_t>(base | (static_cast<unsigned>(in.rd) << 4) | in.bit));
+    }
+
+    case Mnemonic::kIn:
+      check_reg(in, in.rd);
+      if (in.io > 63) bad(in, "I/O address must be 0..63");
+      return word(static_cast<std::uint16_t>(0xB000u | ((in.io & 0x30u) << 5) |
+                                             (static_cast<unsigned>(in.rd) << 4) |
+                                             (in.io & 0x0Fu)));
+    case Mnemonic::kOut:
+      check_reg(in, in.rr);
+      if (in.io > 63) bad(in, "I/O address must be 0..63");
+      return word(static_cast<std::uint16_t>(0xB800u | ((in.io & 0x30u) << 5) |
+                                             (static_cast<unsigned>(in.rr) << 4) |
+                                             (in.io & 0x0Fu)));
+
+    case Mnemonic::kPush:
+      check_reg(in, in.rd);
+      return word(static_cast<std::uint16_t>(0x920Fu | (static_cast<unsigned>(in.rd) << 4)));
+    case Mnemonic::kPop:
+      check_reg(in, in.rd);
+      return word(static_cast<std::uint16_t>(0x900Fu | (static_cast<unsigned>(in.rd) << 4)));
+
+    case Mnemonic::kNop: return word(0x0000);
+    case Mnemonic::kRet: return word(0x9508);
+    case Mnemonic::kReti: return word(0x9518);
+    case Mnemonic::kIcall: return word(0x9509);
+    case Mnemonic::kIjmp: return word(0x9409);
+    case Mnemonic::kSleep: return word(0x9588);
+    case Mnemonic::kWdr: return word(0x95A8);
+    case Mnemonic::kBreak: return word(0x9598);
+
+    default: break;
+  }
+  bad(in, "unencodable mnemonic");
+}
+
+std::vector<std::uint16_t> encode_program(std::span<const Instruction> program) {
+  std::vector<std::uint16_t> out;
+  out.reserve(program.size());
+  for (const Instruction& in : program) {
+    const auto words = encode(in);
+    out.insert(out.end(), words.begin(), words.end());
+  }
+  return out;
+}
+
+namespace {
+
+Instruction make(Mnemonic m) {
+  Instruction in;
+  in.mnemonic = m;
+  return in;
+}
+
+std::uint8_t field_d5(std::uint16_t w) { return static_cast<std::uint8_t>((w >> 4) & 0x1F); }
+std::uint8_t field_r5(std::uint16_t w) {
+  return static_cast<std::uint8_t>(((w >> 5) & 0x10) | (w & 0x0F));
+}
+
+std::optional<Decoded> decode_9xxx(std::span<const std::uint16_t> code, std::size_t pc) {
+  const std::uint16_t w = code[pc];
+  Instruction in;
+  // 1001 00xd dddd ....: LDS/LD/LPM/ELPM/POP (x=0) and STS/ST/PUSH (x=1)
+  if ((w & 0xFC00) == 0x9000) {
+    const bool store = (w & 0x0200) != 0;
+    const std::uint8_t d = field_d5(w);
+    const std::uint16_t low = w & 0xF;
+    if (store) {
+      in.rr = d;
+      switch (low) {
+        case 0x0:
+          if (pc + 1 >= code.size()) return std::nullopt;
+          in.mnemonic = Mnemonic::kSts; in.mode = AddrMode::kAbs; in.k16 = code[pc + 1];
+          return Decoded{in, 2};
+        case 0x1: in.mnemonic = Mnemonic::kSt; in.mode = AddrMode::kZPostInc; break;
+        case 0x2: in.mnemonic = Mnemonic::kSt; in.mode = AddrMode::kZPreDec; break;
+        case 0x9: in.mnemonic = Mnemonic::kSt; in.mode = AddrMode::kYPostInc; break;
+        case 0xA: in.mnemonic = Mnemonic::kSt; in.mode = AddrMode::kYPreDec; break;
+        case 0xC: in.mnemonic = Mnemonic::kSt; in.mode = AddrMode::kX; break;
+        case 0xD: in.mnemonic = Mnemonic::kSt; in.mode = AddrMode::kXPostInc; break;
+        case 0xE: in.mnemonic = Mnemonic::kSt; in.mode = AddrMode::kXPreDec; break;
+        case 0xF: in.mnemonic = Mnemonic::kPush; in.rd = d; in.rr = 0; break;
+        default: return std::nullopt;
+      }
+      return Decoded{in, 1};
+    }
+    in.rd = d;
+    switch (low) {
+      case 0x0:
+        if (pc + 1 >= code.size()) return std::nullopt;
+        in.mnemonic = Mnemonic::kLds; in.mode = AddrMode::kAbs; in.k16 = code[pc + 1];
+        return Decoded{in, 2};
+      case 0x1: in.mnemonic = Mnemonic::kLd; in.mode = AddrMode::kZPostInc; break;
+      case 0x2: in.mnemonic = Mnemonic::kLd; in.mode = AddrMode::kZPreDec; break;
+      case 0x4: in.mnemonic = Mnemonic::kLpm; in.mode = AddrMode::kZ; break;
+      case 0x5: in.mnemonic = Mnemonic::kLpm; in.mode = AddrMode::kZPostInc; break;
+      case 0x6: in.mnemonic = Mnemonic::kElpm; in.mode = AddrMode::kZ; break;
+      case 0x7: in.mnemonic = Mnemonic::kElpm; in.mode = AddrMode::kZPostInc; break;
+      case 0x9: in.mnemonic = Mnemonic::kLd; in.mode = AddrMode::kYPostInc; break;
+      case 0xA: in.mnemonic = Mnemonic::kLd; in.mode = AddrMode::kYPreDec; break;
+      case 0xC: in.mnemonic = Mnemonic::kLd; in.mode = AddrMode::kX; break;
+      case 0xD: in.mnemonic = Mnemonic::kLd; in.mode = AddrMode::kXPostInc; break;
+      case 0xE: in.mnemonic = Mnemonic::kLd; in.mode = AddrMode::kXPreDec; break;
+      case 0xF: in.mnemonic = Mnemonic::kPop; break;
+      default: return std::nullopt;
+    }
+    return Decoded{in, 1};
+  }
+
+  // 1001 010d dddd xxxx: one-operand ALU, BSET/BCLR, JMP/CALL, misc.
+  if ((w & 0xFE00) == 0x9400) {
+    const std::uint8_t d = field_d5(w);
+    const std::uint16_t low = w & 0xF;
+    switch (low) {
+      case 0x0: in = make(Mnemonic::kCom); in.rd = d; return Decoded{in, 1};
+      case 0x1: in = make(Mnemonic::kNeg); in.rd = d; return Decoded{in, 1};
+      case 0x2: in = make(Mnemonic::kSwap); in.rd = d; return Decoded{in, 1};
+      case 0x3: in = make(Mnemonic::kInc); in.rd = d; return Decoded{in, 1};
+      case 0x5: in = make(Mnemonic::kAsr); in.rd = d; return Decoded{in, 1};
+      case 0x6: in = make(Mnemonic::kLsr); in.rd = d; return Decoded{in, 1};
+      case 0x7: in = make(Mnemonic::kRor); in.rd = d; return Decoded{in, 1};
+      case 0xA: in = make(Mnemonic::kDec); in.rd = d; return Decoded{in, 1};
+      case 0x8: {
+        // BSET 1001 0100 0sss 1000 / BCLR 1001 0100 1sss 1000: bit 7 of the
+        // low byte distinguishes them, so it must survive the mask.
+        if ((w & 0xFF8F) == 0x9408) {
+          in = make(Mnemonic::kBset);
+          in.sflag = static_cast<std::uint8_t>((w >> 4) & 7);
+          return Decoded{in, 1};
+        }
+        if ((w & 0xFF8F) == 0x9488) {
+          in = make(Mnemonic::kBclr);
+          in.sflag = static_cast<std::uint8_t>((w >> 4) & 7);
+          return Decoded{in, 1};
+        }
+        switch (w) {
+          case 0x9508: return Decoded{make(Mnemonic::kRet), 1};
+          case 0x9518: return Decoded{make(Mnemonic::kReti), 1};
+          case 0x9588: return Decoded{make(Mnemonic::kSleep), 1};
+          case 0x9598: return Decoded{make(Mnemonic::kBreak), 1};
+          case 0x95A8: return Decoded{make(Mnemonic::kWdr), 1};
+          case 0x95C8: in = make(Mnemonic::kLpm); in.mode = AddrMode::kR0; return Decoded{in, 1};
+          case 0x95D8: in = make(Mnemonic::kElpm); in.mode = AddrMode::kR0; return Decoded{in, 1};
+          default: return std::nullopt;
+        }
+      }
+      case 0x9:
+        if (w == 0x9409) return Decoded{make(Mnemonic::kIjmp), 1};
+        if (w == 0x9509) return Decoded{make(Mnemonic::kIcall), 1};
+        return std::nullopt;
+      case 0xC:
+      case 0xD:
+      case 0xE:
+      case 0xF: {
+        if (pc + 1 >= code.size()) return std::nullopt;
+        in = make(low <= 0xD ? Mnemonic::kJmp : Mnemonic::kCall);
+        const std::uint32_t hi =
+            (static_cast<std::uint32_t>((w >> 4) & 0x1F) << 1) | (w & 1u);
+        in.k22 = (hi << 16) | code[pc + 1];
+        return Decoded{in, 2};
+      }
+      default: return std::nullopt;
+    }
+  }
+
+  // ADIW / SBIW: 1001 0110/0111 KKdd KKKK
+  if ((w & 0xFE00) == 0x9600) {
+    in = make((w & 0x0100) ? Mnemonic::kSbiw : Mnemonic::kAdiw);
+    in.rd = static_cast<std::uint8_t>(24 + 2 * ((w >> 4) & 3));
+    in.k8 = static_cast<std::uint8_t>(((w >> 2) & 0x30) | (w & 0x0F));
+    return Decoded{in, 1};
+  }
+
+  // CBI/SBIC/SBI/SBIS: 1001 10xx AAAA Abbb
+  if ((w & 0xFC00) == 0x9800) {
+    switch ((w >> 8) & 3) {
+      case 0: in = make(Mnemonic::kCbi); break;
+      case 1: in = make(Mnemonic::kSbic); break;
+      case 2: in = make(Mnemonic::kSbi); break;
+      default: in = make(Mnemonic::kSbis); break;
+    }
+    in.io = static_cast<std::uint8_t>((w >> 3) & 0x1F);
+    in.bit = static_cast<std::uint8_t>(w & 7);
+    return Decoded{in, 1};
+  }
+
+  // MUL: 1001 11rd dddd rrrr
+  if ((w & 0xFC00) == 0x9C00) {
+    in = make(Mnemonic::kMul);
+    in.rd = field_d5(w);
+    in.rr = field_r5(w);
+    return Decoded{in, 1};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Decoded> decode(std::span<const std::uint16_t> code, std::size_t pc) {
+  if (pc >= code.size()) return std::nullopt;
+  const std::uint16_t w = code[pc];
+  Instruction in;
+
+  switch (w >> 12) {
+    case 0x0: {
+      if (w == 0x0000) return Decoded{make(Mnemonic::kNop), 1};
+      if ((w & 0xFF00) == 0x0100) {
+        in = make(Mnemonic::kMovw);
+        in.rd = static_cast<std::uint8_t>(((w >> 4) & 0xF) * 2);
+        in.rr = static_cast<std::uint8_t>((w & 0xF) * 2);
+        return Decoded{in, 1};
+      }
+      if ((w & 0xFF00) == 0x0200) {
+        in = make(Mnemonic::kMuls);
+        in.rd = static_cast<std::uint8_t>(16 + ((w >> 4) & 0xF));
+        in.rr = static_cast<std::uint8_t>(16 + (w & 0xF));
+        return Decoded{in, 1};
+      }
+      if ((w & 0xFC00) == 0x0400) { in = make(Mnemonic::kCpc); break; }
+      if ((w & 0xFC00) == 0x0800) { in = make(Mnemonic::kSbc); break; }
+      if ((w & 0xFC00) == 0x0C00) { in = make(Mnemonic::kAdd); break; }
+      return std::nullopt;
+    }
+    case 0x1:
+      if ((w & 0xFC00) == 0x1000) { in = make(Mnemonic::kCpse); break; }
+      if ((w & 0xFC00) == 0x1400) { in = make(Mnemonic::kCp); break; }
+      if ((w & 0xFC00) == 0x1800) { in = make(Mnemonic::kSub); break; }
+      in = make(Mnemonic::kAdc);
+      break;
+    case 0x2:
+      if ((w & 0xFC00) == 0x2000) { in = make(Mnemonic::kAnd); break; }
+      if ((w & 0xFC00) == 0x2400) { in = make(Mnemonic::kEor); break; }
+      if ((w & 0xFC00) == 0x2800) { in = make(Mnemonic::kOr); break; }
+      in = make(Mnemonic::kMov);
+      break;
+    case 0x3: in = make(Mnemonic::kCpi); break;
+    case 0x4: in = make(Mnemonic::kSbci); break;
+    case 0x5: in = make(Mnemonic::kSubi); break;
+    case 0x6: in = make(Mnemonic::kOri); break;
+    case 0x7: in = make(Mnemonic::kAndi); break;
+    case 0x8:
+    case 0xA: {
+      // LDD/STD with displacement (also plain LD/ST Y/Z as q = 0).
+      const std::uint8_t q = static_cast<std::uint8_t>(((w >> 8) & 0x20) |
+                                                       ((w >> 7) & 0x18) | (w & 0x07));
+      const bool store = (w & 0x0200) != 0;
+      const bool y = (w & 0x0008) != 0;
+      const std::uint8_t d = field_d5(w);
+      if (q == 0) {
+        in = make(store ? Mnemonic::kSt : Mnemonic::kLd);
+        in.mode = y ? AddrMode::kY : AddrMode::kZ;
+      } else {
+        in = make(store ? Mnemonic::kStd : Mnemonic::kLdd);
+        in.mode = y ? AddrMode::kYDisp : AddrMode::kZDisp;
+        in.q = q;
+      }
+      if (store) in.rr = d; else in.rd = d;
+      return Decoded{in, 1};
+    }
+    case 0x9: return decode_9xxx(code, pc);
+    case 0xB: {
+      const std::uint8_t a = static_cast<std::uint8_t>(((w >> 5) & 0x30) | (w & 0x0F));
+      const std::uint8_t d = field_d5(w);
+      if (w & 0x0800) {
+        in = make(Mnemonic::kOut);
+        in.rr = d;
+      } else {
+        in = make(Mnemonic::kIn);
+        in.rd = d;
+      }
+      in.io = a;
+      return Decoded{in, 1};
+    }
+    case 0xC:
+    case 0xD: {
+      in = make((w >> 12) == 0xC ? Mnemonic::kRjmp : Mnemonic::kRcall);
+      std::int16_t rel = static_cast<std::int16_t>(w & 0x0FFF);
+      if (rel & 0x0800) rel = static_cast<std::int16_t>(rel - 0x1000);
+      in.rel = rel;
+      return Decoded{in, 1};
+    }
+    case 0xE: in = make(Mnemonic::kLdi); break;
+    case 0xF: {
+      if ((w & 0xF800) == 0xF000 || (w & 0xF800) == 0xF400) {
+        in = make((w & 0x0400) ? Mnemonic::kBrbc : Mnemonic::kBrbs);
+        in.sflag = static_cast<std::uint8_t>(w & 7);
+        std::int16_t rel = static_cast<std::int16_t>((w >> 3) & 0x7F);
+        if (rel & 0x40) rel = static_cast<std::int16_t>(rel - 0x80);
+        in.rel = rel;
+        return Decoded{in, 1};
+      }
+      if ((w & 0xFE08) == 0xF800) { in = make(Mnemonic::kBld); in.rd = field_d5(w); in.bit = static_cast<std::uint8_t>(w & 7); return Decoded{in, 1}; }
+      if ((w & 0xFE08) == 0xFA00) { in = make(Mnemonic::kBst); in.rd = field_d5(w); in.bit = static_cast<std::uint8_t>(w & 7); return Decoded{in, 1}; }
+      if ((w & 0xFE08) == 0xFC00) { in = make(Mnemonic::kSbrc); in.rr = field_d5(w); in.bit = static_cast<std::uint8_t>(w & 7); return Decoded{in, 1}; }
+      if ((w & 0xFE08) == 0xFE00) { in = make(Mnemonic::kSbrs); in.rr = field_d5(w); in.bit = static_cast<std::uint8_t>(w & 7); return Decoded{in, 1}; }
+      return std::nullopt;
+    }
+    default: return std::nullopt;
+  }
+
+  // Shared tails: two-register ALU and register-immediate formats.
+  const OperandSignature sig = info(in.mnemonic).signature;
+  if (sig == OperandSignature::kRdRr) {
+    in.rd = field_d5(w);
+    in.rr = field_r5(w);
+    return Decoded{in, 1};
+  }
+  if (sig == OperandSignature::kRdK) {
+    in.rd = static_cast<std::uint8_t>(16 + ((w >> 4) & 0xF));
+    in.k8 = static_cast<std::uint8_t>(((w >> 4) & 0xF0) | (w & 0x0F));
+    return Decoded{in, 1};
+  }
+  return std::nullopt;
+}
+
+std::vector<Instruction> decode_program(std::span<const std::uint16_t> code) {
+  std::vector<Instruction> out;
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    const auto d = decode(code, pc);
+    if (!d) break;
+    out.push_back(d->instr);
+    pc += d->words;
+  }
+  return out;
+}
+
+}  // namespace sidis::avr

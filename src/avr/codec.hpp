@@ -1,0 +1,51 @@
+// Binary encoder/decoder for the AVR instruction set (ATmega328P subset).
+//
+// Encodings follow the AVR Instruction Set Manual [12].  The encoder accepts
+// alias mnemonics (TST, CLR, LSL, ROL, SER, SBR, CBR, the SEx/CLx flag
+// shorthands and the BRxx branch shorthands) and emits their canonical
+// encodings; the decoder always returns canonical instructions (AND, EOR,
+// ADD, ADC, LDI, ORI, ANDI, BSET/BCLR, BRBS/BRBC).  `prettify` restores the
+// unambiguous shorthands for display.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "avr/isa.hpp"
+
+namespace sidis::avr {
+
+/// Encodes one instruction into one or two 16-bit words.
+/// Throws std::invalid_argument on malformed operands (register ranges,
+/// immediate widths, displacement widths are all checked).
+std::vector<std::uint16_t> encode(const Instruction& instr);
+
+/// Encodes a whole instruction sequence into a flat word stream.
+std::vector<std::uint16_t> encode_program(std::span<const Instruction> program);
+
+/// A decoded instruction plus its encoded length.
+struct Decoded {
+  Instruction instr;
+  unsigned words = 1;
+};
+
+/// Decodes the instruction starting at `code[pc]`.  Returns nullopt on an
+/// unknown opcode or a truncated two-word instruction.
+std::optional<Decoded> decode(std::span<const std::uint16_t> code, std::size_t pc);
+
+/// Decodes an entire word stream; stops and truncates at the first
+/// undecodable word (returned instructions are always valid).
+std::vector<Instruction> decode_program(std::span<const std::uint16_t> code);
+
+/// Maps canonical forms back to the conventional shorthands where that is
+/// unambiguous: BSET/BCLR -> SEC/CLZ/..., BRBS/BRBC -> BREQ/BRNE/....
+/// Register aliases (AND r,r -> TST r) are ambiguous and left canonical.
+Instruction prettify(const Instruction& instr);
+
+/// Rewrites alias mnemonics into their canonical instruction (identity for
+/// canonical input).  The encoder applies this internally.
+Instruction canonicalize(const Instruction& instr);
+
+}  // namespace sidis::avr

@@ -1,0 +1,591 @@
+#include "avr/cpu.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sidis::avr {
+
+namespace {
+
+constexpr std::uint8_t bit7(std::uint8_t v) { return (v >> 7) & 1; }
+constexpr std::uint8_t bit3(std::uint8_t v) { return (v >> 3) & 1; }
+
+}  // namespace
+
+Cpu::Cpu() = default;
+
+void Cpu::load_program(std::vector<std::uint16_t> words) {
+  if (words.size() > kMaxFlashWords) {
+    throw std::invalid_argument("Cpu::load_program: program exceeds flash size");
+  }
+  flash_.fill(0);
+  std::copy(words.begin(), words.end(), flash_.begin());
+  flash_words_ = words.size();
+  reset();
+}
+
+void Cpu::load_program(std::span<const Instruction> program) {
+  load_program(encode_program(program));
+}
+
+void Cpu::reset() {
+  pc_ = 0;
+  sp_ = kRamEnd;
+  cycles_ = 0;
+}
+
+void Cpu::power_on_reset() {
+  data_.fill(0);
+  sreg_ = 0;
+  reset();
+}
+
+void Cpu::set_flag(SregBit b, bool v) {
+  if (v) {
+    sreg_ = static_cast<std::uint8_t>(sreg_ | (1u << b));
+  } else {
+    sreg_ = static_cast<std::uint8_t>(sreg_ & ~(1u << b));
+  }
+}
+
+std::uint8_t Cpu::read_data(std::uint16_t addr) const {
+  return data_[addr % kDataSize];
+}
+
+void Cpu::write_data(std::uint16_t addr, std::uint8_t value) {
+  data_[addr % kDataSize] = value;
+}
+
+std::uint8_t Cpu::read_io(std::uint8_t a) const {
+  return data_[0x20u + (a & 0x3Fu)];
+}
+
+void Cpu::write_io(std::uint8_t a, std::uint8_t value) {
+  data_[0x20u + (a & 0x3Fu)] = value;
+}
+
+void Cpu::push_byte(std::uint8_t v) {
+  data_[sp_ % kDataSize] = v;
+  --sp_;
+}
+
+std::uint8_t Cpu::pop_byte() {
+  ++sp_;
+  return data_[sp_ % kDataSize];
+}
+
+std::uint8_t Cpu::flash_byte(std::uint32_t byte_addr) const {
+  const std::uint32_t w = (byte_addr / 2) % kMaxFlashWords;
+  const std::uint16_t v = flash_[w];
+  return static_cast<std::uint8_t>((byte_addr & 1) ? (v >> 8) : (v & 0xFF));
+}
+
+std::uint16_t Cpu::effective_address(const Instruction& in, ExecRecord& rec) {
+  std::uint16_t addr = 0;
+  switch (in.mode) {
+    case AddrMode::kAbs:
+      addr = in.k16;
+      break;
+    case AddrMode::kX: addr = x(); break;
+    case AddrMode::kXPostInc: addr = x(); set_x(static_cast<std::uint16_t>(addr + 1)); break;
+    case AddrMode::kXPreDec: set_x(static_cast<std::uint16_t>(x() - 1)); addr = x(); break;
+    case AddrMode::kY: addr = y(); break;
+    case AddrMode::kYPostInc: addr = y(); set_y(static_cast<std::uint16_t>(addr + 1)); break;
+    case AddrMode::kYPreDec: set_y(static_cast<std::uint16_t>(y() - 1)); addr = y(); break;
+    case AddrMode::kYDisp: addr = static_cast<std::uint16_t>(y() + in.q); break;
+    case AddrMode::kZ:
+    case AddrMode::kR0: addr = z(); break;
+    case AddrMode::kZPostInc: addr = z(); set_z(static_cast<std::uint16_t>(addr + 1)); break;
+    case AddrMode::kZPreDec: set_z(static_cast<std::uint16_t>(z() - 1)); addr = z(); break;
+    case AddrMode::kZDisp: addr = static_cast<std::uint16_t>(z() + in.q); break;
+    case AddrMode::kNone: break;
+  }
+  rec.mem_addr = addr;
+  return addr;
+}
+
+ExecRecord Cpu::step() {
+  if (halted()) throw std::runtime_error("Cpu::step: halted (PC past end of program)");
+  const std::span<const std::uint16_t> code{flash_.data(), flash_words_};
+  const auto decoded = decode(code, pc_);
+  if (!decoded) {
+    throw std::runtime_error("Cpu::step: undecodable opcode at PC " + std::to_string(pc_));
+  }
+
+  ExecRecord rec;
+  rec.instr = decoded->instr;
+  rec.opcode = flash_[pc_];
+  rec.second_word = decoded->words == 2 ? flash_[pc_ + 1] : 0;
+  rec.pc = pc_;
+  rec.cycles = info(decoded->instr.mnemonic).base_cycles;
+  rec.sreg_before = sreg_;
+
+  pc_ = static_cast<std::uint16_t>(pc_ + decoded->words);
+  execute(decoded->instr, rec);
+
+  rec.sreg_after = sreg_;
+  cycles_ += rec.cycles;
+  return rec;
+}
+
+std::vector<ExecRecord> Cpu::run(std::size_t max_steps) {
+  std::vector<ExecRecord> out;
+  out.reserve(max_steps);
+  while (!halted() && out.size() < max_steps) out.push_back(step());
+  return out;
+}
+
+void Cpu::execute(const Instruction& in, ExecRecord& rec) {
+  const auto rd = [&]() -> std::uint8_t { return data_[in.rd]; };
+  const auto rr = [&]() -> std::uint8_t { return data_[in.rr]; };
+
+  const auto set_zns = [&](std::uint8_t r) {
+    set_flag(kFlagZ, r == 0);
+    set_flag(kFlagN, bit7(r) != 0);
+    set_flag(kFlagS, flag(kFlagN) != flag(kFlagV));
+  };
+  const auto add_flags = [&](std::uint8_t a, std::uint8_t b, std::uint8_t r) {
+    set_flag(kFlagC, ((a & b) | (a & static_cast<std::uint8_t>(~r)) |
+                      (b & static_cast<std::uint8_t>(~r))) >> 7 & 1);
+    set_flag(kFlagH, ((a & b) | (a & static_cast<std::uint8_t>(~r)) |
+                      (b & static_cast<std::uint8_t>(~r))) >> 3 & 1);
+    set_flag(kFlagV, (((a & b & static_cast<std::uint8_t>(~r)) |
+                       (static_cast<std::uint8_t>(~a) & static_cast<std::uint8_t>(~b) & r)) >> 7) & 1);
+    set_zns(r);
+  };
+  const auto sub_flags = [&](std::uint8_t a, std::uint8_t b, std::uint8_t r, bool keep_z) {
+    set_flag(kFlagC, ((static_cast<std::uint8_t>(~a) & b) | (b & r) |
+                      (r & static_cast<std::uint8_t>(~a))) >> 7 & 1);
+    set_flag(kFlagH, ((static_cast<std::uint8_t>(~a) & b) | (b & r) |
+                      (r & static_cast<std::uint8_t>(~a))) >> 3 & 1);
+    set_flag(kFlagV, (((a & static_cast<std::uint8_t>(~b) & static_cast<std::uint8_t>(~r)) |
+                       (static_cast<std::uint8_t>(~a) & b & r)) >> 7) & 1);
+    set_flag(kFlagN, bit7(r) != 0);
+    if (keep_z) {
+      set_flag(kFlagZ, (r == 0) && flag(kFlagZ));
+    } else {
+      set_flag(kFlagZ, r == 0);
+    }
+    set_flag(kFlagS, flag(kFlagN) != flag(kFlagV));
+  };
+  const auto logic_flags = [&](std::uint8_t r) {
+    set_flag(kFlagV, false);
+    set_zns(r);
+  };
+  const auto do_branch = [&](bool cond) {
+    rec.branch_taken = cond;
+    if (cond) {
+      pc_ = static_cast<std::uint16_t>(static_cast<std::int32_t>(pc_) + in.rel);
+      rec.cycles = 2;
+    }
+  };
+  const auto do_skip = [&](bool cond) {
+    rec.skip_taken = cond;
+    if (!cond) return;
+    const std::span<const std::uint16_t> code{flash_.data(), flash_words_};
+    const auto next = decode(code, pc_);
+    const unsigned skip_words = next ? next->words : 1;
+    pc_ = static_cast<std::uint16_t>(pc_ + skip_words);
+    rec.cycles += skip_words;  // 1 extra cycle per skipped word
+  };
+
+  rec.rd_before = data_[in.rd];
+  rec.rr_value = data_[in.rr];
+
+  switch (in.mnemonic) {
+    case Mnemonic::kAdd: {
+      const std::uint8_t a = rd(), b = rr();
+      const auto r = static_cast<std::uint8_t>(a + b);
+      data_[in.rd] = r;
+      add_flags(a, b, r);
+      break;
+    }
+    case Mnemonic::kAdc: {
+      const std::uint8_t a = rd(), b = rr();
+      const auto r = static_cast<std::uint8_t>(a + b + (flag(kFlagC) ? 1 : 0));
+      data_[in.rd] = r;
+      add_flags(a, b, r);
+      break;
+    }
+    case Mnemonic::kSub: {
+      const std::uint8_t a = rd(), b = rr();
+      const auto r = static_cast<std::uint8_t>(a - b);
+      data_[in.rd] = r;
+      sub_flags(a, b, r, /*keep_z=*/false);
+      break;
+    }
+    case Mnemonic::kSbc: {
+      const std::uint8_t a = rd(), b = rr();
+      const auto r = static_cast<std::uint8_t>(a - b - (flag(kFlagC) ? 1 : 0));
+      data_[in.rd] = r;
+      sub_flags(a, b, r, /*keep_z=*/true);
+      break;
+    }
+    case Mnemonic::kAnd: {
+      const auto r = static_cast<std::uint8_t>(rd() & rr());
+      data_[in.rd] = r;
+      logic_flags(r);
+      break;
+    }
+    case Mnemonic::kOr: {
+      const auto r = static_cast<std::uint8_t>(rd() | rr());
+      data_[in.rd] = r;
+      logic_flags(r);
+      break;
+    }
+    case Mnemonic::kEor: {
+      const auto r = static_cast<std::uint8_t>(rd() ^ rr());
+      data_[in.rd] = r;
+      logic_flags(r);
+      break;
+    }
+    case Mnemonic::kCp: {
+      const std::uint8_t a = rd(), b = rr();
+      sub_flags(a, b, static_cast<std::uint8_t>(a - b), /*keep_z=*/false);
+      break;
+    }
+    case Mnemonic::kCpc: {
+      const std::uint8_t a = rd(), b = rr();
+      const auto r = static_cast<std::uint8_t>(a - b - (flag(kFlagC) ? 1 : 0));
+      sub_flags(a, b, r, /*keep_z=*/true);
+      break;
+    }
+    case Mnemonic::kCpse:
+      do_skip(rd() == rr());
+      break;
+    case Mnemonic::kMov:
+      data_[in.rd] = rr();
+      break;
+    case Mnemonic::kMovw:
+      data_[in.rd] = data_[in.rr];
+      data_[in.rd + 1] = data_[in.rr + 1];
+      break;
+    case Mnemonic::kMul: {
+      const std::uint16_t p = static_cast<std::uint16_t>(rd()) * rr();
+      data_[0] = static_cast<std::uint8_t>(p & 0xFF);
+      data_[1] = static_cast<std::uint8_t>(p >> 8);
+      set_flag(kFlagC, (p >> 15) & 1);
+      set_flag(kFlagZ, p == 0);
+      break;
+    }
+    case Mnemonic::kMuls: {
+      const auto a = static_cast<std::int8_t>(rd());
+      const auto b = static_cast<std::int8_t>(rr());
+      const auto p = static_cast<std::int16_t>(a * b);
+      const auto up = static_cast<std::uint16_t>(p);
+      data_[0] = static_cast<std::uint8_t>(up & 0xFF);
+      data_[1] = static_cast<std::uint8_t>(up >> 8);
+      set_flag(kFlagC, (up >> 15) & 1);
+      set_flag(kFlagZ, up == 0);
+      break;
+    }
+
+    case Mnemonic::kSubi: {
+      const std::uint8_t a = rd();
+      const auto r = static_cast<std::uint8_t>(a - in.k8);
+      data_[in.rd] = r;
+      rec.rr_value = in.k8;
+      sub_flags(a, in.k8, r, /*keep_z=*/false);
+      break;
+    }
+    case Mnemonic::kSbci: {
+      const std::uint8_t a = rd();
+      const auto r = static_cast<std::uint8_t>(a - in.k8 - (flag(kFlagC) ? 1 : 0));
+      data_[in.rd] = r;
+      rec.rr_value = in.k8;
+      sub_flags(a, in.k8, r, /*keep_z=*/true);
+      break;
+    }
+    case Mnemonic::kAndi: {
+      const auto r = static_cast<std::uint8_t>(rd() & in.k8);
+      data_[in.rd] = r;
+      rec.rr_value = in.k8;
+      logic_flags(r);
+      break;
+    }
+    case Mnemonic::kOri: {
+      const auto r = static_cast<std::uint8_t>(rd() | in.k8);
+      data_[in.rd] = r;
+      rec.rr_value = in.k8;
+      logic_flags(r);
+      break;
+    }
+    case Mnemonic::kCpi: {
+      const std::uint8_t a = rd();
+      rec.rr_value = in.k8;
+      sub_flags(a, in.k8, static_cast<std::uint8_t>(a - in.k8), /*keep_z=*/false);
+      break;
+    }
+    case Mnemonic::kLdi:
+      data_[in.rd] = in.k8;
+      rec.rr_value = in.k8;
+      break;
+    case Mnemonic::kAdiw: {
+      const std::uint16_t a = word_reg(in.rd);
+      const auto r = static_cast<std::uint16_t>(a + in.k8);
+      set_word_reg(in.rd, r);
+      rec.rr_value = in.k8;
+      set_flag(kFlagC, ((~r >> 15) & (a >> 15)) & 1);
+      set_flag(kFlagV, (((r >> 15) & (~a >> 15)) & 1) != 0);
+      set_flag(kFlagN, ((r >> 15) & 1) != 0);
+      set_flag(kFlagZ, r == 0);
+      set_flag(kFlagS, flag(kFlagN) != flag(kFlagV));
+      break;
+    }
+    case Mnemonic::kSbiw: {
+      const std::uint16_t a = word_reg(in.rd);
+      const auto r = static_cast<std::uint16_t>(a - in.k8);
+      set_word_reg(in.rd, r);
+      rec.rr_value = in.k8;
+      set_flag(kFlagC, ((r >> 15) & (~a >> 15)) & 1);
+      set_flag(kFlagV, (((~r >> 15) & (a >> 15)) & 1) != 0);
+      set_flag(kFlagN, ((r >> 15) & 1) != 0);
+      set_flag(kFlagZ, r == 0);
+      set_flag(kFlagS, flag(kFlagN) != flag(kFlagV));
+      break;
+    }
+
+    case Mnemonic::kCom: {
+      const auto r = static_cast<std::uint8_t>(~rd());
+      data_[in.rd] = r;
+      set_flag(kFlagC, true);
+      set_flag(kFlagV, false);
+      set_zns(r);
+      break;
+    }
+    case Mnemonic::kNeg: {
+      const std::uint8_t a = rd();
+      const auto r = static_cast<std::uint8_t>(0 - a);
+      data_[in.rd] = r;
+      set_flag(kFlagC, r != 0);
+      set_flag(kFlagV, r == 0x80);
+      set_flag(kFlagH, (bit3(r) | bit3(a)) != 0);
+      set_zns(r);
+      break;
+    }
+    case Mnemonic::kInc: {
+      const auto r = static_cast<std::uint8_t>(rd() + 1);
+      data_[in.rd] = r;
+      set_flag(kFlagV, r == 0x80);
+      set_zns(r);
+      break;
+    }
+    case Mnemonic::kDec: {
+      const auto r = static_cast<std::uint8_t>(rd() - 1);
+      data_[in.rd] = r;
+      set_flag(kFlagV, r == 0x7F);
+      set_zns(r);
+      break;
+    }
+    case Mnemonic::kLsr: {
+      const std::uint8_t a = rd();
+      const auto r = static_cast<std::uint8_t>(a >> 1);
+      data_[in.rd] = r;
+      set_flag(kFlagC, a & 1);
+      set_flag(kFlagN, false);
+      set_flag(kFlagV, flag(kFlagN) != flag(kFlagC));
+      set_flag(kFlagZ, r == 0);
+      set_flag(kFlagS, flag(kFlagN) != flag(kFlagV));
+      break;
+    }
+    case Mnemonic::kRor: {
+      const std::uint8_t a = rd();
+      const auto r = static_cast<std::uint8_t>((a >> 1) | (flag(kFlagC) ? 0x80 : 0));
+      data_[in.rd] = r;
+      set_flag(kFlagC, a & 1);
+      set_flag(kFlagN, bit7(r) != 0);
+      set_flag(kFlagV, flag(kFlagN) != flag(kFlagC));
+      set_flag(kFlagZ, r == 0);
+      set_flag(kFlagS, flag(kFlagN) != flag(kFlagV));
+      break;
+    }
+    case Mnemonic::kAsr: {
+      const std::uint8_t a = rd();
+      const auto r = static_cast<std::uint8_t>((a >> 1) | (a & 0x80));
+      data_[in.rd] = r;
+      set_flag(kFlagC, a & 1);
+      set_flag(kFlagN, bit7(r) != 0);
+      set_flag(kFlagV, flag(kFlagN) != flag(kFlagC));
+      set_flag(kFlagZ, r == 0);
+      set_flag(kFlagS, flag(kFlagN) != flag(kFlagV));
+      break;
+    }
+    case Mnemonic::kSwap: {
+      const std::uint8_t a = rd();
+      data_[in.rd] = static_cast<std::uint8_t>((a << 4) | (a >> 4));
+      break;
+    }
+
+    case Mnemonic::kRjmp:
+      pc_ = static_cast<std::uint16_t>(static_cast<std::int32_t>(pc_) + in.rel);
+      rec.branch_taken = true;
+      break;
+    case Mnemonic::kJmp:
+      pc_ = static_cast<std::uint16_t>(in.k22);
+      rec.branch_taken = true;
+      break;
+    case Mnemonic::kIjmp:
+      pc_ = z();
+      rec.branch_taken = true;
+      break;
+    case Mnemonic::kBrbs:
+      do_branch(((sreg_ >> in.sflag) & 1) != 0);
+      break;
+    case Mnemonic::kBrbc:
+      do_branch(((sreg_ >> in.sflag) & 1) == 0);
+      break;
+
+    case Mnemonic::kLds:
+    case Mnemonic::kLd:
+    case Mnemonic::kLdd: {
+      const std::uint16_t addr = effective_address(in, rec);
+      const std::uint8_t v = read_data(addr);
+      data_[in.rd] = v;
+      rec.mem_value = v;
+      rec.mem_read = true;
+      break;
+    }
+    case Mnemonic::kSts:
+    case Mnemonic::kSt:
+    case Mnemonic::kStd: {
+      const std::uint16_t addr = effective_address(in, rec);
+      const std::uint8_t v = rr();
+      write_data(addr, v);
+      rec.mem_value = v;
+      rec.mem_write = true;
+      break;
+    }
+
+    case Mnemonic::kLpm:
+    case Mnemonic::kElpm: {
+      const std::uint16_t addr = effective_address(in, rec);
+      const std::uint8_t v = flash_byte(addr);
+      data_[in.mode == AddrMode::kR0 ? 0 : in.rd] = v;
+      rec.mem_value = v;
+      rec.mem_read = true;
+      break;
+    }
+
+    case Mnemonic::kBset:
+      set_flag(static_cast<SregBit>(in.sflag), true);
+      break;
+    case Mnemonic::kBclr:
+      set_flag(static_cast<SregBit>(in.sflag), false);
+      break;
+    case Mnemonic::kSbi: {
+      const auto v = static_cast<std::uint8_t>(read_io(in.io) | (1u << in.bit));
+      write_io(in.io, v);
+      rec.mem_value = v;
+      rec.mem_write = true;
+      rec.mem_addr = static_cast<std::uint16_t>(0x20 + in.io);
+      break;
+    }
+    case Mnemonic::kCbi: {
+      const auto v = static_cast<std::uint8_t>(read_io(in.io) & ~(1u << in.bit));
+      write_io(in.io, v);
+      rec.mem_value = v;
+      rec.mem_write = true;
+      rec.mem_addr = static_cast<std::uint16_t>(0x20 + in.io);
+      break;
+    }
+    case Mnemonic::kSbic:
+      do_skip(((read_io(in.io) >> in.bit) & 1) == 0);
+      break;
+    case Mnemonic::kSbis:
+      do_skip(((read_io(in.io) >> in.bit) & 1) != 0);
+      break;
+    case Mnemonic::kSbrc:
+      do_skip(((rr() >> in.bit) & 1) == 0);
+      break;
+    case Mnemonic::kSbrs:
+      do_skip(((rr() >> in.bit) & 1) != 0);
+      break;
+    case Mnemonic::kBst:
+      set_flag(kFlagT, ((rd() >> in.bit) & 1) != 0);
+      break;
+    case Mnemonic::kBld: {
+      std::uint8_t v = rd();
+      if (flag(kFlagT)) {
+        v = static_cast<std::uint8_t>(v | (1u << in.bit));
+      } else {
+        v = static_cast<std::uint8_t>(v & ~(1u << in.bit));
+      }
+      data_[in.rd] = v;
+      break;
+    }
+
+    case Mnemonic::kIn:
+      data_[in.rd] = read_io(in.io);
+      rec.mem_read = true;
+      rec.mem_value = data_[in.rd];
+      rec.mem_addr = static_cast<std::uint16_t>(0x20 + in.io);
+      break;
+    case Mnemonic::kOut:
+      write_io(in.io, rr());
+      rec.mem_write = true;
+      rec.mem_value = rr();
+      rec.mem_addr = static_cast<std::uint16_t>(0x20 + in.io);
+      break;
+    case Mnemonic::kPush:
+      push_byte(rd());
+      rec.mem_write = true;
+      rec.mem_value = rec.rd_before;
+      rec.mem_addr = static_cast<std::uint16_t>(sp_ + 1);
+      break;
+    case Mnemonic::kPop: {
+      const std::uint8_t v = pop_byte();
+      data_[in.rd] = v;
+      rec.mem_read = true;
+      rec.mem_value = v;
+      rec.mem_addr = sp_;
+      break;
+    }
+    case Mnemonic::kRcall: {
+      const std::uint16_t ret = pc_;
+      push_byte(static_cast<std::uint8_t>(ret & 0xFF));
+      push_byte(static_cast<std::uint8_t>(ret >> 8));
+      pc_ = static_cast<std::uint16_t>(static_cast<std::int32_t>(pc_) + in.rel);
+      rec.branch_taken = true;
+      break;
+    }
+    case Mnemonic::kCall: {
+      const std::uint16_t ret = pc_;
+      push_byte(static_cast<std::uint8_t>(ret & 0xFF));
+      push_byte(static_cast<std::uint8_t>(ret >> 8));
+      pc_ = static_cast<std::uint16_t>(in.k22);
+      rec.branch_taken = true;
+      break;
+    }
+    case Mnemonic::kIcall: {
+      const std::uint16_t ret = pc_;
+      push_byte(static_cast<std::uint8_t>(ret & 0xFF));
+      push_byte(static_cast<std::uint8_t>(ret >> 8));
+      pc_ = z();
+      rec.branch_taken = true;
+      break;
+    }
+    case Mnemonic::kRet:
+    case Mnemonic::kReti: {
+      const std::uint8_t hi = pop_byte();
+      const std::uint8_t lo = pop_byte();
+      pc_ = static_cast<std::uint16_t>((hi << 8) | lo);
+      if (in.mnemonic == Mnemonic::kReti) set_flag(kFlagI, true);
+      rec.branch_taken = true;
+      break;
+    }
+
+    case Mnemonic::kNop:
+    case Mnemonic::kSleep:
+    case Mnemonic::kWdr:
+    case Mnemonic::kBreak:
+      break;
+
+    default:
+      // Alias mnemonics never reach here: the decoder emits canonical forms.
+      throw std::runtime_error("Cpu::execute: unexpected mnemonic " +
+                               std::string(name(in.mnemonic)));
+  }
+  rec.rd_after = data_[in.rd];
+}
+
+}  // namespace sidis::avr

@@ -1,0 +1,133 @@
+// Functional simulator for the ATmega328P core.
+//
+// Executes decoded instructions with cycle-accurate counts and full SREG
+// semantics.  Every `step()` returns an ExecRecord describing exactly what
+// the data path did -- fetched opcode, operand values, result, memory
+// activity, branch outcome -- which is the ground truth the power-trace
+// substrate turns into side-channel leakage and the disassembler tries to
+// recover.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "avr/codec.hpp"
+#include "avr/isa.hpp"
+
+namespace sidis::avr {
+
+/// Everything observable about one executed instruction.
+struct ExecRecord {
+  Instruction instr;              ///< canonical decoded instruction
+  std::uint16_t opcode = 0;       ///< first encoded word (fetch-bus value)
+  std::uint16_t second_word = 0;  ///< second word for LDS/STS/JMP/CALL
+  std::uint16_t pc = 0;           ///< word address the instruction was fetched from
+  unsigned cycles = 1;            ///< actual cycles consumed (incl. taken branches)
+  std::uint8_t rd_before = 0;     ///< destination register before execution
+  std::uint8_t rd_after = 0;      ///< destination register after execution
+  std::uint8_t rr_value = 0;      ///< source register / immediate value consumed
+  std::uint16_t mem_addr = 0;     ///< effective data/program address (if any)
+  std::uint8_t mem_value = 0;     ///< byte moved over the memory bus
+  bool mem_read = false;
+  bool mem_write = false;
+  bool branch_taken = false;
+  bool skip_taken = false;        ///< CPSE/SBRC/SBRS/SBIC/SBIS skipped the next op
+  std::uint8_t sreg_before = 0;
+  std::uint8_t sreg_after = 0;
+};
+
+/// ATmega328P functional model: 32 registers, SREG, 2 KiB SRAM with the
+/// standard data-space layout, up to 16 K words of flash.
+class Cpu {
+ public:
+  static constexpr std::uint16_t kDataSize = 0x0900;  ///< regs + I/O + 2 KiB SRAM
+  static constexpr std::uint16_t kSramStart = 0x0100;
+  static constexpr std::uint16_t kRamEnd = kDataSize - 1;
+  static constexpr std::size_t kMaxFlashWords = 16 * 1024;
+
+  Cpu();
+
+  /// Loads raw machine words; resets PC/SP/cycle counter (memory persists).
+  void load_program(std::vector<std::uint16_t> words);
+
+  /// Assembles and loads an instruction sequence.
+  void load_program(std::span<const Instruction> program);
+
+  /// PC := 0, SP := top of RAM, cycle counter := 0; registers/SRAM keep
+  /// their values (matching a hardware reset without power cycling).
+  void reset();
+
+  /// Clears registers, SREG and data memory as well.
+  void power_on_reset();
+
+  /// Fetch-decode-execute one instruction.  Throws std::runtime_error when
+  /// halted or when the word at PC does not decode.
+  ExecRecord step();
+
+  /// Runs until `halted()` or `max_steps`, collecting records.
+  std::vector<ExecRecord> run(std::size_t max_steps);
+
+  /// True once PC has run off the end of the loaded program.
+  bool halted() const { return pc_ >= flash_words_; }
+
+  // -- architectural state ---------------------------------------------------
+  std::uint8_t reg(unsigned i) const { return data_.at(i); }
+  void set_reg(unsigned i, std::uint8_t v) { data_.at(i) = v; }
+  std::uint8_t sreg() const { return sreg_; }
+  void set_sreg(std::uint8_t v) { sreg_ = v; }
+  bool flag(SregBit b) const { return (sreg_ >> b) & 1; }
+  void set_flag(SregBit b, bool v);
+  std::uint16_t pc() const { return pc_; }
+  void set_pc(std::uint16_t p) { pc_ = p; }
+  std::uint16_t sp() const { return sp_; }
+  void set_sp(std::uint16_t s) { sp_ = s; }
+  std::uint64_t cycle_count() const { return cycles_; }
+
+  /// Data-space access (addresses wrap into the 0x900-byte space; the first
+  /// 32 bytes alias the register file, as on real silicon).
+  std::uint8_t read_data(std::uint16_t addr) const;
+  void write_data(std::uint16_t addr, std::uint8_t value);
+
+  /// I/O-space access (0..63, offset 0x20 in data space).
+  std::uint8_t read_io(std::uint8_t a) const;
+  void write_io(std::uint8_t a, std::uint8_t value);
+
+  /// 16-bit pointer registers.
+  std::uint16_t x() const { return word_reg(26); }
+  std::uint16_t y() const { return word_reg(28); }
+  std::uint16_t z() const { return word_reg(30); }
+  void set_x(std::uint16_t v) { set_word_reg(26, v); }
+  void set_y(std::uint16_t v) { set_word_reg(28, v); }
+  void set_z(std::uint16_t v) { set_word_reg(30, v); }
+
+  std::span<const std::uint16_t> flash() const {
+    return {flash_.data(), flash_words_};
+  }
+
+ private:
+  std::uint16_t word_reg(unsigned lo) const {
+    return static_cast<std::uint16_t>(data_[lo] | (data_[lo + 1] << 8));
+  }
+  void set_word_reg(unsigned lo, std::uint16_t v) {
+    data_[lo] = static_cast<std::uint8_t>(v & 0xFF);
+    data_[lo + 1] = static_cast<std::uint8_t>(v >> 8);
+  }
+
+  std::uint16_t effective_address(const Instruction& in, ExecRecord& rec);
+  void push_byte(std::uint8_t v);
+  std::uint8_t pop_byte();
+  std::uint8_t flash_byte(std::uint32_t byte_addr) const;
+  void execute(const Instruction& in, ExecRecord& rec);
+
+  std::array<std::uint8_t, kDataSize> data_{};  ///< regs + I/O + SRAM
+  std::uint8_t sreg_ = 0;
+  std::uint16_t pc_ = 0;   ///< word address
+  std::uint16_t sp_ = kRamEnd;
+  std::uint64_t cycles_ = 0;
+  std::array<std::uint16_t, kMaxFlashWords> flash_{};
+  std::size_t flash_words_ = 0;
+};
+
+}  // namespace sidis::avr

@@ -1,0 +1,214 @@
+#include "avr/grouping.hpp"
+
+#include <array>
+#include <map>
+#include <stdexcept>
+
+namespace sidis::avr {
+
+namespace {
+
+std::string mode_suffix(AddrMode mode) {
+  switch (mode) {
+    case AddrMode::kNone: return "";
+    case AddrMode::kAbs: return " k";
+    case AddrMode::kX: return " X";
+    case AddrMode::kXPostInc: return " X+";
+    case AddrMode::kXPreDec: return " -X";
+    case AddrMode::kY: return " Y";
+    case AddrMode::kYPostInc: return " Y+";
+    case AddrMode::kYPreDec: return " -Y";
+    case AddrMode::kYDisp: return " Y+q";
+    case AddrMode::kZ: return " Z";
+    case AddrMode::kZPostInc: return " Z+";
+    case AddrMode::kZPreDec: return " -Z";
+    case AddrMode::kZDisp: return " Z+q";
+    case AddrMode::kR0: return " R0";
+  }
+  return "";
+}
+
+std::vector<ClassSpec> build_table() {
+  std::vector<ClassSpec> t;
+  t.reserve(112);
+  const auto add = [&t](Mnemonic m, AddrMode mode, int group) {
+    t.push_back({m, mode, group, std::string(name(m)) + mode_suffix(mode)});
+  };
+  const auto add_plain = [&](std::initializer_list<Mnemonic> ms, int group) {
+    for (Mnemonic m : ms) add(m, AddrMode::kNone, group);
+  };
+
+  // Group 1: two-register ALU (12)
+  add_plain({Mnemonic::kAdd, Mnemonic::kAdc, Mnemonic::kSub, Mnemonic::kSbc,
+             Mnemonic::kAnd, Mnemonic::kOr, Mnemonic::kEor, Mnemonic::kCpse,
+             Mnemonic::kCp, Mnemonic::kCpc, Mnemonic::kMov, Mnemonic::kMovw},
+            1);
+  // Group 2: register-immediate ALU (10)
+  add_plain({Mnemonic::kAdiw, Mnemonic::kSubi, Mnemonic::kSbci, Mnemonic::kSbiw,
+             Mnemonic::kAndi, Mnemonic::kOri, Mnemonic::kSbr, Mnemonic::kCbr,
+             Mnemonic::kCpi, Mnemonic::kLdi},
+            2);
+  // Group 3: single-register ALU (13)
+  add_plain({Mnemonic::kCom, Mnemonic::kNeg, Mnemonic::kInc, Mnemonic::kDec,
+             Mnemonic::kTst, Mnemonic::kClr, Mnemonic::kSer, Mnemonic::kLsl,
+             Mnemonic::kLsr, Mnemonic::kRol, Mnemonic::kRor, Mnemonic::kAsr,
+             Mnemonic::kSwap},
+            3);
+  // Group 4: jumps and conditional branches (20)
+  add_plain({Mnemonic::kRjmp, Mnemonic::kJmp, Mnemonic::kBreq, Mnemonic::kBrne,
+             Mnemonic::kBrcs, Mnemonic::kBrcc, Mnemonic::kBrsh, Mnemonic::kBrlo,
+             Mnemonic::kBrmi, Mnemonic::kBrpl, Mnemonic::kBrge, Mnemonic::kBrlt,
+             Mnemonic::kBrhs, Mnemonic::kBrhc, Mnemonic::kBrts, Mnemonic::kBrtc,
+             Mnemonic::kBrvs, Mnemonic::kBrvc, Mnemonic::kBrie, Mnemonic::kBrid},
+            4);
+  // Group 5: data loads/stores (24 = LDS + 9 LD + 2 LDD + STS + 9 ST + 2 STD)
+  add(Mnemonic::kLds, AddrMode::kAbs, 5);
+  for (AddrMode m : {AddrMode::kX, AddrMode::kXPostInc, AddrMode::kXPreDec,
+                     AddrMode::kY, AddrMode::kYPostInc, AddrMode::kYPreDec,
+                     AddrMode::kZ, AddrMode::kZPostInc, AddrMode::kZPreDec}) {
+    add(Mnemonic::kLd, m, 5);
+  }
+  add(Mnemonic::kLdd, AddrMode::kYDisp, 5);
+  add(Mnemonic::kLdd, AddrMode::kZDisp, 5);
+  add(Mnemonic::kSts, AddrMode::kAbs, 5);
+  for (AddrMode m : {AddrMode::kX, AddrMode::kXPostInc, AddrMode::kXPreDec,
+                     AddrMode::kY, AddrMode::kYPostInc, AddrMode::kYPreDec,
+                     AddrMode::kZ, AddrMode::kZPostInc, AddrMode::kZPreDec}) {
+    add(Mnemonic::kSt, m, 5);
+  }
+  add(Mnemonic::kStd, AddrMode::kYDisp, 5);
+  add(Mnemonic::kStd, AddrMode::kZDisp, 5);
+  // Group 6: SREG set/clear (15)
+  add_plain({Mnemonic::kSec, Mnemonic::kClc, Mnemonic::kSen, Mnemonic::kCln,
+             Mnemonic::kSez, Mnemonic::kClz, Mnemonic::kSei, Mnemonic::kSes,
+             Mnemonic::kCls, Mnemonic::kSev, Mnemonic::kClv, Mnemonic::kSet,
+             Mnemonic::kClt, Mnemonic::kSeh, Mnemonic::kClh},
+            6);
+  // Group 7: bit and bit-test (12)
+  add_plain({Mnemonic::kSbrc, Mnemonic::kSbrs, Mnemonic::kSbic, Mnemonic::kSbis,
+             Mnemonic::kBrbs, Mnemonic::kBrbc, Mnemonic::kSbi, Mnemonic::kCbi,
+             Mnemonic::kBst, Mnemonic::kBld, Mnemonic::kBset, Mnemonic::kBclr},
+            7);
+  // Group 8: program-memory loads (6)
+  for (AddrMode m : {AddrMode::kR0, AddrMode::kZ, AddrMode::kZPostInc}) {
+    add(Mnemonic::kLpm, m, 8);
+  }
+  for (AddrMode m : {AddrMode::kR0, AddrMode::kZ, AddrMode::kZPostInc}) {
+    add(Mnemonic::kElpm, m, 8);
+  }
+  return t;
+}
+
+const std::map<std::pair<Mnemonic, AddrMode>, std::size_t>& index_map() {
+  static const auto map = [] {
+    std::map<std::pair<Mnemonic, AddrMode>, std::size_t> m;
+    const auto& t = instruction_classes();
+    for (std::size_t i = 0; i < t.size(); ++i) m[{t[i].mnemonic, t[i].mode}] = i;
+    return m;
+  }();
+  return map;
+}
+
+}  // namespace
+
+const std::vector<ClassSpec>& instruction_classes() {
+  static const std::vector<ClassSpec> table = build_table();
+  return table;
+}
+
+std::size_t num_instruction_classes() { return instruction_classes().size(); }
+
+std::optional<std::size_t> class_index(Mnemonic m, AddrMode mode) {
+  const auto it = index_map().find({m, mode});
+  if (it == index_map().end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::size_t> class_of(const Instruction& instr) {
+  return class_index(instr.mnemonic, instr.mode);
+}
+
+std::vector<std::size_t> classes_in_group(int g) {
+  std::vector<std::size_t> out;
+  const auto& t = instruction_classes();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].group == g) out.push_back(i);
+  }
+  return out;
+}
+
+int group_of_class(std::size_t class_idx) {
+  return instruction_classes().at(class_idx).group;
+}
+
+std::span<const int> expected_group_sizes() {
+  static constexpr std::array<int, 8> kSizes = {12, 10, 13, 20, 24, 15, 12, 6};
+  return kSizes;
+}
+
+bool class_uses_rd(std::size_t class_idx) {
+  const ClassSpec& c = instruction_classes().at(class_idx);
+  switch (info(c.mnemonic).signature) {
+    case OperandSignature::kRdRr:
+    case OperandSignature::kRdK:
+    case OperandSignature::kRd:
+    case OperandSignature::kRdIo:
+      return true;
+    case OperandSignature::kRdMem:
+      return c.mode != AddrMode::kR0;
+    case OperandSignature::kRegBit:
+      return c.mnemonic == Mnemonic::kBst || c.mnemonic == Mnemonic::kBld;
+    default:
+      return false;
+  }
+}
+
+bool class_uses_rr(std::size_t class_idx) {
+  const ClassSpec& c = instruction_classes().at(class_idx);
+  switch (info(c.mnemonic).signature) {
+    case OperandSignature::kRdRr:
+    case OperandSignature::kRrMem:
+    case OperandSignature::kRrIo:
+      return true;
+    case OperandSignature::kRegBit:
+      return c.mnemonic == Mnemonic::kSbrc || c.mnemonic == Mnemonic::kSbrs;
+    default:
+      return false;
+  }
+}
+
+bool class_allows_rd(std::size_t class_idx, std::uint8_t rd) {
+  if (!class_uses_rd(class_idx) || rd > 31) return false;
+  const ClassSpec& c = instruction_classes().at(class_idx);
+  switch (c.mnemonic) {
+    case Mnemonic::kMovw: return rd % 2 == 0;
+    case Mnemonic::kMuls: return rd >= 16;
+    case Mnemonic::kAdiw:
+    case Mnemonic::kSbiw: return rd == 24 || rd == 26 || rd == 28 || rd == 30;
+    case Mnemonic::kSer: return rd >= 16;
+    default: break;
+  }
+  if (info(c.mnemonic).signature == OperandSignature::kRdK) return rd >= 16;
+  if (info(c.mnemonic).signature == OperandSignature::kRdMem &&
+      c.mode != AddrMode::kAbs) {
+    return rd <= 25;  // keep clear of the pointer pair
+  }
+  return true;
+}
+
+bool class_allows_rr(std::size_t class_idx, std::uint8_t rr) {
+  if (!class_uses_rr(class_idx) || rr > 31) return false;
+  const ClassSpec& c = instruction_classes().at(class_idx);
+  switch (c.mnemonic) {
+    case Mnemonic::kMovw: return rr % 2 == 0;
+    case Mnemonic::kMuls: return rr >= 16;
+    default: break;
+  }
+  if (info(c.mnemonic).signature == OperandSignature::kRrMem &&
+      c.mode != AddrMode::kAbs) {
+    return rr <= 25;
+  }
+  return true;
+}
+
+}  // namespace sidis::avr

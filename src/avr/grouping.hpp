@@ -1,0 +1,68 @@
+// The paper's Table-2 instruction-class registry.
+//
+// The disassembler recognizes 112 instruction classes, organized into 8
+// groups by operand structure (which in turn tracks which micro-architectural
+// components the instruction exercises).  Addressing-mode variants of the
+// load/store and program-memory instructions count as distinct classes, which
+// is how 6 mnemonics yield 24 classes in group 5 and 2 mnemonics yield 6
+// classes in group 8.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "avr/isa.hpp"
+
+namespace sidis::avr {
+
+/// One of the 112 profiled instruction classes.
+struct ClassSpec {
+  Mnemonic mnemonic = Mnemonic::kNop;
+  AddrMode mode = AddrMode::kNone;
+  int group = 0;        ///< Table-2 group, 1..8
+  std::string name;     ///< display name, e.g. "LD X+", "LDD Y+q"
+};
+
+/// The full 112-entry class table, fixed order (group-major, stable across
+/// runs -- classifier labels index into this table).
+const std::vector<ClassSpec>& instruction_classes();
+
+/// Number of classes (== 112).
+std::size_t num_instruction_classes();
+
+/// Index of the class with the given mnemonic/mode; nullopt when the
+/// mnemonic is not one of the profiled 112 (e.g. NOP, MUL, RET).
+std::optional<std::size_t> class_index(Mnemonic m, AddrMode mode = AddrMode::kNone);
+
+/// Class of a concrete instruction (alias mnemonics like TST or BREQ are
+/// classes of their own, exactly as the paper profiles them).
+std::optional<std::size_t> class_of(const Instruction& instr);
+
+/// Indices of all classes in Table-2 group `g` (1..8).
+std::vector<std::size_t> classes_in_group(int g);
+
+/// Group (1..8) of a class index.
+int group_of_class(std::size_t class_idx);
+
+/// Expected per-group class counts from Table 2: {12,10,13,20,24,15,12,6}.
+std::span<const int> expected_group_sizes();
+
+/// Whether the class takes a destination register Rd that the third
+/// classification level must recover.
+bool class_uses_rd(std::size_t class_idx);
+
+/// Whether the class takes a source register Rr.
+bool class_uses_rr(std::size_t class_idx);
+
+/// Whether a specific register index is architecturally legal as the Rd of
+/// this class (immediates need r16..r31, MOVW even pairs, ADIW one of
+/// r24/26/28/30, pointer-indirect loads avoid the pointer pair itself).
+bool class_allows_rd(std::size_t class_idx, std::uint8_t rd);
+
+/// Same for the Rr operand.
+bool class_allows_rr(std::size_t class_idx, std::uint8_t rr);
+
+}  // namespace sidis::avr

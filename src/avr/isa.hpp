@@ -1,0 +1,142 @@
+// AVR (ATmega328P) instruction-set model.
+//
+// The paper profiles 112 instruction classes of the ATmega328P (Table 2 of
+// the paper; AVR Instruction Set Manual [12]).  This header defines the
+// instruction representation shared by the assembler, binary encoder/decoder,
+// functional simulator and the power-trace substrate.  Addressing-mode
+// variants of the load/store/program-memory instructions count as separate
+// classes, exactly as the paper counts them (e.g. LD X, LD X+, LD -X are
+// three classes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sidis::avr {
+
+/// Base mnemonics.  This includes the paper's 112 profiled classes plus the
+/// residual control/arithmetic instructions (NOP, MUL, CALL/RET, stack and
+/// I/O ops) needed to run realistic firmware in the simulator.
+enum class Mnemonic : std::uint8_t {
+  // -- group 1: two-register ALU (Rd, Rr)
+  kAdd, kAdc, kSub, kSbc, kAnd, kOr, kEor, kCpse, kCp, kCpc, kMov, kMovw,
+  // -- group 2: register-immediate ALU (Rd, K)
+  kAdiw, kSubi, kSbci, kSbiw, kAndi, kOri, kSbr, kCbr, kCpi, kLdi,
+  // -- group 3: one-register ALU (Rd)
+  kCom, kNeg, kInc, kDec, kTst, kClr, kSer, kLsl, kLsr, kRol, kRor, kAsr, kSwap,
+  // -- group 4: relative jumps & conditional branches (k)
+  kRjmp, kJmp, kBreq, kBrne, kBrcs, kBrcc, kBrsh, kBrlo, kBrmi, kBrpl,
+  kBrge, kBrlt, kBrhs, kBrhc, kBrts, kBrtc, kBrvs, kBrvc, kBrie, kBrid,
+  // -- group 5: data loads/stores (modes distinguish classes)
+  kLds, kLd, kLdd, kSts, kSt, kStd,
+  // -- group 6: SREG flag set/clear (no operands)
+  kSec, kClc, kSen, kCln, kSez, kClz, kSei, kSes, kCls, kSev, kClv,
+  kSet, kClt, kSeh, kClh,
+  // -- group 7: bit / bit-test and skip
+  kSbrc, kSbrs, kSbic, kSbis, kBrbs, kBrbc, kSbi, kCbi, kBst, kBld,
+  kBset, kBclr,
+  // -- group 8: program-memory loads (modes distinguish classes)
+  kLpm, kElpm,
+  // -- residual instructions (outside the 112 profiled classes)
+  kNop, kIn, kOut, kPush, kPop, kRet, kReti, kRcall, kCall, kIcall, kIjmp,
+  kMul, kMuls, kSleep, kWdr, kBreak, kCli,
+  kCount,
+};
+
+/// Data-memory / program-memory addressing modes for groups 5 and 8.
+enum class AddrMode : std::uint8_t {
+  kNone,      ///< not a memory instruction
+  kAbs,       ///< LDS/STS absolute 16-bit address
+  kX,         ///< (X)
+  kXPostInc,  ///< (X+)
+  kXPreDec,   ///< (-X)
+  kY,         ///< (Y)
+  kYPostInc,  ///< (Y+)
+  kYPreDec,   ///< (-Y)
+  kYDisp,     ///< (Y+q), LDD/STD only
+  kZ,         ///< (Z)
+  kZPostInc,  ///< (Z+)
+  kZPreDec,   ///< (-Z)
+  kZDisp,     ///< (Z+q), LDD/STD only
+  kR0,        ///< implicit R0 destination (plain LPM/ELPM)
+};
+
+/// A decoded AVR instruction.  Fields not used by a mnemonic stay zero, so
+/// value comparison gives structural equality.
+struct Instruction {
+  Mnemonic mnemonic = Mnemonic::kNop;
+  AddrMode mode = AddrMode::kNone;
+  std::uint8_t rd = 0;    ///< destination register index 0..31
+  std::uint8_t rr = 0;    ///< source register index 0..31
+  std::uint8_t k8 = 0;    ///< 8-bit immediate (group 2) / 6-bit for ADIW/SBIW
+  std::uint16_t k16 = 0;  ///< absolute data address (LDS/STS)
+  std::uint32_t k22 = 0;  ///< absolute word address (JMP/CALL)
+  std::int16_t rel = 0;   ///< signed relative offset in words (branches, RJMP, RCALL)
+  std::uint8_t bit = 0;   ///< bit index b (0..7)
+  std::uint8_t sflag = 0; ///< SREG flag index s (0..7) for BRBS/BRBC/BSET/BCLR
+  std::uint8_t q = 0;     ///< displacement 0..63 (LDD/STD)
+  std::uint8_t io = 0;    ///< I/O address A (SBI/CBI 0..31, IN/OUT 0..63)
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Operand signature categories used by Table 2's "Operands" row.
+enum class OperandSignature : std::uint8_t {
+  kNone,       ///< group 6 flag ops, NOP, RET...
+  kRdRr,       ///< group 1
+  kRdK,        ///< group 2
+  kRd,         ///< group 3, POP, PUSH(rr)
+  kRelK,       ///< group 4 branches / RJMP / RCALL
+  kAbsK,       ///< JMP / CALL
+  kRdMem,      ///< group 5 loads, group 8
+  kRrMem,      ///< group 5 stores
+  kRegBit,     ///< SBRC/SBRS/BST/BLD
+  kIoBit,      ///< SBI/CBI/SBIC/SBIS
+  kSflagRel,   ///< BRBS/BRBC
+  kSflag,      ///< BSET/BCLR
+  kRdIo,       ///< IN
+  kRrIo,       ///< OUT
+};
+
+/// Static metadata for one mnemonic.
+struct MnemonicInfo {
+  std::string_view name;        ///< upper-case assembly mnemonic
+  OperandSignature signature = OperandSignature::kNone;
+  int group = 0;                ///< Table-2 group 1..8; 0 = residual
+  unsigned base_cycles = 1;     ///< cycles when not taken / no wait states
+  unsigned words = 1;           ///< encoding length in 16-bit words
+  std::string_view description;
+};
+
+/// Metadata lookup; total function over the enum.
+const MnemonicInfo& info(Mnemonic m);
+
+/// Upper-case mnemonic text ("ADC", "BRNE", ...).
+std::string_view name(Mnemonic m);
+
+/// Parses an upper/lower-case mnemonic; nullopt when unknown.
+std::optional<Mnemonic> mnemonic_from_name(std::string_view text);
+
+/// Renders an instruction as assembly text, e.g. "LDD r12, Y+5".
+std::string to_string(const Instruction& instr);
+
+/// True for the two-word encodings (LDS/STS/JMP/CALL).
+bool is_two_word(const Instruction& instr);
+
+/// True when `m` is one of the 15 SREG set/clear shorthands of group 6;
+/// `*s`/`*set` receive the flag index and polarity when non-null.
+bool is_flag_shorthand(Mnemonic m, std::uint8_t* s = nullptr, bool* set = nullptr);
+
+/// True when `m` is a conditional-branch shorthand (BREQ..BRID); `*s`/`*on_set`
+/// receive the SREG flag index and the branch polarity when non-null.
+bool is_branch_shorthand(Mnemonic m, std::uint8_t* s = nullptr, bool* on_set = nullptr);
+
+/// SREG flag bit positions.
+enum SregBit : std::uint8_t {
+  kFlagC = 0, kFlagZ = 1, kFlagN = 2, kFlagV = 3,
+  kFlagS = 4, kFlagH = 5, kFlagT = 6, kFlagI = 7,
+};
+
+}  // namespace sidis::avr

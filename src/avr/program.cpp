@@ -1,0 +1,246 @@
+#include "avr/program.hpp"
+
+#include <stdexcept>
+
+#include "avr/codec.hpp"
+
+namespace sidis::avr {
+
+namespace {
+
+std::uint8_t pick_reg(std::mt19937_64& rng, std::uint8_t lo, std::uint8_t hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return static_cast<std::uint8_t>(d(rng));
+}
+
+std::uint8_t pick_byte(std::mt19937_64& rng, int hi = 255) {
+  std::uniform_int_distribution<int> d(0, hi);
+  return static_cast<std::uint8_t>(d(rng));
+}
+
+std::uint8_t clamp_reg(std::uint8_t r, std::uint8_t lo, std::uint8_t hi) {
+  if (r < lo) return lo;
+  if (r > hi) return hi;
+  return r;
+}
+
+}  // namespace
+
+Instruction random_instance(std::size_t class_idx, std::mt19937_64& rng,
+                            const SampleOptions& opts) {
+  const ClassSpec& spec = instruction_classes().at(class_idx);
+  Instruction in;
+  in.mnemonic = spec.mnemonic;
+  in.mode = spec.mode;
+
+  const OperandSignature sig = info(spec.mnemonic).signature;
+  switch (sig) {
+    case OperandSignature::kRdRr: {
+      if (spec.mnemonic == Mnemonic::kMovw) {
+        in.rd = static_cast<std::uint8_t>(pick_reg(rng, 0, 15) * 2);
+        in.rr = static_cast<std::uint8_t>(pick_reg(rng, 0, 15) * 2);
+        if (opts.fix_rd) in.rd = static_cast<std::uint8_t>(*opts.fix_rd & 0x1E);
+        if (opts.fix_rr) in.rr = static_cast<std::uint8_t>(*opts.fix_rr & 0x1E);
+      } else if (spec.mnemonic == Mnemonic::kMuls) {
+        in.rd = pick_reg(rng, 16, 31);
+        in.rr = pick_reg(rng, 16, 31);
+        if (opts.fix_rd) in.rd = clamp_reg(*opts.fix_rd, 16, 31);
+        if (opts.fix_rr) in.rr = clamp_reg(*opts.fix_rr, 16, 31);
+      } else {
+        in.rd = opts.fix_rd ? *opts.fix_rd : pick_reg(rng, 0, 31);
+        in.rr = opts.fix_rr ? *opts.fix_rr : pick_reg(rng, 0, 31);
+      }
+      break;
+    }
+    case OperandSignature::kRdK: {
+      if (spec.mnemonic == Mnemonic::kAdiw || spec.mnemonic == Mnemonic::kSbiw) {
+        static constexpr std::uint8_t kPairs[4] = {24, 26, 28, 30};
+        in.rd = kPairs[pick_byte(rng, 3)];
+        if (opts.fix_rd) {
+          in.rd = kPairs[(*opts.fix_rd / 2) & 3];
+        }
+        in.k8 = pick_byte(rng, 63);
+      } else {
+        in.rd = opts.fix_rd ? clamp_reg(*opts.fix_rd, 16, 31) : pick_reg(rng, 16, 31);
+        in.k8 = pick_byte(rng);
+      }
+      break;
+    }
+    case OperandSignature::kRd:
+      in.rd = opts.fix_rd ? *opts.fix_rd : pick_reg(rng, 0, 31);
+      if (spec.mnemonic == Mnemonic::kSer) in.rd = clamp_reg(in.rd, 16, 31);
+      break;
+    case OperandSignature::kRelK: {
+      if (opts.max_branch_offset > 0) {
+        std::uniform_int_distribution<int> d(0, opts.max_branch_offset);
+        in.rel = static_cast<std::int16_t>(d(rng));
+      } else {
+        in.rel = 0;
+      }
+      break;
+    }
+    case OperandSignature::kAbsK:
+      in.k22 = 0;  // patched by finalize_control_flow
+      break;
+    case OperandSignature::kRdMem: {
+      if (spec.mode == AddrMode::kAbs) {
+        in.rd = opts.fix_rd ? *opts.fix_rd : pick_reg(rng, 0, 31);
+        std::uniform_int_distribution<int> d(0x0100, 0x08FF);
+        in.k16 = static_cast<std::uint16_t>(d(rng));
+      } else if (spec.mode == AddrMode::kR0) {
+        // implicit R0, no operands
+      } else {
+        // Avoid the pointer register pair itself as the data register
+        // (undefined behaviour on silicon for LD Rd,X+ with Rd in {26,27}).
+        in.rd = opts.fix_rd ? *opts.fix_rd : pick_reg(rng, 0, 25);
+        if (spec.mode == AddrMode::kYDisp || spec.mode == AddrMode::kZDisp) {
+          // q = 0 is architecturally the plain LD class; displacement classes
+          // draw 1..63.
+          in.q = static_cast<std::uint8_t>(1 + pick_byte(rng, 62));
+        }
+      }
+      break;
+    }
+    case OperandSignature::kRrMem: {
+      if (spec.mode == AddrMode::kAbs) {
+        in.rr = opts.fix_rr ? *opts.fix_rr : pick_reg(rng, 0, 31);
+        std::uniform_int_distribution<int> d(0x0100, 0x08FF);
+        in.k16 = static_cast<std::uint16_t>(d(rng));
+      } else {
+        in.rr = opts.fix_rr ? *opts.fix_rr : pick_reg(rng, 0, 25);
+        if (spec.mode == AddrMode::kYDisp || spec.mode == AddrMode::kZDisp) {
+          in.q = static_cast<std::uint8_t>(1 + pick_byte(rng, 62));
+        }
+      }
+      break;
+    }
+    case OperandSignature::kRegBit:
+      if (spec.mnemonic == Mnemonic::kSbrc || spec.mnemonic == Mnemonic::kSbrs) {
+        in.rr = opts.fix_rr ? *opts.fix_rr : pick_reg(rng, 0, 31);
+      } else {
+        in.rd = opts.fix_rd ? *opts.fix_rd : pick_reg(rng, 0, 31);
+      }
+      in.bit = pick_byte(rng, 7);
+      break;
+    case OperandSignature::kIoBit:
+      // Stay away from the trigger port (0x05) so profiling segments never
+      // fight the trigger signal.
+      do {
+        in.io = pick_byte(rng, 31);
+      } while (in.io == SegmentTemplate::kTriggerIo);
+      in.bit = pick_byte(rng, 7);
+      break;
+    case OperandSignature::kSflagRel:
+      in.sflag = pick_byte(rng, 7);
+      in.rel = 0;
+      break;
+    case OperandSignature::kSflag:
+      in.sflag = pick_byte(rng, 7);
+      break;
+    case OperandSignature::kRdIo:
+      in.rd = opts.fix_rd ? *opts.fix_rd : pick_reg(rng, 0, 31);
+      in.io = pick_byte(rng, 63);
+      break;
+    case OperandSignature::kRrIo:
+      in.rr = opts.fix_rr ? *opts.fix_rr : pick_reg(rng, 0, 31);
+      in.io = pick_byte(rng, 63);
+      break;
+    case OperandSignature::kNone:
+      break;
+  }
+  return in;
+}
+
+Instruction random_instance_in_group(int g, std::mt19937_64& rng,
+                                     const SampleOptions& opts) {
+  const std::vector<std::size_t> classes = classes_in_group(g);
+  if (classes.empty()) throw std::invalid_argument("random_instance_in_group: empty group");
+  std::uniform_int_distribution<std::size_t> d(0, classes.size() - 1);
+  return random_instance(classes[d(rng)], rng, opts);
+}
+
+Instruction random_any_instance(std::mt19937_64& rng, const SampleOptions& opts) {
+  std::uniform_int_distribution<std::size_t> d(0, num_instruction_classes() - 1);
+  return random_instance(d(rng), rng, opts);
+}
+
+bool is_linear_safe(const Instruction& in) {
+  switch (canonicalize(in).mnemonic) {
+    case Mnemonic::kCpse:
+    case Mnemonic::kSbrc:
+    case Mnemonic::kSbrs:
+    case Mnemonic::kSbic:
+    case Mnemonic::kSbis:
+    case Mnemonic::kRjmp:
+    case Mnemonic::kJmp:
+    case Mnemonic::kIjmp:
+    case Mnemonic::kBrbs:
+    case Mnemonic::kBrbc:
+    case Mnemonic::kRcall:
+    case Mnemonic::kCall:
+    case Mnemonic::kIcall:
+    case Mnemonic::kRet:
+    case Mnemonic::kReti:
+    case Mnemonic::kSleep:
+    case Mnemonic::kBreak:
+      return false;
+    default:
+      return true;
+  }
+}
+
+Program SegmentTemplate::sequence() const {
+  Instruction sbi;
+  sbi.mnemonic = Mnemonic::kSbi;
+  sbi.io = kTriggerIo;
+  sbi.bit = kTriggerBit;
+  Instruction cbi;
+  cbi.mnemonic = Mnemonic::kCbi;
+  cbi.io = kTriggerIo;
+  cbi.bit = kTriggerBit;
+  Instruction nop;
+  nop.mnemonic = Mnemonic::kNop;
+  return {sbi, nop, before, target, after, nop, cbi};
+}
+
+Program SegmentTemplate::reference_sequence() {
+  Instruction sbi;
+  sbi.mnemonic = Mnemonic::kSbi;
+  sbi.io = kTriggerIo;
+  sbi.bit = kTriggerBit;
+  Instruction cbi;
+  cbi.mnemonic = Mnemonic::kCbi;
+  cbi.io = kTriggerIo;
+  cbi.bit = kTriggerBit;
+  Instruction nop;
+  nop.mnemonic = Mnemonic::kNop;
+  return {sbi, nop, nop, nop, nop, nop, cbi};
+}
+
+SegmentTemplate SegmentTemplate::make(const Instruction& target, std::mt19937_64& rng) {
+  SegmentTemplate seg;
+  seg.target = target;
+  // Neighbours come from the full profiled set (the paper draws them
+  // uniformly) but must keep the window aligned, so control transfers are
+  // re-drawn.
+  do {
+    seg.before = random_any_instance(rng);
+  } while (!is_linear_safe(seg.before));
+  do {
+    seg.after = random_any_instance(rng);
+  } while (!is_linear_safe(seg.after));
+  return seg;
+}
+
+void finalize_control_flow(Program& program, std::uint16_t origin) {
+  std::uint32_t addr = origin;
+  for (Instruction& in : program) {
+    const unsigned words = info(canonicalize(in).mnemonic).words;
+    if (in.mnemonic == Mnemonic::kJmp || in.mnemonic == Mnemonic::kCall) {
+      in.k22 = addr + words;  // land on the following instruction
+    }
+    addr += words;
+  }
+}
+
+}  // namespace sidis::avr

@@ -1,0 +1,78 @@
+// Program construction utilities: random instruction sampling for profiling,
+// the Fig-4 measurement segment template, and control-flow finalization so
+// generated programs execute linearly on the functional simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "avr/grouping.hpp"
+#include "avr/isa.hpp"
+
+namespace sidis::avr {
+
+/// A program is simply an instruction sequence; the encoder lays it out.
+using Program = std::vector<Instruction>;
+
+/// Options controlling random operand generation.
+struct SampleOptions {
+  std::optional<std::uint8_t> fix_rd;  ///< pin the destination register
+  std::optional<std::uint8_t> fix_rr;  ///< pin the source register
+  /// Branch/RJMP relative offsets are pinned to 0 ("branch to next
+  /// instruction") so profiling programs stay linear; widen for codegen tests.
+  std::int16_t max_branch_offset = 0;
+};
+
+/// Draws a random, encodable instance of class `class_idx` (operand registers,
+/// immediates, displacements and I/O addresses uniformly random within their
+/// legal ranges; architectural constraints such as r16..r31 for immediates or
+/// even pairs for MOVW/ADIW are respected, and `fix_rd`/`fix_rr` are clamped
+/// into the legal range for the class).
+Instruction random_instance(std::size_t class_idx, std::mt19937_64& rng,
+                            const SampleOptions& opts = {});
+
+/// Random instance of a uniformly random class within group `g` (1..8).
+Instruction random_instance_in_group(int g, std::mt19937_64& rng,
+                                     const SampleOptions& opts = {});
+
+/// Random instance of a uniformly random class out of all 112.
+Instruction random_any_instance(std::mt19937_64& rng, const SampleOptions& opts = {});
+
+/// The paper's Fig-4 measurement segment:
+///   SBI, NOP, <random>, <target>, <random>, NOP, CBI
+/// SBI/CBI toggle the trigger pin (PORTB5 by convention); the NOPs isolate
+/// the window; the random neighbours exercise the 2-stage pipeline overlap.
+struct SegmentTemplate {
+  Instruction before;  ///< randomly selected leading neighbour
+  Instruction target;  ///< the instruction being profiled
+  Instruction after;   ///< randomly selected trailing neighbour
+
+  /// I/O address and bit of the trigger pin (PORTB = 0x05, bit 5).
+  static constexpr std::uint8_t kTriggerIo = 0x05;
+  static constexpr std::uint8_t kTriggerBit = 5;
+
+  /// Materializes the 7-instruction sequence.
+  Program sequence() const;
+
+  /// The reference sequence SBI, NOP x5, CBI whose trace is subtracted to
+  /// remove trigger power and ambient noise (Sec. 5.1).
+  static Program reference_sequence();
+
+  /// Builds a segment for `target` with random neighbours (neighbours are
+  /// drawn from all 112 classes but never skip/jump so the window stays
+  /// aligned).
+  static SegmentTemplate make(const Instruction& target, std::mt19937_64& rng);
+};
+
+/// Patches absolute control-flow targets (JMP/CALL) so each one lands on the
+/// instruction that follows it when the program is placed at word address
+/// `origin`.  Generated profiling programs call this once before execution.
+void finalize_control_flow(Program& program, std::uint16_t origin = 0);
+
+/// True when `in` can serve as a segment neighbour without breaking linear
+/// execution (no skips, no jumps, no stack control transfer).
+bool is_linear_safe(const Instruction& in);
+
+}  // namespace sidis::avr

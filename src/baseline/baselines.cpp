@@ -1,0 +1,82 @@
+#include "baseline/baselines.hpp"
+
+#include <stdexcept>
+
+#include "dsp/signal.hpp"
+#include "ml/discriminant.hpp"
+#include "ml/knn.hpp"
+
+namespace sidis::baseline {
+
+RawTraceClassifier RawTraceClassifier::train(const features::LabeledTraces& input,
+                                             std::unique_ptr<ml::Classifier> classifier,
+                                             BaselineConfig config) {
+  if (input.labels.size() != input.sets.size() || input.labels.size() < 2) {
+    throw std::invalid_argument("RawTraceClassifier: need >= 2 labeled sets");
+  }
+  RawTraceClassifier out;
+  out.config_ = config;
+
+  std::vector<linalg::Vector> rows;
+  std::vector<int> y;
+  for (std::size_t c = 0; c < input.sets.size(); ++c) {
+    for (const sim::Trace& t : *input.sets[c]) {
+      std::vector<double> s = t.samples;
+      if (config.center_traces) {
+        const double m = dsp::mean(s);
+        for (double& v : s) v -= m;
+      }
+      rows.emplace_back(s.begin(), s.end());
+      y.push_back(input.labels[c]);
+    }
+  }
+  const linalg::Matrix x = linalg::Matrix::from_rows(rows);
+  out.pca_ = stats::Pca::fit(x, config.pca_components);
+
+  ml::Dataset train;
+  train.x = out.pca_.transform(x);
+  train.y = std::move(y);
+  out.classifier_ = std::move(classifier);
+  out.classifier_->fit(train);
+  return out;
+}
+
+linalg::Vector RawTraceClassifier::project(const std::vector<double>& samples) const {
+  std::vector<double> s = samples;
+  if (config_.center_traces) {
+    const double m = dsp::mean(s);
+    for (double& v : s) v -= m;
+  }
+  return pca_.transform(linalg::Vector(s.begin(), s.end()));
+}
+
+int RawTraceClassifier::predict(const std::vector<double>& samples) const {
+  if (classifier_ == nullptr) throw std::runtime_error("RawTraceClassifier: not trained");
+  return classifier_->predict(project(samples));
+}
+
+double RawTraceClassifier::accuracy(const features::LabeledTraces& test) const {
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < test.sets.size(); ++c) {
+    for (const sim::Trace& t : *test.sets[c]) {
+      hits += predict(t.samples) == test.labels[c] ? 1 : 0;
+      ++total;
+    }
+  }
+  if (total == 0) throw std::invalid_argument("RawTraceClassifier: empty test set");
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+RawTraceClassifier train_msgna(const features::LabeledTraces& input,
+                               BaselineConfig config) {
+  return RawTraceClassifier::train(input, std::make_unique<ml::Knn>(config.knn_k),
+                                   config);
+}
+
+RawTraceClassifier train_eisenbarth(const features::LabeledTraces& input,
+                                    BaselineConfig config) {
+  return RawTraceClassifier::train(input, std::make_unique<ml::Qda>(), config);
+}
+
+}  // namespace sidis::baseline

@@ -1,0 +1,62 @@
+// Prior-art side-channel disassemblers re-implemented as baselines for the
+// Table-1 comparison:
+//
+//  * Msgna et al. [18]: PCA on raw time-domain power traces followed by
+//    k(=1)-nearest-neighbours;
+//  * Eisenbarth et al. [9]: dimensionality reduction (PCA / Fisher LDA)
+//    followed by multivariate-Gaussian templates with a maximum-likelihood
+//    decision (their hidden-Markov control-flow smoothing is out of scope --
+//    this repo evaluates on single instruction windows, where the HMM prior
+//    has no sequence to exploit).
+//
+// Neither baseline uses the time-frequency domain, KL feature selection or
+// covariate-shift adaptation; the Table-1 bench shows how much of the
+// paper's margin comes from exactly those pieces.
+#pragma once
+
+#include <memory>
+
+#include "features/pipeline.hpp"
+#include "ml/classifier.hpp"
+#include "stats/pca.hpp"
+#include "stats/standardize.hpp"
+
+namespace sidis::baseline {
+
+struct BaselineConfig {
+  std::size_t pca_components = 25;
+  std::size_t knn_k = 1;
+  /// Mean-centre each raw trace before PCA (both prior works align and
+  /// normalize traces; this is the minimal equivalent).
+  bool center_traces = true;
+};
+
+/// Shared substrate: raw trace -> (centering) -> PCA -> classifier.
+class RawTraceClassifier {
+ public:
+  RawTraceClassifier() = default;
+
+  static RawTraceClassifier train(const features::LabeledTraces& input,
+                                  std::unique_ptr<ml::Classifier> classifier,
+                                  BaselineConfig config);
+
+  int predict(const std::vector<double>& samples) const;
+  double accuracy(const features::LabeledTraces& test) const;
+
+ private:
+  linalg::Vector project(const std::vector<double>& samples) const;
+
+  BaselineConfig config_;
+  stats::Pca pca_;
+  std::unique_ptr<ml::Classifier> classifier_;
+};
+
+/// Msgna et al.: PCA + 1-NN.
+RawTraceClassifier train_msgna(const features::LabeledTraces& input,
+                               BaselineConfig config = {});
+
+/// Eisenbarth et al.: PCA + multivariate-Gaussian (QDA) templates.
+RawTraceClassifier train_eisenbarth(const features::LabeledTraces& input,
+                                    BaselineConfig config = {});
+
+}  // namespace sidis::baseline

@@ -1,0 +1,34 @@
+#include "core/csa.hpp"
+
+namespace sidis::core {
+
+features::PipelineConfig without_csa_config() {
+  features::PipelineConfig c;
+  c.kl_threshold = kInitialKlThreshold;
+  c.per_trace_normalization = false;
+  // The initial experiment applies the 0.005 threshold literally.  With only
+  // ~10 profiling programs the empirical within-class KL never gets below
+  // its own estimator bias (~2/n per program pair), so the criterion cannot
+  // bind and selection degenerates to between-class KL alone (the fallback
+  // path) -- which is precisely why the paper's Sec.-4 experiment picks
+  // context-sensitive features and collapses on a real program.
+  c.adaptive_threshold = false;
+  c.allow_fallback_points = true;
+  return c;
+}
+
+features::PipelineConfig csa_without_norm_config() {
+  features::PipelineConfig c;
+  c.kl_threshold = kCsaKlThreshold;
+  c.per_trace_normalization = false;
+  return c;
+}
+
+features::PipelineConfig csa_config() {
+  features::PipelineConfig c;
+  c.kl_threshold = kCsaKlThreshold;
+  c.per_trace_normalization = true;
+  return c;
+}
+
+}  // namespace sidis::core

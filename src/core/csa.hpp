@@ -1,0 +1,35 @@
+// Covariate-shift adaptation (Sec. 4, 5.5, 5.6).
+//
+// CSA in the paper is a recipe, not a separate algorithm:
+//   1. profile over more program files (9 -> 19) so within-class variation is
+//      estimated against a richer set of measurement contexts;
+//   2. tighten the not-varying threshold KL_th from 0.005 to 0.0005 (Eq. 4),
+//      discarding feature points that move with the context;
+//   3. normalize the selected feature values per trace, cancelling the
+//      gain/offset a new program, session or device imposes.
+// This header packages the three pipeline settings of Table 3 so the benches
+// and examples can name them.
+#pragma once
+
+#include "features/pipeline.hpp"
+
+namespace sidis::core {
+
+/// The initial-experiment pipeline (Sec. 4): loose threshold, no per-trace
+/// normalization.  Fails under covariate shift (Table 3 "Without CSA").
+features::PipelineConfig without_csa_config();
+
+/// CSA selection without the normalization step (Table 3 "Without Norm.").
+features::PipelineConfig csa_without_norm_config();
+
+/// Full CSA (Table 3 "With Norm."): tight threshold + per-trace
+/// normalization.  This is the pipeline the headline results use.
+features::PipelineConfig csa_config();
+
+/// Paper constants, exposed for the benches.
+inline constexpr double kInitialKlThreshold = 0.005;
+inline constexpr double kCsaKlThreshold = 0.0005;
+inline constexpr int kInitialProgramFiles = 10;
+inline constexpr int kCsaProgramFiles = 19;
+
+}  // namespace sidis::core

@@ -1,0 +1,177 @@
+#include "core/hierarchical.hpp"
+
+#include <stdexcept>
+
+#include "avr/isa.hpp"
+
+namespace sidis::core {
+
+avr::Instruction Disassembly::to_instruction() const {
+  const avr::ClassSpec& spec = avr::instruction_classes().at(class_idx);
+  avr::Instruction in;
+  in.mnemonic = spec.mnemonic;
+  in.mode = spec.mode;
+  if (rd) in.rd = *rd;
+  if (rr) in.rr = *rr;
+  return in;
+}
+
+std::string Disassembly::text() const { return avr::to_string(to_instruction()); }
+
+HierarchicalDisassembler::Level HierarchicalDisassembler::train_level(
+    const features::LabeledTraces& input, const HierarchicalConfig& config,
+    std::size_t components) {
+  Level level;
+  level.components = components;
+  if (input.labels.size() == 1) {
+    level.trivial = true;
+    level.only_label = input.labels.front();
+    return level;
+  }
+  level.pipeline = features::FeaturePipeline::fit(input, config.pipeline);
+  const ml::Dataset train = level.pipeline.transform(input, components);
+  level.classifier = ml::make_classifier(config.classifier, config.factory);
+  level.classifier->fit(train);
+  return level;
+}
+
+HierarchicalDisassembler::Level HierarchicalDisassembler::train_level_precomputed(
+    const std::vector<const features::FeaturePipeline::ClassData*>& data,
+    const features::LabeledTraces& input, const HierarchicalConfig& config,
+    std::size_t components) {
+  Level level;
+  level.components = components;
+  if (input.labels.size() == 1) {
+    level.trivial = true;
+    level.only_label = input.labels.front();
+    return level;
+  }
+  level.pipeline = features::FeaturePipeline::fit(data, config.pipeline);
+  const ml::Dataset train = level.pipeline.transform(input, components);
+  level.classifier = ml::make_classifier(config.classifier, config.factory);
+  level.classifier->fit(train);
+  return level;
+}
+
+int HierarchicalDisassembler::predict_level(const Level& level,
+                                            const sim::Trace& trace,
+                                            std::size_t components) {
+  if (level.trivial) return level.only_label;
+  if (level.classifier == nullptr) throw std::runtime_error("level not trained");
+  const std::size_t k = components == SIZE_MAX ? level.components : components;
+  // When the caller overrides the component count we must also truncate what
+  // the classifier saw at fit time, so overrides only make sense on levels
+  // evaluated standalone; the benches refit per sweep point instead.
+  return level.classifier->predict(level.pipeline.transform(trace, k));
+}
+
+HierarchicalDisassembler HierarchicalDisassembler::train(const ProfilingData& data,
+                                                         HierarchicalConfig config) {
+  if (data.classes.empty()) {
+    throw std::invalid_argument("HierarchicalDisassembler::train: no profiled classes");
+  }
+  HierarchicalDisassembler d;
+  d.config_ = config;
+
+  // Levels 1 and 2 see the same traces (level 1 with group labels, level 2
+  // with class labels), so the expensive per-class CWT moment/mask pass is
+  // computed once and shared.
+  features::LabeledTraces class_input;
+  features::LabeledTraces group_input;
+  std::map<int, features::LabeledTraces> per_group;
+  for (const auto& [class_idx, traces] : data.classes) {
+    if (traces.empty()) {
+      throw std::invalid_argument("HierarchicalDisassembler::train: empty class corpus");
+    }
+    const int group = avr::group_of_class(class_idx);
+    class_input.labels.push_back(static_cast<int>(class_idx));
+    class_input.sets.push_back(&traces);
+    group_input.labels.push_back(group);
+    group_input.sets.push_back(&traces);
+    per_group[group].labels.push_back(static_cast<int>(class_idx));
+    per_group[group].sets.push_back(&traces);
+  }
+  const std::vector<features::FeaturePipeline::ClassData> precomputed =
+      features::FeaturePipeline::precompute(class_input, config.pipeline);
+  std::map<std::size_t, const features::FeaturePipeline::ClassData*> by_class;
+  for (const auto& cd : precomputed) {
+    by_class[static_cast<std::size_t>(cd.label)] = &cd;
+  }
+
+  // Level 1: group classification over all profiled classes.  The pipeline
+  // fit only consumes moments/masks/traces, so class-level precompute data
+  // serves directly; the classifier pools samples by the group labels.
+  {
+    std::vector<const features::FeaturePipeline::ClassData*> all;
+    for (const auto& cd : precomputed) all.push_back(&cd);
+    d.group_level_ =
+        train_level_precomputed(all, group_input, config, config.group_components);
+  }
+
+  // Level 2: one model per group with at least 2 profiled classes.
+  for (const auto& [group, input] : per_group) {
+    std::vector<const features::FeaturePipeline::ClassData*> subset;
+    for (int label : input.labels) {
+      subset.push_back(by_class.at(static_cast<std::size_t>(label)));
+    }
+    d.instruction_levels_[group] = train_level_precomputed(
+        subset, input, config, config.instruction_components);
+  }
+
+  // Level 3: register recovery.
+  const auto train_registers = [&](const std::map<std::uint8_t, sim::TraceSet>& sets)
+      -> std::unique_ptr<Level> {
+    if (sets.size() < 2) return nullptr;
+    features::LabeledTraces input;
+    for (const auto& [reg, traces] : sets) {
+      input.labels.push_back(static_cast<int>(reg));
+      input.sets.push_back(&traces);
+    }
+    return std::make_unique<Level>(
+        train_level(input, config, config.register_components));
+  };
+  d.rd_level_ = train_registers(data.rd_classes);
+  d.rr_level_ = train_registers(data.rr_classes);
+  return d;
+}
+
+int HierarchicalDisassembler::classify_group(const sim::Trace& trace,
+                                             std::size_t components) const {
+  return predict_level(group_level_, trace, components);
+}
+
+std::size_t HierarchicalDisassembler::classify_within_group(
+    int group, const sim::Trace& trace, std::size_t components) const {
+  const auto it = instruction_levels_.find(group);
+  if (it == instruction_levels_.end()) {
+    throw std::invalid_argument("classify_within_group: group not trained");
+  }
+  return static_cast<std::size_t>(predict_level(it->second, trace, components));
+}
+
+std::uint8_t HierarchicalDisassembler::classify_rd(const sim::Trace& trace,
+                                                   std::size_t components) const {
+  if (rd_level_ == nullptr) throw std::runtime_error("Rd level not trained");
+  return static_cast<std::uint8_t>(predict_level(*rd_level_, trace, components));
+}
+
+std::uint8_t HierarchicalDisassembler::classify_rr(const sim::Trace& trace,
+                                                   std::size_t components) const {
+  if (rr_level_ == nullptr) throw std::runtime_error("Rr level not trained");
+  return static_cast<std::uint8_t>(predict_level(*rr_level_, trace, components));
+}
+
+Disassembly HierarchicalDisassembler::classify(const sim::Trace& trace) const {
+  Disassembly out;
+  out.group = classify_group(trace);
+  out.class_idx = classify_within_group(out.group, trace);
+  if (avr::class_uses_rd(out.class_idx) && rd_level_ != nullptr) {
+    out.rd = classify_rd(trace);
+  }
+  if (avr::class_uses_rr(out.class_idx) && rr_level_ != nullptr) {
+    out.rr = classify_rr(trace);
+  }
+  return out;
+}
+
+}  // namespace sidis::core

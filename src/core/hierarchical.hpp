@@ -1,0 +1,119 @@
+// The paper's primary contribution: a three-level hierarchical side-channel
+// disassembler (Sec. 2.1).
+//
+//   Level 1 classifies a trace into one of the 8 Table-2 instruction groups;
+//   Level 2 classifies it into a specific instruction class within the
+//           predicted group;
+//   Level 3 recovers the operand registers (Rd and/or Rr) when the class
+//           uses them.
+//
+// Each level owns its own feature pipeline (CWT -> KL selection -> norm ->
+// PCA) and classifier, trained from profiling traces of the training device.
+// The hierarchy is what makes 112-class recognition tractable: a one-vs-one
+// SVM over 112 flat classes needs 6216 binary machines, the hierarchy at
+// most C(8,2) + C(24,2) = 304.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "avr/grouping.hpp"
+#include "features/pipeline.hpp"
+#include "ml/factory.hpp"
+#include "sim/trace.hpp"
+
+namespace sidis::core {
+
+struct HierarchicalConfig {
+  features::PipelineConfig pipeline;
+  ml::ClassifierKind classifier = ml::ClassifierKind::kQda;
+  ml::FactoryConfig factory;
+  /// PCA components used per level (the paper saturates around 43-50).
+  std::size_t group_components = 43;
+  std::size_t instruction_components = 50;
+  std::size_t register_components = 45;
+};
+
+/// Profiling corpus: traces per instruction class (any subset of the 112),
+/// plus optional per-register corpora for level 3.
+struct ProfilingData {
+  std::map<std::size_t, sim::TraceSet> classes;      ///< class_idx -> traces
+  std::map<std::uint8_t, sim::TraceSet> rd_classes;  ///< Rd value -> traces
+  std::map<std::uint8_t, sim::TraceSet> rr_classes;  ///< Rr value -> traces
+};
+
+/// One recovered instruction.
+struct Disassembly {
+  int group = 0;
+  std::size_t class_idx = 0;
+  std::optional<std::uint8_t> rd;
+  std::optional<std::uint8_t> rr;
+
+  /// Best-effort instruction reconstruction (unrecoverable operand fields --
+  /// immediates, addresses -- stay zero; the paper's scope is opcode + regs).
+  avr::Instruction to_instruction() const;
+  /// Assembly-like rendering, e.g. "ADD r3, r17".
+  std::string text() const;
+};
+
+class HierarchicalDisassembler {
+ public:
+  HierarchicalDisassembler() = default;
+
+  /// Trains all levels present in `data`.  Level 2 is trained per group
+  /// containing >= 2 profiled classes; level 3 per operand type with >= 2
+  /// register corpora.  Throws std::invalid_argument on an empty corpus.
+  static HierarchicalDisassembler train(const ProfilingData& data,
+                                        HierarchicalConfig config = {});
+
+  /// Full three-level classification of one trace window.
+  Disassembly classify(const sim::Trace& trace) const;
+
+  /// Level-wise entry points (the Fig.-5 benches evaluate levels in
+  /// isolation); `components` overrides the PCA component count, SIZE_MAX
+  /// keeps the configured default.
+  int classify_group(const sim::Trace& trace,
+                     std::size_t components = SIZE_MAX) const;
+  std::size_t classify_within_group(int group, const sim::Trace& trace,
+                                    std::size_t components = SIZE_MAX) const;
+  std::uint8_t classify_rd(const sim::Trace& trace,
+                           std::size_t components = SIZE_MAX) const;
+  std::uint8_t classify_rr(const sim::Trace& trace,
+                           std::size_t components = SIZE_MAX) const;
+
+  bool has_register_level() const { return rd_level_ != nullptr || rr_level_ != nullptr; }
+  const HierarchicalConfig& config() const { return config_; }
+
+  /// Template persistence (QDA levels only); see core/serialize.hpp.
+  void save(std::ostream& os) const;
+  static HierarchicalDisassembler load(std::istream& is);
+
+ private:
+  struct Level {
+    features::FeaturePipeline pipeline;
+    std::unique_ptr<ml::Classifier> classifier;
+    std::size_t components = SIZE_MAX;
+    int only_label = 0;       ///< used when a level has a single class
+    bool trivial = false;     ///< single-class level: no classifier needed
+  };
+
+  static Level train_level(const features::LabeledTraces& input,
+                           const HierarchicalConfig& config, std::size_t components);
+  static Level train_level_precomputed(
+      const std::vector<const features::FeaturePipeline::ClassData*>& data,
+      const features::LabeledTraces& input, const HierarchicalConfig& config,
+      std::size_t components);
+  static int predict_level(const Level& level, const sim::Trace& trace,
+                           std::size_t components);
+
+  HierarchicalConfig config_;
+  Level group_level_;
+  std::map<int, Level> instruction_levels_;  ///< group -> level-2 model
+  std::unique_ptr<Level> rd_level_;
+  std::unique_ptr<Level> rr_level_;
+};
+
+}  // namespace sidis::core

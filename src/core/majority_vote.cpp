@@ -1,0 +1,59 @@
+#include "core/majority_vote.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sidis::core {
+
+MajorityVoteClassifier MajorityVoteClassifier::train(
+    const features::LabeledTraces& input, MajorityVoteConfig config) {
+  if (input.labels.size() < 2) {
+    throw std::invalid_argument("MajorityVoteClassifier: need >= 2 classes");
+  }
+  MajorityVoteClassifier out;
+  out.labels_ = input.labels;
+
+  const std::vector<features::FeaturePipeline::ClassData> data =
+      features::FeaturePipeline::precompute(input, config.pipeline);
+
+  for (std::size_t a = 0; a < data.size(); ++a) {
+    for (std::size_t b = a + 1; b < data.size(); ++b) {
+      Pair p;
+      p.label_a = data[a].label;
+      p.label_b = data[b].label;
+      p.pipeline = features::FeaturePipeline::fit({&data[a], &data[b]}, config.pipeline);
+
+      features::LabeledTraces pair_input;
+      pair_input.labels = {data[a].label, data[b].label};
+      pair_input.sets = {data[a].traces, data[b].traces};
+      const ml::Dataset train = p.pipeline.transform(pair_input);
+      p.classifier = ml::make_classifier(config.classifier, config.factory);
+      p.classifier->fit(train);
+      out.pairs_.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+int MajorityVoteClassifier::predict(const sim::Trace& trace) const {
+  if (pairs_.empty()) throw std::runtime_error("MajorityVoteClassifier: not trained");
+  std::vector<int> sorted_labels = labels_;
+  std::sort(sorted_labels.begin(), sorted_labels.end());
+
+  std::vector<int> votes(sorted_labels.size(), 0);
+  const auto slot = [&](int label) {
+    return static_cast<std::size_t>(
+        std::lower_bound(sorted_labels.begin(), sorted_labels.end(), label) -
+        sorted_labels.begin());
+  };
+  for (const Pair& p : pairs_) {
+    // Each binary machine sees the trace through its *own* pair-optimal
+    // feature space (x_{i,j} in Eq. (2)).
+    const int winner = p.classifier->predict(p.pipeline.transform(trace));
+    ++votes[slot(winner == p.label_a || winner == p.label_b ? winner : p.label_a)];
+  }
+  const auto best = std::max_element(votes.begin(), votes.end());
+  return sorted_labels[static_cast<std::size_t>(best - votes.begin())];
+}
+
+}  // namespace sidis::core

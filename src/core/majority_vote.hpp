@@ -1,0 +1,54 @@
+// Majority-voting one-vs-one classification (Sec. 5.4, Eq. (2)/(3)).
+//
+// The general method projects every trace onto principal components of the
+// *unified* DNVP set; those components are a compromise across all class
+// pairs.  The majority-voting method instead fits, per class pair (c_i, c_j),
+// a dedicated feature pipeline on that pair's own DNVP -- the best possible
+// feature space for that binary decision -- and lets K(K-1)/2 binary
+// classifiers vote.  The payoff is the paper's Fig. 6: with as few as 3
+// variables per binary machine, SR jumps from near-chance (general method)
+// to 82-85%.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "features/pipeline.hpp"
+#include "ml/factory.hpp"
+
+namespace sidis::core {
+
+struct MajorityVoteConfig {
+  features::PipelineConfig pipeline;  ///< pipeline.pca_components = per-pair variables
+  ml::ClassifierKind classifier = ml::ClassifierKind::kQda;
+  ml::FactoryConfig factory;
+};
+
+class MajorityVoteClassifier {
+ public:
+  MajorityVoteClassifier() = default;
+
+  /// Fits one pipeline + binary classifier per class pair.  The expensive
+  /// per-class CWT moment pass is shared across all pairs.
+  static MajorityVoteClassifier train(const features::LabeledTraces& input,
+                                      MajorityVoteConfig config = {});
+
+  /// Majority vote over all pairwise decisions (Eq. (3)); ties resolve to
+  /// the smallest label for determinism.
+  int predict(const sim::Trace& trace) const;
+
+  std::size_t num_pairs() const { return pairs_.size(); }
+  const std::vector<int>& labels() const { return labels_; }
+
+ private:
+  struct Pair {
+    int label_a = 0;
+    int label_b = 0;
+    features::FeaturePipeline pipeline;
+    std::unique_ptr<ml::Classifier> classifier;
+  };
+  std::vector<int> labels_;
+  std::vector<Pair> pairs_;
+};
+
+}  // namespace sidis::core

@@ -1,0 +1,54 @@
+#include "core/profiler.hpp"
+
+#include <stdexcept>
+
+namespace sidis::core {
+
+ProfilingData profile_device(const sim::AcquisitionCampaign& campaign,
+                             const ProfilerConfig& config, std::mt19937_64& rng,
+                             const ProfilerProgress& progress) {
+  std::vector<std::size_t> classes = config.classes;
+  if (classes.empty()) {
+    classes.resize(avr::num_instruction_classes());
+    for (std::size_t i = 0; i < classes.size(); ++i) classes[i] = i;
+  }
+  std::vector<std::uint8_t> registers = config.registers;
+  if (config.profile_registers && registers.empty()) {
+    for (int r = 0; r < 32; ++r) registers.push_back(static_cast<std::uint8_t>(r));
+  }
+  const std::size_t total =
+      classes.size() + (config.profile_registers ? 2 * registers.size() : 0);
+  std::size_t done = 0;
+  const auto tick = [&](const std::string& item) {
+    ++done;
+    return !progress || progress(done, total, item);
+  };
+
+  ProfilingData data;
+  for (std::size_t cls : classes) {
+    data.classes[cls] = campaign.capture_class(cls, config.traces_per_class,
+                                               config.num_programs, rng);
+    if (!tick(avr::instruction_classes()[cls].name)) {
+      throw std::runtime_error("profile_device: aborted by progress callback");
+    }
+  }
+  if (config.profile_registers) {
+    for (std::uint8_t r : registers) {
+      data.rd_classes[r] = campaign.capture_register(
+          true, r, config.traces_per_register, config.num_programs, rng);
+      if (!tick("Rd" + std::to_string(r))) {
+        throw std::runtime_error("profile_device: aborted by progress callback");
+      }
+    }
+    for (std::uint8_t r : registers) {
+      data.rr_classes[r] = campaign.capture_register(
+          false, r, config.traces_per_register, config.num_programs, rng);
+      if (!tick("Rr" + std::to_string(r))) {
+        throw std::runtime_error("profile_device: aborted by progress callback");
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace sidis::core

@@ -1,0 +1,87 @@
+#include "core/sequence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "avr/grouping.hpp"
+
+namespace sidis::core {
+
+BigramPrior::BigramPrior(std::size_t num_classes, double smoothing)
+    : counts_(num_classes, num_classes, smoothing) {
+  if (num_classes == 0) throw std::invalid_argument("BigramPrior: no classes");
+  if (!(smoothing > 0.0)) throw std::invalid_argument("BigramPrior: smoothing must be > 0");
+}
+
+void BigramPrior::add_program(const avr::Program& program) {
+  std::optional<std::size_t> prev;
+  for (const avr::Instruction& in : program) {
+    const auto cls = avr::class_of(in);
+    if (!cls || *cls >= num_classes()) {
+      prev.reset();  // unprofiled instruction breaks the chain
+      continue;
+    }
+    if (prev) add_transition(*prev, *cls);
+    prev = cls;
+  }
+}
+
+void BigramPrior::add_transition(std::size_t from, std::size_t to) {
+  counts_.at(from, to) += 1.0;
+}
+
+double BigramPrior::log_prob(std::size_t from, std::size_t to) const {
+  double row = 0.0;
+  for (std::size_t c = 0; c < counts_.cols(); ++c) row += counts_(from, c);
+  return std::log(counts_.at(from, to) / row);
+}
+
+std::vector<std::size_t> viterbi_decode(const linalg::Matrix& emissions,
+                                        const BigramPrior& prior,
+                                        double prior_weight) {
+  const std::size_t t_max = emissions.rows();
+  const std::size_t n = emissions.cols();
+  if (t_max == 0) return {};
+  if (n != prior.num_classes()) {
+    throw std::invalid_argument("viterbi_decode: class-count mismatch");
+  }
+
+  // Precompute the weighted log-transition matrix once.
+  linalg::Matrix log_trans(n, n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      log_trans(a, b) = prior_weight * prior.log_prob(a, b);
+    }
+  }
+
+  linalg::Matrix score(t_max, n);
+  std::vector<std::vector<std::size_t>> back(t_max, std::vector<std::size_t>(n, 0));
+  for (std::size_t c = 0; c < n; ++c) score(0, c) = emissions(0, c);
+
+  for (std::size_t t = 1; t < t_max; ++t) {
+    for (std::size_t c = 0; c < n; ++c) {
+      double best = -1e300;
+      std::size_t best_prev = 0;
+      for (std::size_t p = 0; p < n; ++p) {
+        const double v = score(t - 1, p) + log_trans(p, c);
+        if (v > best) {
+          best = v;
+          best_prev = p;
+        }
+      }
+      score(t, c) = best + emissions(t, c);
+      back[t][c] = best_prev;
+    }
+  }
+
+  std::vector<std::size_t> path(t_max);
+  std::size_t best_end = 0;
+  for (std::size_t c = 1; c < n; ++c) {
+    if (score(t_max - 1, c) > score(t_max - 1, best_end)) best_end = c;
+  }
+  path[t_max - 1] = best_end;
+  for (std::size_t t = t_max - 1; t > 0; --t) path[t - 1] = back[t][path[t]];
+  return path;
+}
+
+}  // namespace sidis::core

@@ -1,0 +1,57 @@
+// Sequence smoothing over recovered instruction streams -- the paper's
+// stated future work ("this technique can be used with static code analysis
+// in order to increase accuracy of real code", Sec. 6).
+//
+// Single-trace classification treats every instruction independently.  Real
+// firmware is not a uniform draw over the ISA: compilers emit characteristic
+// bigrams (CPI is followed by a branch, LDI pairs precede STS, a CP/CPC
+// cascade implements wide compares...).  A first-order hidden-Markov view --
+// per-window class log-likelihoods from the classifier as emissions, a
+// bigram prior estimated from representative firmware as transitions --
+// lets Viterbi decoding repair isolated misclassifications.
+//
+// Eisenbarth et al. [9] pioneered this combination; here it is provided as
+// an optional post-processing stage on top of the hierarchical classifier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "avr/program.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sidis::core {
+
+/// First-order instruction-class transition model with add-one smoothing.
+class BigramPrior {
+ public:
+  /// `num_classes` states; counts start at `smoothing` (Laplace).
+  explicit BigramPrior(std::size_t num_classes, double smoothing = 1.0);
+
+  /// Accumulates transitions from a representative program's class sequence
+  /// (instructions outside the profiled set are skipped).
+  void add_program(const avr::Program& program);
+
+  /// Accumulates one observed transition.
+  void add_transition(std::size_t from, std::size_t to);
+
+  /// log P(to | from) under the smoothed counts.
+  double log_prob(std::size_t from, std::size_t to) const;
+
+  std::size_t num_classes() const { return counts_.rows(); }
+
+ private:
+  linalg::Matrix counts_;
+};
+
+/// Viterbi decoding of a window sequence.
+///
+/// `emissions` holds one row per window; entry (t, c) is the classifier's
+/// log-likelihood of class c for window t (e.g. ml::Qda::scores).  Returns
+/// the maximum-a-posteriori class index sequence under the bigram prior,
+/// weighting the prior by `prior_weight` (0 = pure per-window argmax).
+std::vector<std::size_t> viterbi_decode(const linalg::Matrix& emissions,
+                                        const BigramPrior& prior,
+                                        double prior_weight = 1.0);
+
+}  // namespace sidis::core

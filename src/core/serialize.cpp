@@ -1,0 +1,276 @@
+#include "core/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sidis::core {
+
+namespace {
+
+constexpr const char* kMagic = "sidis-template";
+constexpr int kVersion = 1;
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("template archive corrupt: " + what);
+}
+
+void expect_tag(std::istream& is, const std::string& tag) {
+  std::string got;
+  if (!(is >> got) || got != tag) corrupt("expected '" + tag + "', got '" + got + "'");
+}
+
+void write_double(std::ostream& os, double v) {
+  // Hex floats round-trip exactly and stay human-greppable.
+  os << std::hexfloat << v << std::defaultfloat;
+}
+
+double read_double(std::istream& is) {
+  std::string tok;
+  if (!(is >> tok)) corrupt("truncated number");
+  // std::hexfloat extraction is unreliable across standard libraries; strtod
+  // handles the 0x1.abcp+n form everywhere.
+  return std::strtod(tok.c_str(), nullptr);
+}
+
+std::size_t read_size(std::istream& is) {
+  long long v = 0;
+  if (!(is >> v) || v < 0) corrupt("bad size field");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+void write_vector(std::ostream& os, const linalg::Vector& v) {
+  os << "vec " << v.size();
+  for (double x : v) {
+    os << ' ';
+    write_double(os, x);
+  }
+  os << '\n';
+}
+
+linalg::Vector read_vector(std::istream& is) {
+  expect_tag(is, "vec");
+  linalg::Vector v(read_size(is));
+  for (double& x : v) x = read_double(is);
+  return v;
+}
+
+void write_matrix(std::ostream& os, const linalg::Matrix& m) {
+  os << "mat " << m.rows() << ' ' << m.cols();
+  for (double x : m.data()) {
+    os << ' ';
+    write_double(os, x);
+  }
+  os << '\n';
+}
+
+linalg::Matrix read_matrix(std::istream& is) {
+  expect_tag(is, "mat");
+  const std::size_t rows = read_size(is);
+  const std::size_t cols = read_size(is);
+  linalg::Matrix m(rows, cols);
+  for (double& x : m.data()) x = read_double(is);
+  return m;
+}
+
+namespace {
+
+void write_pipeline_config(std::ostream& os, const features::PipelineConfig& c) {
+  os << "pipeline_config " << static_cast<int>(c.cwt.family) << ' ' << c.cwt.num_scales
+     << ' ';
+  write_double(os, c.cwt.min_scale);
+  os << ' ';
+  write_double(os, c.cwt.max_scale);
+  os << ' ' << (c.cwt.log_spacing ? 1 : 0) << ' ';
+  write_double(os, c.cwt.kernel_radius);
+  os << ' ';
+  write_double(os, c.kl_threshold);
+  os << ' ' << c.points_per_pair << ' ' << (c.adaptive_threshold ? 1 : 0) << ' '
+     << (c.per_trace_normalization ? 1 : 0) << ' ' << (c.column_standardization ? 1 : 0)
+     << ' ' << c.pca_components << ' ' << (c.allow_fallback_points ? 1 : 0) << '\n';
+}
+
+features::PipelineConfig read_pipeline_config(std::istream& is) {
+  expect_tag(is, "pipeline_config");
+  features::PipelineConfig c;
+  int family = 0;
+  is >> family;
+  c.cwt.family = static_cast<dsp::WaveletFamily>(family);
+  c.cwt.num_scales = read_size(is);
+  c.cwt.min_scale = read_double(is);
+  c.cwt.max_scale = read_double(is);
+  c.cwt.log_spacing = read_size(is) != 0;
+  c.cwt.kernel_radius = read_double(is);
+  c.kl_threshold = read_double(is);
+  c.points_per_pair = read_size(is);
+  c.adaptive_threshold = read_size(is) != 0;
+  c.per_trace_normalization = read_size(is) != 0;
+  c.column_standardization = read_size(is) != 0;
+  c.pca_components = read_size(is);
+  c.allow_fallback_points = read_size(is) != 0;
+  return c;
+}
+
+}  // namespace
+
+void save_pipeline(std::ostream& os, const features::FeaturePipeline& pipeline) {
+  os << "pipeline\n";
+  write_pipeline_config(os, pipeline.config());
+  os << "grid " << pipeline.grid_size() << '\n';
+  os << "points " << pipeline.unified_points().size() << '\n';
+  for (const stats::GridPoint& p : pipeline.unified_points()) {
+    os << p.j << ' ' << p.k << ' ';
+    write_double(os, p.value);
+    os << '\n';
+  }
+  // The scaler is stored even when column standardization is off (it is then
+  // empty and unused).
+  os << "scaler\n";
+  write_vector(os, pipeline.scaler().mean());
+  write_vector(os, pipeline.scaler().stddev());
+  os << "pca\n";
+  write_vector(os, pipeline.pca().mean());
+  write_vector(os, pipeline.pca().eigenvalues());
+  write_matrix(os, pipeline.pca().components());
+  write_double(os, pipeline.pca().total_variance());
+  os << '\n';
+}
+
+features::FeaturePipeline load_pipeline(std::istream& is) {
+  expect_tag(is, "pipeline");
+  const features::PipelineConfig cfg = read_pipeline_config(is);
+  expect_tag(is, "grid");
+  const std::size_t grid = read_size(is);
+  expect_tag(is, "points");
+  std::vector<stats::GridPoint> points(read_size(is));
+  for (stats::GridPoint& p : points) {
+    p.j = read_size(is);
+    p.k = read_size(is);
+    p.value = read_double(is);
+  }
+  expect_tag(is, "scaler");
+  linalg::Vector sm = read_vector(is);
+  linalg::Vector ss = read_vector(is);
+  expect_tag(is, "pca");
+  linalg::Vector mean = read_vector(is);
+  linalg::Vector eig = read_vector(is);
+  linalg::Matrix comp = read_matrix(is);
+  const double total = read_double(is);
+
+  stats::ColumnScaler scaler;
+  if (!sm.empty()) scaler = stats::ColumnScaler::from_parts(std::move(sm), std::move(ss));
+  return features::FeaturePipeline::from_parts(
+      cfg, std::move(points), std::move(scaler),
+      stats::Pca::from_parts(std::move(mean), std::move(eig), std::move(comp), total),
+      grid);
+}
+
+void save_qda(std::ostream& os, const ml::Qda& qda) {
+  os << "qda " << qda.labels().size() << '\n';
+  for (std::size_t c = 0; c < qda.labels().size(); ++c) {
+    os << "class " << qda.labels()[c] << ' ';
+    write_double(os, qda.log_priors()[c]);
+    os << '\n';
+    write_vector(os, qda.models()[c].mean());
+    write_matrix(os, qda.models()[c].covariance());
+  }
+}
+
+ml::Qda load_qda(std::istream& is) {
+  expect_tag(is, "qda");
+  const std::size_t n = read_size(is);
+  std::vector<int> labels(n);
+  std::vector<stats::MultivariateGaussian> models;
+  std::vector<double> priors(n);
+  models.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    expect_tag(is, "class");
+    if (!(is >> labels[c])) corrupt("bad class label");
+    priors[c] = read_double(is);
+    linalg::Vector mean = read_vector(is);
+    linalg::Matrix cov = read_matrix(is);
+    models.push_back(
+        stats::MultivariateGaussian::from_moments(std::move(mean), std::move(cov), 0.0));
+  }
+  return ml::Qda::from_parts(std::move(labels), std::move(models), std::move(priors));
+}
+
+void save_disassembler(std::ostream& os, const HierarchicalDisassembler& model) {
+  os << kMagic << ' ' << kVersion << '\n';
+  model.save(os);
+}
+
+HierarchicalDisassembler load_disassembler(std::istream& is) {
+  expect_tag(is, kMagic);
+  const std::size_t version = read_size(is);
+  if (version != static_cast<std::size_t>(kVersion)) corrupt("unsupported version");
+  return HierarchicalDisassembler::load(is);
+}
+
+// -- hierarchical model ------------------------------------------------------
+
+void HierarchicalDisassembler::save(std::ostream& os) const {
+  const auto save_level = [&os](const Level& level) {
+    os << "level " << (level.trivial ? 1 : 0) << ' ' << level.only_label << ' '
+       << level.components << '\n';
+    if (level.trivial) return;
+    const auto* qda = dynamic_cast<const ml::Qda*>(level.classifier.get());
+    if (qda == nullptr) {
+      throw std::invalid_argument(
+          "HierarchicalDisassembler::save: only QDA levels are persistable");
+    }
+    save_pipeline(os, level.pipeline);
+    save_qda(os, *qda);
+  };
+
+  os << "group_level\n";
+  save_level(group_level_);
+  os << "instruction_levels " << instruction_levels_.size() << '\n';
+  for (const auto& [group, level] : instruction_levels_) {
+    os << "group " << group << '\n';
+    save_level(level);
+  }
+  os << "rd_level " << (rd_level_ ? 1 : 0) << '\n';
+  if (rd_level_) save_level(*rd_level_);
+  os << "rr_level " << (rr_level_ ? 1 : 0) << '\n';
+  if (rr_level_) save_level(*rr_level_);
+}
+
+HierarchicalDisassembler HierarchicalDisassembler::load(std::istream& is) {
+  const auto load_level = [&is]() {
+    Level level;
+    expect_tag(is, "level");
+    const bool trivial = read_size(is) != 0;
+    if (!(is >> level.only_label)) corrupt("bad level label");
+    level.components = read_size(is);
+    level.trivial = trivial;
+    if (!trivial) {
+      level.pipeline = load_pipeline(is);
+      level.classifier = std::make_unique<ml::Qda>(load_qda(is));
+    }
+    return level;
+  };
+
+  HierarchicalDisassembler d;
+  expect_tag(is, "group_level");
+  d.group_level_ = load_level();
+  expect_tag(is, "instruction_levels");
+  const std::size_t n = read_size(is);
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_tag(is, "group");
+    int group = 0;
+    if (!(is >> group)) corrupt("bad group id");
+    d.instruction_levels_[group] = load_level();
+  }
+  expect_tag(is, "rd_level");
+  if (read_size(is) != 0) d.rd_level_ = std::make_unique<Level>(load_level());
+  expect_tag(is, "rr_level");
+  if (read_size(is) != 0) d.rr_level_ = std::make_unique<Level>(load_level());
+  return d;
+}
+
+}  // namespace sidis::core

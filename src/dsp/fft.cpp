@@ -1,0 +1,94 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sidis::dsp {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_core(ComplexVector& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (Complex& c : x) c *= inv;
+  }
+}
+}  // namespace
+
+void fft(ComplexVector& x) { fft_core(x, /*inverse=*/false); }
+void ifft(ComplexVector& x) { fft_core(x, /*inverse=*/true); }
+
+ComplexVector rfft(const std::vector<double>& x) {
+  ComplexVector c(next_pow2(x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = Complex(x[i], 0.0);
+  fft(c);
+  return c;
+}
+
+std::vector<double> magnitude_spectrum(const std::vector<double>& x) {
+  const ComplexVector c = rfft(x);
+  std::vector<double> mag(c.size() / 2 + 1);
+  for (std::size_t i = 0; i < mag.size(); ++i) mag[i] = std::abs(c[i]);
+  return mag;
+}
+
+std::vector<double> convolve(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+
+  // Direct convolution wins below ~64 taps of combined work.
+  if (a.size() * b.size() <= 4096) {
+    std::vector<double> out(out_len, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += a[i] * b[j];
+    }
+    return out;
+  }
+
+  const std::size_t n = next_pow2(out_len);
+  ComplexVector fa(n), fb(n);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0.0);
+  fft(fa);
+  fft(fb);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  ifft(fa);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace sidis::dsp

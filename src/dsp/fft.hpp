@@ -1,0 +1,39 @@
+// Minimal FFT machinery.
+//
+// Used for spectral diagnostics of the simulated scope front-end and for
+// fast convolution when CWT kernels get long at large scales.  Radix-2
+// iterative Cooley-Tukey; callers zero-pad to a power of two with
+// `next_pow2`.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace sidis::dsp {
+
+using Complex = std::complex<double>;
+using ComplexVector = std::vector<Complex>;
+
+/// Smallest power of two >= n (n = 0 maps to 1).
+std::size_t next_pow2(std::size_t n);
+
+/// In-place forward FFT; `x.size()` must be a power of two.
+void fft(ComplexVector& x);
+
+/// In-place inverse FFT (includes the 1/N scaling).
+void ifft(ComplexVector& x);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+ComplexVector rfft(const std::vector<double>& x);
+
+/// Magnitude spectrum |rfft(x)| truncated to the first N/2+1 bins.
+std::vector<double> magnitude_spectrum(const std::vector<double>& x);
+
+/// Linear convolution of two real signals via FFT; result length is
+/// a.size() + b.size() - 1.  Falls back to direct convolution for tiny
+/// inputs where FFT overhead dominates.
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+}  // namespace sidis::dsp

@@ -1,0 +1,121 @@
+#include "dsp/wavelet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sidis::dsp {
+
+namespace {
+constexpr double kMorletOmega0 = 5.0;
+}
+
+double mother_wavelet(WaveletFamily family, double t) {
+  switch (family) {
+    case WaveletFamily::kMorlet: {
+      // Real Morlet with the small admissibility correction term dropped
+      // (negligible at w0 = 5) -- standard SCA practice.
+      return std::exp(-0.5 * t * t) * std::cos(kMorletOmega0 * t);
+    }
+    case WaveletFamily::kRicker: {
+      const double t2 = t * t;
+      return (1.0 - t2) * std::exp(-0.5 * t2);
+    }
+  }
+  throw std::invalid_argument("mother_wavelet: unknown family");
+}
+
+Cwt::Cwt(CwtConfig config) : config_(config) {
+  if (config_.num_scales == 0) throw std::invalid_argument("Cwt: num_scales must be > 0");
+  if (!(config_.min_scale > 0.0) || config_.max_scale < config_.min_scale) {
+    throw std::invalid_argument("Cwt: invalid scale range");
+  }
+  scales_.resize(config_.num_scales);
+  if (config_.num_scales == 1) {
+    scales_[0] = config_.min_scale;
+  } else if (config_.log_spacing) {
+    const double ratio = std::pow(config_.max_scale / config_.min_scale,
+                                  1.0 / static_cast<double>(config_.num_scales - 1));
+    double s = config_.min_scale;
+    for (auto& v : scales_) {
+      v = s;
+      s *= ratio;
+    }
+  } else {
+    const double step = (config_.max_scale - config_.min_scale) /
+                        static_cast<double>(config_.num_scales - 1);
+    for (std::size_t j = 0; j < scales_.size(); ++j) {
+      scales_[j] = config_.min_scale + step * static_cast<double>(j);
+    }
+  }
+
+  kernels_.resize(scales_.size());
+  for (std::size_t j = 0; j < scales_.size(); ++j) {
+    const double s = scales_[j];
+    const auto radius =
+        static_cast<std::ptrdiff_t>(std::ceil(config_.kernel_radius * s));
+    std::vector<double>& k = kernels_[j];
+    k.resize(static_cast<std::size_t>(2 * radius + 1));
+    double energy = 0.0;
+    for (std::ptrdiff_t n = -radius; n <= radius; ++n) {
+      const double v = mother_wavelet(config_.family, static_cast<double>(n) / s);
+      k[static_cast<std::size_t>(n + radius)] = v;
+      energy += v * v;
+    }
+    // L2 normalization keeps coefficient magnitudes comparable across scales
+    // (the 1/sqrt(s) convention folded into the sampled kernel).
+    const double inv = energy > 0.0 ? 1.0 / std::sqrt(energy) : 0.0;
+    for (double& v : k) v *= inv;
+  }
+}
+
+Scalogram Cwt::transform(const std::vector<double>& trace) const {
+  const std::size_t n = trace.size();
+  Scalogram out(scales_.size(), n, 0.0);
+  for (std::size_t j = 0; j < scales_.size(); ++j) {
+    const std::vector<double>& k = kernels_[j];
+    const auto radius = static_cast<std::ptrdiff_t>(k.size() / 2);
+    auto row = out.row(j);
+    for (std::size_t t = 0; t < n; ++t) {
+      // Correlation of the trace with the kernel centred at t; zero outside.
+      const auto tt = static_cast<std::ptrdiff_t>(t);
+      const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(-radius, -tt);
+      const std::ptrdiff_t hi =
+          std::min<std::ptrdiff_t>(radius, static_cast<std::ptrdiff_t>(n) - 1 - tt);
+      double acc = 0.0;
+      const double* kp = k.data() + (lo + radius);
+      const double* xp = trace.data() + (tt + lo);
+      for (std::ptrdiff_t d = lo; d <= hi; ++d) acc += *kp++ * *xp++;
+      row[t] = acc;
+    }
+  }
+  return out;
+}
+
+double Cwt::coefficient(const std::vector<double>& trace, std::size_t j,
+                        std::size_t k) const {
+  const std::vector<double>& kern = kernels_.at(j);
+  const auto radius = static_cast<std::ptrdiff_t>(kern.size() / 2);
+  const auto n = static_cast<std::ptrdiff_t>(trace.size());
+  const auto t = static_cast<std::ptrdiff_t>(k);
+  const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(-radius, -t);
+  const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(radius, n - 1 - t);
+  double acc = 0.0;
+  const double* kp = kern.data() + (lo + radius);
+  const double* xp = trace.data() + (t + lo);
+  for (std::ptrdiff_t d = lo; d <= hi; ++d) acc += *kp++ * *xp++;
+  return acc;
+}
+
+double Cwt::pseudo_frequency(std::size_t j) const {
+  const double s = scales_.at(j);
+  switch (config_.family) {
+    case WaveletFamily::kMorlet:
+      return kMorletOmega0 / (2.0 * 3.14159265358979323846 * s);
+    case WaveletFamily::kRicker:
+      // Peak of the Ricker spectrum: f = sqrt(2)/(2 pi s) * ~1.0 factor.
+      return std::sqrt(2.0) / (2.0 * 3.14159265358979323846 * s);
+  }
+  throw std::invalid_argument("pseudo_frequency: unknown family");
+}
+
+}  // namespace sidis::dsp

@@ -1,0 +1,189 @@
+#include "features/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/signal.hpp"
+
+namespace sidis::features {
+
+namespace {
+
+/// Per-trace normalization: remove the residual window mean and divide by
+/// the capture's gain estimate (from the content-free trigger prefix).
+std::vector<double> normalize_window(const std::vector<double>& samples,
+                                     double gain_estimate) {
+  const double m = dsp::mean(samples);
+  const double inv = 1.0 / std::max(gain_estimate, 1e-9);
+  std::vector<double> out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) out[i] = (samples[i] - m) * inv;
+  return out;
+}
+
+/// Applies the per-trace normalization to a whole set when enabled.
+sim::TraceSet preprocess(const sim::TraceSet& traces, bool normalize) {
+  if (!normalize) return traces;
+  sim::TraceSet out = traces;
+  for (sim::Trace& t : out) {
+    t.samples = normalize_window(t.samples, t.meta.gain_estimate);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FeaturePipeline::ClassData> FeaturePipeline::precompute(
+    const LabeledTraces& input, const PipelineConfig& config) {
+  if (input.labels.size() != input.sets.size() || input.labels.empty()) {
+    throw std::invalid_argument("FeaturePipeline::precompute: bad labeled input");
+  }
+  const dsp::Cwt cwt(config.cwt);
+  std::vector<ClassData> out;
+  out.reserve(input.sets.size());
+  for (std::size_t c = 0; c < input.sets.size(); ++c) {
+    const sim::TraceSet* s = input.sets[c];
+    if (s == nullptr || s->empty()) {
+      throw std::invalid_argument("FeaturePipeline::precompute: empty trace set");
+    }
+    ClassData d;
+    d.label = input.labels[c];
+    d.traces = s;
+    d.preprocessed = preprocess(*s, config.per_trace_normalization);
+    d.moments = compute_class_moments(cwt, d.preprocessed);
+    if (d.moments.per_program.size() >= 2) {
+      double threshold = config.kl_threshold;
+      if (config.adaptive_threshold) {
+        threshold += within_class_noise_floor(d.moments);
+      }
+      d.mask = nvp_mask(within_class_kl_map(d.moments), threshold);
+    } else {
+      // Single-program profiling cannot estimate within-class variation;
+      // treat every point as not-varying (the paper's initial experiment).
+      d.mask.assign(d.moments.pooled.mean.data().size(), 1);
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+FeaturePipeline FeaturePipeline::fit(const LabeledTraces& input, PipelineConfig config) {
+  const std::vector<ClassData> data = precompute(input, config);
+  std::vector<const ClassData*> ptrs;
+  ptrs.reserve(data.size());
+  for (const ClassData& d : data) ptrs.push_back(&d);
+  return fit(ptrs, config);
+}
+
+FeaturePipeline FeaturePipeline::fit(const std::vector<const ClassData*>& classes,
+                                     PipelineConfig config) {
+  if (classes.size() < 2) {
+    throw std::invalid_argument("FeaturePipeline::fit: need >= 2 classes");
+  }
+  FeaturePipeline p;
+  p.config_ = config;
+  p.cwt_ = dsp::Cwt(config.cwt);
+  p.grid_size_ = classes.front()->moments.pooled.mean.data().size();
+
+  // Per-pair DNVP extraction, then unification (Sec. 3.1).
+  std::vector<std::vector<stats::GridPoint>> per_pair;
+  for (std::size_t a = 0; a < classes.size(); ++a) {
+    for (std::size_t b = a + 1; b < classes.size(); ++b) {
+      const linalg::Matrix between =
+          between_class_kl_map(classes[a]->moments, classes[b]->moments);
+      std::vector<stats::GridPoint> pts =
+          dnvp(between, classes[a]->mask, classes[b]->mask, config.points_per_pair);
+      if (pts.empty() && config.allow_fallback_points) {
+        pts = stats::top_k(stats::local_maxima_2d(between), config.points_per_pair);
+      }
+      per_pair.push_back(std::move(pts));
+    }
+  }
+  p.points_ = unify_points(per_pair);
+  if (p.points_.empty()) {
+    throw std::runtime_error("FeaturePipeline::fit: no feature points survived selection");
+  }
+  if (p.points_.size() > config.max_unified_points) {
+    p.points_.resize(config.max_unified_points);  // already KL-ranked
+  }
+
+  // Pass 2: extract selected coefficients for every training trace.
+  std::vector<linalg::Vector> rows;
+  for (const ClassData* c : classes) {
+    for (const sim::Trace& t : c->preprocessed) {
+      rows.push_back(extract_features(p.cwt_, t.samples, p.points_));
+    }
+  }
+  linalg::Matrix x = linalg::Matrix::from_rows(rows);
+
+  if (config.column_standardization) {
+    p.scaler_ = stats::ColumnScaler::fit(x);
+    x = p.scaler_.transform(x);
+  }
+  p.pca_ = stats::Pca::fit(x, config.pca_components);
+  return p;
+}
+
+FeaturePipeline FeaturePipeline::from_parts(PipelineConfig config,
+                                            std::vector<stats::GridPoint> points,
+                                            stats::ColumnScaler scaler, stats::Pca pca,
+                                            std::size_t grid_size) {
+  if (points.empty()) {
+    throw std::invalid_argument("FeaturePipeline::from_parts: no feature points");
+  }
+  FeaturePipeline p;
+  p.config_ = config;
+  p.cwt_ = dsp::Cwt(config.cwt);
+  p.points_ = std::move(points);
+  p.scaler_ = std::move(scaler);
+  p.pca_ = std::move(pca);
+  p.grid_size_ = grid_size;
+  return p;
+}
+
+linalg::Vector FeaturePipeline::transform(const sim::Trace& trace,
+                                          std::size_t components) const {
+  if (points_.empty()) throw std::runtime_error("FeaturePipeline: not fitted");
+  const std::vector<double> prep =
+      config_.per_trace_normalization
+          ? normalize_window(trace.samples, trace.meta.gain_estimate)
+          : trace.samples;
+  linalg::Vector v = extract_features(cwt_, prep, points_);
+  if (config_.column_standardization) v = scaler_.transform(v);
+  return pca_.transform(v, components);
+}
+
+linalg::Vector FeaturePipeline::transform(const std::vector<double>& samples,
+                                          std::size_t components) const {
+  sim::Trace t;
+  t.samples = samples;
+  return transform(t, components);
+}
+
+ml::Dataset FeaturePipeline::transform(const LabeledTraces& input,
+                                       std::size_t components) const {
+  ml::Dataset out;
+  std::vector<linalg::Vector> rows;
+  for (std::size_t c = 0; c < input.sets.size(); ++c) {
+    for (const sim::Trace& t : *input.sets[c]) {
+      rows.push_back(transform(t, components));
+      out.y.push_back(input.labels[c]);
+    }
+  }
+  out.x = linalg::Matrix::from_rows(rows);
+  return out;
+}
+
+ml::Dataset FeaturePipeline::transform(const sim::TraceSet& traces, int label,
+                                       std::size_t components) const {
+  ml::Dataset out;
+  std::vector<linalg::Vector> rows;
+  for (const sim::Trace& t : traces) {
+    rows.push_back(transform(t, components));
+    out.y.push_back(label);
+  }
+  out.x = linalg::Matrix::from_rows(rows);
+  return out;
+}
+
+}  // namespace sidis::features

@@ -1,0 +1,21 @@
+#include "ml/classifier.hpp"
+
+namespace sidis::ml {
+
+std::vector<int> Classifier::predict_all(const linalg::Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row_vector(r));
+  return out;
+}
+
+double Classifier::accuracy(const Dataset& test) const {
+  test.validate();
+  if (test.size() == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < test.size(); ++r) {
+    if (predict(test.x.row_vector(r)) == test.y[r]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+}  // namespace sidis::ml

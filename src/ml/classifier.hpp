@@ -1,0 +1,39 @@
+// Common classifier interface.  The paper compares LDA, QDA, SVM (RBF) and
+// naive Bayes (Sec. 5.2) plus kNN for the prior-work baselines; they all
+// plug in behind this interface so every experiment harness can sweep them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/dataset.hpp"
+
+namespace sidis::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Learns from sample rows with integer labels.  Throws
+  /// std::invalid_argument on inconsistent shapes or fewer than 2 classes.
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicted label of one sample (must match training dim).
+  virtual int predict(const linalg::Vector& x) const = 0;
+
+  /// Display name ("QDA", "SVM-RBF", ...).
+  virtual std::string name() const = 0;
+
+  /// Predicts every row.
+  std::vector<int> predict_all(const linalg::Matrix& x) const;
+
+  /// Fraction of correctly predicted rows.
+  double accuracy(const Dataset& test) const;
+};
+
+/// Factory signature used by one-vs-one wrappers and sweep harnesses.
+using ClassifierFactory = std::unique_ptr<Classifier> (*)();
+
+}  // namespace sidis::ml

@@ -1,0 +1,48 @@
+#include "ml/crossval.hpp"
+
+#include <stdexcept>
+
+namespace sidis::ml {
+
+double cross_val_accuracy(const ClassifierBuilder& builder, const Dataset& data,
+                          std::size_t k, std::mt19937_64& rng) {
+  const std::vector<Dataset> folds = k_folds(data, k, rng);
+  double acc = 0.0;
+  for (std::size_t held = 0; held < folds.size(); ++held) {
+    Dataset train;
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+      if (f != held) train = Dataset::concat(train, folds[f]);
+    }
+    auto clf = builder();
+    clf->fit(train);
+    acc += clf->accuracy(folds[held]);
+  }
+  return acc / static_cast<double>(folds.size());
+}
+
+GridSearchResult svm_grid_search(const Dataset& data, std::mt19937_64& rng,
+                                 std::vector<double> c_grid,
+                                 std::vector<double> gamma_grid, std::size_t folds) {
+  if (c_grid.empty()) c_grid = {0.1, 1.0, 10.0, 100.0};
+  if (gamma_grid.empty()) gamma_grid = {0.01, 0.1, 0.5, 2.0};
+
+  GridSearchResult result;
+  result.best_accuracy = -1.0;
+  for (double c : c_grid) {
+    for (double gamma : gamma_grid) {
+      SvmConfig cfg;
+      cfg.c = c;
+      cfg.gamma = gamma;
+      const double acc = cross_val_accuracy(
+          [&cfg] { return std::make_unique<Svm>(cfg); }, data, folds, rng);
+      result.all.emplace_back(cfg, acc);
+      if (acc > result.best_accuracy) {
+        result.best_accuracy = acc;
+        result.best = cfg;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sidis::ml

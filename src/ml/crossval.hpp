@@ -1,0 +1,35 @@
+// Cross-validation scoring and the paper's SVM grid search
+// (Sec. 5.2: best C and gamma by grid search with 3-fold CV).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/svm.hpp"
+
+namespace sidis::ml {
+
+/// Builds a fresh classifier for each CV fold.
+using ClassifierBuilder = std::function<std::unique_ptr<Classifier>()>;
+
+/// Mean accuracy over k folds (train on k-1, test on the held-out fold).
+double cross_val_accuracy(const ClassifierBuilder& builder, const Dataset& data,
+                          std::size_t k, std::mt19937_64& rng);
+
+/// Result of an SVM hyper-parameter grid search.
+struct GridSearchResult {
+  SvmConfig best;
+  double best_accuracy = 0.0;
+  std::vector<std::pair<SvmConfig, double>> all;  ///< every point evaluated
+};
+
+/// Grid over C x gamma with 3-fold CV, matching the paper's procedure.
+/// Empty grids default to C in {0.1, 1, 10, 100}, gamma in
+/// {0.01, 0.1, 0.5, 2}.
+GridSearchResult svm_grid_search(const Dataset& data, std::mt19937_64& rng,
+                                 std::vector<double> c_grid = {},
+                                 std::vector<double> gamma_grid = {},
+                                 std::size_t folds = 3);
+
+}  // namespace sidis::ml

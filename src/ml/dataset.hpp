@@ -1,0 +1,52 @@
+// Labeled datasets for the classifier layer.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace sidis::ml {
+
+/// Rows of `x` are samples; `y[i]` is the integer class label of row i.
+/// Labels are arbitrary ints (classifiers discover the label set on fit).
+struct Dataset {
+  linalg::Matrix x;
+  std::vector<int> y;
+
+  std::size_t size() const { return x.rows(); }
+  std::size_t dim() const { return x.cols(); }
+
+  /// Throws std::invalid_argument when rows and labels disagree.
+  void validate() const;
+
+  /// Concatenates two datasets (dims must match).
+  static Dataset concat(const Dataset& a, const Dataset& b);
+
+  /// Rows whose label equals `label`.
+  linalg::Matrix rows_with_label(int label) const;
+
+  /// Sorted unique labels.
+  std::vector<int> labels() const;
+
+  /// Keeps only the first k columns of every sample (PCA sweeps use this to
+  /// re-evaluate with fewer components without re-projecting).
+  Dataset truncated(std::size_t k) const;
+};
+
+/// In-place Fisher-Yates shuffle of sample order.
+void shuffle(Dataset& d, std::mt19937_64& rng);
+
+/// Splits into train/test with `train_fraction` of each class in train
+/// (stratified, preserving class balance).
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split stratified_split(const Dataset& d, double train_fraction, std::mt19937_64& rng);
+
+/// K contiguous folds after an internal shuffle (for cross-validation).
+std::vector<Dataset> k_folds(const Dataset& d, std::size_t k, std::mt19937_64& rng);
+
+}  // namespace sidis::ml

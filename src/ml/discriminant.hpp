@@ -1,0 +1,70 @@
+// Linear and quadratic discriminant analysis (the paper's fitcdiscr):
+// Gaussian class-conditional models with shared (LDA) or per-class (QDA)
+// covariance, maximum-a-posteriori decision rule with empirical priors.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "stats/gaussian.hpp"
+
+namespace sidis::ml {
+
+struct DiscriminantConfig {
+  /// Diagonal ridge added to covariances; automatically escalated when a
+  /// class covariance is singular (common when traces ~ features).
+  double ridge = 1e-8;
+  /// Blend each class covariance toward the pooled one:
+  /// sigma_c' = (1-s) sigma_c + s sigma_pooled.  0 = pure QDA.
+  double shrinkage = 0.0;
+};
+
+/// Quadratic discriminant analysis: per-class mean and covariance.
+class Qda : public Classifier {
+ public:
+  explicit Qda(DiscriminantConfig config = {});
+
+  void fit(const Dataset& train) override;
+  int predict(const linalg::Vector& x) const override;
+  std::string name() const override { return "QDA"; }
+
+  /// Per-class posterior log-likelihoods (unnormalized), label order matches
+  /// `labels()`.
+  linalg::Vector scores(const linalg::Vector& x) const;
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<stats::MultivariateGaussian>& models() const { return models_; }
+  const std::vector<double>& log_priors() const { return log_priors_; }
+
+  /// Rebuilds a fitted model from stored parts (template persistence).
+  static Qda from_parts(std::vector<int> labels,
+                        std::vector<stats::MultivariateGaussian> models,
+                        std::vector<double> log_priors);
+
+ private:
+  DiscriminantConfig config_;
+  std::vector<int> labels_;
+  std::vector<stats::MultivariateGaussian> models_;
+  std::vector<double> log_priors_;
+};
+
+/// Linear discriminant analysis: class means with one pooled covariance.
+class Lda : public Classifier {
+ public:
+  explicit Lda(DiscriminantConfig config = {});
+
+  void fit(const Dataset& train) override;
+  int predict(const linalg::Vector& x) const override;
+  std::string name() const override { return "LDA"; }
+
+  linalg::Vector scores(const linalg::Vector& x) const;
+  const std::vector<int>& labels() const { return labels_; }
+
+ private:
+  DiscriminantConfig config_;
+  std::vector<int> labels_;
+  std::vector<linalg::Vector> means_;
+  stats::MultivariateGaussian pooled_;  ///< zero-mean pooled covariance model
+  std::vector<double> log_priors_;
+};
+
+}  // namespace sidis::ml

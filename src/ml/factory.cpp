@@ -1,0 +1,44 @@
+#include "ml/factory.hpp"
+
+#include <stdexcept>
+
+namespace sidis::ml {
+
+std::string to_string(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kLda: return "LDA";
+    case ClassifierKind::kQda: return "QDA";
+    case ClassifierKind::kNaiveBayes: return "Naive Bayes";
+    case ClassifierKind::kSvmRbf: return "SVM";
+    case ClassifierKind::kSvmLinear: return "SVM-linear";
+    case ClassifierKind::kKnn: return "kNN";
+  }
+  throw std::invalid_argument("to_string: unknown classifier kind");
+}
+
+std::unique_ptr<Classifier> make_classifier(ClassifierKind kind,
+                                            const FactoryConfig& config) {
+  switch (kind) {
+    case ClassifierKind::kLda:
+      return std::make_unique<Lda>(config.discriminant);
+    case ClassifierKind::kQda:
+      return std::make_unique<Qda>(config.discriminant);
+    case ClassifierKind::kNaiveBayes:
+      return std::make_unique<GaussianNaiveBayes>();
+    case ClassifierKind::kSvmRbf: {
+      SvmConfig c = config.svm;
+      c.kernel = KernelType::kRbf;
+      return std::make_unique<Svm>(c);
+    }
+    case ClassifierKind::kSvmLinear: {
+      SvmConfig c = config.svm;
+      c.kernel = KernelType::kLinear;
+      return std::make_unique<Svm>(c);
+    }
+    case ClassifierKind::kKnn:
+      return std::make_unique<Knn>(config.knn_k);
+  }
+  throw std::invalid_argument("make_classifier: unknown classifier kind");
+}
+
+}  // namespace sidis::ml

@@ -1,0 +1,35 @@
+// Named construction of the classifier family the paper sweeps.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ml/classifier.hpp"
+#include "ml/discriminant.hpp"
+#include "ml/knn.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/svm.hpp"
+
+namespace sidis::ml {
+
+enum class ClassifierKind { kLda, kQda, kNaiveBayes, kSvmRbf, kSvmLinear, kKnn };
+
+/// Human-readable name for tables ("LDA", "QDA", "SVM", "Naive Bayes", "kNN").
+std::string to_string(ClassifierKind kind);
+
+struct FactoryConfig {
+  DiscriminantConfig discriminant;
+  SvmConfig svm;
+  std::size_t knn_k = 1;
+};
+
+/// Builds a fresh, unfitted classifier of the requested kind.
+std::unique_ptr<Classifier> make_classifier(ClassifierKind kind,
+                                            const FactoryConfig& config = {});
+
+/// The four classifiers of the paper's Fig. 5 / Fig. 6 sweeps.
+inline constexpr ClassifierKind kPaperSweep[] = {
+    ClassifierKind::kLda, ClassifierKind::kQda, ClassifierKind::kSvmRbf,
+    ClassifierKind::kNaiveBayes};
+
+}  // namespace sidis::ml

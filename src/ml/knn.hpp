@@ -1,0 +1,26 @@
+// k-nearest-neighbours classifier.  Used by the Msgna et al. baseline
+// (PCA + 1-NN, Table 1) and available for sweeps.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace sidis::ml {
+
+class Knn : public Classifier {
+ public:
+  explicit Knn(std::size_t k = 1);
+
+  void fit(const Dataset& train) override;
+  int predict(const linalg::Vector& x) const override;
+  std::string name() const override;
+
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  Dataset train_;
+};
+
+}  // namespace sidis::ml

@@ -1,0 +1,87 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sidis::ml {
+
+double accuracy(const std::vector<int>& truth, const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size() || truth.empty()) {
+    throw std::invalid_argument("accuracy: size mismatch or empty");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(std::vector<int> labels)
+    : labels_(std::move(labels)), counts_(labels_.size() * labels_.size(), 0) {
+  if (labels_.empty()) throw std::invalid_argument("ConfusionMatrix: no labels");
+}
+
+std::size_t ConfusionMatrix::index_of(int label) const {
+  const auto it = std::find(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end()) throw std::invalid_argument("ConfusionMatrix: unknown label");
+  return static_cast<std::size_t>(it - labels_.begin());
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  ++counts_[index_of(truth) * labels_.size() + index_of(predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_all(const std::vector<int>& truth,
+                              const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("ConfusionMatrix::add_all: size mismatch");
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) add(truth[i], predicted[i]);
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  return counts_[index_of(truth) * labels_.size() + index_of(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    diag += counts_[i * labels_.size() + i];
+  }
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int label) const {
+  const std::size_t r = index_of(label);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < labels_.size(); ++c) row += counts_[r * labels_.size() + c];
+  if (row == 0) return 0.0;
+  return static_cast<double>(counts_[r * labels_.size() + r]) / static_cast<double>(row);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "truth\\pred";
+  for (int l : labels_) os << std::setw(8) << l;
+  os << '\n';
+  for (std::size_t r = 0; r < labels_.size(); ++r) {
+    os << std::setw(10) << labels_[r];
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < labels_.size(); ++c) row += counts_[r * labels_.size() + c];
+    for (std::size_t c = 0; c < labels_.size(); ++c) {
+      const double frac = row == 0 ? 0.0
+                                   : static_cast<double>(counts_[r * labels_.size() + c]) /
+                                         static_cast<double>(row);
+      os << std::setw(8) << frac;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sidis::ml

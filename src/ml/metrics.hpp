@@ -1,0 +1,44 @@
+// Evaluation metrics: accuracy (the paper's "successful recognition rate"),
+// confusion matrices and per-class recall.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace sidis::ml {
+
+/// Fraction of matching entries; sizes must agree and be non-zero.
+double accuracy(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+/// Confusion counts over a fixed label ordering.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::vector<int> labels);
+
+  void add(int truth, int predicted);
+  void add_all(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+  std::size_t count(int truth, int predicted) const;
+  std::size_t total() const { return total_; }
+
+  /// Overall accuracy == successful recognition rate (SR).
+  double accuracy() const;
+
+  /// Recall of one class (diagonal / row sum); 0 when the class is absent.
+  double recall(int label) const;
+
+  /// Row-normalized pretty printer for experiment logs.
+  std::string to_string() const;
+
+  const std::vector<int>& labels() const { return labels_; }
+
+ private:
+  std::size_t index_of(int label) const;
+  std::vector<int> labels_;
+  std::vector<std::size_t> counts_;  ///< row-major [truth][predicted]
+  std::size_t total_ = 0;
+};
+
+}  // namespace sidis::ml

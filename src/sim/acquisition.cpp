@@ -1,0 +1,239 @@
+#include "sim/acquisition.hpp"
+
+#include <stdexcept>
+
+#include "avr/cpu.hpp"
+#include "dsp/signal.hpp"
+
+namespace sidis::sim {
+
+AcquisitionCampaign::AcquisitionCampaign(DeviceModel device, SessionContext session,
+                                         LeakageConfig leakage, ScopeConfig scope,
+                                         AcquisitionOptions options)
+    : session_(session),
+      synth_(device, leakage),
+      scope_(scope),
+      options_(options),
+      reference_window_(compute_reference_window()) {}
+
+std::vector<double> AcquisitionCampaign::compute_reference_window() const {
+  // The paper averages many captures of SBI, NOP x5, CBI; averaging kills the
+  // zero-mean nondeterminism, so capturing without it is equivalent.
+  avr::Program ref = avr::SegmentTemplate::reference_sequence();
+  avr::Cpu cpu;
+  cpu.load_program(ref);
+  const std::vector<avr::ExecRecord> records = cpu.run(ref.size());
+  const IssueMap issue = make_issue_map(ref);
+  const std::vector<double> wave = synth_.synthesize(records, &issue);
+
+  Environment env{synth_.device(), session_, ProgramContext{}};
+  std::mt19937_64 rng(0);  // unused: nondeterminism disabled
+  const std::vector<double> captured =
+      scope_.capture(wave, env, rng, /*add_nondeterminism=*/false);
+
+  // SBI takes 2 cycles; the reference window starts one cycle before the
+  // third NOP, i.e. at cycle 3, mirroring the target window's position for a
+  // one-cycle neighbour.
+  const std::size_t start = synth_.sample_of_cycle(3.0);
+  if (start + options_.window_samples > captured.size()) {
+    throw std::logic_error("reference window exceeds captured trace");
+  }
+  return {captured.begin() + static_cast<std::ptrdiff_t>(start),
+          captured.begin() + static_cast<std::ptrdiff_t>(start + options_.window_samples)};
+}
+
+void AcquisitionCampaign::use_reference(std::vector<double> reference) {
+  if (reference.size() != options_.window_samples) {
+    throw std::invalid_argument("use_reference: window length mismatch");
+  }
+  reference_window_ = std::move(reference);
+}
+
+Trace AcquisitionCampaign::capture_trace(const avr::Instruction& target,
+                                         const ProgramContext& prog,
+                                         std::mt19937_64& rng) const {
+  const avr::SegmentTemplate seg = avr::SegmentTemplate::make(target, rng);
+  avr::Program program = seg.sequence();
+  avr::finalize_control_flow(program);
+
+  avr::Cpu cpu;
+  cpu.load_program(program);
+  // The paper randomizes operand *values* as well as operand registers:
+  // the whole register file and data memory start out random.
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (unsigned r = 0; r < 32; ++r) {
+    cpu.set_reg(r, static_cast<std::uint8_t>(byte(rng)));
+  }
+  for (std::uint16_t a = avr::Cpu::kSramStart; a < avr::Cpu::kDataSize; ++a) {
+    cpu.write_data(a, static_cast<std::uint8_t>(byte(rng)));
+  }
+
+  const std::vector<avr::ExecRecord> records = cpu.run(program.size() + 2);
+  if (records.size() < 4) throw std::logic_error("segment executed too few instructions");
+
+  // Record layout: [0]=SBI, [1]=NOP, [2]=before, [3]=target.
+  const unsigned before_cycles = records[0].cycles + records[1].cycles + records[2].cycles;
+  const double target_start_cycle = static_cast<double>(before_cycles);
+
+  const IssueMap issue = make_issue_map(program);
+  const std::vector<double> wave = synth_.synthesize(records, &issue);
+  Environment env{synth_.device(), session_, prog};
+  const std::vector<double> captured = scope_.capture(wave, env, rng);
+
+  // Window: the fetch/decode cycle (one before execution starts) plus the
+  // first execution cycle -- the paper's 315-sample view of an instruction.
+  const std::size_t start = synth_.sample_of_cycle(target_start_cycle - 1.0);
+  if (start + options_.window_samples > captured.size()) {
+    throw std::logic_error("target window exceeds captured trace");
+  }
+  Trace trace;
+  trace.samples.assign(
+      captured.begin() + static_cast<std::ptrdiff_t>(start),
+      captured.begin() + static_cast<std::ptrdiff_t>(start + options_.window_samples));
+  // Gain reference from the fixed SBI+NOP prefix (cycles 0..3): its content
+  // never depends on the profiled instruction, so its standard deviation
+  // tracks the capture chain's gain and nothing else.
+  {
+    const std::size_t prefix_end = synth_.sample_of_cycle(3.0);
+    const std::vector<double> prefix(captured.begin(),
+                                     captured.begin() + static_cast<std::ptrdiff_t>(
+                                                            prefix_end));
+    trace.meta.gain_estimate = std::max(dsp::stddev(prefix), 1e-9);
+  }
+  if (options_.subtract_reference) {
+    for (std::size_t i = 0; i < trace.samples.size(); ++i) {
+      trace.samples[i] -= reference_window_[i];
+    }
+  }
+
+  const auto cls = avr::class_of(target);
+  trace.meta.class_idx = cls.value_or(0);
+  trace.meta.instr = target;
+  trace.meta.program_id = prog.id;
+  trace.meta.device_id = synth_.device().id;
+  trace.meta.session_id = session_.id;
+  if (cls && avr::class_uses_rd(*cls)) trace.meta.rd = target.rd;
+  if (cls && avr::class_uses_rr(*cls)) trace.meta.rr = target.rr;
+  return trace;
+}
+
+TraceSet AcquisitionCampaign::capture_class(std::size_t class_idx, std::size_t n,
+                                            int num_programs, std::mt19937_64& rng,
+                                            int first_program,
+                                            const avr::SampleOptions& sample_opts) const {
+  if (num_programs < 1) throw std::invalid_argument("capture_class: num_programs >= 1");
+  TraceSet out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int pid = first_program + static_cast<int>(i % static_cast<std::size_t>(num_programs));
+    const ProgramContext prog = ProgramContext::make(pid);
+    const avr::Instruction target = avr::random_instance(class_idx, rng, sample_opts);
+    out.push_back(capture_trace(target, prog, rng));
+  }
+  return out;
+}
+
+TraceSet AcquisitionCampaign::capture_program(const avr::Program& program,
+                                              const ProgramContext& prog,
+                                              std::mt19937_64& rng,
+                                              std::size_t max_steps) const {
+  avr::Cpu cpu;
+  cpu.load_program(program);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (unsigned r = 0; r < 32; ++r) {
+    cpu.set_reg(r, static_cast<std::uint8_t>(byte(rng)));
+  }
+  for (std::uint16_t a = avr::Cpu::kSramStart; a < avr::Cpu::kDataSize; ++a) {
+    cpu.write_data(a, static_cast<std::uint8_t>(byte(rng)));
+  }
+  const std::vector<avr::ExecRecord> records = cpu.run(max_steps);
+  if (records.empty()) return {};
+
+  const IssueMap issue = make_issue_map(program);
+  const std::vector<double> wave = synth_.synthesize(records, &issue);
+  Environment env{synth_.device(), session_, prog};
+  const std::vector<double> captured = scope_.capture(wave, env, rng);
+
+  // Gain reference: first three cycles (the monitored preamble).
+  double gain_estimate = 1.0;
+  {
+    const std::size_t prefix_end =
+        std::min(synth_.sample_of_cycle(3.0), captured.size());
+    const std::vector<double> prefix(
+        captured.begin(), captured.begin() + static_cast<std::ptrdiff_t>(prefix_end));
+    gain_estimate = std::max(dsp::stddev(prefix), 1e-9);
+  }
+
+  TraceSet out;
+  double cycle = 0.0;
+  for (const avr::ExecRecord& rec : records) {
+    const double start_cycle = cycle;
+    cycle += rec.cycles;
+    if (start_cycle < 1.0) continue;  // no observable fetch cycle yet
+    const std::size_t start = synth_.sample_of_cycle(start_cycle - 1.0);
+    if (start + options_.window_samples > captured.size()) break;
+    Trace t;
+    t.samples.assign(
+        captured.begin() + static_cast<std::ptrdiff_t>(start),
+        captured.begin() + static_cast<std::ptrdiff_t>(start + options_.window_samples));
+    if (options_.subtract_reference) {
+      for (std::size_t i = 0; i < t.samples.size(); ++i) {
+        t.samples[i] -= reference_window_[i];
+      }
+    }
+    const auto it = issue.find(rec.pc);
+    const avr::Instruction& issued = it != issue.end() ? it->second : rec.instr;
+    const auto cls = avr::class_of(issued);
+    t.meta.class_idx = cls.value_or(0);
+    t.meta.instr = issued;
+    t.meta.program_id = prog.id;
+    t.meta.device_id = synth_.device().id;
+    t.meta.session_id = session_.id;
+    t.meta.gain_estimate = gain_estimate;
+    if (cls && avr::class_uses_rd(*cls)) t.meta.rd = issued.rd;
+    if (cls && avr::class_uses_rr(*cls)) t.meta.rr = issued.rr;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TraceSet AcquisitionCampaign::capture_register(bool dest, std::uint8_t reg,
+                                               std::size_t n, int num_programs,
+                                               std::mt19937_64& rng,
+                                               int first_program) const {
+  std::vector<std::size_t> candidates;
+  for (std::size_t c = 0; c < avr::num_instruction_classes(); ++c) {
+    if (dest ? avr::class_allows_rd(c, reg) : avr::class_allows_rr(c, reg)) {
+      candidates.push_back(c);
+    }
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument("capture_register: no class accepts this register");
+  }
+  TraceSet out;
+  out.reserve(n);
+  std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int pid = first_program + static_cast<int>(i % static_cast<std::size_t>(num_programs));
+    const ProgramContext prog = ProgramContext::make(pid);
+    avr::SampleOptions opts;
+    if (dest) {
+      opts.fix_rd = reg;
+    } else {
+      opts.fix_rr = reg;
+    }
+    const avr::Instruction target = avr::random_instance(candidates[pick(rng)], rng, opts);
+    Trace t = capture_trace(target, prog, rng);
+    // Force the label to the pinned register (sampling clamps never fire for
+    // legal candidates, but belt and braces).
+    if (dest) {
+      t.meta.rd = reg;
+    } else {
+      t.meta.rr = reg;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace sidis::sim

@@ -1,0 +1,94 @@
+// Trace-acquisition campaign: the simulated counterpart of the paper's
+// PC + oscilloscope + Arduino framework (Sec. 5.1).
+//
+// For each requested trace, a Fig-4 segment template is generated around the
+// target instruction, executed on the functional simulator with a randomized
+// register file and SRAM, synthesized into a current waveform, captured by
+// the scope model, cut to the paper's 315-sample fetch+execute window, and
+// cleaned by subtracting the averaged SBI/NOPx5/CBI reference trace.
+#pragma once
+
+#include <random>
+
+#include "avr/program.hpp"
+#include "sim/oscilloscope.hpp"
+#include "sim/power_model.hpp"
+#include "sim/trace.hpp"
+
+namespace sidis::sim {
+
+struct AcquisitionOptions {
+  /// Window length: 2 cycles at 156.25 samples each, plus 2 guard samples
+  /// (the paper's 315 = floor(2.5 G / 16 M * 2) + 2).
+  std::size_t window_samples = 315;
+  bool subtract_reference = true;
+};
+
+/// One acquisition campaign against one device in one measurement session.
+class AcquisitionCampaign {
+ public:
+  AcquisitionCampaign(DeviceModel device, SessionContext session,
+                      LeakageConfig leakage = {}, ScopeConfig scope = {},
+                      AcquisitionOptions options = {});
+
+  /// Captures a single trace of `target` inside program context `prog`.
+  Trace capture_trace(const avr::Instruction& target, const ProgramContext& prog,
+                      std::mt19937_64& rng) const;
+
+  /// Captures `n` traces of one instruction class, operands freshly
+  /// randomized per trace, spread round-robin over program files
+  /// [first_program, first_program + num_programs).
+  TraceSet capture_class(std::size_t class_idx, std::size_t n, int num_programs,
+                         std::mt19937_64& rng, int first_program = 0,
+                         const avr::SampleOptions& sample_opts = {}) const;
+
+  /// Captures one full program execution and cuts one 315-sample window per
+  /// executed instruction -- the deployment mode of the disassembler
+  /// (Sec. 5.7 / the paper's future-work "real code" scenario).
+  ///
+  /// Windows start one cycle before each instruction's execute cycle, so the
+  /// first executed instruction (with no preceding fetch cycle to observe)
+  /// yields no window; real monitored programs start with a known preamble
+  /// (e.g. SBI + NOP), whose first three cycles also serve as the per-capture
+  /// gain reference.  Each window's meta carries the ground-truth instruction
+  /// for scoring.
+  TraceSet capture_program(const avr::Program& program, const ProgramContext& prog,
+                           std::mt19937_64& rng, std::size_t max_steps = 4096) const;
+
+  /// Register-profiling captures (Sec. 5.3): `n` traces with the given Rd
+  /// (dest = true) or Rr (dest = false) pinned and the instruction class
+  /// drawn uniformly from the classes that can legally use that register.
+  TraceSet capture_register(bool dest, std::uint8_t reg, std::size_t n,
+                            int num_programs, std::mt19937_64& rng,
+                            int first_program = 0) const;
+
+  const DeviceModel& device() const { return synth_.device(); }
+  const SessionContext& session() const { return session_; }
+  const AcquisitionOptions& options() const { return options_; }
+  const PowerSynthesizer& synthesizer() const { return synth_; }
+
+  /// The averaged reference window that gets subtracted (exposed for tests
+  /// and for the paper's Fig-4 discussion).
+  const std::vector<double>& reference_window() const { return reference_window_; }
+
+  /// Replaces the campaign's own reference with an externally supplied one.
+  ///
+  /// This models the practical covariate-shift scenario of Sec. 4: a deployed
+  /// monitor classifies field traces against templates (and the reference
+  /// trace) recorded during *profiling*.  The gain/offset difference between
+  /// the profiling session and the field session then survives subtraction as
+  /// a structured residual -- the "similar shape but different DC offsets"
+  /// the paper observes.
+  void use_reference(std::vector<double> reference);
+
+ private:
+  std::vector<double> compute_reference_window() const;
+
+  SessionContext session_;
+  PowerSynthesizer synth_;
+  Oscilloscope scope_;
+  AcquisitionOptions options_;
+  std::vector<double> reference_window_;
+};
+
+}  // namespace sidis::sim

@@ -1,0 +1,75 @@
+// Measurement environment: device process variation, measurement-session
+// drift, and per-program-file context.  Together these generate the
+// covariate shift phenomenon of Sec. 4 / Sec. 5.6 of the paper: traces of
+// the *same* instruction captured from a different program file, at a
+// different time, or from a different device, land in shifted feature-space
+// positions.
+//
+// The dominant shift mechanism is a multiplicative gain (supply voltage,
+// shunt tolerance, temperature, amplifier chain), plus an additive DC offset
+// and a slow supply ripple.  A gain shift matters most exactly at
+// high-amplitude CWT coefficients -- which is why the paper's Fig. 3 finds
+// the *highest* KL peaks to be the most program-sensitive features.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/hash.hpp"
+
+namespace sidis::sim {
+
+/// Per-device process variation, derived deterministically from an id.
+struct DeviceModel {
+  int id = 0;
+  std::uint64_t signature_seed = 0;  ///< perturbs opcode waveform shapes
+  double gain = 1.0;                 ///< device gain (shunt + silicon)
+  double offset = 0.0;               ///< static current offset
+  double noise_factor = 1.0;         ///< relative thermal-noise level
+  double signature_spread = 0.0;     ///< relative perturbation of bump amplitudes
+
+  /// Device 0 is the training/profiling device with nominal parameters;
+  /// devices 1..N are targets with hash-derived variation.
+  static DeviceModel make(int device_id, std::uint64_t base_seed = 0x5eed);
+};
+
+/// A measurement session: one oscilloscope setup at one time.
+struct SessionContext {
+  int id = 0;
+  double gain = 1.0;        ///< amplifier/probe gain this session
+  double offset = 0.0;      ///< baseline offset this session
+  double ripple_amp = 0.0;  ///< supply-ripple amplitude
+  double ripple_freq = 0.0; ///< ripple frequency, cycles per *sample*
+  double ripple_phase = 0.0;///< baseline-wander phase of this setup
+  double temperature_drift = 0.0;  ///< slow linear drift over a capture
+  /// Session-dependent analog bandwidth (probe position, cable, coupling):
+  /// a single-pole low-pass whose cutoff (fraction of sample rate) differs
+  /// per setup.  0 disables the stage.  This is what makes the shift more
+  /// than a pure gain -- clusters rotate, not just translate (Fig. 3).
+  double probe_cutoff = 0.0;
+
+  static SessionContext make(int session_id, std::uint64_t base_seed = 0xca11);
+};
+
+/// One profiling program file (the paper distributes each class's traces
+/// over 10..19 generated .ino files; each file lands in a slightly different
+/// electrical context).
+struct ProgramContext {
+  int id = 0;
+  double gain = 1.0;
+  double offset = 0.0;
+  double ripple_phase = 0.0;
+
+  static ProgramContext make(int program_id, std::uint64_t base_seed = 0x90a7);
+};
+
+/// The combined multiplicative/additive environment applied to a capture.
+struct Environment {
+  DeviceModel device;
+  SessionContext session;
+  ProgramContext program;
+
+  double total_gain() const { return device.gain * session.gain * program.gain; }
+  double total_offset() const { return device.offset + session.offset + program.offset; }
+};
+
+}  // namespace sidis::sim

@@ -1,0 +1,61 @@
+// Deterministic hashing helpers for the leakage substrate.
+//
+// Every "physical" characteristic in the simulator (opcode waveform shapes,
+// device process variation, per-program covariate shift) is derived from
+// seeds through splitmix64, so experiments are reproducible bit-for-bit and
+// no global state exists.
+#pragma once
+
+#include <cstdint>
+
+namespace sidis::sim {
+
+/// splitmix64 finalizer: high-quality 64-bit mixing, the standard choice for
+/// turning structured keys into independent streams.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Combines two keys into one stream id.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ splitmix64(b));
+}
+
+/// Maps a hash to a uniform double in [0, 1).
+constexpr double hash_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Maps a hash to a uniform double in [lo, hi).
+constexpr double hash_range(std::uint64_t h, double lo, double hi) {
+  return lo + (hi - lo) * hash_unit(h);
+}
+
+/// Maps a hash to a uniform double in [-a, a).
+constexpr double hash_sym(std::uint64_t h, double a) {
+  return hash_range(h, -a, a);
+}
+
+/// Population count of a byte (Hamming weight of a data value).
+constexpr int hamming_weight(std::uint8_t v) {
+  int c = 0;
+  for (int i = 0; i < 8; ++i) c += (v >> i) & 1;
+  return c;
+}
+
+/// Population count of a 16-bit word (bus values).
+constexpr int hamming_weight16(std::uint16_t v) {
+  return hamming_weight(static_cast<std::uint8_t>(v & 0xFF)) +
+         hamming_weight(static_cast<std::uint8_t>(v >> 8));
+}
+
+/// Hamming distance between two bytes (switching activity of a register
+/// update, the first-order CMOS leakage term).
+constexpr int hamming_distance(std::uint8_t a, std::uint8_t b) {
+  return hamming_weight(static_cast<std::uint8_t>(a ^ b));
+}
+
+}  // namespace sidis::sim

@@ -1,0 +1,66 @@
+#include "sim/oscilloscope.hpp"
+
+#include <cmath>
+
+#include "dsp/signal.hpp"
+
+namespace sidis::sim {
+
+Oscilloscope::Oscilloscope(ScopeConfig config) : config_(config) {}
+
+std::vector<double> Oscilloscope::capture(const std::vector<double>& ideal,
+                                          const Environment& env,
+                                          std::mt19937_64& rng,
+                                          bool add_nondeterminism) const {
+  const double gain = env.total_gain();
+  const double offset = env.total_offset();
+  const std::size_t n = ideal.size();
+  std::vector<double> x(n);
+
+  // The baseline wander is *systematic* per setup and program (each .ino
+  // file's capture loop locks to a repeatable supply-cycle position); only a
+  // modest trigger-to-supply jitter varies capture to capture.
+  double ripple_phase = env.program.ripple_phase + env.session.ripple_phase;
+  if (add_nondeterminism && env.session.ripple_amp > 0.0) {
+    std::uniform_real_distribution<double> d(-0.5, 0.5);
+    ripple_phase += d(rng);
+  }
+  const double drift_per_sample =
+      n > 1 ? env.session.temperature_drift / static_cast<double>(n - 1) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = gain * ideal[i] + offset;
+    if (env.session.ripple_amp > 0.0) {
+      v += env.session.ripple_amp *
+           std::sin(2.0 * 3.14159265358979323846 * env.session.ripple_freq *
+                        static_cast<double>(i) +
+                    ripple_phase);
+    }
+    v += drift_per_sample * static_cast<double>(i);
+    x[i] = v;
+  }
+
+  if (env.session.probe_cutoff > 0.0) {
+    x = dsp::lowpass_single_pole(x, env.session.probe_cutoff);
+  }
+  if (config_.enable_bandwidth) {
+    x = dsp::lowpass_single_pole(x, config_.bandwidth_fraction);
+  }
+
+  if (add_nondeterminism && config_.trigger_jitter > 0) {
+    std::uniform_int_distribution<int> d(-config_.trigger_jitter, config_.trigger_jitter);
+    const int lag = d(rng);
+    if (lag != 0) x = dsp::shift(x, lag);
+  }
+
+  if (add_nondeterminism && config_.enable_noise && config_.noise_sigma > 0.0) {
+    std::normal_distribution<double> noise(0.0, config_.noise_sigma * env.device.noise_factor);
+    for (double& v : x) v += noise(rng);
+  }
+
+  if (config_.enable_quantization) {
+    x = dsp::quantize(x, config_.adc_bits, config_.range_lo, config_.range_hi);
+  }
+  return x;
+}
+
+}  // namespace sidis::sim

@@ -1,0 +1,54 @@
+// Oscilloscope front-end model (Tektronix MDO3102 in the paper: 2.5 GS/s,
+// 250 MHz bandwidth, 8-bit ADC, measuring a 330-ohm shunt on the GND pin).
+//
+// Applies, in physical order: environment gain/offset/ripple/drift ->
+// analog bandwidth limit -> trigger jitter -> additive noise -> ADC
+// quantization.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "sim/environment.hpp"
+
+namespace sidis::sim {
+
+struct ScopeConfig {
+  /// Analog -3 dB bandwidth as a fraction of the sample rate
+  /// (250 MHz / 2.5 GS/s = 0.1).
+  double bandwidth_fraction = 0.1;
+  /// RMS of additive white noise referred to the input (volts, arbitrary
+  /// units consistent with the leakage model's ~1.0 clock spike).
+  double noise_sigma = 0.009;
+  /// ADC resolution.
+  int adc_bits = 8;
+  /// Full-scale input range.
+  double range_lo = -1.0;
+  double range_hi = 3.0;
+  /// Maximum trigger jitter in samples (uniform integer in [-j, +j]).
+  int trigger_jitter = 1;
+  /// Master switches for ablation experiments.
+  bool enable_noise = true;
+  bool enable_quantization = true;
+  bool enable_bandwidth = true;
+};
+
+/// Captures ideal current waveforms into sampled, noisy, quantized records.
+class Oscilloscope {
+ public:
+  explicit Oscilloscope(ScopeConfig config = {});
+
+  /// One acquisition: environment applied, then the analog/ADC chain.
+  /// `add_nondeterminism=false` freezes ripple phase, jitter and noise
+  /// (used for averaged reference traces).
+  std::vector<double> capture(const std::vector<double>& ideal,
+                              const Environment& env, std::mt19937_64& rng,
+                              bool add_nondeterminism = true) const;
+
+  const ScopeConfig& config() const { return config_; }
+
+ private:
+  ScopeConfig config_;
+};
+
+}  // namespace sidis::sim

@@ -1,0 +1,203 @@
+#include "sim/power_model.hpp"
+
+#include <cmath>
+
+#include "avr/codec.hpp"
+
+namespace sidis::sim {
+
+IssueMap make_issue_map(const avr::Program& program, std::uint16_t origin) {
+  IssueMap map;
+  std::uint16_t addr = origin;
+  for (const avr::Instruction& in : program) {
+    map[addr] = in;
+    addr = static_cast<std::uint16_t>(
+        addr + avr::info(avr::canonicalize(in).mnemonic).words);
+  }
+  return map;
+}
+
+PowerSynthesizer::PowerSynthesizer(DeviceModel device, LeakageConfig config)
+    : device_(device), config_(config) {}
+
+std::size_t PowerSynthesizer::sample_of_cycle(double cycle) const {
+  return static_cast<std::size_t>(cycle * config_.samples_per_cycle);
+}
+
+void PowerSynthesizer::opcode_signature(const avr::Instruction& issued,
+                                        unsigned cycle, std::vector<Bump>& out) const {
+  const auto cls = avr::class_of(issued);
+  const int group = cls ? avr::group_of_class(*cls) : 0;
+
+  const std::uint64_t mn_key =
+      hash_combine(static_cast<std::uint64_t>(issued.mnemonic) << 8 |
+                       static_cast<std::uint64_t>(issued.mode),
+                   0xC0DEull + cycle);
+  const auto perturb = [&](std::uint64_t h, double amp) {
+    // Device process variation perturbs every bump amplitude slightly.
+    if (device_.signature_spread > 0.0) {
+      amp *= 1.0 + device_.signature_spread *
+                       hash_sym(hash_combine(device_.signature_seed, h), 1.0);
+    }
+    return amp;
+  };
+
+  // Shared per-group component (which architectural blocks switch), with the
+  // per-mnemonic strength modulation of each block.
+  const std::uint64_t grp_key =
+      hash_combine(static_cast<std::uint64_t>(group), 0x9409ull + cycle);
+  for (int b = 0; b < config_.group_bumps; ++b) {
+    const std::uint64_t h = hash_combine(grp_key, static_cast<std::uint64_t>(b));
+    Bump bump;
+    bump.center = hash_range(hash_combine(h, 1), 0.06, 0.95);
+    bump.width = hash_range(hash_combine(h, 2), 0.015, 0.050);
+    bump.amp = hash_sym(hash_combine(h, 3), config_.group_amp);
+    bump.amp *= 1.0 + config_.intra_modulation *
+                          hash_sym(hash_combine(mn_key, static_cast<std::uint64_t>(b)), 1.0);
+    bump.amp = perturb(h, bump.amp);
+    out.push_back(bump);
+  }
+  // Plus the mnemonic's own control-logic micro-bumps.
+  for (int b = 0; b < config_.intra_bumps; ++b) {
+    const std::uint64_t h = hash_combine(mn_key, 0x1000ull + static_cast<std::uint64_t>(b));
+    Bump bump;
+    bump.center = hash_range(hash_combine(h, 1), 0.06, 0.95);
+    bump.width = hash_range(hash_combine(h, 2), 0.015, 0.050);
+    bump.amp = perturb(h, hash_sym(hash_combine(h, 3), config_.intra_amp));
+    out.push_back(bump);
+  }
+}
+
+void PowerSynthesizer::fetch_signature(std::uint16_t opcode_word,
+                                       std::vector<Bump>& out) const {
+  // The program bus drives all 16 lines *simultaneously* at the end of the
+  // cycle, so individual bits are not separable in time -- only the
+  // aggregate switching activity (Hamming weight of the word) leaks, plus a
+  // word-dependent decode pre-charge pattern (which varies with operand bits
+  // and therefore acts as within-class variance, not as a clean channel).
+  const std::uint64_t key = hash_combine(0xFE7C, opcode_word);
+  for (int b = 0; b < 3; ++b) {
+    const std::uint64_t h = hash_combine(key, static_cast<std::uint64_t>(b));
+    out.push_back({hash_range(hash_combine(h, 1), 0.70, 0.97),
+                   hash_range(hash_combine(h, 2), 0.010, 0.030),
+                   hash_sym(hash_combine(h, 3), config_.fetch_amp)});
+  }
+  out.push_back(
+      {0.82, 0.015, config_.fetch_bit_amp * (hamming_weight16(opcode_word) - 8)});
+}
+
+void PowerSynthesizer::register_leakage(const avr::ExecRecord& rec,
+                                        std::vector<Bump>& out) const {
+  const avr::OperandSignature sig = avr::info(rec.instr.mnemonic).signature;
+  const bool uses_rd =
+      sig == avr::OperandSignature::kRdRr || sig == avr::OperandSignature::kRdK ||
+      sig == avr::OperandSignature::kRd || sig == avr::OperandSignature::kRdIo ||
+      (sig == avr::OperandSignature::kRdMem && rec.instr.mode != avr::AddrMode::kR0) ||
+      rec.instr.mnemonic == avr::Mnemonic::kBst || rec.instr.mnemonic == avr::Mnemonic::kBld;
+  const bool uses_rr =
+      sig == avr::OperandSignature::kRdRr || sig == avr::OperandSignature::kRrMem ||
+      sig == avr::OperandSignature::kRrIo ||
+      rec.instr.mnemonic == avr::Mnemonic::kSbrc || rec.instr.mnemonic == avr::Mnemonic::kSbrs;
+
+  // Phase plan within the execute cycle: Rr decode (operand fetch) early,
+  // data-path terms mid-cycle, Rd write-back decode late but clear of the
+  // [0.70, 0.97] band where the *next* instruction's fetch-bus lines live --
+  // otherwise a fixed instruction sequence imprints a systematic bias on the
+  // register bits (random profiling neighbours would never reveal it).
+  if (uses_rd) {
+    // Row-decoder bits: one bump per address bit, polarity = bit value.
+    for (int b = 0; b < 5; ++b) {
+      const double polarity = ((rec.instr.rd >> b) & 1) ? 1.0 : -1.0;
+      out.push_back({0.45 + 0.050 * b, 0.012, polarity * config_.reg_bit_amp});
+    }
+    out.push_back({0.42, 0.016,
+                   config_.reg_row_amp *
+                       hash_sym(hash_combine(0xD00D, rec.instr.rd), 1.0)});
+  }
+  if (uses_rr) {
+    for (int b = 0; b < 5; ++b) {
+      const double polarity = ((rec.instr.rr >> b) & 1) ? 1.0 : -1.0;
+      out.push_back({0.08 + 0.050 * b, 0.012, polarity * config_.reg_bit_amp});
+    }
+    out.push_back({0.05, 0.016,
+                   config_.reg_row_amp *
+                       hash_sym(hash_combine(0xF00D, rec.instr.rr), 1.0)});
+  }
+}
+
+void PowerSynthesizer::data_leakage(const avr::ExecRecord& rec,
+                                    std::vector<Bump>& out) const {
+  const double a = config_.data_amp;
+  out.push_back({0.32, 0.015, a * (hamming_weight(rec.rd_before) - 4)});
+  out.push_back({0.36, 0.015, a * (hamming_weight(rec.rr_value) - 4)});
+  out.push_back({0.40, 0.015, a * hamming_distance(rec.rd_before, rec.rd_after)});
+}
+
+void PowerSynthesizer::memory_leakage(const avr::ExecRecord& rec,
+                                      std::vector<Bump>& out) const {
+  if (!rec.mem_read && !rec.mem_write) return;
+  // Wide "bus busy" bump, slightly different phase for reads vs writes
+  // (precharge vs drive), plus value/address HW terms.
+  out.push_back({rec.mem_read ? 0.30 : 0.36, 0.10, config_.mem_active_amp});
+  out.push_back({0.44, 0.020,
+                 config_.mem_bus_amp * (hamming_weight(rec.mem_value) - 4) * 0.5});
+  out.push_back({0.26, 0.020,
+                 config_.mem_bus_amp * (hamming_weight16(rec.mem_addr) - 8) * 0.25});
+}
+
+void PowerSynthesizer::render_cycle(std::vector<double>& wave, double cycle_start,
+                                    const std::vector<Bump>& bumps) const {
+  const double spc = config_.samples_per_cycle;
+  const auto n = static_cast<std::ptrdiff_t>(wave.size());
+  for (const Bump& b : bumps) {
+    const double pos = (cycle_start + b.center) * spc;
+    const double w = std::max(b.width * spc, 0.5);
+    const auto lo = std::max<std::ptrdiff_t>(0, static_cast<std::ptrdiff_t>(pos - 4.0 * w));
+    const auto hi = std::min<std::ptrdiff_t>(n - 1, static_cast<std::ptrdiff_t>(pos + 4.0 * w));
+    for (std::ptrdiff_t i = lo; i <= hi; ++i) {
+      const double d = (static_cast<double>(i) - pos) / w;
+      wave[static_cast<std::size_t>(i)] += b.amp * std::exp(-0.5 * d * d);
+    }
+  }
+}
+
+std::vector<double> PowerSynthesizer::synthesize(
+    const std::vector<avr::ExecRecord>& records, const IssueMap* issued) const {
+  unsigned total_cycles = 0;
+  for (const auto& rec : records) total_cycles += rec.cycles;
+  const auto total_samples =
+      static_cast<std::size_t>(std::ceil(total_cycles * config_.samples_per_cycle)) + 1;
+  std::vector<double> wave(total_samples, config_.baseline);
+
+  std::vector<Bump> bumps;
+  bumps.reserve(64);
+  double cycle_cursor = 0.0;
+  for (std::size_t idx = 0; idx < records.size(); ++idx) {
+    const avr::ExecRecord& rec = records[idx];
+    const avr::Instruction* issue = nullptr;
+    if (issued != nullptr) {
+      const auto it = issued->find(rec.pc);
+      if (it != issued->end()) issue = &it->second;
+    }
+    const avr::Instruction& key = issue != nullptr ? *issue : rec.instr;
+
+    for (unsigned c = 0; c < rec.cycles; ++c) {
+      bumps.clear();
+      bumps.push_back({0.03, config_.clock_spike_width, config_.clock_spike_amp});
+      opcode_signature(key, c, bumps);
+      if (c == 0) {
+        register_leakage(rec, bumps);
+        data_leakage(rec, bumps);
+      }
+      if (c == rec.cycles - 1) {
+        memory_leakage(rec, bumps);
+        if (idx + 1 < records.size()) fetch_signature(records[idx + 1].opcode, bumps);
+      }
+      render_cycle(wave, cycle_cursor, bumps);
+      cycle_cursor += 1.0;
+    }
+  }
+  return wave;
+}
+
+}  // namespace sidis::sim

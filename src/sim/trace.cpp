@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace sidis::sim {
+
+std::vector<TraceSet> split_by_program(const TraceSet& traces) {
+  std::vector<int> ids;
+  std::vector<TraceSet> out;
+  for (const Trace& t : traces) {
+    const auto it = std::find(ids.begin(), ids.end(), t.meta.program_id);
+    std::size_t idx;
+    if (it == ids.end()) {
+      ids.push_back(t.meta.program_id);
+      out.emplace_back();
+      idx = out.size() - 1;
+    } else {
+      idx = static_cast<std::size_t>(it - ids.begin());
+    }
+    out[idx].push_back(t);
+  }
+  return out;
+}
+
+TraceSet filter_by_program(const TraceSet& traces, int id) {
+  TraceSet out;
+  for (const Trace& t : traces) {
+    if (t.meta.program_id == id) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace sidis::sim

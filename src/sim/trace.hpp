@@ -1,0 +1,48 @@
+// Power traces and labeled trace collections.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "avr/isa.hpp"
+
+namespace sidis::sim {
+
+/// Labels attached to one captured trace.  `class_idx` indexes the 112-entry
+/// avr::instruction_classes() table; register fields are present when the
+/// class uses them.
+struct TraceMeta {
+  std::size_t class_idx = 0;
+  std::optional<std::uint8_t> rd;
+  std::optional<std::uint8_t> rr;
+  int program_id = 0;   ///< which profiling program file produced it
+  int device_id = 0;    ///< which physical device it was captured from
+  int session_id = 0;   ///< measurement session (time / setup)
+  avr::Instruction instr;  ///< full ground-truth instruction
+  /// Per-capture gain reference, estimated from the content-free SBI+NOP
+  /// trigger prefix of the raw capture (std-dev in scope units).  The
+  /// covariate-shift-adaptation normalization divides by it, cancelling the
+  /// session/device/program gain without touching the instruction-dependent
+  /// part of the window.
+  double gain_estimate = 1.0;
+};
+
+/// One captured power trace: the paper's 315-sample window plus its labels.
+struct Trace {
+  std::vector<double> samples;
+  TraceMeta meta;
+};
+
+/// A set of traces, usually one class or one experiment's worth.
+using TraceSet = std::vector<Trace>;
+
+/// Splits a trace set by `program_id`; returned vector is indexed by the
+/// order program ids first appear.
+std::vector<TraceSet> split_by_program(const TraceSet& traces);
+
+/// Returns the subset with meta.program_id == id.
+TraceSet filter_by_program(const TraceSet& traces, int id);
+
+}  // namespace sidis::sim

@@ -1,0 +1,70 @@
+#include "stats/gaussian.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sidis::stats {
+
+Gaussian1D Gaussian1D::fit(std::span<const double> samples, double min_var) {
+  if (samples.empty()) throw std::invalid_argument("Gaussian1D::fit: no samples");
+  double m = 0.0;
+  for (double v : samples) m += v;
+  m /= static_cast<double>(samples.size());
+  double var = 0.0;
+  if (samples.size() > 1) {
+    for (double v : samples) var += (v - m) * (v - m);
+    var /= static_cast<double>(samples.size() - 1);
+  }
+  return {m, std::max(var, min_var)};
+}
+
+double Gaussian1D::pdf(double x) const { return std::exp(log_pdf(x)); }
+
+double Gaussian1D::log_pdf(double x) const {
+  const double d = x - mean;
+  return -0.5 * (std::log(2.0 * std::numbers::pi * var) + d * d / var);
+}
+
+MultivariateGaussian MultivariateGaussian::fit(const linalg::Matrix& samples,
+                                               double ridge) {
+  if (samples.rows() < 2) {
+    throw std::invalid_argument("MultivariateGaussian::fit: need >= 2 samples");
+  }
+  return from_moments(linalg::row_mean(samples), linalg::row_covariance(samples), ridge);
+}
+
+MultivariateGaussian MultivariateGaussian::from_moments(linalg::Vector mean,
+                                                        linalg::Matrix cov,
+                                                        double ridge) {
+  if (cov.rows() != cov.cols() || cov.rows() != mean.size()) {
+    throw std::invalid_argument("MultivariateGaussian: shape mismatch");
+  }
+  MultivariateGaussian g;
+  g.mean_ = std::move(mean);
+  // Escalate the ridge until the covariance factors; rank deficiency is a
+  // routine occurrence when #traces ~ #features.
+  double lambda = ridge;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    g.cov_ = linalg::regularized(cov, lambda);
+    g.chol_ = linalg::Cholesky::compute(g.cov_);
+    if (g.chol_.valid) return g;
+    lambda = lambda == 0.0 ? 1e-12 : lambda * 10.0;
+  }
+  throw std::runtime_error("MultivariateGaussian: covariance could not be regularized");
+}
+
+double MultivariateGaussian::log_pdf(const linalg::Vector& x) const {
+  const double d2 = mahalanobis_squared(x);
+  const double k = static_cast<double>(dim());
+  return -0.5 * (k * std::log(2.0 * std::numbers::pi) + log_det() + d2);
+}
+
+double MultivariateGaussian::mahalanobis_squared(const linalg::Vector& x) const {
+  if (x.size() != mean_.size()) {
+    throw std::invalid_argument("MultivariateGaussian: dimension mismatch");
+  }
+  return chol_.mahalanobis_squared(linalg::sub(x, mean_));
+}
+
+}  // namespace sidis::stats

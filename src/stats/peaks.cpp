@@ -1,0 +1,61 @@
+#include "stats/peaks.hpp"
+
+#include <algorithm>
+
+namespace sidis::stats {
+
+std::vector<GridPoint> local_maxima_2d(const linalg::Matrix& map, double min_value) {
+  std::vector<GridPoint> out;
+  const std::size_t rows = map.rows();
+  const std::size_t cols = map.cols();
+  for (std::size_t j = 0; j < rows; ++j) {
+    for (std::size_t k = 0; k < cols; ++k) {
+      const double v = map(j, k);
+      if (v < min_value) continue;
+      bool ge_all = true;
+      bool gt_any = false;
+      for (int dj = -1; dj <= 1 && ge_all; ++dj) {
+        for (int dk = -1; dk <= 1; ++dk) {
+          if (dj == 0 && dk == 0) continue;
+          const auto nj = static_cast<std::ptrdiff_t>(j) + dj;
+          const auto nk = static_cast<std::ptrdiff_t>(k) + dk;
+          if (nj < 0 || nk < 0 || nj >= static_cast<std::ptrdiff_t>(rows) ||
+              nk >= static_cast<std::ptrdiff_t>(cols)) {
+            continue;
+          }
+          const double nv = map(static_cast<std::size_t>(nj), static_cast<std::size_t>(nk));
+          if (v < nv) {
+            ge_all = false;
+            break;
+          }
+          if (v > nv) gt_any = true;
+        }
+      }
+      if (ge_all && gt_any) out.push_back({j, k, v});
+    }
+  }
+  return out;
+}
+
+namespace {
+bool value_desc(const GridPoint& a, const GridPoint& b) {
+  if (a.value != b.value) return a.value > b.value;
+  if (a.j != b.j) return a.j < b.j;
+  return a.k < b.k;
+}
+}  // namespace
+
+std::vector<GridPoint> top_k(std::vector<GridPoint> points, std::size_t count) {
+  std::sort(points.begin(), points.end(), value_desc);
+  if (points.size() > count) points.resize(count);
+  return points;
+}
+
+std::vector<GridPoint> bottom_k(std::vector<GridPoint> points, std::size_t count) {
+  std::sort(points.begin(), points.end(), value_desc);
+  std::reverse(points.begin(), points.end());
+  if (points.size() > count) points.resize(count);
+  return points;
+}
+
+}  // namespace sidis::stats

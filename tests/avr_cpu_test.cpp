@@ -1,0 +1,415 @@
+// Functional-simulator tests: instruction semantics, SREG flags, memory,
+// control flow, cycle counts and ExecRecord bookkeeping.
+#include <gtest/gtest.h>
+
+#include "avr/assembler.hpp"
+#include "avr/cpu.hpp"
+#include "avr/program.hpp"
+
+namespace sidis::avr {
+namespace {
+
+Cpu run_listing(const std::string& listing, std::size_t steps = 64) {
+  const AssemblyResult r = assemble(listing);
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors.front().message);
+  Cpu cpu;
+  cpu.load_program(r.program);
+  cpu.run(steps);
+  return cpu;
+}
+
+TEST(Cpu, AddSetsCarryAndZero) {
+  Cpu cpu = [] {
+    Cpu c;
+    c.load_program(assemble("ADD r0, r1").program);
+    c.set_reg(0, 0xFF);
+    c.set_reg(1, 0x01);
+    return c;
+  }();
+  const ExecRecord rec = cpu.step();
+  EXPECT_EQ(cpu.reg(0), 0x00);
+  EXPECT_TRUE(cpu.flag(kFlagC));
+  EXPECT_TRUE(cpu.flag(kFlagZ));
+  EXPECT_TRUE(cpu.flag(kFlagH));
+  EXPECT_FALSE(cpu.flag(kFlagN));
+  EXPECT_EQ(rec.rd_before, 0xFF);
+  EXPECT_EQ(rec.rd_after, 0x00);
+  EXPECT_EQ(rec.rr_value, 0x01);
+  EXPECT_EQ(rec.cycles, 1u);
+}
+
+TEST(Cpu, AddSignedOverflowSetsV) {
+  Cpu c;
+  c.load_program(assemble("ADD r0, r1").program);
+  c.set_reg(0, 0x7F);
+  c.set_reg(1, 0x01);
+  c.step();
+  EXPECT_EQ(c.reg(0), 0x80);
+  EXPECT_TRUE(c.flag(kFlagV));
+  EXPECT_TRUE(c.flag(kFlagN));
+  EXPECT_FALSE(c.flag(kFlagS));  // S = N xor V
+}
+
+TEST(Cpu, AdcUsesIncomingCarry) {
+  Cpu c;
+  c.load_program(assemble("ADC r2, r3").program);
+  c.set_reg(2, 10);
+  c.set_reg(3, 20);
+  c.set_flag(kFlagC, true);
+  c.step();
+  EXPECT_EQ(c.reg(2), 31);
+}
+
+TEST(Cpu, SubAndCpFlagsAgree) {
+  Cpu a;
+  a.load_program(assemble("SUB r0, r1").program);
+  a.set_reg(0, 5);
+  a.set_reg(1, 7);
+  a.step();
+  EXPECT_EQ(a.reg(0), 0xFE);
+  EXPECT_TRUE(a.flag(kFlagC));  // borrow
+  EXPECT_TRUE(a.flag(kFlagN));
+
+  Cpu b;
+  b.load_program(assemble("CP r0, r1").program);
+  b.set_reg(0, 5);
+  b.set_reg(1, 7);
+  b.step();
+  EXPECT_EQ(b.reg(0), 5);  // compare does not write back
+  EXPECT_EQ(b.flag(kFlagC), a.flag(kFlagC));
+  EXPECT_EQ(b.flag(kFlagN), a.flag(kFlagN));
+  EXPECT_EQ(b.flag(kFlagV), a.flag(kFlagV));
+}
+
+TEST(Cpu, SbcChainsZeroFlag) {
+  // 16-bit compare idiom: Z only stays set if both bytes are zero.
+  Cpu c;
+  c.load_program(assemble("SUB r0, r2\nSBC r1, r3").program);
+  c.set_reg(0, 0x34);
+  c.set_reg(1, 0x12);
+  c.set_reg(2, 0x34);
+  c.set_reg(3, 0x12);
+  c.run(2);
+  EXPECT_TRUE(c.flag(kFlagZ));
+  EXPECT_FALSE(c.flag(kFlagC));
+}
+
+TEST(Cpu, LogicOpsClearV) {
+  Cpu c = run_listing("LDI r16, 0xF0\nLDI r17, 0x0F\nAND r16, r17");
+  EXPECT_EQ(c.reg(16), 0x00);
+  EXPECT_TRUE(c.flag(kFlagZ));
+  EXPECT_FALSE(c.flag(kFlagV));
+
+  Cpu d = run_listing("LDI r16, 0xF0\nLDI r17, 0x0F\nOR r16, r17");
+  EXPECT_EQ(d.reg(16), 0xFF);
+  EXPECT_TRUE(d.flag(kFlagN));
+
+  Cpu e = run_listing("LDI r16, 0xAA\nLDI r17, 0xAA\nEOR r16, r17");
+  EXPECT_EQ(e.reg(16), 0x00);
+  EXPECT_TRUE(e.flag(kFlagZ));
+}
+
+TEST(Cpu, MovAndMovw) {
+  Cpu c = run_listing("LDI r16, 0x42\nMOV r0, r16");
+  EXPECT_EQ(c.reg(0), 0x42);
+
+  Cpu d;
+  d.load_program(assemble("MOVW r2, r30").program);
+  d.set_reg(30, 0xCD);
+  d.set_reg(31, 0xAB);
+  d.step();
+  EXPECT_EQ(d.reg(2), 0xCD);
+  EXPECT_EQ(d.reg(3), 0xAB);
+}
+
+TEST(Cpu, ImmediateOps) {
+  Cpu c = run_listing("LDI r20, 100\nSUBI r20, 58");
+  EXPECT_EQ(c.reg(20), 42);
+  Cpu d = run_listing("LDI r20, 0x0F\nORI r20, 0xF0");
+  EXPECT_EQ(d.reg(20), 0xFF);
+  Cpu e = run_listing("LDI r20, 0x3C\nANDI r20, 0x0F");
+  EXPECT_EQ(e.reg(20), 0x0C);
+  Cpu f = run_listing("LDI r20, 7\nCPI r20, 7");
+  EXPECT_TRUE(f.flag(kFlagZ));
+}
+
+TEST(Cpu, AdiwSbiwWordArithmetic) {
+  Cpu c;
+  c.load_program(assemble("ADIW r24, 3").program);
+  c.set_reg(24, 0xFF);
+  c.set_reg(25, 0x00);
+  const ExecRecord rec = c.step();
+  EXPECT_EQ(c.reg(24), 0x02);
+  EXPECT_EQ(c.reg(25), 0x01);
+  EXPECT_EQ(rec.cycles, 2u);
+
+  Cpu d;
+  d.load_program(assemble("SBIW r26, 1").program);
+  d.set_reg(26, 0x00);
+  d.set_reg(27, 0x01);
+  d.step();
+  EXPECT_EQ(d.reg(26), 0xFF);
+  EXPECT_EQ(d.reg(27), 0x00);
+}
+
+TEST(Cpu, OneOperandAlu) {
+  Cpu c = run_listing("LDI r16, 0x0F\nCOM r16");
+  EXPECT_EQ(c.reg(16), 0xF0);
+  EXPECT_TRUE(c.flag(kFlagC));  // COM always sets carry
+
+  Cpu d = run_listing("LDI r16, 1\nNEG r16");
+  EXPECT_EQ(d.reg(16), 0xFF);
+  EXPECT_TRUE(d.flag(kFlagC));
+
+  Cpu e = run_listing("LDI r16, 0x7F\nINC r16");
+  EXPECT_EQ(e.reg(16), 0x80);
+  EXPECT_TRUE(e.flag(kFlagV));
+
+  Cpu f = run_listing("LDI r16, 0x80\nDEC r16");
+  EXPECT_EQ(f.reg(16), 0x7F);
+  EXPECT_TRUE(f.flag(kFlagV));
+
+  Cpu g = run_listing("LDI r16, 0x81\nLSR r16");
+  EXPECT_EQ(g.reg(16), 0x40);
+  EXPECT_TRUE(g.flag(kFlagC));
+
+  Cpu h = run_listing("SEC\nLDI r16, 0x02\nROR r16");
+  EXPECT_EQ(h.reg(16), 0x81);
+  EXPECT_FALSE(h.flag(kFlagC));
+
+  Cpu i = run_listing("LDI r16, 0x82\nASR r16");
+  EXPECT_EQ(i.reg(16), 0xC1);
+
+  Cpu j = run_listing("LDI r16, 0xA5\nSWAP r16");
+  EXPECT_EQ(j.reg(16), 0x5A);
+}
+
+TEST(Cpu, AliasesExecuteCanonically) {
+  Cpu c = run_listing("LDI r16, 0x80\nTST r16");
+  EXPECT_TRUE(c.flag(kFlagN));
+  EXPECT_FALSE(c.flag(kFlagZ));
+  Cpu d = run_listing("LDI r16, 0x55\nCLR r16");
+  EXPECT_EQ(d.reg(16), 0);
+  EXPECT_TRUE(d.flag(kFlagZ));
+  Cpu e = run_listing("SER r17");
+  EXPECT_EQ(e.reg(17), 0xFF);
+  Cpu f = run_listing("LDI r16, 0x81\nLSL r16");
+  EXPECT_EQ(f.reg(16), 0x02);
+  EXPECT_TRUE(f.flag(kFlagC));
+  Cpu g = run_listing("SEC\nLDI r16, 0x40\nROL r16");
+  EXPECT_EQ(g.reg(16), 0x81);
+}
+
+TEST(Cpu, FlagSetClearShorthands) {
+  Cpu c = run_listing("SEC\nSEZ\nSEH\nSET\nSEV\nSES\nSEN\nSEI");
+  EXPECT_EQ(c.sreg(), 0xFF);
+  Cpu d = run_listing("SEC\nSEZ\nCLC");
+  EXPECT_FALSE(d.flag(kFlagC));
+  EXPECT_TRUE(d.flag(kFlagZ));
+}
+
+TEST(Cpu, BranchTakenAndNotTaken) {
+  // BREQ skips the LDI when Z is set.
+  Cpu taken = run_listing("SEZ\nBREQ .+2\nLDI r16, 1\nLDI r17, 2");
+  EXPECT_EQ(taken.reg(16), 0);
+  EXPECT_EQ(taken.reg(17), 2);
+
+  Cpu not_taken = run_listing("CLZ\nBREQ .+2\nLDI r16, 1\nLDI r17, 2");
+  EXPECT_EQ(not_taken.reg(16), 1);
+  EXPECT_EQ(not_taken.reg(17), 2);
+}
+
+TEST(Cpu, BranchCycleCounts) {
+  Cpu c;
+  c.load_program(assemble("SEZ\nBREQ .+0").program);
+  c.step();
+  const ExecRecord rec = c.step();
+  EXPECT_TRUE(rec.branch_taken);
+  EXPECT_EQ(rec.cycles, 2u);
+
+  Cpu d;
+  d.load_program(assemble("CLZ\nBREQ .+0").program);
+  d.step();
+  const ExecRecord rec2 = d.step();
+  EXPECT_FALSE(rec2.branch_taken);
+  EXPECT_EQ(rec2.cycles, 1u);
+}
+
+TEST(Cpu, RjmpAndJmp) {
+  Cpu c = run_listing("RJMP .+2\nLDI r16, 1\nLDI r17, 2");
+  EXPECT_EQ(c.reg(16), 0);
+  EXPECT_EQ(c.reg(17), 2);
+
+  // JMP to byte address 6 = word 3 (skipping the LDI after the 2-word JMP).
+  Cpu d = run_listing("JMP 0x6\nLDI r16, 1\nLDI r17, 2");
+  EXPECT_EQ(d.reg(16), 0);
+  EXPECT_EQ(d.reg(17), 2);
+}
+
+TEST(Cpu, SkipInstructions) {
+  Cpu c = run_listing("LDI r16, 5\nLDI r17, 5\nCPSE r16, r17\nLDI r18, 1\nLDI r19, 2");
+  EXPECT_EQ(c.reg(18), 0);  // skipped
+  EXPECT_EQ(c.reg(19), 2);
+
+  Cpu d = run_listing("LDI r16, 1\nSBRC r16, 0\nLDI r18, 1\nLDI r19, 2");
+  EXPECT_EQ(d.reg(18), 1);  // bit set, no skip
+  Cpu e = run_listing("LDI r16, 0\nSBRC r16, 0\nLDI r18, 1\nLDI r19, 2");
+  EXPECT_EQ(e.reg(18), 0);  // bit clear, skipped
+}
+
+TEST(Cpu, SkipOverTwoWordInstructionCostsTwo) {
+  Cpu c;
+  c.load_program(assemble("LDI r16, 5\nLDI r17, 5\nCPSE r16, r17\nJMP 0x0\nLDI r19, 2")
+                     .program);
+  c.run(3);
+  const ExecRecord rec = c.step();  // wait: run(3) executed CPSE already
+  // Re-run cleanly to inspect the CPSE record.
+  Cpu d;
+  d.load_program(assemble("LDI r16, 5\nLDI r17, 5\nCPSE r16, r17\nJMP 0x0\nLDI r19, 2")
+                     .program);
+  d.step();
+  d.step();
+  const ExecRecord cpse = d.step();
+  EXPECT_TRUE(cpse.skip_taken);
+  EXPECT_EQ(cpse.cycles, 3u);  // 1 + 2 skipped words
+  (void)rec;
+}
+
+TEST(Cpu, SramLoadStoreRoundTrip) {
+  Cpu c = run_listing("LDI r16, 0x5A\nSTS 0x200, r16\nLDS r17, 0x200");
+  EXPECT_EQ(c.reg(17), 0x5A);
+  EXPECT_EQ(c.read_data(0x200), 0x5A);
+}
+
+TEST(Cpu, PointerModesWithSideEffects) {
+  Cpu c;
+  c.load_program(
+      assemble("ST X+, r0\nST X+, r1\nLD r2, -X\nLD r3, -X").program);
+  c.set_reg(0, 0xAA);
+  c.set_reg(1, 0xBB);
+  c.set_x(0x300);
+  c.run(4);
+  EXPECT_EQ(c.read_data(0x300), 0xAA);
+  EXPECT_EQ(c.read_data(0x301), 0xBB);
+  EXPECT_EQ(c.reg(2), 0xBB);  // -X first hits 0x301
+  EXPECT_EQ(c.reg(3), 0xAA);
+  EXPECT_EQ(c.x(), 0x300);
+}
+
+TEST(Cpu, DisplacementModes) {
+  Cpu c;
+  c.load_program(assemble("STD Y+5, r4\nLDD r5, Y+5").program);
+  c.set_reg(4, 0x77);
+  c.set_y(0x400);
+  c.run(2);
+  EXPECT_EQ(c.reg(5), 0x77);
+  EXPECT_EQ(c.y(), 0x400);  // displacement does not move the pointer
+}
+
+TEST(Cpu, LpmReadsFlashBytes) {
+  // Program: LDI r30, 0; LDI r31, 0; LPM r4, Z  -- reads the low byte of the
+  // first instruction word.
+  Cpu c;
+  const Program p = assemble("LDI r30, 0\nLDI r31, 0\nLPM r4, Z").program;
+  c.load_program(p);
+  const std::uint16_t first_word = c.flash()[0];
+  c.run(3);
+  EXPECT_EQ(c.reg(4), static_cast<std::uint8_t>(first_word & 0xFF));
+}
+
+TEST(Cpu, LpmZPlusIncrements) {
+  Cpu c;
+  c.load_program(assemble("LPM r4, Z+\nLPM r5, Z+").program);
+  c.set_z(0);
+  c.run(2);
+  EXPECT_EQ(c.z(), 2);
+  const std::uint16_t w0 = c.flash()[0];
+  EXPECT_EQ(c.reg(4), static_cast<std::uint8_t>(w0 & 0xFF));
+  EXPECT_EQ(c.reg(5), static_cast<std::uint8_t>(w0 >> 8));
+}
+
+TEST(Cpu, IoAndBitInstructions) {
+  Cpu c = run_listing("SBI 5, 3");
+  EXPECT_EQ(c.read_io(5), 0x08);
+  Cpu d = run_listing("SBI 5, 3\nCBI 5, 3");
+  EXPECT_EQ(d.read_io(5), 0x00);
+  Cpu e = run_listing("LDI r16, 0xA5\nOUT 10, r16\nIN r17, 10");
+  EXPECT_EQ(e.reg(17), 0xA5);
+  Cpu f = run_listing("LDI r16, 0x10\nBST r16, 4\nBLD r17, 0");
+  EXPECT_EQ(f.reg(17), 0x01);
+}
+
+TEST(Cpu, StackPushPopAndCalls) {
+  Cpu c = run_listing("LDI r16, 0x42\nPUSH r16\nPOP r17");
+  EXPECT_EQ(c.reg(17), 0x42);
+  EXPECT_EQ(c.sp(), Cpu::kRamEnd);
+
+  // RCALL forward, then RET back: r18 set after return, subroutine sets r19.
+  Cpu d = run_listing(
+      "RCALL .+4\n"   // call subroutine 2 words ahead
+      "LDI r18, 1\n"
+      "RJMP .+4\n"    // jump over subroutine to end
+      "LDI r19, 2\n"  // subroutine body
+      "RET\n"
+      "LDI r20, 3");
+  EXPECT_EQ(d.reg(19), 2);
+  EXPECT_EQ(d.reg(18), 1);
+  EXPECT_EQ(d.reg(20), 3);
+}
+
+TEST(Cpu, MulProducesWordResult) {
+  Cpu c;
+  c.load_program(assemble("MUL r16, r17").program);
+  c.set_reg(16, 200);
+  c.set_reg(17, 100);
+  const ExecRecord rec = c.step();
+  EXPECT_EQ(c.reg(0), (200 * 100) & 0xFF);
+  EXPECT_EQ(c.reg(1), (200 * 100) >> 8);
+  EXPECT_EQ(rec.cycles, 2u);
+  EXPECT_FALSE(c.flag(kFlagZ));
+}
+
+TEST(Cpu, HaltsAtProgramEndAndThrowsBeyond) {
+  Cpu c;
+  c.load_program(assemble("NOP\nNOP").program);
+  c.run(10);
+  EXPECT_TRUE(c.halted());
+  EXPECT_THROW(c.step(), std::runtime_error);
+}
+
+TEST(Cpu, CycleCountAccumulates) {
+  Cpu c;
+  c.load_program(assemble("NOP\nADIW r24, 1\nRJMP .+0").program);
+  c.run(3);
+  EXPECT_EQ(c.cycle_count(), 1u + 2u + 2u);
+}
+
+TEST(Cpu, ExecRecordMemoryBookkeeping) {
+  Cpu c;
+  c.load_program(assemble("LDI r16, 0x5A\nSTS 0x234, r16").program);
+  c.step();
+  const ExecRecord rec = c.step();
+  EXPECT_TRUE(rec.mem_write);
+  EXPECT_FALSE(rec.mem_read);
+  EXPECT_EQ(rec.mem_addr, 0x234);
+  EXPECT_EQ(rec.mem_value, 0x5A);
+  EXPECT_EQ(rec.second_word, 0x234);
+}
+
+TEST(Cpu, PowerOnResetClearsState) {
+  Cpu c = run_listing("LDI r16, 7\nSTS 0x200, r16");
+  c.power_on_reset();
+  EXPECT_EQ(c.reg(16), 0);
+  EXPECT_EQ(c.read_data(0x200), 0);
+  EXPECT_EQ(c.sreg(), 0);
+  EXPECT_EQ(c.pc(), 0);
+}
+
+TEST(Cpu, ProgramTooLargeRejected) {
+  std::vector<std::uint16_t> words(Cpu::kMaxFlashWords + 1, 0);
+  Cpu c;
+  EXPECT_THROW(c.load_program(words), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sidis::avr

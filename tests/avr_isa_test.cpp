@@ -1,0 +1,208 @@
+// Unit tests for the ISA metadata, naming, grouping and class registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "avr/grouping.hpp"
+#include "avr/isa.hpp"
+
+namespace sidis::avr {
+namespace {
+
+TEST(Isa, EveryMnemonicHasNameAndRoundTrips) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Mnemonic::kCount); ++i) {
+    const auto m = static_cast<Mnemonic>(i);
+    const std::string_view n = name(m);
+    EXPECT_FALSE(n.empty());
+    const auto back = mnemonic_from_name(n);
+    ASSERT_TRUE(back.has_value()) << n;
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Isa, MnemonicLookupIsCaseInsensitive) {
+  EXPECT_EQ(mnemonic_from_name("adc"), Mnemonic::kAdc);
+  EXPECT_EQ(mnemonic_from_name("Adc"), Mnemonic::kAdc);
+  EXPECT_EQ(mnemonic_from_name("bogus"), std::nullopt);
+}
+
+TEST(Isa, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Mnemonic::kCount); ++i) {
+    EXPECT_TRUE(names.insert(name(static_cast<Mnemonic>(i))).second);
+  }
+}
+
+TEST(Isa, TwoWordInstructionsAreExactlyFour) {
+  std::set<Mnemonic> two_word;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Mnemonic::kCount); ++i) {
+    const auto m = static_cast<Mnemonic>(i);
+    if (info(m).words == 2) two_word.insert(m);
+  }
+  EXPECT_EQ(two_word, (std::set<Mnemonic>{Mnemonic::kJmp, Mnemonic::kCall,
+                                          Mnemonic::kLds, Mnemonic::kSts}));
+}
+
+TEST(Isa, ToStringFormats) {
+  Instruction add;
+  add.mnemonic = Mnemonic::kAdd;
+  add.rd = 3;
+  add.rr = 17;
+  EXPECT_EQ(to_string(add), "ADD r3, r17");
+
+  Instruction ldi;
+  ldi.mnemonic = Mnemonic::kLdi;
+  ldi.rd = 16;
+  ldi.k8 = 255;
+  EXPECT_EQ(to_string(ldi), "LDI r16, 255");
+
+  Instruction ldd;
+  ldd.mnemonic = Mnemonic::kLdd;
+  ldd.mode = AddrMode::kYDisp;
+  ldd.rd = 12;
+  ldd.q = 5;
+  EXPECT_EQ(to_string(ldd), "LDD r12, Y+5");
+
+  Instruction st;
+  st.mnemonic = Mnemonic::kSt;
+  st.mode = AddrMode::kXPostInc;
+  st.rr = 9;
+  EXPECT_EQ(to_string(st), "ST X+, r9");
+
+  Instruction brne;
+  brne.mnemonic = Mnemonic::kBrne;
+  brne.rel = -4;
+  EXPECT_EQ(to_string(brne), "BRNE .-8");
+
+  Instruction sec;
+  sec.mnemonic = Mnemonic::kSec;
+  EXPECT_EQ(to_string(sec), "SEC");
+
+  Instruction lpm;
+  lpm.mnemonic = Mnemonic::kLpm;
+  lpm.mode = AddrMode::kR0;
+  EXPECT_EQ(to_string(lpm), "LPM");
+}
+
+TEST(Isa, FlagShorthandsCoverAllSixteen) {
+  int count = 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Mnemonic::kCount); ++i) {
+    std::uint8_t s = 0;
+    bool set = false;
+    if (is_flag_shorthand(static_cast<Mnemonic>(i), &s, &set)) {
+      ++count;
+      EXPECT_LE(s, 7);
+    }
+  }
+  EXPECT_EQ(count, 16);  // SEx/CLx for all 8 flags (incl. CLI)
+  std::uint8_t s = 9;
+  bool set = false;
+  EXPECT_TRUE(is_flag_shorthand(Mnemonic::kSec, &s, &set));
+  EXPECT_EQ(s, kFlagC);
+  EXPECT_TRUE(set);
+  EXPECT_TRUE(is_flag_shorthand(Mnemonic::kClh, &s, &set));
+  EXPECT_EQ(s, kFlagH);
+  EXPECT_FALSE(set);
+  EXPECT_FALSE(is_flag_shorthand(Mnemonic::kAdd));
+}
+
+TEST(Isa, BranchShorthandsCoverEighteen) {
+  int count = 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Mnemonic::kCount); ++i) {
+    if (is_branch_shorthand(static_cast<Mnemonic>(i))) ++count;
+  }
+  EXPECT_EQ(count, 18);
+  std::uint8_t s = 9;
+  bool on_set = false;
+  EXPECT_TRUE(is_branch_shorthand(Mnemonic::kBreq, &s, &on_set));
+  EXPECT_EQ(s, kFlagZ);
+  EXPECT_TRUE(on_set);
+  EXPECT_TRUE(is_branch_shorthand(Mnemonic::kBrsh, &s, &on_set));
+  EXPECT_EQ(s, kFlagC);
+  EXPECT_FALSE(on_set);
+}
+
+TEST(Grouping, PaperCensusHolds) {
+  EXPECT_EQ(num_instruction_classes(), 112u);
+  const auto sizes = expected_group_sizes();
+  std::size_t total = 0;
+  for (int g = 1; g <= 8; ++g) {
+    const auto classes = classes_in_group(g);
+    EXPECT_EQ(classes.size(), static_cast<std::size_t>(sizes[static_cast<std::size_t>(g - 1)]))
+        << "group " << g;
+    total += classes.size();
+    for (std::size_t c : classes) EXPECT_EQ(group_of_class(c), g);
+  }
+  EXPECT_EQ(total, 112u);
+}
+
+TEST(Grouping, ClassNamesAreUnique) {
+  std::set<std::string> names;
+  for (const ClassSpec& c : instruction_classes()) {
+    EXPECT_TRUE(names.insert(c.name).second) << c.name;
+  }
+}
+
+TEST(Grouping, ClassIndexLookupRoundTrips) {
+  for (std::size_t i = 0; i < num_instruction_classes(); ++i) {
+    const ClassSpec& c = instruction_classes()[i];
+    EXPECT_EQ(class_index(c.mnemonic, c.mode), i);
+  }
+}
+
+TEST(Grouping, ResidualMnemonicsHaveNoClass) {
+  EXPECT_EQ(class_index(Mnemonic::kNop), std::nullopt);
+  EXPECT_EQ(class_index(Mnemonic::kRet), std::nullopt);
+  EXPECT_EQ(class_index(Mnemonic::kMul), std::nullopt);
+  EXPECT_EQ(class_index(Mnemonic::kIn), std::nullopt);
+}
+
+TEST(Grouping, ModeVariantsAreDistinctClasses) {
+  const auto ld_x = class_index(Mnemonic::kLd, AddrMode::kX);
+  const auto ld_xp = class_index(Mnemonic::kLd, AddrMode::kXPostInc);
+  ASSERT_TRUE(ld_x && ld_xp);
+  EXPECT_NE(*ld_x, *ld_xp);
+  EXPECT_EQ(class_index(Mnemonic::kLd, AddrMode::kNone), std::nullopt);
+}
+
+TEST(Grouping, OperandUsageFlags) {
+  EXPECT_TRUE(class_uses_rd(*class_index(Mnemonic::kAdd)));
+  EXPECT_TRUE(class_uses_rr(*class_index(Mnemonic::kAdd)));
+  EXPECT_TRUE(class_uses_rd(*class_index(Mnemonic::kLdi)));
+  EXPECT_FALSE(class_uses_rr(*class_index(Mnemonic::kLdi)));
+  EXPECT_FALSE(class_uses_rd(*class_index(Mnemonic::kRjmp)));
+  EXPECT_FALSE(class_uses_rd(*class_index(Mnemonic::kSec)));
+  EXPECT_TRUE(class_uses_rd(*class_index(Mnemonic::kLd, AddrMode::kX)));
+  EXPECT_TRUE(class_uses_rr(*class_index(Mnemonic::kSt, AddrMode::kX)));
+  EXPECT_FALSE(class_uses_rd(*class_index(Mnemonic::kLpm, AddrMode::kR0)));
+  EXPECT_TRUE(class_uses_rd(*class_index(Mnemonic::kLpm, AddrMode::kZ)));
+  EXPECT_TRUE(class_uses_rr(*class_index(Mnemonic::kSbrc)));
+  EXPECT_TRUE(class_uses_rd(*class_index(Mnemonic::kBld)));
+}
+
+TEST(Grouping, RegisterLegality) {
+  const auto movw = *class_index(Mnemonic::kMovw);
+  EXPECT_TRUE(class_allows_rd(movw, 4));
+  EXPECT_FALSE(class_allows_rd(movw, 5));
+  const auto adiw = *class_index(Mnemonic::kAdiw);
+  EXPECT_TRUE(class_allows_rd(adiw, 24));
+  EXPECT_FALSE(class_allows_rd(adiw, 25));
+  EXPECT_FALSE(class_allows_rd(adiw, 0));
+  const auto ldi = *class_index(Mnemonic::kLdi);
+  EXPECT_FALSE(class_allows_rd(ldi, 15));
+  EXPECT_TRUE(class_allows_rd(ldi, 16));
+  const auto ldx = *class_index(Mnemonic::kLd, AddrMode::kX);
+  EXPECT_TRUE(class_allows_rd(ldx, 25));
+  EXPECT_FALSE(class_allows_rd(ldx, 26));  // pointer pair excluded
+  const auto add = *class_index(Mnemonic::kAdd);
+  for (std::uint8_t r = 0; r < 32; ++r) {
+    EXPECT_TRUE(class_allows_rd(add, r));
+    EXPECT_TRUE(class_allows_rr(add, r));
+  }
+  EXPECT_FALSE(class_allows_rd(add, 32));
+  // Classes without the operand reject everything.
+  EXPECT_FALSE(class_allows_rr(ldi, 5));
+}
+
+}  // namespace
+}  // namespace sidis::avr

@@ -1,0 +1,224 @@
+// Tests for random instruction sampling, the Fig-4 segment template, and the
+// text assembler.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "avr/assembler.hpp"
+#include "avr/codec.hpp"
+#include "avr/cpu.hpp"
+#include "avr/program.hpp"
+
+namespace sidis::avr {
+namespace {
+
+class RandomInstanceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomInstanceSweep, AlwaysEncodableAndOfRightClass) {
+  std::mt19937_64 rng(0x7e57 + GetParam());
+  for (int rep = 0; rep < 40; ++rep) {
+    const Instruction in = random_instance(GetParam(), rng);
+    EXPECT_EQ(class_of(in), GetParam());
+    EXPECT_NO_THROW(encode(in));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, RandomInstanceSweep,
+                         ::testing::Range<std::size_t>(0, 112));
+
+TEST(RandomInstance, FixedRegistersAreHonoured) {
+  std::mt19937_64 rng(1);
+  SampleOptions opts;
+  opts.fix_rd = 7;
+  opts.fix_rr = 21;
+  const std::size_t add = *class_index(Mnemonic::kAdd);
+  for (int i = 0; i < 20; ++i) {
+    const Instruction in = random_instance(add, rng, opts);
+    EXPECT_EQ(in.rd, 7);
+    EXPECT_EQ(in.rr, 21);
+  }
+}
+
+TEST(RandomInstance, FixedRdClampedToLegalRange) {
+  std::mt19937_64 rng(2);
+  SampleOptions opts;
+  opts.fix_rd = 3;  // illegal for immediates
+  const std::size_t ldi = *class_index(Mnemonic::kLdi);
+  const Instruction in = random_instance(ldi, rng, opts);
+  EXPECT_GE(in.rd, 16);
+  EXPECT_NO_THROW(encode(in));
+}
+
+TEST(RandomInstance, BranchOffsetsPinnedToZeroByDefault) {
+  std::mt19937_64 rng(3);
+  const std::size_t brne = *class_index(Mnemonic::kBrne);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(random_instance(brne, rng).rel, 0);
+  }
+  SampleOptions opts;
+  opts.max_branch_offset = 5;
+  bool nonzero = false;
+  for (int i = 0; i < 50; ++i) {
+    const Instruction in = random_instance(brne, rng, opts);
+    EXPECT_GE(in.rel, 0);
+    EXPECT_LE(in.rel, 5);
+    nonzero |= in.rel != 0;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(RandomInstance, GroupSamplerStaysInGroup) {
+  std::mt19937_64 rng(4);
+  for (int g = 1; g <= 8; ++g) {
+    for (int i = 0; i < 20; ++i) {
+      const Instruction in = random_instance_in_group(g, rng);
+      const auto cls = class_of(in);
+      ASSERT_TRUE(cls.has_value());
+      EXPECT_EQ(group_of_class(*cls), g);
+    }
+  }
+}
+
+TEST(RandomInstance, IoBitSamplerAvoidsTriggerPort) {
+  std::mt19937_64 rng(5);
+  const std::size_t sbi = *class_index(Mnemonic::kSbi);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(random_instance(sbi, rng).io, SegmentTemplate::kTriggerIo);
+  }
+}
+
+TEST(SegmentTemplate, SequenceLayoutMatchesFig4) {
+  std::mt19937_64 rng(6);
+  Instruction target;
+  target.mnemonic = Mnemonic::kAdd;
+  target.rd = 1;
+  target.rr = 2;
+  const SegmentTemplate seg = SegmentTemplate::make(target, rng);
+  const Program p = seg.sequence();
+  ASSERT_EQ(p.size(), 7u);
+  EXPECT_EQ(p[0].mnemonic, Mnemonic::kSbi);
+  EXPECT_EQ(p[1].mnemonic, Mnemonic::kNop);
+  EXPECT_EQ(p[3], target);
+  EXPECT_EQ(p[5].mnemonic, Mnemonic::kNop);
+  EXPECT_EQ(p[6].mnemonic, Mnemonic::kCbi);
+  EXPECT_TRUE(is_linear_safe(p[2]));
+  EXPECT_TRUE(is_linear_safe(p[4]));
+}
+
+TEST(SegmentTemplate, ReferenceSequenceIsFiveNops) {
+  const Program r = SegmentTemplate::reference_sequence();
+  ASSERT_EQ(r.size(), 7u);
+  for (std::size_t i = 1; i <= 5; ++i) EXPECT_EQ(r[i].mnemonic, Mnemonic::kNop);
+}
+
+TEST(SegmentTemplate, AlwaysExecutesToCompletion) {
+  // Whatever the target and neighbours, the segment must run off the end
+  // linearly (records >= 4, CBI executed last or skipped only by target).
+  std::mt19937_64 rng(7);
+  for (int rep = 0; rep < 200; ++rep) {
+    const Instruction target = random_any_instance(rng);
+    Program p = SegmentTemplate::make(target, rng).sequence();
+    finalize_control_flow(p);
+    Cpu cpu;
+    cpu.load_program(p);
+    const auto records = cpu.run(16);
+    EXPECT_TRUE(cpu.halted()) << to_string(target);
+    ASSERT_GE(records.size(), 4u) << to_string(target);
+    EXPECT_EQ(records[3].pc, encode_program({p.begin(), p.begin() + 3}).size())
+        << to_string(target);
+  }
+}
+
+TEST(FinalizeControlFlow, PatchesJmpToNextInstruction) {
+  Program p = assemble("NOP\nJMP 0x0\nNOP").program;
+  finalize_control_flow(p);
+  EXPECT_EQ(p[1].k22, 3u);  // word address after the 2-word JMP at word 1
+  Cpu cpu;
+  cpu.load_program(p);
+  cpu.run(8);
+  EXPECT_TRUE(cpu.halted());
+}
+
+TEST(IsLinearSafe, ClassifiesControlFlow) {
+  EXPECT_FALSE(is_linear_safe(assemble_line("RJMP .+0")));
+  EXPECT_FALSE(is_linear_safe(assemble_line("CPSE r0, r1")));
+  EXPECT_FALSE(is_linear_safe(assemble_line("RET")));
+  EXPECT_FALSE(is_linear_safe(assemble_line("BREQ .+0")));
+  EXPECT_TRUE(is_linear_safe(assemble_line("ADD r0, r1")));
+  EXPECT_TRUE(is_linear_safe(assemble_line("LDS r0, 0x100")));
+  EXPECT_TRUE(is_linear_safe(assemble_line("SBI 6, 2")));
+}
+
+TEST(Assembler, ParsesEveryRenderedInstruction) {
+  // to_string -> assemble_line round trip over random instances.
+  std::mt19937_64 rng(8);
+  for (std::size_t cls = 0; cls < num_instruction_classes(); ++cls) {
+    const Instruction in = random_instance(cls, rng);
+    const std::string text = to_string(in);
+    Instruction back;
+    ASSERT_NO_THROW(back = assemble_line(text)) << text;
+    EXPECT_EQ(encode(back), encode(in)) << text;
+  }
+}
+
+TEST(Assembler, HandlesCommentsAndBlankLines) {
+  const AssemblyResult r = assemble(
+      "; leading comment\n"
+      "\n"
+      "LDI r16, 1  ; trailing comment\n"
+      "ADD r0, r16 // c++ style\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.program.size(), 2u);
+  EXPECT_EQ(r.program[0].mnemonic, Mnemonic::kLdi);
+}
+
+TEST(Assembler, ReportsErrorsWithLineNumbers) {
+  const AssemblyResult r = assemble("NOP\nFROB r1\nLDI r16, 99999\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 2u);
+  EXPECT_EQ(r.errors[0].line, 2u);
+  EXPECT_EQ(r.errors[1].line, 3u);
+  EXPECT_EQ(r.program.size(), 1u);  // the valid NOP still assembled
+}
+
+TEST(Assembler, NumericBasesAndNegatives) {
+  EXPECT_EQ(assemble_line("LDI r16, 0x2A").k8, 42);
+  EXPECT_EQ(assemble_line("LDI r16, 0b101010").k8, 42);
+  EXPECT_EQ(assemble_line("RJMP .-6").rel, -3);
+  EXPECT_THROW(assemble_line("RJMP .-5"), std::invalid_argument);  // odd bytes
+}
+
+TEST(Assembler, MemoryOperands) {
+  const Instruction ld = assemble_line("LD r4, -Y");
+  EXPECT_EQ(ld.mode, AddrMode::kYPreDec);
+  const Instruction std_ = assemble_line("STD Z+63, r9");
+  EXPECT_EQ(std_.mode, AddrMode::kZDisp);
+  EXPECT_EQ(std_.q, 63);
+  EXPECT_EQ(std_.rr, 9);
+  const Instruction lds = assemble_line("LDS r2, 0x1FF");
+  EXPECT_EQ(lds.mode, AddrMode::kAbs);
+  EXPECT_EQ(lds.k16, 0x1FF);
+  EXPECT_THROW(assemble_line("LDD r4, Y+64"), std::invalid_argument);
+}
+
+TEST(Assembler, OperandCountValidation) {
+  EXPECT_THROW(assemble_line("ADD r1"), std::invalid_argument);
+  EXPECT_THROW(assemble_line("NOP r1"), std::invalid_argument);
+  EXPECT_THROW(assemble_line("SEC 1"), std::invalid_argument);
+}
+
+TEST(Assembler, ImplicitR0Lpm) {
+  const Instruction lpm = assemble_line("LPM");
+  EXPECT_EQ(lpm.mode, AddrMode::kR0);
+  EXPECT_NO_THROW(encode(lpm));
+}
+
+TEST(Assembler, ListingRoundTrip) {
+  const std::string src = "LDI r16, 10\nADD r0, r16\nST X+, r0\n";
+  const AssemblyResult r = assemble(src);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(disassemble_listing(r.program), src);
+}
+
+}  // namespace
+}  // namespace sidis::avr

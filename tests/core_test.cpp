@@ -1,0 +1,253 @@
+// Integration-level tests for the hierarchical disassembler, majority
+// voting, malware detection and the baselines, on small simulated corpora.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "avr/assembler.hpp"
+#include "baseline/baselines.hpp"
+#include "core/csa.hpp"
+#include "core/disassembler.hpp"
+#include "core/hierarchical.hpp"
+#include "core/majority_vote.hpp"
+#include "sim/acquisition.hpp"
+
+namespace sidis::core {
+namespace {
+
+class CoreFixture : public ::testing::Test {
+ protected:
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0)};
+  std::mt19937_64 rng{2024};
+
+  sim::TraceSet capture(avr::Mnemonic m, std::size_t n,
+                        avr::AddrMode mode = avr::AddrMode::kNone) {
+    return campaign.capture_class(*avr::class_index(m, mode), n, 5, rng);
+  }
+};
+
+TEST_F(CoreFixture, HierarchicalClassifiesAcrossGroups) {
+  ProfilingData data;
+  data.classes[*avr::class_index(avr::Mnemonic::kAdd)] = capture(avr::Mnemonic::kAdd, 80);
+  data.classes[*avr::class_index(avr::Mnemonic::kEor)] = capture(avr::Mnemonic::kEor, 80);
+  data.classes[*avr::class_index(avr::Mnemonic::kLdi)] = capture(avr::Mnemonic::kLdi, 80);
+  data.classes[*avr::class_index(avr::Mnemonic::kRjmp)] = capture(avr::Mnemonic::kRjmp, 80);
+
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 20;
+  cfg.group_components = 15;
+  cfg.instruction_components = 15;
+  cfg.factory.discriminant.shrinkage = 0.15;
+  const auto model = HierarchicalDisassembler::train(data, cfg);
+
+  // Fresh traces, unseen programs.
+  std::size_t group_hits = 0, class_hits = 0, total = 0;
+  for (avr::Mnemonic m : {avr::Mnemonic::kAdd, avr::Mnemonic::kEor, avr::Mnemonic::kLdi,
+                          avr::Mnemonic::kRjmp}) {
+    const std::size_t cls = *avr::class_index(m);
+    for (int i = 0; i < 15; ++i) {
+      const sim::Trace t = campaign.capture_trace(
+          avr::random_instance(cls, rng), sim::ProgramContext::make(60 + i % 3), rng);
+      const Disassembly d = model.classify(t);
+      group_hits += d.group == avr::group_of_class(cls) ? 1 : 0;
+      class_hits += d.class_idx == cls ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GE(static_cast<double>(group_hits) / static_cast<double>(total), 0.95);
+  EXPECT_GE(static_cast<double>(class_hits) / static_cast<double>(total), 0.85);
+}
+
+TEST_F(CoreFixture, SingleClassGroupIsTrivialLevel) {
+  ProfilingData data;
+  data.classes[*avr::class_index(avr::Mnemonic::kAdd)] = capture(avr::Mnemonic::kAdd, 60);
+  data.classes[*avr::class_index(avr::Mnemonic::kLds, avr::AddrMode::kAbs)] =
+      capture(avr::Mnemonic::kLds, 60, avr::AddrMode::kAbs);
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 10;
+  cfg.group_components = 8;
+  const auto model = HierarchicalDisassembler::train(data, cfg);
+  // Group 5 holds a single profiled class: level 2 must be trivial.
+  const sim::Trace t = campaign.capture_trace(
+      avr::random_instance(*avr::class_index(avr::Mnemonic::kLds, avr::AddrMode::kAbs), rng),
+      sim::ProgramContext::make(0), rng);
+  EXPECT_EQ(model.classify_within_group(5, t),
+            *avr::class_index(avr::Mnemonic::kLds, avr::AddrMode::kAbs));
+}
+
+TEST_F(CoreFixture, RegisterLevelRecoversOperands) {
+  ProfilingData data;
+  data.classes[*avr::class_index(avr::Mnemonic::kEor)] = capture(avr::Mnemonic::kEor, 60);
+  data.classes[*avr::class_index(avr::Mnemonic::kLdi)] = capture(avr::Mnemonic::kLdi, 60);
+  for (std::uint8_t r : {4, 20}) {
+    data.rd_classes[r] = campaign.capture_register(true, r, 220, 5, rng);
+    data.rr_classes[r] = campaign.capture_register(false, r, 220, 5, rng);
+  }
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 20;
+  cfg.factory.discriminant.shrinkage = 0.15;
+  const auto model = HierarchicalDisassembler::train(data, cfg);
+  ASSERT_TRUE(model.has_register_level());
+
+  avr::SampleOptions opts;
+  opts.fix_rd = 20;
+  opts.fix_rr = 4;
+  std::size_t rd_hits = 0, rr_hits = 0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    const avr::Instruction target =
+        avr::random_instance(*avr::class_index(avr::Mnemonic::kEor), rng, opts);
+    const sim::Trace t =
+        campaign.capture_trace(target, sim::ProgramContext::make(70), rng);
+    const Disassembly d = model.classify(t);
+    if (d.rd && *d.rd == 20) ++rd_hits;
+    if (d.rr && *d.rr == 4) ++rr_hits;
+  }
+  EXPECT_GE(rd_hits, n * 7 / 10);
+  EXPECT_GE(rr_hits, n * 7 / 10);
+}
+
+TEST_F(CoreFixture, TrainRejectsEmptyCorpus) {
+  ProfilingData data;
+  EXPECT_THROW(HierarchicalDisassembler::train(data), std::invalid_argument);
+  data.classes[0] = {};
+  EXPECT_THROW(HierarchicalDisassembler::train(data), std::invalid_argument);
+}
+
+TEST(Disassembly, TextAndInstructionReconstruction) {
+  Disassembly d;
+  d.class_idx = *avr::class_index(avr::Mnemonic::kEor);
+  d.group = 1;
+  d.rd = 16;
+  d.rr = 17;
+  EXPECT_EQ(d.text(), "EOR r16, r17");
+  const avr::Instruction in = d.to_instruction();
+  EXPECT_EQ(in.mnemonic, avr::Mnemonic::kEor);
+  EXPECT_EQ(in.rd, 16);
+}
+
+TEST_F(CoreFixture, MajorityVoteBeatsGeneralAtLowDims) {
+  features::LabeledTraces train, test;
+  std::vector<sim::TraceSet> train_sets, test_sets;
+  const std::vector<avr::Mnemonic> ms = {avr::Mnemonic::kAdd, avr::Mnemonic::kSub,
+                                         avr::Mnemonic::kAnd, avr::Mnemonic::kOr};
+  for (avr::Mnemonic m : ms) {
+    train_sets.push_back(capture(m, 80));
+    test_sets.push_back(capture(m, 25));
+  }
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const int label = static_cast<int>(*avr::class_index(ms[i]));
+    train.labels.push_back(label);
+    train.sets.push_back(&train_sets[i]);
+    test.labels.push_back(label);
+    test.sets.push_back(&test_sets[i]);
+  }
+
+  MajorityVoteConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 2;
+  cfg.factory.discriminant.shrinkage = 0.15;
+  const auto voter = MajorityVoteClassifier::train(train, cfg);
+  EXPECT_EQ(voter.num_pairs(), 6u);
+
+  std::size_t mv_hits = 0, total = 0;
+  for (std::size_t i = 0; i < test.sets.size(); ++i) {
+    for (const sim::Trace& t : *test.sets[i]) {
+      mv_hits += voter.predict(t) == test.labels[i] ? 1 : 0;
+      ++total;
+    }
+  }
+  features::PipelineConfig gcfg = csa_config();
+  gcfg.pca_components = 2;
+  const auto pipe = features::FeaturePipeline::fit(train, gcfg);
+  ml::Qda qda;
+  qda.fit(pipe.transform(train));
+  const double general = qda.accuracy(pipe.transform(test));
+  const double mv = static_cast<double>(mv_hits) / static_cast<double>(total);
+  EXPECT_GT(mv, general);
+}
+
+TEST_F(CoreFixture, MalwareDetectorFlagsRegisterSubstitution) {
+  const avr::Program golden =
+      avr::assemble("LDI r16, 1\nEOR r16, r17\nMOV r2, r16").program;
+  const MalwareDetector detector(golden);
+
+  // Perfect recovery: no findings.
+  std::vector<Disassembly> ok(golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ok[i].class_idx = *avr::class_of(golden[i]);
+    ok[i].rd = golden[i].rd;
+    ok[i].rr = golden[i].rr;
+  }
+  EXPECT_TRUE(detector.check(ok).empty());
+
+  // Rr substitution on the EOR.
+  std::vector<Disassembly> bad = ok;
+  bad[1].rr = 0;
+  const auto findings = detector.check(bad);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].rr_mismatch);
+  EXPECT_FALSE(findings[0].class_mismatch);
+  EXPECT_EQ(findings[0].index, 1u);
+  EXPECT_NE(findings[0].describe().find("Rr tampered"), std::string::npos);
+
+  // Opcode substitution.
+  std::vector<Disassembly> swapped = ok;
+  swapped[1].class_idx = *avr::class_index(avr::Mnemonic::kAnd);
+  const auto findings2 = detector.check(swapped);
+  ASSERT_EQ(findings2.size(), 1u);
+  EXPECT_TRUE(findings2[0].class_mismatch);
+
+  // Truncated stream: missing instructions are reported.
+  std::vector<Disassembly> shorter(ok.begin(), ok.end() - 1);
+  EXPECT_EQ(detector.check(shorter).size(), 1u);
+}
+
+TEST_F(CoreFixture, MalwareDetectorSkipsUnprofiledGolden) {
+  const avr::Program golden = avr::assemble("NOP\nEOR r16, r17").program;
+  const MalwareDetector detector(golden);
+  std::vector<Disassembly> recovered(2);
+  recovered[0].class_idx = *avr::class_index(avr::Mnemonic::kAdd);  // garbage for NOP
+  recovered[1].class_idx = *avr::class_of(golden[1]);
+  recovered[1].rd = 16;
+  recovered[1].rr = 17;
+  EXPECT_TRUE(detector.check(recovered).empty());
+}
+
+TEST_F(CoreFixture, ListingRendersRecoveredStream) {
+  std::vector<Disassembly> ds(2);
+  ds[0].class_idx = *avr::class_index(avr::Mnemonic::kAdd);
+  ds[0].rd = 1;
+  ds[0].rr = 2;
+  ds[1].class_idx = *avr::class_index(avr::Mnemonic::kRjmp);
+  EXPECT_EQ(listing(ds), "ADD r1, r2\nRJMP .0\n");
+}
+
+TEST_F(CoreFixture, BaselinesTrainAndClassify) {
+  features::LabeledTraces train, test;
+  std::vector<sim::TraceSet> train_sets, test_sets;
+  for (avr::Mnemonic m : {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi}) {
+    train_sets.push_back(capture(m, 60));
+    test_sets.push_back(capture(m, 20));
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    train.labels.push_back(static_cast<int>(i));
+    train.sets.push_back(&train_sets[i]);
+    test.labels.push_back(static_cast<int>(i));
+    test.sets.push_back(&test_sets[i]);
+  }
+  baseline::BaselineConfig cfg;
+  cfg.pca_components = 10;
+  const auto msgna = baseline::train_msgna(train, cfg);
+  const auto eisenbarth = baseline::train_eisenbarth(train, cfg);
+  // ADD vs LDI cross 2 groups: easy for everyone under matched conditions.
+  EXPECT_GE(msgna.accuracy(test), 0.9);
+  EXPECT_GE(eisenbarth.accuracy(test), 0.9);
+}
+
+}  // namespace
+}  // namespace sidis::core

@@ -1,0 +1,80 @@
+// Tests for the profiling-campaign orchestrator.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/profiler.hpp"
+
+namespace sidis::core {
+namespace {
+
+class ProfilerFixture : public ::testing::Test {
+ protected:
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0)};
+  std::mt19937_64 rng{8};
+};
+
+TEST_F(ProfilerFixture, ProfilesRequestedSubset) {
+  ProfilerConfig cfg;
+  cfg.classes = {*avr::class_index(avr::Mnemonic::kAdd),
+                 *avr::class_index(avr::Mnemonic::kLdi)};
+  cfg.registers = {3, 19};
+  cfg.traces_per_class = 12;
+  cfg.traces_per_register = 8;
+  cfg.num_programs = 3;
+  const ProfilingData data = profile_device(campaign, cfg, rng);
+  ASSERT_EQ(data.classes.size(), 2u);
+  EXPECT_EQ(data.classes.at(cfg.classes[0]).size(), 12u);
+  ASSERT_EQ(data.rd_classes.size(), 2u);
+  ASSERT_EQ(data.rr_classes.size(), 2u);
+  EXPECT_EQ(data.rd_classes.at(3).size(), 8u);
+  for (const sim::Trace& t : data.rr_classes.at(19)) {
+    ASSERT_TRUE(t.meta.rr.has_value());
+    EXPECT_EQ(*t.meta.rr, 19);
+  }
+}
+
+TEST_F(ProfilerFixture, SkipsRegistersWhenDisabled) {
+  ProfilerConfig cfg;
+  cfg.classes = {*avr::class_index(avr::Mnemonic::kAdd),
+                 *avr::class_index(avr::Mnemonic::kSub)};
+  cfg.traces_per_class = 6;
+  cfg.num_programs = 2;
+  cfg.profile_registers = false;
+  const ProfilingData data = profile_device(campaign, cfg, rng);
+  EXPECT_TRUE(data.rd_classes.empty());
+  EXPECT_TRUE(data.rr_classes.empty());
+}
+
+TEST_F(ProfilerFixture, ProgressCallbackCountsAndCanAbort) {
+  ProfilerConfig cfg;
+  cfg.classes = {*avr::class_index(avr::Mnemonic::kAdd),
+                 *avr::class_index(avr::Mnemonic::kSub),
+                 *avr::class_index(avr::Mnemonic::kAnd)};
+  cfg.registers = {1};
+  cfg.traces_per_class = 4;
+  cfg.traces_per_register = 4;
+  cfg.num_programs = 2;
+  std::size_t calls = 0;
+  std::size_t seen_total = 0;
+  const ProfilingData data = profile_device(
+      campaign, cfg, rng, [&](std::size_t done, std::size_t total, const std::string&) {
+        ++calls;
+        seen_total = total;
+        EXPECT_LE(done, total);
+        return true;
+      });
+  EXPECT_EQ(calls, 5u);  // 3 classes + Rd1 + Rr1
+  EXPECT_EQ(seen_total, 5u);
+  EXPECT_EQ(data.classes.size(), 3u);
+
+  EXPECT_THROW(profile_device(campaign, cfg, rng,
+                              [](std::size_t, std::size_t, const std::string&) {
+                                return false;  // abort immediately
+                              }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sidis::core

@@ -1,0 +1,90 @@
+// Tests for the bigram prior and Viterbi sequence smoothing extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "avr/assembler.hpp"
+#include "core/sequence.hpp"
+
+namespace sidis::core {
+namespace {
+
+TEST(BigramPrior, LaplaceSmoothingGivesUniformStart) {
+  const BigramPrior prior(4);
+  // No observations: every transition equally likely.
+  EXPECT_NEAR(prior.log_prob(0, 1), std::log(0.25), 1e-12);
+  EXPECT_NEAR(prior.log_prob(2, 2), std::log(0.25), 1e-12);
+}
+
+TEST(BigramPrior, ObservationsShiftTheDistribution) {
+  BigramPrior prior(3);
+  for (int i = 0; i < 10; ++i) prior.add_transition(0, 1);
+  EXPECT_GT(prior.log_prob(0, 1), prior.log_prob(0, 2));
+  // Other rows untouched.
+  EXPECT_NEAR(prior.log_prob(1, 0), std::log(1.0 / 3.0), 1e-12);
+}
+
+TEST(BigramPrior, AddProgramCountsProfiledTransitions) {
+  BigramPrior prior(avr::num_instruction_classes());
+  const avr::Program p = avr::assemble("LDI r16, 1\nADD r0, r16\nADD r0, r16").program;
+  prior.add_program(p);
+  const std::size_t ldi = *avr::class_index(avr::Mnemonic::kLdi);
+  const std::size_t add = *avr::class_index(avr::Mnemonic::kAdd);
+  EXPECT_GT(prior.log_prob(ldi, add), prior.log_prob(ldi, ldi));
+  EXPECT_GT(prior.log_prob(add, add), prior.log_prob(add, ldi));
+}
+
+TEST(BigramPrior, UnprofiledInstructionsBreakTheChain) {
+  BigramPrior prior(avr::num_instruction_classes());
+  // LDI -> NOP -> ADD: the NOP is unprofiled, so no LDI->ADD transition.
+  const avr::Program p = avr::assemble("LDI r16, 1\nNOP\nADD r0, r16").program;
+  prior.add_program(p);
+  const std::size_t ldi = *avr::class_index(avr::Mnemonic::kLdi);
+  const std::size_t add = *avr::class_index(avr::Mnemonic::kAdd);
+  EXPECT_NEAR(prior.log_prob(ldi, add),
+              std::log(1.0 / static_cast<double>(avr::num_instruction_classes())), 1e-9);
+}
+
+TEST(BigramPrior, InvalidConstruction) {
+  EXPECT_THROW(BigramPrior(0), std::invalid_argument);
+  EXPECT_THROW(BigramPrior(3, 0.0), std::invalid_argument);
+}
+
+TEST(Viterbi, ZeroWeightReducesToArgmax) {
+  // 3 windows, 2 classes.
+  linalg::Matrix em{{-1.0, -2.0}, {-3.0, -0.5}, {-0.2, -4.0}};
+  BigramPrior prior(2);
+  const auto path = viterbi_decode(em, prior, 0.0);
+  EXPECT_EQ(path, (std::vector<std::size_t>{0, 1, 0}));
+}
+
+TEST(Viterbi, PriorRepairsIsolatedError) {
+  // The true sequence is 0,0,0 but the middle window's emission slightly
+  // prefers class 1.  A prior that has only ever seen 0->0 fixes it.
+  linalg::Matrix em{{-0.1, -3.0}, {-1.2, -1.0}, {-0.1, -3.0}};
+  BigramPrior prior(2, 0.1);
+  for (int i = 0; i < 50; ++i) prior.add_transition(0, 0);
+  const auto smoothed = viterbi_decode(em, prior, 1.0);
+  EXPECT_EQ(smoothed, (std::vector<std::size_t>{0, 0, 0}));
+  // Without the prior the error stays.
+  const auto raw = viterbi_decode(em, prior, 0.0);
+  EXPECT_EQ(raw[1], 1u);
+}
+
+TEST(Viterbi, StrongEmissionsOverrideThePrior) {
+  linalg::Matrix em{{-0.1, -30.0}, {-30.0, -0.1}};
+  BigramPrior prior(2, 0.1);
+  for (int i = 0; i < 100; ++i) prior.add_transition(0, 0);
+  const auto path = viterbi_decode(em, prior, 1.0);
+  EXPECT_EQ(path, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Viterbi, EmptyAndMismatchedInputs) {
+  const BigramPrior prior(3);
+  EXPECT_TRUE(viterbi_decode(linalg::Matrix{}, prior).empty());
+  linalg::Matrix wrong(2, 2, 0.0);
+  EXPECT_THROW(viterbi_decode(wrong, prior), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sidis::core

@@ -1,0 +1,146 @@
+// Round-trip tests for template persistence (core/serialize.hpp).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/csa.hpp"
+#include "core/serialize.hpp"
+#include "sim/acquisition.hpp"
+
+namespace sidis::core {
+namespace {
+
+TEST(Serialize, MatrixAndVectorRoundTripExactly) {
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> d(0, 1);
+  linalg::Matrix m(3, 4);
+  for (double& v : m.data()) v = d(rng);
+  std::stringstream ss;
+  write_matrix(ss, m);
+  EXPECT_EQ(read_matrix(ss), m);  // bit-exact via hex floats
+
+  linalg::Vector v{1.0 / 3.0, -2.718281828459045, 0.0, 1e-300};
+  std::stringstream sv;
+  write_vector(sv, v);
+  EXPECT_EQ(read_vector(sv), v);
+}
+
+TEST(Serialize, CorruptArchivesThrow) {
+  std::stringstream ss("vec 3 0x1p+0 0x1p+1");  // one value short
+  EXPECT_THROW(read_vector(ss), std::runtime_error);
+  std::stringstream tag("nope 1 2");
+  EXPECT_THROW(read_matrix(tag), std::runtime_error);
+  std::stringstream neg("mat -1 2");
+  EXPECT_THROW(read_matrix(neg), std::runtime_error);
+}
+
+TEST(Serialize, QdaRoundTripPredictsIdentically) {
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> noise(0, 0.4);
+  std::vector<linalg::Vector> rows;
+  std::vector<int> y;
+  for (int i = 0; i < 120; ++i) {
+    rows.push_back({noise(rng) - 1.5, noise(rng)});
+    y.push_back(-3);
+    rows.push_back({noise(rng) + 1.5, noise(rng)});
+    y.push_back(9);
+  }
+  ml::Dataset train;
+  train.x = linalg::Matrix::from_rows(rows);
+  train.y = y;
+  ml::Qda original;
+  original.fit(train);
+
+  std::stringstream ss;
+  save_qda(ss, original);
+  const ml::Qda restored = load_qda(ss);
+  EXPECT_EQ(restored.labels(), original.labels());
+  for (int i = 0; i < 50; ++i) {
+    const linalg::Vector x{noise(rng) * 4, noise(rng) * 4};
+    EXPECT_EQ(restored.predict(x), original.predict(x));
+    const linalg::Vector sa = original.scores(x);
+    const linalg::Vector sb = restored.scores(x);
+    for (std::size_t c = 0; c < sa.size(); ++c) EXPECT_NEAR(sb[c], sa[c], 1e-9);
+  }
+}
+
+class SerializeFixture : public ::testing::Test {
+ protected:
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0)};
+  std::mt19937_64 rng{3};
+};
+
+TEST_F(SerializeFixture, PipelineRoundTripTransformsIdentically) {
+  const sim::TraceSet a =
+      campaign.capture_class(*avr::class_index(avr::Mnemonic::kAdd), 60, 5, rng);
+  const sim::TraceSet b =
+      campaign.capture_class(*avr::class_index(avr::Mnemonic::kAnd), 60, 5, rng);
+  features::PipelineConfig cfg = csa_config();
+  cfg.pca_components = 8;
+  const auto original = features::FeaturePipeline::fit({{0, 1}, {&a, &b}}, cfg);
+
+  std::stringstream ss;
+  save_pipeline(ss, original);
+  const auto restored = load_pipeline(ss);
+  EXPECT_EQ(restored.unified_points().size(), original.unified_points().size());
+  EXPECT_EQ(restored.grid_size(), original.grid_size());
+  for (const sim::Trace& t : a) {
+    const linalg::Vector za = original.transform(t);
+    const linalg::Vector zb = restored.transform(t);
+    ASSERT_EQ(za.size(), zb.size());
+    for (std::size_t i = 0; i < za.size(); ++i) EXPECT_NEAR(zb[i], za[i], 1e-9);
+  }
+}
+
+TEST_F(SerializeFixture, DisassemblerRoundTripClassifiesIdentically) {
+  ProfilingData data;
+  for (avr::Mnemonic m : {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi, avr::Mnemonic::kCom}) {
+    data.classes[*avr::class_index(m)] =
+        campaign.capture_class(*avr::class_index(m), 60, 5, rng);
+  }
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 10;
+  cfg.group_components = 8;
+  cfg.instruction_components = 8;
+  const auto original = HierarchicalDisassembler::train(data, cfg);
+
+  std::stringstream ss;
+  save_disassembler(ss, original);
+  const auto restored = load_disassembler(ss);
+
+  for (int i = 0; i < 25; ++i) {
+    const sim::Trace t = campaign.capture_trace(
+        avr::random_instance(*avr::class_index(avr::Mnemonic::kAdd), rng),
+        sim::ProgramContext::make(i % 5), rng);
+    const Disassembly da = original.classify(t);
+    const Disassembly db = restored.classify(t);
+    EXPECT_EQ(da.group, db.group);
+    EXPECT_EQ(da.class_idx, db.class_idx);
+  }
+}
+
+TEST_F(SerializeFixture, NonQdaModelRefusesToPersist) {
+  ProfilingData data;
+  for (avr::Mnemonic m : {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi}) {
+    data.classes[*avr::class_index(m)] =
+        campaign.capture_class(*avr::class_index(m), 40, 4, rng);
+  }
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 6;
+  cfg.classifier = ml::ClassifierKind::kKnn;
+  const auto model = HierarchicalDisassembler::train(data, cfg);
+  std::stringstream ss;
+  EXPECT_THROW(save_disassembler(ss, model), std::invalid_argument);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream ss("not-a-template 1");
+  EXPECT_THROW(load_disassembler(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sidis::core

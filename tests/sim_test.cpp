@@ -1,0 +1,266 @@
+// Tests for the side-channel substrate: environment models, power synthesis,
+// the scope front-end and the acquisition campaign.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "avr/assembler.hpp"
+#include "avr/cpu.hpp"
+#include "dsp/signal.hpp"
+#include "sim/acquisition.hpp"
+#include "sim/hash.hpp"
+
+namespace sidis::sim {
+namespace {
+
+TEST(Hash, DeterministicAndSpread) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+  const double u = hash_unit(splitmix64(7));
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+  EXPECT_GE(hash_range(splitmix64(9), 2.0, 5.0), 2.0);
+  EXPECT_LT(hash_range(splitmix64(9), 2.0, 5.0), 5.0);
+}
+
+TEST(Hash, HammingHelpers) {
+  EXPECT_EQ(hamming_weight(0x00), 0);
+  EXPECT_EQ(hamming_weight(0xFF), 8);
+  EXPECT_EQ(hamming_weight(0xA5), 4);
+  EXPECT_EQ(hamming_weight16(0xFFFF), 16);
+  EXPECT_EQ(hamming_distance(0xF0, 0x0F), 8);
+  EXPECT_EQ(hamming_distance(0xAA, 0xAA), 0);
+}
+
+TEST(Environment, TrainingDeviceIsNominal) {
+  const DeviceModel d0 = DeviceModel::make(0);
+  EXPECT_DOUBLE_EQ(d0.gain, 1.0);
+  EXPECT_DOUBLE_EQ(d0.offset, 0.0);
+  EXPECT_DOUBLE_EQ(d0.signature_spread, 0.0);
+}
+
+TEST(Environment, TargetDevicesVaryDeterministically) {
+  const DeviceModel a = DeviceModel::make(3);
+  const DeviceModel b = DeviceModel::make(3);
+  const DeviceModel c = DeviceModel::make(4);
+  EXPECT_DOUBLE_EQ(a.gain, b.gain);
+  EXPECT_NE(a.gain, c.gain);
+  EXPECT_GT(a.signature_spread, 0.0);
+  EXPECT_NE(a.gain, 1.0);
+}
+
+TEST(Environment, SessionsAndProgramsCompose) {
+  Environment env{DeviceModel::make(1), SessionContext::make(1), ProgramContext::make(2)};
+  EXPECT_NEAR(env.total_gain(),
+              env.device.gain * env.session.gain * env.program.gain, 1e-12);
+  EXPECT_NEAR(env.total_offset(),
+              env.device.offset + env.session.offset + env.program.offset, 1e-12);
+}
+
+TEST(PowerModel, DeterministicForSameInputs) {
+  avr::Cpu cpu;
+  cpu.load_program(avr::assemble("LDI r16, 3\nADD r0, r16\nNOP").program);
+  const auto records = cpu.run(8);
+  const PowerSynthesizer synth(DeviceModel::make(0));
+  const auto w1 = synth.synthesize(records);
+  const auto w2 = synth.synthesize(records);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(w1.size(),
+            static_cast<std::size_t>(std::ceil(3 * synth.config().samples_per_cycle)) + 1);
+}
+
+TEST(PowerModel, DifferentOpcodesDifferentWaveforms) {
+  const PowerSynthesizer synth(DeviceModel::make(0));
+  const auto wave_of = [&](const std::string& listing) {
+    avr::Cpu cpu;
+    cpu.load_program(avr::assemble(listing).program);
+    const auto records = cpu.run(4);
+    return synth.synthesize(records);
+  };
+  const auto add = wave_of("ADD r1, r2");
+  const auto and_ = wave_of("AND r1, r2");
+  ASSERT_EQ(add.size(), and_.size());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < add.size(); ++i) diff += std::abs(add[i] - and_[i]);
+  EXPECT_GT(diff / static_cast<double>(add.size()), 1e-4);
+}
+
+TEST(PowerModel, RegisterAddressChangesWaveform) {
+  const PowerSynthesizer synth(DeviceModel::make(0));
+  const auto wave_of = [&](std::uint8_t rd) {
+    avr::Cpu cpu;
+    avr::Instruction in;
+    in.mnemonic = avr::Mnemonic::kAdd;
+    in.rd = rd;
+    in.rr = 2;
+    cpu.load_program(std::vector<avr::Instruction>{in});
+    // Pin data so only the address differs.
+    cpu.set_reg(rd, 0);
+    cpu.set_reg(2, 0);
+    const auto records = cpu.run(1);
+    return synth.synthesize(records);
+  };
+  const auto r16 = wave_of(16);
+  const auto r0 = wave_of(0);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < r16.size(); ++i) diff += std::abs(r16[i] - r0[i]);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(PowerModel, IssueMapPreservesAliases) {
+  const avr::Program p = avr::assemble("TST r5\nNOP").program;
+  const IssueMap map = make_issue_map(p);
+  ASSERT_TRUE(map.count(0));
+  EXPECT_EQ(map.at(0).mnemonic, avr::Mnemonic::kTst);
+  // Two-word instructions advance the address correctly.
+  const avr::Program q = avr::assemble("LDS r0, 0x100\nNOP").program;
+  const IssueMap map2 = make_issue_map(q);
+  EXPECT_TRUE(map2.count(2));
+  EXPECT_EQ(map2.at(2).mnemonic, avr::Mnemonic::kNop);
+}
+
+TEST(Oscilloscope, GainAndOffsetApplied) {
+  ScopeConfig cfg;
+  cfg.enable_noise = false;
+  cfg.enable_quantization = false;
+  cfg.trigger_jitter = 0;
+  cfg.enable_bandwidth = false;
+  const Oscilloscope scope(cfg);
+  Environment env{DeviceModel::make(0), SessionContext{}, ProgramContext{}};
+  env.session.gain = 2.0;
+  env.session.offset = 0.5;
+  std::mt19937_64 rng(1);
+  const auto out = scope.capture(std::vector<double>(100, 1.0), env, rng, false);
+  for (double v : out) EXPECT_NEAR(v, 2.5, 1e-12);
+}
+
+TEST(Oscilloscope, NoiseRespectsDeviceFactor) {
+  ScopeConfig cfg;
+  cfg.enable_quantization = false;
+  cfg.trigger_jitter = 0;
+  const Oscilloscope scope(cfg);
+  std::mt19937_64 rng(2);
+  Environment quiet{DeviceModel::make(0), SessionContext{}, ProgramContext{}};
+  Environment loud = quiet;
+  loud.device.noise_factor = 4.0;
+  const std::vector<double> flat(4000, 1.0);
+  const double s_quiet = dsp::stddev(scope.capture(flat, quiet, rng));
+  const double s_loud = dsp::stddev(scope.capture(flat, loud, rng));
+  EXPECT_GT(s_loud, 2.5 * s_quiet);
+}
+
+TEST(Oscilloscope, QuantizationSnapsToAdcGrid) {
+  ScopeConfig cfg;
+  cfg.enable_noise = false;
+  cfg.trigger_jitter = 0;
+  cfg.enable_bandwidth = false;
+  cfg.adc_bits = 8;
+  const Oscilloscope scope(cfg);
+  Environment env{DeviceModel::make(0), SessionContext{}, ProgramContext{}};
+  std::mt19937_64 rng(3);
+  const auto out = scope.capture({0.1234567}, env, rng, false);
+  const double step = (cfg.range_hi - cfg.range_lo) / 255.0;
+  const double snapped = std::round((out[0] - cfg.range_lo) / step) * step + cfg.range_lo;
+  EXPECT_NEAR(out[0], snapped, 1e-12);
+}
+
+class AcquisitionFixture : public ::testing::Test {
+ protected:
+  AcquisitionCampaign campaign{DeviceModel::make(0), SessionContext::make(0)};
+  std::mt19937_64 rng{42};
+};
+
+TEST_F(AcquisitionFixture, TraceHasPaperGeometry) {
+  const avr::Instruction target = avr::random_instance(
+      *avr::class_index(avr::Mnemonic::kAdd), rng);
+  const Trace t = campaign.capture_trace(target, ProgramContext::make(0), rng);
+  EXPECT_EQ(t.samples.size(), 315u);
+  EXPECT_EQ(t.meta.class_idx, *avr::class_index(avr::Mnemonic::kAdd));
+  ASSERT_TRUE(t.meta.rd.has_value());
+  ASSERT_TRUE(t.meta.rr.has_value());
+  EXPECT_EQ(*t.meta.rd, target.rd);
+  EXPECT_GT(t.meta.gain_estimate, 0.0);
+}
+
+TEST_F(AcquisitionFixture, ReferenceSubtractionRemovesBaseline) {
+  // The subtracted window keeps only instruction-specific content, whereas
+  // the raw capture sits on the ~0.35 baseline plus ~1.0 clock spikes.
+  const avr::Instruction target = avr::random_instance(
+      *avr::class_index(avr::Mnemonic::kMov), rng);
+  const Trace t = campaign.capture_trace(target, ProgramContext::make(0), rng);
+  EXPECT_LT(std::abs(dsp::mean(t.samples)), 0.25);
+}
+
+TEST_F(AcquisitionFixture, CaptureClassSpreadsPrograms) {
+  const TraceSet set = campaign.capture_class(
+      *avr::class_index(avr::Mnemonic::kAnd), 20, 5, rng);
+  ASSERT_EQ(set.size(), 20u);
+  std::set<int> programs;
+  for (const Trace& t : set) programs.insert(t.meta.program_id);
+  EXPECT_EQ(programs.size(), 5u);
+  EXPECT_EQ(split_by_program(set).size(), 5u);
+  EXPECT_EQ(filter_by_program(set, 0).size(), 4u);
+}
+
+TEST_F(AcquisitionFixture, CaptureRegisterPinsRegister) {
+  const TraceSet rd_set = campaign.capture_register(true, 13, 15, 3, rng);
+  for (const Trace& t : rd_set) {
+    ASSERT_TRUE(t.meta.rd.has_value());
+    EXPECT_EQ(*t.meta.rd, 13);
+    EXPECT_TRUE(avr::class_allows_rd(t.meta.class_idx, 13));
+  }
+  const TraceSet rr_set = campaign.capture_register(false, 27, 15, 3, rng);
+  for (const Trace& t : rr_set) {
+    ASSERT_TRUE(t.meta.rr.has_value());
+    EXPECT_EQ(*t.meta.rr, 27);
+  }
+}
+
+TEST_F(AcquisitionFixture, GainEstimateTracksSessionGain) {
+  SessionContext hot = SessionContext::make(0);
+  hot.id = 9;
+  hot.gain = 1.5;
+  const AcquisitionCampaign hot_campaign(DeviceModel::make(0), hot);
+  const avr::Instruction target = avr::random_instance(
+      *avr::class_index(avr::Mnemonic::kAdd), rng);
+  double base = 0.0, scaled = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    base += campaign.capture_trace(target, ProgramContext::make(0), rng).meta.gain_estimate;
+    scaled +=
+        hot_campaign.capture_trace(target, ProgramContext::make(0), rng).meta.gain_estimate;
+  }
+  EXPECT_NEAR(scaled / base, 1.5, 0.05);
+}
+
+TEST_F(AcquisitionFixture, ExternalReferenceValidated) {
+  AcquisitionCampaign other(DeviceModel::make(0), SessionContext::make(0));
+  EXPECT_THROW(other.use_reference(std::vector<double>(10, 0.0)), std::invalid_argument);
+  EXPECT_NO_THROW(other.use_reference(campaign.reference_window()));
+}
+
+TEST_F(AcquisitionFixture, CaptureProgramLabelsEveryWindow) {
+  const avr::Program p = avr::assemble(
+      "SBI 5, 5\nNOP\nLDI r16, 1\nADD r0, r16\nST X+, r0\nCBI 5, 5").program;
+  const TraceSet windows = campaign.capture_program(p, ProgramContext::make(0), rng);
+  // First instruction (SBI) has no preceding fetch cycle -> no window.
+  ASSERT_EQ(windows.size(), p.size() - 1);
+  EXPECT_EQ(windows[1].meta.instr.mnemonic, avr::Mnemonic::kLdi);
+  EXPECT_EQ(windows[2].meta.instr.mnemonic, avr::Mnemonic::kAdd);
+  for (const Trace& t : windows) {
+    EXPECT_EQ(t.samples.size(), 315u);
+    EXPECT_GT(t.meta.gain_estimate, 0.0);
+  }
+}
+
+TEST_F(AcquisitionFixture, SameSeedSameTraces) {
+  std::mt19937_64 a(123), b(123);
+  const std::size_t cls = *avr::class_index(avr::Mnemonic::kEor);
+  const Trace ta = campaign.capture_trace(avr::random_instance(cls, a),
+                                          ProgramContext::make(1), a);
+  const Trace tb = campaign.capture_trace(avr::random_instance(cls, b),
+                                          ProgramContext::make(1), b);
+  EXPECT_EQ(ta.samples, tb.samples);
+}
+
+}  // namespace
+}  // namespace sidis::sim
