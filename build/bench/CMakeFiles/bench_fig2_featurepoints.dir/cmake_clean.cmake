@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_featurepoints.dir/bench_fig2_featurepoints.cpp.o"
+  "CMakeFiles/bench_fig2_featurepoints.dir/bench_fig2_featurepoints.cpp.o.d"
+  "bench_fig2_featurepoints"
+  "bench_fig2_featurepoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_featurepoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

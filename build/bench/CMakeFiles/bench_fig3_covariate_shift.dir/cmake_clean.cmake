@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_covariate_shift.dir/bench_fig3_covariate_shift.cpp.o"
+  "CMakeFiles/bench_fig3_covariate_shift.dir/bench_fig3_covariate_shift.cpp.o.d"
+  "bench_fig3_covariate_shift"
+  "bench_fig3_covariate_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_covariate_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

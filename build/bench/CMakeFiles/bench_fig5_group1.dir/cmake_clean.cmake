@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_group1.dir/bench_fig5_group1.cpp.o"
+  "CMakeFiles/bench_fig5_group1.dir/bench_fig5_group1.cpp.o.d"
+  "bench_fig5_group1"
+  "bench_fig5_group1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_group1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_groups.dir/bench_fig5_groups.cpp.o"
+  "CMakeFiles/bench_fig5_groups.dir/bench_fig5_groups.cpp.o.d"
+  "bench_fig5_groups"
+  "bench_fig5_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

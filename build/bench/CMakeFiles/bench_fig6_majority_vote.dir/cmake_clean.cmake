@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_majority_vote.dir/bench_fig6_majority_vote.cpp.o"
+  "CMakeFiles/bench_fig6_majority_vote.dir/bench_fig6_majority_vote.cpp.o.d"
+  "bench_fig6_majority_vote"
+  "bench_fig6_majority_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_majority_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_system.dir/bench_full_system.cpp.o"
+  "CMakeFiles/bench_full_system.dir/bench_full_system.cpp.o.d"
+  "bench_full_system"
+  "bench_full_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

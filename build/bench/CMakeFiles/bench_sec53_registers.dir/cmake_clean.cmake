@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_registers.dir/bench_sec53_registers.cpp.o"
+  "CMakeFiles/bench_sec53_registers.dir/bench_sec53_registers.cpp.o.d"
+  "bench_sec53_registers"
+  "bench_sec53_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_comparison.dir/bench_table1_comparison.cpp.o"
+  "CMakeFiles/bench_table1_comparison.dir/bench_table1_comparison.cpp.o.d"
+  "bench_table1_comparison"
+  "bench_table1_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

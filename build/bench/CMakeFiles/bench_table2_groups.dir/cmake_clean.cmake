@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_groups.dir/bench_table2_groups.cpp.o"
+  "CMakeFiles/bench_table2_groups.dir/bench_table2_groups.cpp.o.d"
+  "bench_table2_groups"
+  "bench_table2_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

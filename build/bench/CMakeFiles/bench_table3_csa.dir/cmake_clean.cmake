@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_csa.dir/bench_table3_csa.cpp.o"
+  "CMakeFiles/bench_table3_csa.dir/bench_table3_csa.cpp.o.d"
+  "bench_table3_csa"
+  "bench_table3_csa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_csa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

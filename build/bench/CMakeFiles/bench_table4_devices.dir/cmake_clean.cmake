@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_devices.dir/bench_table4_devices.cpp.o"
+  "CMakeFiles/bench_table4_devices.dir/bench_table4_devices.cpp.o.d"
+  "bench_table4_devices"
+  "bench_table4_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

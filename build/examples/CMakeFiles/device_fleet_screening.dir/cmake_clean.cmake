@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_fleet_screening.dir/device_fleet_screening.cpp.o"
+  "CMakeFiles/device_fleet_screening.dir/device_fleet_screening.cpp.o.d"
+  "device_fleet_screening"
+  "device_fleet_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_fleet_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

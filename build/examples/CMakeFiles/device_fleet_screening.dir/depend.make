@@ -1,0 +1,2 @@
+# Empty dependencies file for device_fleet_screening.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_reverse_engineering.dir/firmware_reverse_engineering.cpp.o"
+  "CMakeFiles/firmware_reverse_engineering.dir/firmware_reverse_engineering.cpp.o.d"
+  "firmware_reverse_engineering"
+  "firmware_reverse_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_reverse_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

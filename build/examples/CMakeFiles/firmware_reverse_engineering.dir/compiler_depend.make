@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for firmware_reverse_engineering.
+# This may be replaced when dependencies are built.

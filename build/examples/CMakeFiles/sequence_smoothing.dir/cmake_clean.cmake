@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_smoothing.dir/sequence_smoothing.cpp.o"
+  "CMakeFiles/sequence_smoothing.dir/sequence_smoothing.cpp.o.d"
+  "sequence_smoothing"
+  "sequence_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sequence_smoothing.
+# This may be replaced when dependencies are built.

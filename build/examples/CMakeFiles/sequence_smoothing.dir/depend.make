@@ -1,0 +1,2 @@
+# Empty dependencies file for sequence_smoothing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avr/assembler.cpp" "src/avr/CMakeFiles/sidis_avr.dir/assembler.cpp.o" "gcc" "src/avr/CMakeFiles/sidis_avr.dir/assembler.cpp.o.d"
+  "/root/repo/src/avr/codec.cpp" "src/avr/CMakeFiles/sidis_avr.dir/codec.cpp.o" "gcc" "src/avr/CMakeFiles/sidis_avr.dir/codec.cpp.o.d"
+  "/root/repo/src/avr/cpu.cpp" "src/avr/CMakeFiles/sidis_avr.dir/cpu.cpp.o" "gcc" "src/avr/CMakeFiles/sidis_avr.dir/cpu.cpp.o.d"
+  "/root/repo/src/avr/grouping.cpp" "src/avr/CMakeFiles/sidis_avr.dir/grouping.cpp.o" "gcc" "src/avr/CMakeFiles/sidis_avr.dir/grouping.cpp.o.d"
+  "/root/repo/src/avr/isa.cpp" "src/avr/CMakeFiles/sidis_avr.dir/isa.cpp.o" "gcc" "src/avr/CMakeFiles/sidis_avr.dir/isa.cpp.o.d"
+  "/root/repo/src/avr/program.cpp" "src/avr/CMakeFiles/sidis_avr.dir/program.cpp.o" "gcc" "src/avr/CMakeFiles/sidis_avr.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

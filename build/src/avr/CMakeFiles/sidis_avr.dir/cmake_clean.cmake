@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidis_avr.dir/assembler.cpp.o"
+  "CMakeFiles/sidis_avr.dir/assembler.cpp.o.d"
+  "CMakeFiles/sidis_avr.dir/codec.cpp.o"
+  "CMakeFiles/sidis_avr.dir/codec.cpp.o.d"
+  "CMakeFiles/sidis_avr.dir/cpu.cpp.o"
+  "CMakeFiles/sidis_avr.dir/cpu.cpp.o.d"
+  "CMakeFiles/sidis_avr.dir/grouping.cpp.o"
+  "CMakeFiles/sidis_avr.dir/grouping.cpp.o.d"
+  "CMakeFiles/sidis_avr.dir/isa.cpp.o"
+  "CMakeFiles/sidis_avr.dir/isa.cpp.o.d"
+  "CMakeFiles/sidis_avr.dir/program.cpp.o"
+  "CMakeFiles/sidis_avr.dir/program.cpp.o.d"
+  "libsidis_avr.a"
+  "libsidis_avr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidis_avr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsidis_avr.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for sidis_avr.
+# This may be replaced when dependencies are built.

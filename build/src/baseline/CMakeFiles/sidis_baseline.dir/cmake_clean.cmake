@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidis_baseline.dir/baselines.cpp.o"
+  "CMakeFiles/sidis_baseline.dir/baselines.cpp.o.d"
+  "libsidis_baseline.a"
+  "libsidis_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidis_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csa.cpp" "src/core/CMakeFiles/sidis_core.dir/csa.cpp.o" "gcc" "src/core/CMakeFiles/sidis_core.dir/csa.cpp.o.d"
+  "/root/repo/src/core/disassembler.cpp" "src/core/CMakeFiles/sidis_core.dir/disassembler.cpp.o" "gcc" "src/core/CMakeFiles/sidis_core.dir/disassembler.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/sidis_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/sidis_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/majority_vote.cpp" "src/core/CMakeFiles/sidis_core.dir/majority_vote.cpp.o" "gcc" "src/core/CMakeFiles/sidis_core.dir/majority_vote.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/sidis_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/sidis_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/sequence.cpp" "src/core/CMakeFiles/sidis_core.dir/sequence.cpp.o" "gcc" "src/core/CMakeFiles/sidis_core.dir/sequence.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/sidis_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/sidis_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/sidis_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sidis_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/avr/CMakeFiles/sidis_avr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sidis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sidis_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sidis_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sidis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidis_core.dir/csa.cpp.o"
+  "CMakeFiles/sidis_core.dir/csa.cpp.o.d"
+  "CMakeFiles/sidis_core.dir/disassembler.cpp.o"
+  "CMakeFiles/sidis_core.dir/disassembler.cpp.o.d"
+  "CMakeFiles/sidis_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/sidis_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/sidis_core.dir/majority_vote.cpp.o"
+  "CMakeFiles/sidis_core.dir/majority_vote.cpp.o.d"
+  "CMakeFiles/sidis_core.dir/profiler.cpp.o"
+  "CMakeFiles/sidis_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/sidis_core.dir/sequence.cpp.o"
+  "CMakeFiles/sidis_core.dir/sequence.cpp.o.d"
+  "CMakeFiles/sidis_core.dir/serialize.cpp.o"
+  "CMakeFiles/sidis_core.dir/serialize.cpp.o.d"
+  "libsidis_core.a"
+  "libsidis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/sidis_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/sidis_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/signal.cpp" "src/dsp/CMakeFiles/sidis_dsp.dir/signal.cpp.o" "gcc" "src/dsp/CMakeFiles/sidis_dsp.dir/signal.cpp.o.d"
+  "/root/repo/src/dsp/wavelet.cpp" "src/dsp/CMakeFiles/sidis_dsp.dir/wavelet.cpp.o" "gcc" "src/dsp/CMakeFiles/sidis_dsp.dir/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sidis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidis_dsp.dir/fft.cpp.o"
+  "CMakeFiles/sidis_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/sidis_dsp.dir/signal.cpp.o"
+  "CMakeFiles/sidis_dsp.dir/signal.cpp.o.d"
+  "CMakeFiles/sidis_dsp.dir/wavelet.cpp.o"
+  "CMakeFiles/sidis_dsp.dir/wavelet.cpp.o.d"
+  "libsidis_dsp.a"
+  "libsidis_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidis_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

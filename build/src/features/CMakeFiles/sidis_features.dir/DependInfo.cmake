@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/pipeline.cpp" "src/features/CMakeFiles/sidis_features.dir/pipeline.cpp.o" "gcc" "src/features/CMakeFiles/sidis_features.dir/pipeline.cpp.o.d"
+  "/root/repo/src/features/selection.cpp" "src/features/CMakeFiles/sidis_features.dir/selection.cpp.o" "gcc" "src/features/CMakeFiles/sidis_features.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/sidis_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sidis_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sidis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sidis_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/avr/CMakeFiles/sidis_avr.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sidis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

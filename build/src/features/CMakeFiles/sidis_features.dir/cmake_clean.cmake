@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidis_features.dir/pipeline.cpp.o"
+  "CMakeFiles/sidis_features.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sidis_features.dir/selection.cpp.o"
+  "CMakeFiles/sidis_features.dir/selection.cpp.o.d"
+  "libsidis_features.a"
+  "libsidis_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidis_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

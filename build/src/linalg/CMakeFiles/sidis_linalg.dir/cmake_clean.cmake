@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidis_linalg.dir/decompositions.cpp.o"
+  "CMakeFiles/sidis_linalg.dir/decompositions.cpp.o.d"
+  "CMakeFiles/sidis_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/sidis_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/sidis_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/sidis_linalg.dir/matrix.cpp.o.d"
+  "libsidis_linalg.a"
+  "libsidis_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidis_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

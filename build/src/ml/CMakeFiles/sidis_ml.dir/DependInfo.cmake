@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/sidis_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/sidis_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/crossval.cpp" "src/ml/CMakeFiles/sidis_ml.dir/crossval.cpp.o" "gcc" "src/ml/CMakeFiles/sidis_ml.dir/crossval.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/sidis_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/sidis_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/discriminant.cpp" "src/ml/CMakeFiles/sidis_ml.dir/discriminant.cpp.o" "gcc" "src/ml/CMakeFiles/sidis_ml.dir/discriminant.cpp.o.d"
+  "/root/repo/src/ml/factory.cpp" "src/ml/CMakeFiles/sidis_ml.dir/factory.cpp.o" "gcc" "src/ml/CMakeFiles/sidis_ml.dir/factory.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/sidis_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/sidis_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/sidis_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/sidis_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/sidis_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/sidis_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/sidis_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/sidis_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sidis_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sidis_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidis_ml.dir/classifier.cpp.o"
+  "CMakeFiles/sidis_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/sidis_ml.dir/crossval.cpp.o"
+  "CMakeFiles/sidis_ml.dir/crossval.cpp.o.d"
+  "CMakeFiles/sidis_ml.dir/dataset.cpp.o"
+  "CMakeFiles/sidis_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/sidis_ml.dir/discriminant.cpp.o"
+  "CMakeFiles/sidis_ml.dir/discriminant.cpp.o.d"
+  "CMakeFiles/sidis_ml.dir/factory.cpp.o"
+  "CMakeFiles/sidis_ml.dir/factory.cpp.o.d"
+  "CMakeFiles/sidis_ml.dir/knn.cpp.o"
+  "CMakeFiles/sidis_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/sidis_ml.dir/metrics.cpp.o"
+  "CMakeFiles/sidis_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/sidis_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/sidis_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/sidis_ml.dir/svm.cpp.o"
+  "CMakeFiles/sidis_ml.dir/svm.cpp.o.d"
+  "libsidis_ml.a"
+  "libsidis_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidis_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

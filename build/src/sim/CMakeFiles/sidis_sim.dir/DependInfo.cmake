@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/acquisition.cpp" "src/sim/CMakeFiles/sidis_sim.dir/acquisition.cpp.o" "gcc" "src/sim/CMakeFiles/sidis_sim.dir/acquisition.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/sidis_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/sidis_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/oscilloscope.cpp" "src/sim/CMakeFiles/sidis_sim.dir/oscilloscope.cpp.o" "gcc" "src/sim/CMakeFiles/sidis_sim.dir/oscilloscope.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/sidis_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/sidis_sim.dir/power_model.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/sidis_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/sidis_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/avr/CMakeFiles/sidis_avr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sidis_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sidis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidis_sim.dir/acquisition.cpp.o"
+  "CMakeFiles/sidis_sim.dir/acquisition.cpp.o.d"
+  "CMakeFiles/sidis_sim.dir/environment.cpp.o"
+  "CMakeFiles/sidis_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/sidis_sim.dir/oscilloscope.cpp.o"
+  "CMakeFiles/sidis_sim.dir/oscilloscope.cpp.o.d"
+  "CMakeFiles/sidis_sim.dir/power_model.cpp.o"
+  "CMakeFiles/sidis_sim.dir/power_model.cpp.o.d"
+  "CMakeFiles/sidis_sim.dir/trace.cpp.o"
+  "CMakeFiles/sidis_sim.dir/trace.cpp.o.d"
+  "libsidis_sim.a"
+  "libsidis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/gaussian.cpp" "src/stats/CMakeFiles/sidis_stats.dir/gaussian.cpp.o" "gcc" "src/stats/CMakeFiles/sidis_stats.dir/gaussian.cpp.o.d"
+  "/root/repo/src/stats/kl.cpp" "src/stats/CMakeFiles/sidis_stats.dir/kl.cpp.o" "gcc" "src/stats/CMakeFiles/sidis_stats.dir/kl.cpp.o.d"
+  "/root/repo/src/stats/pca.cpp" "src/stats/CMakeFiles/sidis_stats.dir/pca.cpp.o" "gcc" "src/stats/CMakeFiles/sidis_stats.dir/pca.cpp.o.d"
+  "/root/repo/src/stats/peaks.cpp" "src/stats/CMakeFiles/sidis_stats.dir/peaks.cpp.o" "gcc" "src/stats/CMakeFiles/sidis_stats.dir/peaks.cpp.o.d"
+  "/root/repo/src/stats/standardize.cpp" "src/stats/CMakeFiles/sidis_stats.dir/standardize.cpp.o" "gcc" "src/stats/CMakeFiles/sidis_stats.dir/standardize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/sidis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidis_stats.dir/gaussian.cpp.o"
+  "CMakeFiles/sidis_stats.dir/gaussian.cpp.o.d"
+  "CMakeFiles/sidis_stats.dir/kl.cpp.o"
+  "CMakeFiles/sidis_stats.dir/kl.cpp.o.d"
+  "CMakeFiles/sidis_stats.dir/pca.cpp.o"
+  "CMakeFiles/sidis_stats.dir/pca.cpp.o.d"
+  "CMakeFiles/sidis_stats.dir/peaks.cpp.o"
+  "CMakeFiles/sidis_stats.dir/peaks.cpp.o.d"
+  "CMakeFiles/sidis_stats.dir/standardize.cpp.o"
+  "CMakeFiles/sidis_stats.dir/standardize.cpp.o.d"
+  "libsidis_stats.a"
+  "libsidis_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidis_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

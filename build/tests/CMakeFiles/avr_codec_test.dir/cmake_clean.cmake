@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_codec_test.dir/avr_codec_test.cpp.o"
+  "CMakeFiles/avr_codec_test.dir/avr_codec_test.cpp.o.d"
+  "avr_codec_test"
+  "avr_codec_test.pdb"
+  "avr_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

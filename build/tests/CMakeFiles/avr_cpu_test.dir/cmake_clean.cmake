@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_cpu_test.dir/avr_cpu_test.cpp.o"
+  "CMakeFiles/avr_cpu_test.dir/avr_cpu_test.cpp.o.d"
+  "avr_cpu_test"
+  "avr_cpu_test.pdb"
+  "avr_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

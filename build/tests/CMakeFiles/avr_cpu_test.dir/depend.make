@@ -1,0 +1,2 @@
+# Empty dependencies file for avr_cpu_test.
+# This may be replaced when dependencies are built.

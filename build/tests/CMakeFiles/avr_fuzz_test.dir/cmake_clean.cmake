@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_fuzz_test.dir/avr_fuzz_test.cpp.o"
+  "CMakeFiles/avr_fuzz_test.dir/avr_fuzz_test.cpp.o.d"
+  "avr_fuzz_test"
+  "avr_fuzz_test.pdb"
+  "avr_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_isa_test.dir/avr_isa_test.cpp.o"
+  "CMakeFiles/avr_isa_test.dir/avr_isa_test.cpp.o.d"
+  "avr_isa_test"
+  "avr_isa_test.pdb"
+  "avr_isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for avr_isa_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/avr_program_test.cpp" "tests/CMakeFiles/avr_program_test.dir/avr_program_test.cpp.o" "gcc" "tests/CMakeFiles/avr_program_test.dir/avr_program_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sidis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sidis_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/sidis_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sidis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/avr/CMakeFiles/sidis_avr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/sidis_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sidis_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sidis_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sidis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

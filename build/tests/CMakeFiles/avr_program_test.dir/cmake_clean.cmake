@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_program_test.dir/avr_program_test.cpp.o"
+  "CMakeFiles/avr_program_test.dir/avr_program_test.cpp.o.d"
+  "avr_program_test"
+  "avr_program_test.pdb"
+  "avr_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

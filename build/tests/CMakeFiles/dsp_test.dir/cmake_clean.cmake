@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_test.dir/dsp_test.cpp.o"
+  "CMakeFiles/dsp_test.dir/dsp_test.cpp.o.d"
+  "dsp_test"
+  "dsp_test.pdb"
+  "dsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

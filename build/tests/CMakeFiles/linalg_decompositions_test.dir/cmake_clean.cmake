@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_decompositions_test.dir/linalg_decompositions_test.cpp.o"
+  "CMakeFiles/linalg_decompositions_test.dir/linalg_decompositions_test.cpp.o.d"
+  "linalg_decompositions_test"
+  "linalg_decompositions_test.pdb"
+  "linalg_decompositions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_decompositions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_test.dir/sequence_test.cpp.o"
+  "CMakeFiles/sequence_test.dir/sequence_test.cpp.o.d"
+  "sequence_test"
+  "sequence_test.pdb"
+  "sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

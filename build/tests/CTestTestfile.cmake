@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/linalg_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_decompositions_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_isa_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_program_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/sequence_test[1]_include.cmake")
+include("/root/repo/build/tests/avr_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/profiler_test[1]_include.cmake")
