@@ -1,10 +1,22 @@
 #include "core/hierarchical.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "avr/isa.hpp"
 
 namespace sidis::core {
+
+namespace {
+
+/// A level with one distinct label needs no classifier -- e.g. the group
+/// level when every profiled class lives in the same group.
+bool single_label(const std::vector<int>& labels) {
+  return std::all_of(labels.begin(), labels.end(),
+                     [&](int l) { return l == labels.front(); });
+}
+
+}  // namespace
 
 avr::Instruction Disassembly::to_instruction() const {
   const avr::ClassSpec& spec = avr::instruction_classes().at(class_idx);
@@ -23,7 +35,7 @@ HierarchicalDisassembler::Level HierarchicalDisassembler::train_level(
     std::size_t components) {
   Level level;
   level.components = components;
-  if (input.labels.size() == 1) {
+  if (single_label(input.labels)) {
     level.trivial = true;
     level.only_label = input.labels.front();
     return level;
@@ -41,7 +53,7 @@ HierarchicalDisassembler::Level HierarchicalDisassembler::train_level_precompute
     std::size_t components) {
   Level level;
   level.components = components;
-  if (input.labels.size() == 1) {
+  if (single_label(input.labels)) {
     level.trivial = true;
     level.only_label = input.labels.front();
     return level;

@@ -70,6 +70,19 @@ class HierarchicalDisassembler {
                                         HierarchicalConfig config = {});
 
   /// Full three-level classification of one trace window.
+  ///
+  /// Thread-safety contract: classify() and every other const member are
+  /// safe to call concurrently from any number of threads on one shared,
+  /// fully trained instance.  The whole inference path is audited to be
+  /// free of hidden mutable state: FeaturePipeline::transform, the CWT
+  /// filter bank, ColumnScaler/Pca, and every Classifier::predict
+  /// implementation (QDA/LDA/NB/SVM/kNN) are pure const reads; the AVR
+  /// grouping tables are `static const` (thread-safe one-time init,
+  /// immutable afterwards).  Concurrent use is only undefined while a
+  /// non-const operation (move assignment, loading over an instance) runs
+  /// -- the usual C++ const-correctness rule, with no exceptions hiding in
+  /// caches.  runtime::StreamingDisassembler relies on this to share one
+  /// model across its worker pool.
   Disassembly classify(const sim::Trace& trace) const;
 
   /// Level-wise entry points (the Fig.-5 benches evaluate levels in

@@ -24,15 +24,25 @@ struct ProfilerConfig {
   std::vector<std::uint8_t> registers;
   /// Skip register profiling entirely (opcode-only disassembler).
   bool profile_registers = true;
+  /// Worker threads for the campaign (0 = hardware concurrency, 1 = inline).
+  /// Campaign items are independent captures, so they parallelize over a
+  /// runtime::ThreadPool; each item draws from its own RNG stream derived
+  /// from the caller's `rng`, making the corpus bit-identical for a fixed
+  /// seed at ANY worker count.
+  std::size_t workers = 0;
 };
 
 /// Called after each profiled class/register; `done`/`total` count campaign
-/// items.  Return false to abort.
+/// items.  Return false to abort.  Invocations are serialized (never
+/// concurrent) but arrive in completion order, which under parallel
+/// profiling need not be campaign order.
 using ProfilerProgress = std::function<bool(std::size_t done, std::size_t total,
                                             const std::string& item)>;
 
 /// Runs the full acquisition campaign and assembles the profiling corpus the
-/// hierarchical disassembler trains from.
+/// hierarchical disassembler trains from.  `rng` only seeds the per-item
+/// streams (one draw per campaign item), so its post-call state is
+/// deterministic too.
 ProfilingData profile_device(const sim::AcquisitionCampaign& campaign,
                              const ProfilerConfig& config, std::mt19937_64& rng,
                              const ProfilerProgress& progress = {});

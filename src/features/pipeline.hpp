@@ -58,6 +58,10 @@ struct LabeledTraces {
   std::vector<const sim::TraceSet*> sets;
 };
 
+/// A fitted pipeline is immutable: all transform overloads are const,
+/// allocate their scratch locally, and may run concurrently from any number
+/// of threads on one shared instance (see the thread-safety contract in
+/// core/hierarchical.hpp).
 class FeaturePipeline {
  public:
   FeaturePipeline() = default;

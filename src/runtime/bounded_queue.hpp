@@ -1,0 +1,120 @@
+// Bounded multi-producer / multi-consumer work queue with blocking
+// backpressure -- the hand-off point of the streaming runtime (Sec. 5.4's
+// real-time argument: the capture front-end must never be dropped on the
+// floor, so a full queue *blocks* the producer instead of discarding).
+//
+// Header-only and dependency-free so that `sidis_core` can use the pool for
+// campaign parallelism without a library cycle (runtime's compiled half
+// depends on core, not the other way around).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace sidis::runtime {
+
+/// Bounded FIFO.  All members are safe to call concurrently from any number
+/// of producer and consumer threads.  Closing wakes every blocked thread:
+/// producers fail fast, consumers drain the remaining items and then see
+/// std::nullopt.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full.  Returns false (and drops the item)
+  /// once the queue has been closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      high_water_ = std::max(high_water_, items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty.  Returns std::nullopt only when the
+  /// queue is closed *and* fully drained, so no accepted item is ever lost.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; std::nullopt when currently empty.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes every blocked producer/consumer.
+  /// Items already queued stay poppable.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Deepest the queue has ever been -- the backpressure telemetry surfaced
+  /// through RuntimeStats.
+  std::size_t high_water() const {
+    std::lock_guard lock(mutex_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sidis::runtime

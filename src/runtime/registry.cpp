@@ -1,0 +1,201 @@
+#include "runtime/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/serialize.hpp"
+
+namespace sidis::runtime {
+
+namespace {
+
+constexpr const char* kMagic = "sidis-bundle";
+constexpr int kFormatVersion = 1;
+
+[[noreturn]] void bad_artifact(const std::filesystem::path& p, const std::string& why) {
+  throw std::runtime_error("model artifact '" + p.string() + "': " + why);
+}
+
+bool valid_name(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  // "." / ".." would escape the bundle directory.
+  return name != "." && name != "..";
+}
+
+std::string version_filename(int version) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "v%06d.sidis", version);
+  return buf;
+}
+
+/// Parses "v000123.sidis" back into 123; 0 when the name does not match.
+int parse_version(const std::string& filename) {
+  if (filename.size() < 8 || filename.front() != 'v') return 0;
+  const std::size_t dot = filename.rfind(".sidis");
+  if (dot == std::string::npos || dot + 6 != filename.size()) return 0;
+  int v = 0;
+  for (std::size_t i = 1; i < dot; ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+ModelRegistry::ModelRegistry(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path ModelRegistry::artifact_path(const std::string& name,
+                                                   int version) const {
+  return root_ / name / version_filename(version);
+}
+
+int ModelRegistry::save(const std::string& name,
+                        const core::HierarchicalDisassembler& model) {
+  if (!valid_name(name)) {
+    throw std::invalid_argument("ModelRegistry::save: invalid bundle name '" + name +
+                                "'");
+  }
+  std::ostringstream payload_stream;
+  core::save_disassembler(payload_stream, model);
+  const std::string payload = payload_stream.str();
+
+  const int version = latest_version(name) + 1;
+  const std::filesystem::path dir = root_ / name;
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path final_path = artifact_path(name, version);
+  const std::filesystem::path tmp_path = final_path.string() + ".tmp";
+
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) bad_artifact(tmp_path, "cannot open for writing");
+    os << kMagic << ' ' << kFormatVersion << ' ' << name << ' ' << version << ' '
+       << payload.size() << ' ' << std::hex << fnv1a64(payload) << std::dec << '\n';
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (!os) bad_artifact(tmp_path, "write failed");
+  }
+  // Atomic publication: readers either see the whole artifact or none.
+  std::filesystem::rename(tmp_path, final_path);
+  return version;
+}
+
+namespace {
+
+/// Reads and validates one artifact; returns its info and (optionally) the
+/// payload bytes.
+ArtifactInfo read_artifact(const std::filesystem::path& path, std::string* payload_out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) bad_artifact(path, "not found");
+
+  std::string header;
+  if (!std::getline(is, header)) bad_artifact(path, "missing header");
+  std::istringstream hs(header);
+  std::string magic, name;
+  int format = 0, version = 0;
+  std::uint64_t payload_bytes = 0, checksum = 0;
+  if (!(hs >> magic >> format >> name >> version >> payload_bytes >> std::hex >>
+        checksum)) {
+    bad_artifact(path, "malformed header");
+  }
+  if (magic != kMagic) bad_artifact(path, "bad magic '" + magic + "'");
+  if (format != kFormatVersion) {
+    bad_artifact(path, "unsupported format version " + std::to_string(format));
+  }
+
+  std::string payload(payload_bytes, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (static_cast<std::uint64_t>(is.gcount()) != payload_bytes) {
+    bad_artifact(path, "truncated payload");
+  }
+  if (is.peek() != std::ifstream::traits_type::eof()) {
+    bad_artifact(path, "trailing bytes after payload");
+  }
+  const std::uint64_t actual = fnv1a64(payload);
+  if (actual != checksum) bad_artifact(path, "checksum mismatch (corrupted artifact)");
+
+  ArtifactInfo info;
+  info.name = std::move(name);
+  info.version = version;
+  info.payload_bytes = payload_bytes;
+  info.checksum = checksum;
+  info.path = path;
+  if (payload_out != nullptr) *payload_out = std::move(payload);
+  return info;
+}
+
+}  // namespace
+
+core::HierarchicalDisassembler ModelRegistry::load(const std::string& name,
+                                                   int version) const {
+  const int v = version == 0 ? latest_version(name) : version;
+  if (v == 0) {
+    throw std::runtime_error("ModelRegistry::load: no versions of '" + name + "'");
+  }
+  std::string payload;
+  read_artifact(artifact_path(name, v), &payload);
+  std::istringstream ps(payload);
+  return core::load_disassembler(ps);
+}
+
+ArtifactInfo ModelRegistry::info(const std::string& name, int version) const {
+  const int v = version == 0 ? latest_version(name) : version;
+  if (v == 0) {
+    throw std::runtime_error("ModelRegistry::info: no versions of '" + name + "'");
+  }
+  std::string payload;
+  return read_artifact(artifact_path(name, v), &payload);
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  if (!std::filesystem::exists(root_)) return out;
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    if (entry.is_directory() && !versions(entry.path().filename().string()).empty()) {
+      out.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> ModelRegistry::versions(const std::string& name) const {
+  std::vector<int> out;
+  const std::filesystem::path dir = root_ / name;
+  if (!valid_name(name) || !std::filesystem::exists(dir)) return out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const int v = parse_version(entry.path().filename().string());
+    if (v > 0) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int ModelRegistry::latest_version(const std::string& name) const {
+  const std::vector<int> v = versions(name);
+  return v.empty() ? 0 : v.back();
+}
+
+}  // namespace sidis::runtime

@@ -1,0 +1,81 @@
+// Versioned on-disk model store -- trained disassemblers as deployable
+// artifacts.
+//
+// The paper's workflow trains templates once on a profiling device and ships
+// them to every monitor (Sec. 2).  core/serialize gives the byte format;
+// the registry adds the operational half: named bundles, monotonically
+// increasing versions, checksums so a truncated or bit-rotted artifact is
+// rejected at load instead of silently misclassifying, and atomic
+// publication (write-temp + rename) so a crashed writer never leaves a
+// half-visible version.
+//
+// On-disk layout:
+//
+//   <root>/<name>/v000001.sidis
+//   <root>/<name>/v000002.sidis
+//
+// Each artifact is a one-line header followed by the serialized model:
+//
+//   sidis-bundle 1 <name> <version> <payload-bytes> <fnv1a64-hex>\n
+//   <payload = core::save_disassembler output>
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/hierarchical.hpp"
+
+namespace sidis::runtime {
+
+/// Metadata of one stored artifact (parsed from its header).
+struct ArtifactInfo {
+  std::string name;
+  int version = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;  ///< FNV-1a 64 over the payload bytes
+  std::filesystem::path path;
+};
+
+/// FNV-1a 64-bit over a byte string (exposed for tests).
+std::uint64_t fnv1a64(const std::string& bytes);
+
+class ModelRegistry {
+ public:
+  /// Opens (and creates, if needed) the registry root directory.
+  explicit ModelRegistry(std::filesystem::path root);
+
+  /// Stores a new version of `name` and returns its version number
+  /// (1 + latest).  Name must be non-empty [A-Za-z0-9._-]+ (it becomes a
+  /// directory).  Throws std::invalid_argument on a bad name and
+  /// std::runtime_error on I/O failure.
+  int save(const std::string& name, const core::HierarchicalDisassembler& model);
+
+  /// Loads `name` at `version` (0 = latest).  Verifies header, payload size
+  /// and checksum before deserializing; throws std::runtime_error on a
+  /// missing, truncated, or corrupted artifact.
+  core::HierarchicalDisassembler load(const std::string& name, int version = 0) const;
+
+  /// Header metadata without deserializing the model (still checksums the
+  /// payload, so it doubles as an integrity check).
+  ArtifactInfo info(const std::string& name, int version = 0) const;
+
+  /// Stored bundle names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Versions available for `name`, ascending (empty when unknown).
+  std::vector<int> versions(const std::string& name) const;
+
+  /// Latest stored version of `name`, 0 when none.
+  int latest_version(const std::string& name) const;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path artifact_path(const std::string& name, int version) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace sidis::runtime

@@ -1,0 +1,63 @@
+#include "runtime/stats.hpp"
+
+#include <cstdio>
+
+namespace sidis::runtime {
+
+namespace {
+
+/// Renders nanoseconds with an adaptive unit ("742ns", "1.8us", "3.1ms").
+std::string human_nanos(double nanos) {
+  char buf[32];
+  if (nanos < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0fns", nanos);
+  } else if (nanos < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fus", nanos / 1e3);
+  } else if (nanos < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fms", nanos / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", nanos / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t LatencyHistogram::quantile_upper_nanos(double q) const {
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) return std::uint64_t{2} << b;  // bucket upper bound
+  }
+  return max_nanos_;
+}
+
+std::string LatencyHistogram::summary() const {
+  if (count_ == 0) return "n=0";
+  std::string out = "n=" + std::to_string(count_);
+  out += " mean=" + human_nanos(mean_nanos());
+  out += " p50<" + human_nanos(static_cast<double>(quantile_upper_nanos(0.50)));
+  out += " p99<" + human_nanos(static_cast<double>(quantile_upper_nanos(0.99)));
+  out += " max=" + human_nanos(static_cast<double>(max_nanos_));
+  return out;
+}
+
+std::string RuntimeStats::report() const {
+  std::string out;
+  out += "runtime: workers=" + std::to_string(workers);
+  out += " submitted=" + std::to_string(traces_submitted);
+  out += " completed=" + std::to_string(traces_completed);
+  out += " emitted=" + std::to_string(traces_emitted);
+  if (traces_failed != 0) out += " FAILED=" + std::to_string(traces_failed);
+  out += "\n";
+  out += "  queue high-water: " + std::to_string(queue_depth_high_water) +
+         ", in-flight high-water: " + std::to_string(in_flight_high_water) + "\n";
+  out += "  queue wait:  " + queue_wait.summary() + "\n";
+  out += "  classify:    " + classify.summary() + "\n";
+  out += "  end-to-end:  " + end_to_end.summary() + "\n";
+  return out;
+}
+
+}  // namespace sidis::runtime

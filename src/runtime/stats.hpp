@@ -1,0 +1,81 @@
+// Runtime telemetry for the streaming engine: counters, queue high-water
+// marks, and per-stage latency histograms, all snapshot-able while the
+// engine is live.  Sec. 5.4 of the paper frames real-time disassembly as a
+// latency budget ("~0.25 ns per instruction on a 1 GHz 4-wide core"); the
+// histogram is how a deployment checks where its budget actually goes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sidis::runtime {
+
+/// Log2-bucketed latency histogram over nanoseconds.  Bucket b counts
+/// samples in [2^b, 2^(b+1)) ns; bucket 0 also absorbs sub-nanosecond
+/// samples.  Fixed bucket count keeps snapshots allocation-free and covers
+/// ~1 ns .. ~1.2 s, beyond anything a per-trace stage can take.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 31;
+
+  void record(std::uint64_t nanos) {
+    std::size_t b = 0;
+    while (b + 1 < kBuckets && nanos >= (std::uint64_t{2} << b)) ++b;
+    ++buckets_[b];
+    ++count_;
+    total_nanos_ += nanos;
+    if (nanos > max_nanos_) max_nanos_ = nanos;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    total_nanos_ += other.total_nanos_;
+    if (other.max_nanos_ > max_nanos_) max_nanos_ = other.max_nanos_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_nanos() const { return max_nanos_; }
+  double mean_nanos() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(total_nanos_) / static_cast<double>(count_);
+  }
+
+  /// Smallest bucket upper bound below which at least `q` (in [0,1]) of the
+  /// recorded samples fall -- a conservative quantile estimate.
+  std::uint64_t quantile_upper_nanos(double q) const;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  /// One-line rendering, e.g. "n=1000 mean=1.2us p50<2us p99<8us max=7.4us".
+  std::string summary() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_nanos_ = 0;
+  std::uint64_t max_nanos_ = 0;
+};
+
+/// Point-in-time snapshot of a StreamingDisassembler's counters.  Plain
+/// values -- safe to copy around, print, or diff between two instants.
+struct RuntimeStats {
+  std::uint64_t traces_submitted = 0;  ///< accepted by submit()
+  std::uint64_t traces_completed = 0;  ///< classified by a worker
+  std::uint64_t traces_emitted = 0;    ///< handed to the consumer, in order
+  std::uint64_t traces_failed = 0;     ///< classify threw; default result emitted
+  std::size_t queue_depth_high_water = 0;     ///< work-queue backlog peak
+  std::size_t in_flight_high_water = 0;       ///< accepted-not-yet-classified peak
+  std::size_t workers = 0;
+  LatencyHistogram queue_wait;   ///< submit -> worker pickup
+  LatencyHistogram classify;     ///< feature extraction + hierarchy walk
+  LatencyHistogram end_to_end;   ///< submit -> in-order emission
+
+  /// Multi-line human-readable report.
+  std::string report() const;
+};
+
+}  // namespace sidis::runtime

@@ -1,0 +1,167 @@
+#include "runtime/streaming.hpp"
+
+#include "runtime/thread_pool.hpp"
+
+namespace sidis::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_nanos(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
+StreamingDisassembler::StreamingDisassembler(
+    const core::HierarchicalDisassembler& model, StreamingConfig config,
+    std::stop_token stop)
+    : StreamingDisassembler(
+          [&model](const sim::Trace& t) { return model.classify(t); }, config,
+          std::move(stop)) {}
+
+StreamingDisassembler::StreamingDisassembler(ClassifyFn classify,
+                                             StreamingConfig config,
+                                             std::stop_token stop)
+    : classify_(std::move(classify)),
+      config_(config),
+      queue_(config.queue_capacity),
+      stop_callback_(std::move(stop), std::function<void()>([this] { request_stop(); })) {
+  if (config_.workers == 0) config_.workers = default_workers();
+  if (config_.max_in_flight == 0) {
+    config_.max_in_flight = config_.queue_capacity + 2 * config_.workers;
+  }
+  threads_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+StreamingDisassembler::~StreamingDisassembler() {
+  request_stop();
+  queue_.close();  // backlog stays poppable; workers exit once it is dry
+  for (std::jthread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void StreamingDisassembler::worker_loop() {
+  while (std::optional<Job> job = queue_.pop()) {
+    const Clock::time_point picked_up = Clock::now();
+    core::Disassembly result;
+    bool failed = false;
+    try {
+      result = classify_(job->trace);
+    } catch (...) {
+      // A serving layer must not lose a worker (drain() would hang); emit a
+      // default result and count the failure instead.
+      failed = true;
+    }
+    const Clock::time_point done = Clock::now();
+    {
+      std::lock_guard lock(mutex_);
+      queue_wait_.record(elapsed_nanos(job->submitted_at, picked_up));
+      classify_hist_.record(elapsed_nanos(picked_up, done));
+      reorder_.emplace(job->sequence, Pending{std::move(result), job->submitted_at});
+      ++completed_;
+      if (failed) ++failed_;
+    }
+    results_cv_.notify_all();
+    space_cv_.notify_all();  // classification frees an in-flight credit
+  }
+}
+
+std::optional<std::uint64_t> StreamingDisassembler::submit(sim::Trace trace) {
+  Job job;
+  {
+    std::unique_lock lock(mutex_);
+    space_cv_.wait(lock, [&] {
+      return !accepting_ || next_submit_ - completed_ < config_.max_in_flight;
+    });
+    if (!accepting_) return std::nullopt;
+    job.sequence = next_submit_++;
+    const std::size_t in_flight = static_cast<std::size_t>(next_submit_ - completed_);
+    in_flight_high_water_ = std::max(in_flight_high_water_, in_flight);
+  }
+  job.trace = std::move(trace);
+  job.submitted_at = Clock::now();
+  const std::uint64_t seq = job.sequence;
+  // The queue is only closed after drain()/destruction has already observed
+  // accepting_ == false and waited the backlog out, so this push succeeds for
+  // every reserved sequence number (no gaps in the reorder stream).
+  queue_.push(std::move(job));
+  return seq;
+}
+
+void StreamingDisassembler::collect_ready_locked(std::vector<StreamResult>& out) {
+  const Clock::time_point now = Clock::now();
+  for (auto it = reorder_.find(next_emit_); it != reorder_.end();
+       it = reorder_.find(next_emit_)) {
+    end_to_end_.record(elapsed_nanos(it->second.submitted_at, now));
+    out.push_back(StreamResult{next_emit_, std::move(it->second.value)});
+    reorder_.erase(it);
+    ++next_emit_;
+  }
+}
+
+std::optional<StreamResult> StreamingDisassembler::poll() {
+  std::optional<StreamResult> out;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = reorder_.find(next_emit_);
+    if (it == reorder_.end()) return std::nullopt;
+    end_to_end_.record(elapsed_nanos(it->second.submitted_at, Clock::now()));
+    out.emplace(StreamResult{next_emit_, std::move(it->second.value)});
+    reorder_.erase(it);
+    ++next_emit_;
+  }
+  return out;
+}
+
+std::vector<StreamResult> StreamingDisassembler::drain() {
+  request_stop();
+  std::vector<StreamResult> out;
+  {
+    std::unique_lock lock(mutex_);
+    while (next_emit_ < next_submit_) {
+      collect_ready_locked(out);
+      if (next_emit_ >= next_submit_) break;
+      results_cv_.wait(lock, [&] { return reorder_.count(next_emit_) != 0; });
+    }
+  }
+  queue_.close();  // backlog is empty by now; lets the workers exit
+  return out;
+}
+
+void StreamingDisassembler::request_stop() {
+  {
+    std::lock_guard lock(mutex_);
+    accepting_ = false;
+  }
+  space_cv_.notify_all();
+}
+
+bool StreamingDisassembler::stopped() const {
+  std::lock_guard lock(mutex_);
+  return !accepting_;
+}
+
+RuntimeStats StreamingDisassembler::stats() const {
+  RuntimeStats s;
+  std::lock_guard lock(mutex_);
+  s.traces_submitted = next_submit_;
+  s.traces_completed = completed_;
+  s.traces_emitted = next_emit_;
+  s.traces_failed = failed_;
+  s.queue_depth_high_water = queue_.high_water();
+  s.in_flight_high_water = in_flight_high_water_;
+  s.workers = threads_.size();
+  s.queue_wait = queue_wait_;
+  s.classify = classify_hist_;
+  s.end_to_end = end_to_end_;
+  return s;
+}
+
+}  // namespace sidis::runtime

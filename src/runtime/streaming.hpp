@@ -1,0 +1,150 @@
+// Parallel streaming disassembly engine -- the serving layer between
+// `core::disassemble` and a live trace stream.
+//
+// The paper's real-time framing (Sec. 5.4) is a producer/consumer problem:
+// per-instruction windows arrive at capture rate, classification costs a few
+// hundred kernel correlations each, so the only way to keep up is to fan the
+// windows out across cores.  The engine does exactly that while preserving
+// the one property a disassembler cannot lose: *output order is submission
+// order*, no matter how out-of-order the workers complete.
+//
+//   submit(trace) -> seq       bounded, blocking backpressure
+//        |                     (BoundedQueue + in-flight credits)
+//     [worker pool]            model.classify per trace, any order
+//        |
+//   reorder buffer             seq -> result, emitted strictly in order
+//        |
+//   poll() / drain()           consumer side; drain() waits everything out
+//
+// Thread-safety contract: any number of producer threads may call submit()
+// concurrently; poll()/drain() belong to ONE consumer thread; stats() and
+// request_stop() are safe from anywhere.  The wrapped model is shared
+// read-only across workers (see the contract note in core/hierarchical.hpp).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+#include <thread>
+#include <vector>
+
+#include "core/hierarchical.hpp"
+#include "runtime/bounded_queue.hpp"
+#include "runtime/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace sidis::runtime {
+
+struct StreamingConfig {
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t workers = 0;
+  /// Work-queue capacity; submit() blocks when this many traces await a
+  /// worker.  Small on purpose -- the queue is a shock absorber, not a lake.
+  std::size_t queue_capacity = 64;
+  /// Cap on accepted-but-not-yet-classified traces (0 = queue_capacity +
+  /// 2 x workers) -- queue backlog plus work in workers' hands.  Classified
+  /// results waiting for the consumer live in the reorder buffer, which a
+  /// consumer bounds by polling at least as often as it submits (the
+  /// single-threaded submit/poll loop does exactly that); deliberately NOT
+  /// part of this credit, or a producer thread that is also the consumer
+  /// would deadlock itself at capacity.
+  std::size_t max_in_flight = 0;
+};
+
+/// One in-order result: `sequence` is the submit() ticket it answers.
+struct StreamResult {
+  std::uint64_t sequence = 0;
+  core::Disassembly value;
+};
+
+class StreamingDisassembler {
+ public:
+  /// Classification stage, pluggable for tests (adversarial delays) and for
+  /// alternative backends; the model overload wraps model.classify.
+  using ClassifyFn = std::function<core::Disassembly(const sim::Trace&)>;
+
+  /// The model must outlive the engine and is shared read-only by all
+  /// workers.  An already-stopped `stop` token starts the engine stopped.
+  StreamingDisassembler(const core::HierarchicalDisassembler& model,
+                        StreamingConfig config = {}, std::stop_token stop = {});
+  StreamingDisassembler(ClassifyFn classify, StreamingConfig config = {},
+                        std::stop_token stop = {});
+
+  /// Stops accepting, lets workers finish the accepted backlog, joins.
+  /// Undelivered results are discarded -- call drain() first when every
+  /// submitted trace must come back.
+  ~StreamingDisassembler();
+
+  StreamingDisassembler(const StreamingDisassembler&) = delete;
+  StreamingDisassembler& operator=(const StreamingDisassembler&) = delete;
+
+  /// Hands one trace window to the pool.  Blocks while the engine is at
+  /// capacity (backpressure).  Returns the trace's sequence number, or
+  /// std::nullopt once the engine is stopped -- the trace was NOT accepted.
+  std::optional<std::uint64_t> submit(sim::Trace trace);
+
+  /// Next in-order result if it is ready; non-blocking.  Results complete
+  /// out of order internally but are only ever emitted in submission order.
+  std::optional<StreamResult> poll();
+
+  /// Stops accepting new traces, waits for every *accepted* trace to be
+  /// classified, and returns the not-yet-polled tail in submission order.
+  /// Safe after cancellation: accepted work is never lost or duplicated.
+  std::vector<StreamResult> drain();
+
+  /// Cancellation: stop accepting new submissions and unblock any producer
+  /// stuck in submit().  Traces already accepted still complete (drain()
+  /// collects them).  Idempotent; also triggered by the stop_token.
+  void request_stop();
+
+  bool stopped() const;
+
+  /// Consistent snapshot of counters and latency histograms.
+  RuntimeStats stats() const;
+
+  std::size_t workers() const { return threads_.size(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Job {
+    std::uint64_t sequence = 0;
+    sim::Trace trace;
+    Clock::time_point submitted_at;
+  };
+  struct Pending {
+    core::Disassembly value;
+    Clock::time_point submitted_at;
+  };
+
+  void worker_loop();
+  /// Pops ready in-order results into `out`; caller holds mutex_.
+  void collect_ready_locked(std::vector<StreamResult>& out);
+
+  ClassifyFn classify_;
+  StreamingConfig config_;
+  BoundedQueue<Job> queue_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;    ///< producers waiting for credit
+  std::condition_variable results_cv_;  ///< drain() waiting for completions
+  std::map<std::uint64_t, Pending> reorder_;
+  std::uint64_t next_submit_ = 0;
+  std::uint64_t next_emit_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::size_t in_flight_high_water_ = 0;
+  bool accepting_ = true;
+  LatencyHistogram queue_wait_;
+  LatencyHistogram classify_hist_;
+  LatencyHistogram end_to_end_;
+
+  std::stop_callback<std::function<void()>> stop_callback_;
+  std::vector<std::jthread> threads_;  ///< last member: joins before teardown
+};
+
+}  // namespace sidis::runtime
