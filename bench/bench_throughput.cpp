@@ -66,12 +66,43 @@ struct Fixture {
 
 void BM_CwtFullGrid(benchmark::State& state) {
   const Fixture& fx = Fixture::instance();
+  dsp::CwtWorkspace ws;
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fx.cwt.transform(fx.probes[i++ % fx.probes.size()].samples));
+    benchmark::DoNotOptimize(
+        fx.cwt.transform(fx.probes[i++ % fx.probes.size()].samples, ws));
   }
 }
 BENCHMARK(BM_CwtFullGrid);
+
+// Backend ablation over (trace length, scale count): the forced-direct case
+// is the pre-spectral baseline the EXPERIMENTS.md speedup table compares
+// against.  (315, 50) is the paper's default grid.
+template <dsp::CwtBackend Backend>
+void BM_CwtBackend(benchmark::State& state) {
+  const Fixture& fx = Fixture::instance();
+  dsp::CwtConfig cfg;
+  cfg.backend = Backend;
+  cfg.num_scales = static_cast<std::size_t>(state.range(1));
+  const dsp::Cwt cwt(cfg);
+  dsp::CwtWorkspace ws;
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::vector<double> trace(fx.probes.front().samples);
+  trace.resize(len, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cwt.transform(trace, ws));
+  }
+}
+#define CWT_BACKEND_ARGS       \
+  Args({100, 50})              \
+      ->Args({315, 50})        \
+      ->Args({1000, 50})       \
+      ->Args({315, 10})        \
+      ->Args({315, 100})
+BENCHMARK(BM_CwtBackend<dsp::CwtBackend::kDirect>)->Name("BM_CwtDirect")->CWT_BACKEND_ARGS;
+BENCHMARK(BM_CwtBackend<dsp::CwtBackend::kSpectral>)->Name("BM_CwtSpectral")->CWT_BACKEND_ARGS;
+BENCHMARK(BM_CwtBackend<dsp::CwtBackend::kAuto>)->Name("BM_CwtAuto")->CWT_BACKEND_ARGS;
+#undef CWT_BACKEND_ARGS
 
 void BM_FeatureExtractionSparse(benchmark::State& state) {
   const Fixture& fx = Fixture::instance();

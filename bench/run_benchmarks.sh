@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs the CWT/pipeline throughput benchmarks in JSON mode and compares the
+# result against the checked-in baseline (bench/BENCH_cwt.json), so every PR
+# leaves a perf trajectory behind.
+#
+# Usage:
+#   bench/run_benchmarks.sh            # run + print ratio vs. baseline
+#   bench/run_benchmarks.sh --update   # run + overwrite the baseline
+#
+# Environment:
+#   BUILD_DIR   build tree holding bench/bench_throughput (default: ./build)
+#   FILTER      --benchmark_filter regex (default: the CWT/feature cases)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+BIN="$BUILD/bench/bench_throughput"
+BASELINE="$ROOT/bench/BENCH_cwt.json"
+FILTER="${FILTER:-Cwt|FeatureExtraction|PipelineTransform}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found -- build it first:" >&2
+  echo "  cmake -B $BUILD && cmake --build $BUILD -j --target bench_throughput" >&2
+  exit 1
+fi
+
+OUT="$(mktemp /tmp/bench_cwt.XXXXXX.json)"
+trap 'rm -f "$OUT"' EXIT
+
+"$BIN" --benchmark_filter="$FILTER" \
+       --benchmark_format=json \
+       --benchmark_out="$OUT" \
+       --benchmark_out_format=json >/dev/null
+
+if [[ "${1:-}" == "--update" ]]; then
+  cp "$OUT" "$BASELINE"
+  echo "baseline updated: $BASELINE"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "no baseline at $BASELINE -- run with --update to create it" >&2
+  exit 1
+fi
+
+python3 - "$BASELINE" "$OUT" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b["cpu_time"] for b in doc["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"}
+
+base, cur = load(sys.argv[1]), load(sys.argv[2])
+width = max(len(n) for n in cur) if cur else 10
+print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+regressed = []
+for name, t in cur.items():
+    b = base.get(name)
+    if b is None:
+        print(f"{name:<{width}}  {'--':>12}  {t:>10.0f}ns   new")
+        continue
+    ratio = t / b
+    print(f"{name:<{width}}  {b:>10.0f}ns  {t:>10.0f}ns  {ratio:5.2f}x")
+    # Single-run microbenchmarks on a shared box jitter by tens of percent;
+    # only flag clear regressions.
+    if ratio > 1.5:
+        regressed.append(name)
+if regressed:
+    print("\npossible regressions (>1.5x baseline): " + ", ".join(regressed))
+    sys.exit(1)
+EOF

@@ -1,13 +1,19 @@
 // Minimal FFT machinery.
 //
-// Used for spectral diagnostics of the simulated scope front-end and for
-// fast convolution when CWT kernels get long at large scales.  Radix-2
-// iterative Cooley-Tukey; callers zero-pad to a power of two with
-// `next_pow2`.
+// Used for spectral diagnostics of the simulated scope front-end, for fast
+// convolution when CWT kernels get long at large scales, and as the engine
+// behind the spectral CWT path in wavelet.hpp.  Radix-2 iterative
+// Cooley-Tukey; callers zero-pad to a power of two with `next_pow2`.
+//
+// Hot paths should hold an `FftPlan`: it caches the bit-reversal permutation
+// and per-stage twiddle tables once per size, so repeated transforms do no
+// trig and no allocation.  The free `fft`/`ifft` functions route through a
+// thread-local plan cache and keep their historical signatures.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace sidis::dsp {
@@ -17,6 +23,36 @@ using ComplexVector = std::vector<Complex>;
 
 /// Smallest power of two >= n (n = 0 maps to 1).
 std::size_t next_pow2(std::size_t n);
+
+/// Precomputed radix-2 FFT plan for one power-of-two size: bit-reversal
+/// permutation plus stage-concatenated twiddle tables.  Construction is the
+/// only place that touches libm; `forward`/`inverse` are allocation-free and
+/// run in-place on caller-provided buffers.  A plan is immutable after
+/// construction, so one instance may serve any number of threads.
+class FftPlan {
+ public:
+  /// Throws std::invalid_argument unless `n` is a power of two.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT; `x.size()` must equal `size()`.
+  void forward(ComplexVector& x) const;
+
+  /// In-place inverse DFT (includes the 1/N scaling).
+  void inverse(ComplexVector& x) const;
+
+  /// Thread-local plan cache keyed by size; the returned reference stays
+  /// valid for the lifetime of the calling thread.
+  static const FftPlan& shared(std::size_t n);
+
+ private:
+  void run(ComplexVector& x, bool inverse) const;
+
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> bitrev_;  ///< permutation, identity-skipping pairs
+  ComplexVector twiddle_;              ///< forward twiddles, n-1 entries
+};
 
 /// In-place forward FFT; `x.size()` must be a power of two.
 void fft(ComplexVector& x);

@@ -1,13 +1,47 @@
 #include "dsp/wavelet.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <numbers>
 #include <stdexcept>
 
 namespace sidis::dsp {
 
 namespace {
 constexpr double kMorletOmega0 = 5.0;
+
+/// Measured direct-vs-spectral crossover (see DESIGN.md): a direct row costs
+/// N*W multiply-adds, a spectral row one padded multiply plus (half of, rows
+/// are packed in pairs) one inverse FFT, ~ L*log2(L) butterfly units.  The
+/// constant absorbs the relative cost of a butterfly vs a MAC on this
+/// substrate; calibrated with bench_throughput's BM_CwtFullGrid* cases.
+constexpr double kSpectralCrossover = 1.5;
+
+/// Sparse extraction computes a full spectral row to serve one scale's
+/// points, without a guaranteed pair to share the inverse FFT, so it needs
+/// twice the work per row before the FFT pays off.
+constexpr double kSparseCrossover = 2.0 * kSpectralCrossover;
+
+double log2d(std::size_t n) { return std::log2(static_cast<double>(n)); }
+
+/// out[f] = a[f] * b[f] on the raw interleaved-double views: std::complex
+/// loads/stores and operator* (Annex-G fixups) are an order of magnitude
+/// slower here -- see FftPlan::run.
+void multiply_spectra(const ComplexVector& a, const ComplexVector& b,
+                      ComplexVector& out) {
+  const std::size_t n = a.size();
+  const double* ad = reinterpret_cast<const double*>(a.data());
+  const double* bd = reinterpret_cast<const double*>(b.data());
+  double* od = reinterpret_cast<double*>(out.data());
+  for (std::size_t f = 0; f < 2 * n; f += 2) {
+    const double ar = ad[f], ai = ad[f + 1];
+    const double br = bd[f], bi = bd[f + 1];
+    od[f] = ar * br - ai * bi;
+    od[f + 1] = ar * bi + ai * br;
+  }
 }
+}  // namespace
 
 double mother_wavelet(WaveletFamily family, double t) {
   switch (family) {
@@ -24,7 +58,34 @@ double mother_wavelet(WaveletFamily family, double t) {
   throw std::invalid_argument("mother_wavelet: unknown family");
 }
 
-Cwt::Cwt(CwtConfig config) : config_(config) {
+/// One packed spectral row pair: spec = FFT(pad(k_a) + i * pad(k_b)), so the
+/// inverse transform of spec * FFT(trace) carries scale_a's correlation row
+/// in its real part and scale_b's in its imaginary part.
+struct PackedPair {
+  std::size_t scale_a = 0;
+  std::size_t scale_b = 0;     ///< == scale_a when the pair is a solo leftover
+  bool has_b = false;
+  ComplexVector spec;
+};
+
+struct Cwt::SpectralBank {
+  std::size_t trace_len = 0;
+  std::size_t fft_size = 0;
+  FftPlan plan{1};
+  std::vector<PackedPair> pairs;
+  /// Per scale: index into `pairs` (SIZE_MAX = direct scale) and which half
+  /// of the packed inverse transform holds this scale's row.
+  std::vector<std::size_t> pair_index;
+  std::vector<std::uint8_t> pair_is_imag;
+  bool any_spectral = false;
+};
+
+struct Cwt::BankCache {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<const SpectralBank>> banks;  ///< keyed by trace_len
+};
+
+Cwt::Cwt(CwtConfig config) : config_(config), banks_(std::make_shared<BankCache>()) {
   if (config_.num_scales == 0) throw std::invalid_argument("Cwt: num_scales must be > 0");
   if (!(config_.min_scale > 0.0) || config_.max_scale < config_.min_scale) {
     throw std::invalid_argument("Cwt: invalid scale range");
@@ -68,25 +129,133 @@ Cwt::Cwt(CwtConfig config) : config_(config) {
   }
 }
 
+const Cwt::SpectralBank& Cwt::bank_for(std::size_t trace_len) const {
+  std::lock_guard lock(banks_->mutex);
+  for (const auto& b : banks_->banks) {
+    if (b->trace_len == trace_len) return *b;
+  }
+
+  auto bank = std::make_shared<SpectralBank>();
+  bank->trace_len = trace_len;
+  std::size_t max_radius = 0;
+  for (const auto& k : kernels_) max_radius = std::max(max_radius, k.size() / 2);
+  // L >= trace_len + max_radius keeps the circular convolution free of
+  // wraparound inside the emitted [0, trace_len) window.
+  bank->fft_size = next_pow2(trace_len + max_radius);
+  const std::size_t L = bank->fft_size;
+  bank->plan = FftPlan(L);
+  bank->pair_index.assign(scales_.size(), SIZE_MAX);
+  bank->pair_is_imag.assign(scales_.size(), 0);
+
+  std::vector<std::size_t> spectral_scales;
+  for (std::size_t j = 0; j < scales_.size(); ++j) {
+    const bool spectral =
+        config_.backend == CwtBackend::kSpectral ||
+        (config_.backend == CwtBackend::kAuto &&
+         static_cast<double>(trace_len) * static_cast<double>(kernels_[j].size()) >
+             kSpectralCrossover * static_cast<double>(L) * log2d(L));
+    if (spectral) spectral_scales.push_back(j);
+  }
+  bank->any_spectral = !spectral_scales.empty();
+
+  // The padded kernel is stored time-reversed -- circular convolution with
+  // the reversed kernel is exactly the correlation the direct path computes.
+  const auto place = [L](ComplexVector& buf, const std::vector<double>& k, bool imag) {
+    const auto radius = static_cast<std::ptrdiff_t>(k.size() / 2);
+    for (std::ptrdiff_t d = -radius; d <= radius; ++d) {
+      const std::size_t idx =
+          d <= 0 ? static_cast<std::size_t>(-d) : L - static_cast<std::size_t>(d);
+      const double v = k[static_cast<std::size_t>(d + radius)];
+      if (imag) {
+        buf[idx] += Complex(0.0, v);
+      } else {
+        buf[idx] += Complex(v, 0.0);
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < spectral_scales.size(); i += 2) {
+    PackedPair pair;
+    pair.scale_a = spectral_scales[i];
+    pair.spec.assign(L, Complex(0.0, 0.0));
+    place(pair.spec, kernels_[pair.scale_a], /*imag=*/false);
+    if (i + 1 < spectral_scales.size()) {
+      pair.scale_b = spectral_scales[i + 1];
+      pair.has_b = true;
+      place(pair.spec, kernels_[pair.scale_b], /*imag=*/true);
+    }
+    bank->plan.forward(pair.spec);
+    const std::size_t pi = bank->pairs.size();
+    bank->pair_index[pair.scale_a] = pi;
+    if (pair.has_b) {
+      bank->pair_index[pair.scale_b] = pi;
+      bank->pair_is_imag[pair.scale_b] = 1;
+    }
+    bank->pairs.push_back(std::move(pair));
+  }
+
+  banks_->banks.push_back(std::move(bank));
+  return *banks_->banks.back();
+}
+
+void Cwt::direct_row(const std::vector<double>& trace, std::size_t j,
+                     std::span<double> out) const {
+  const std::vector<double>& k = kernels_[j];
+  const auto radius = static_cast<std::ptrdiff_t>(k.size() / 2);
+  const std::size_t n = trace.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    // Correlation of the trace with the kernel centred at t; zero outside.
+    const auto tt = static_cast<std::ptrdiff_t>(t);
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(-radius, -tt);
+    const std::ptrdiff_t hi =
+        std::min<std::ptrdiff_t>(radius, static_cast<std::ptrdiff_t>(n) - 1 - tt);
+    double acc = 0.0;
+    const double* kp = k.data() + (lo + radius);
+    const double* xp = trace.data() + (tt + lo);
+    for (std::ptrdiff_t d = lo; d <= hi; ++d) acc += *kp++ * *xp++;
+    out[t] = acc;
+  }
+}
+
 Scalogram Cwt::transform(const std::vector<double>& trace) const {
+  CwtWorkspace ws;
+  return transform(trace, ws);
+}
+
+Scalogram Cwt::transform(const std::vector<double>& trace, CwtWorkspace& ws) const {
   const std::size_t n = trace.size();
   Scalogram out(scales_.size(), n, 0.0);
-  for (std::size_t j = 0; j < scales_.size(); ++j) {
-    const std::vector<double>& k = kernels_[j];
-    const auto radius = static_cast<std::ptrdiff_t>(k.size() / 2);
-    auto row = out.row(j);
-    for (std::size_t t = 0; t < n; ++t) {
-      // Correlation of the trace with the kernel centred at t; zero outside.
-      const auto tt = static_cast<std::ptrdiff_t>(t);
-      const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(-radius, -tt);
-      const std::ptrdiff_t hi =
-          std::min<std::ptrdiff_t>(radius, static_cast<std::ptrdiff_t>(n) - 1 - tt);
-      double acc = 0.0;
-      const double* kp = k.data() + (lo + radius);
-      const double* xp = trace.data() + (tt + lo);
-      for (std::ptrdiff_t d = lo; d <= hi; ++d) acc += *kp++ * *xp++;
-      row[t] = acc;
+  if (n == 0) return out;
+
+  if (config_.backend == CwtBackend::kDirect) {
+    for (std::size_t j = 0; j < scales_.size(); ++j) direct_row(trace, j, out.row(j));
+    return out;
+  }
+
+  const SpectralBank& bank = bank_for(n);
+  if (bank.any_spectral) {
+    const std::size_t L = bank.fft_size;
+    ws.freq_.assign(L, Complex(0.0, 0.0));
+    for (std::size_t i = 0; i < n; ++i) ws.freq_[i] = Complex(trace[i], 0.0);
+    bank.plan.forward(ws.freq_);
+    ws.work_.resize(L);
+    for (const PackedPair& pair : bank.pairs) {
+      multiply_spectra(ws.freq_, pair.spec, ws.work_);
+      bank.plan.inverse(ws.work_);
+      auto row_a = out.row(pair.scale_a);
+      if (pair.has_b) {
+        auto row_b = out.row(pair.scale_b);
+        for (std::size_t t = 0; t < n; ++t) {
+          row_a[t] = ws.work_[t].real();
+          row_b[t] = ws.work_[t].imag();
+        }
+      } else {
+        for (std::size_t t = 0; t < n; ++t) row_a[t] = ws.work_[t].real();
+      }
     }
+  }
+  for (std::size_t j = 0; j < scales_.size(); ++j) {
+    if (bank.pair_index[j] == SIZE_MAX) direct_row(trace, j, out.row(j));
   }
   return out;
 }
@@ -106,14 +275,80 @@ double Cwt::coefficient(const std::vector<double>& trace, std::size_t j,
   return acc;
 }
 
+linalg::Vector Cwt::coefficients(const std::vector<double>& trace,
+                                 std::span<const std::size_t> js,
+                                 std::span<const std::size_t> ks,
+                                 CwtWorkspace& ws) const {
+  if (js.size() != ks.size()) {
+    throw std::invalid_argument("Cwt::coefficients: js/ks length mismatch");
+  }
+  linalg::Vector out(js.size());
+  const std::size_t n = trace.size();
+
+  // Count points per scale to find rows where a spectral sweep beats
+  // point-by-point correlation.
+  std::vector<std::size_t> counts(scales_.size(), 0);
+  for (std::size_t j : js) counts.at(j)++;
+
+  std::vector<std::uint8_t> row_done;
+  if (config_.backend != CwtBackend::kDirect && n > 0) {
+    const SpectralBank* bank = &bank_for(n);
+    std::vector<std::uint8_t> want_pair(bank->pairs.size(), 0);
+    const bool force = config_.backend == CwtBackend::kSpectral;
+    bool any = false;
+    for (std::size_t j = 0; j < scales_.size(); ++j) {
+      if (counts[j] == 0 || bank->pair_index[j] == SIZE_MAX) continue;
+      const std::size_t L = bank->fft_size;
+      if (force || static_cast<double>(counts[j]) *
+                           static_cast<double>(kernels_[j].size()) >
+                       kSparseCrossover * static_cast<double>(L) * log2d(L)) {
+        want_pair[bank->pair_index[j]] = 1;
+        any = true;
+      }
+    }
+    if (any) {
+      const std::size_t L = bank->fft_size;
+      ws.freq_.assign(L, Complex(0.0, 0.0));
+      for (std::size_t i = 0; i < n; ++i) ws.freq_[i] = Complex(trace[i], 0.0);
+      bank->plan.forward(ws.freq_);
+      ws.work_.resize(L);
+      row_done.assign(scales_.size(), 0);
+      for (std::size_t p = 0; p < bank->pairs.size(); ++p) {
+        if (!want_pair[p]) continue;
+        const PackedPair& pair = bank->pairs[p];
+        multiply_spectra(ws.freq_, pair.spec, ws.work_);
+        bank->plan.inverse(ws.work_);
+        // Both halves of the packed transform are free once it ran; serve
+        // the partner scale's points from it too.
+        row_done[pair.scale_a] = 1;
+        if (pair.has_b) row_done[pair.scale_b] = 2;
+        for (std::size_t i = 0; i < js.size(); ++i) {
+          if (js[i] == pair.scale_a && ks[i] < n) {
+            out[i] = ws.work_[ks[i]].real();
+          } else if (pair.has_b && js[i] == pair.scale_b && ks[i] < n) {
+            out[i] = ws.work_[ks[i]].imag();
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    if (row_done.empty() || row_done[js[i]] == 0) {
+      out[i] = coefficient(trace, js[i], ks[i]);
+    }
+  }
+  return out;
+}
+
 double Cwt::pseudo_frequency(std::size_t j) const {
   const double s = scales_.at(j);
   switch (config_.family) {
     case WaveletFamily::kMorlet:
-      return kMorletOmega0 / (2.0 * 3.14159265358979323846 * s);
+      return kMorletOmega0 / (2.0 * std::numbers::pi * s);
     case WaveletFamily::kRicker:
       // Peak of the Ricker spectrum: f = sqrt(2)/(2 pi s) * ~1.0 factor.
-      return std::sqrt(2.0) / (2.0 * 3.14159265358979323846 * s);
+      return std::sqrt(2.0) / (2.0 * std::numbers::pi * s);
   }
   throw std::invalid_argument("pseudo_frequency: unknown family");
 }

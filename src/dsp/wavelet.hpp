@@ -2,15 +2,29 @@
 // every power trace is mapped onto a 50-scale x 315-sample time-frequency
 // grid, and all feature selection happens on that grid.
 //
-// The transform is implemented as a bank of FIR correlations with sampled,
-// L2-normalized mother-wavelet kernels, one per scale.  Kernels are
-// precomputed once per `Cwt` instance, so transforming thousands of traces
-// amortizes the setup cost.
+// Two evaluation paths share one sampled, L2-normalized kernel bank:
+//
+//  * a direct path -- per-scale FIR correlation, O(N * W_j) per row, which
+//    wins while kernels are short and for sparse per-point extraction;
+//  * a spectral path -- one padded forward FFT of the trace, then one
+//    spectral multiply + inverse FFT per *pair* of scales (two real rows
+//    packed into one complex inverse transform), O(L log L) per row with
+//    L = next_pow2(N + max kernel radius).
+//
+// Kernels are precomputed once per `Cwt` instance; their padded spectra and
+// the `FftPlan` are built lazily per trace length and shared (read-only)
+// across threads and across copies of the `Cwt`, so transforming thousands
+// of traces amortizes all setup.  `CwtConfig::backend` selects the path;
+// the default `kAuto` picks per scale by the measured crossover documented
+// in DESIGN.md.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "dsp/fft.hpp"
 #include "linalg/matrix.hpp"
 
 namespace sidis::dsp {
@@ -28,6 +42,13 @@ enum class WaveletFamily {
 /// configured), cols = time index k (one per input sample).
 using Scalogram = linalg::Matrix;
 
+/// CWT evaluation strategy.
+enum class CwtBackend {
+  kAuto,      ///< per-scale crossover between direct and spectral (default)
+  kDirect,    ///< always time-domain correlation (the reference path)
+  kSpectral,  ///< always FFT, even where the direct path would win
+};
+
 /// Configuration of the scale axis.
 struct CwtConfig {
   WaveletFamily family = WaveletFamily::kMorlet;
@@ -36,6 +57,21 @@ struct CwtConfig {
   double max_scale = 64.0;       ///< coarsest scale, in samples
   bool log_spacing = true;       ///< geometric scale progression (octave-like)
   double kernel_radius = 4.0;    ///< kernel support = radius * scale samples
+  CwtBackend backend = CwtBackend::kAuto;
+};
+
+/// Reusable scratch buffers for the spectral path.  A default-constructed
+/// workspace works for any transform; buffers grow on first use and are then
+/// reused, so steady-state transforms are allocation-free (except for the
+/// returned scalogram itself).  Not thread-safe: use one per worker.
+class CwtWorkspace {
+ public:
+  CwtWorkspace() = default;
+
+ private:
+  friend class Cwt;
+  ComplexVector freq_;   ///< forward spectrum of the current padded trace
+  ComplexVector work_;   ///< per-pair multiply / inverse-FFT scratch
 };
 
 /// Precomputed CWT filter bank.
@@ -46,16 +82,34 @@ class Cwt {
   /// Transforms a trace into its scalogram (num_scales x trace.size()).
   /// Boundary handling: the trace is treated as zero outside its support,
   /// matching the paper's fixed 315-sample window per instruction.
+  /// The workspace overload reuses the caller's scratch buffers; the
+  /// convenience overload allocates its own.
   Scalogram transform(const std::vector<double>& trace) const;
+  Scalogram transform(const std::vector<double>& trace, CwtWorkspace& ws) const;
 
-  /// Single CWT coefficient at (scale index j, time index k) -- O(kernel)
-  /// instead of O(grid).  The classification path only needs the few hundred
-  /// selected feature points, so this is the hot function at inference time.
+  /// Single CWT coefficient at (scale index j, time index k) -- one kernel
+  /// correlation, always time-domain.  The classification path only needs a
+  /// few hundred selected feature points, so this is the hot function at
+  /// inference time.
   double coefficient(const std::vector<double>& trace, std::size_t j,
                      std::size_t k) const;
 
+  /// Batched coefficient extraction: values of the (js[i], ks[i]) grid
+  /// points, in input order (js and ks must have equal length).  Points are
+  /// grouped by scale internally; once one scale holds enough points, the
+  /// whole spectral row is computed instead of per-point correlations (the
+  /// forward trace FFT amortizes across all such scales).  With
+  /// `CwtBackend::kDirect` every point stays a per-point correlation.
+  linalg::Vector coefficients(const std::vector<double>& trace,
+                              std::span<const std::size_t> js,
+                              std::span<const std::size_t> ks,
+                              CwtWorkspace& ws) const;
+
   /// Scale value (in samples) for scale index j in [0, num_scales).
   double scale(std::size_t j) const { return scales_.at(j); }
+
+  /// Kernel support width (taps) at scale index j.
+  std::size_t kernel_width(std::size_t j) const { return kernels_.at(j).size(); }
 
   /// Pseudo-frequency (cycles/sample) associated with scale index j.  For
   /// Morlet this is w0 / (2 pi s); for Ricker the peak-response frequency.
@@ -65,9 +119,22 @@ class Cwt {
   std::size_t num_scales() const { return scales_.size(); }
 
  private:
+  /// Per-trace-length spectral machinery: the FFT plan plus the padded
+  /// kernel spectra, packed two scales per complex spectrum (row pair =
+  /// real/imaginary parts of one inverse transform).  Immutable once built.
+  struct SpectralBank;
+  /// Lazily grown, mutex-guarded bank list shared across copies of this Cwt
+  /// (copies see the same scales/kernels, so sharing is sound).
+  struct BankCache;
+
+  const SpectralBank& bank_for(std::size_t trace_len) const;
+  void direct_row(const std::vector<double>& trace, std::size_t j,
+                  std::span<double> out) const;
+
   CwtConfig config_;
   std::vector<double> scales_;
   std::vector<std::vector<double>> kernels_;  ///< per-scale sampled wavelet
+  std::shared_ptr<BankCache> banks_;
 };
 
 /// Evaluates the mother wavelet psi(t) for a family at unit scale.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsp/signal.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace sidis::features {
 
@@ -31,6 +32,19 @@ sim::TraceSet preprocess(const sim::TraceSet& traces, bool normalize) {
   return out;
 }
 
+/// Fills out[i] = body(i, workspace-of-lane) for i in [0, n), fanned across
+/// `workers` lanes (0 = auto).  Each lane strides the index range with its
+/// own CwtWorkspace, and every slot is written exactly once, so the result
+/// is identical for any worker count.
+template <typename Body>
+void trace_parallel(std::size_t n, std::size_t workers, Body&& body) {
+  const std::size_t lanes = runtime::resolve_workers(workers, n);
+  std::vector<dsp::CwtWorkspace> ws(lanes);
+  runtime::parallel_for(lanes, lanes, [&](std::size_t lane) {
+    for (std::size_t i = lane; i < n; i += lanes) body(i, ws[lane]);
+  });
+}
+
 }  // namespace
 
 std::vector<FeaturePipeline::ClassData> FeaturePipeline::precompute(
@@ -50,7 +64,7 @@ std::vector<FeaturePipeline::ClassData> FeaturePipeline::precompute(
     d.label = input.labels[c];
     d.traces = s;
     d.preprocessed = preprocess(*s, config.per_trace_normalization);
-    d.moments = compute_class_moments(cwt, d.preprocessed);
+    d.moments = compute_class_moments(cwt, d.preprocessed, 1e-12, config.workers);
     if (d.moments.per_program.size() >= 2) {
       double threshold = config.kl_threshold;
       if (config.adaptive_threshold) {
@@ -107,13 +121,18 @@ FeaturePipeline FeaturePipeline::fit(const std::vector<const ClassData*>& classe
     p.points_.resize(config.max_unified_points);  // already KL-ranked
   }
 
-  // Pass 2: extract selected coefficients for every training trace.
-  std::vector<linalg::Vector> rows;
+  // Pass 2: extract selected coefficients for every training trace, fanned
+  // across the pool.  Rows land in their trace-order slots and every row is
+  // computed independently, so the fitted scaler/PCA never depend on the
+  // worker count.
+  std::vector<const std::vector<double>*> samples;
   for (const ClassData* c : classes) {
-    for (const sim::Trace& t : c->preprocessed) {
-      rows.push_back(extract_features(p.cwt_, t.samples, p.points_));
-    }
+    for (const sim::Trace& t : c->preprocessed) samples.push_back(&t.samples);
   }
+  std::vector<linalg::Vector> rows(samples.size());
+  trace_parallel(samples.size(), config.workers, [&](std::size_t i, dsp::CwtWorkspace& ws) {
+    rows[i] = extract_features(p.cwt_, *samples[i], p.points_, ws);
+  });
   linalg::Matrix x = linalg::Matrix::from_rows(rows);
 
   if (config.column_standardization) {
@@ -141,16 +160,23 @@ FeaturePipeline FeaturePipeline::from_parts(PipelineConfig config,
   return p;
 }
 
-linalg::Vector FeaturePipeline::transform(const sim::Trace& trace,
-                                          std::size_t components) const {
+linalg::Vector FeaturePipeline::transform_one(const sim::Trace& trace,
+                                              std::size_t components,
+                                              dsp::CwtWorkspace& ws) const {
   if (points_.empty()) throw std::runtime_error("FeaturePipeline: not fitted");
   const std::vector<double> prep =
       config_.per_trace_normalization
           ? normalize_window(trace.samples, trace.meta.gain_estimate)
           : trace.samples;
-  linalg::Vector v = extract_features(cwt_, prep, points_);
+  linalg::Vector v = extract_features(cwt_, prep, points_, ws);
   if (config_.column_standardization) v = scaler_.transform(v);
   return pca_.transform(v, components);
+}
+
+linalg::Vector FeaturePipeline::transform(const sim::Trace& trace,
+                                          std::size_t components) const {
+  dsp::CwtWorkspace ws;
+  return transform_one(trace, components, ws);
 }
 
 linalg::Vector FeaturePipeline::transform(const std::vector<double>& samples,
@@ -163,13 +189,17 @@ linalg::Vector FeaturePipeline::transform(const std::vector<double>& samples,
 ml::Dataset FeaturePipeline::transform(const LabeledTraces& input,
                                        std::size_t components) const {
   ml::Dataset out;
-  std::vector<linalg::Vector> rows;
+  std::vector<const sim::Trace*> flat;
   for (std::size_t c = 0; c < input.sets.size(); ++c) {
     for (const sim::Trace& t : *input.sets[c]) {
-      rows.push_back(transform(t, components));
+      flat.push_back(&t);
       out.y.push_back(input.labels[c]);
     }
   }
+  std::vector<linalg::Vector> rows(flat.size());
+  trace_parallel(flat.size(), config_.workers, [&](std::size_t i, dsp::CwtWorkspace& ws) {
+    rows[i] = transform_one(*flat[i], components, ws);
+  });
   out.x = linalg::Matrix::from_rows(rows);
   return out;
 }
@@ -177,11 +207,11 @@ ml::Dataset FeaturePipeline::transform(const LabeledTraces& input,
 ml::Dataset FeaturePipeline::transform(const sim::TraceSet& traces, int label,
                                        std::size_t components) const {
   ml::Dataset out;
-  std::vector<linalg::Vector> rows;
-  for (const sim::Trace& t : traces) {
-    rows.push_back(transform(t, components));
-    out.y.push_back(label);
-  }
+  out.y.assign(traces.size(), label);
+  std::vector<linalg::Vector> rows(traces.size());
+  trace_parallel(traces.size(), config_.workers, [&](std::size_t i, dsp::CwtWorkspace& ws) {
+    rows[i] = transform_one(traces[i], components, ws);
+  });
   out.x = linalg::Matrix::from_rows(rows);
   return out;
 }

@@ -50,6 +50,11 @@ struct PipelineConfig {
   /// the pipeline stays usable; the CSA benches turn this off to show the
   /// failure mode honestly.
   bool allow_fallback_points = true;
+  /// Threads for the trace-parallel stages (moment pass, pass-2 feature
+  /// extraction, batched transform): 0 = all hardware threads, 1 =
+  /// sequential.  Every stage reduces in trace order, so the fitted model
+  /// and transformed datasets are bit-identical for any setting.
+  std::size_t workers = 0;
 };
 
 /// Labeled input: one TraceSet per class, parallel to `labels`.
@@ -123,6 +128,9 @@ class FeaturePipeline {
   std::size_t grid_size() const { return grid_size_; }
 
  private:
+  linalg::Vector transform_one(const sim::Trace& trace, std::size_t components,
+                               dsp::CwtWorkspace& ws) const;
+
   PipelineConfig config_;
   dsp::Cwt cwt_{dsp::CwtConfig{}};
   std::vector<stats::GridPoint> points_;

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "runtime/thread_pool.hpp"
 
 namespace sidis::features {
 
@@ -47,10 +51,15 @@ struct MomentAccumulator {
 }  // namespace
 
 ClassMoments compute_class_moments(const dsp::Cwt& cwt, const sim::TraceSet& traces,
-                                   double min_var) {
+                                   double min_var, std::size_t workers) {
   if (traces.empty()) throw std::invalid_argument("compute_class_moments: no traces");
   const std::size_t rows = cwt.num_scales();
   const std::size_t cols = traces.front().samples.size();
+  for (const sim::Trace& t : traces) {
+    if (t.samples.size() != cols) {
+      throw std::invalid_argument("compute_class_moments: inconsistent trace length");
+    }
+  }
 
   MomentAccumulator pooled;
   pooled.init(rows, cols);
@@ -58,20 +67,36 @@ ClassMoments compute_class_moments(const dsp::Cwt& cwt, const sim::TraceSet& tra
   std::vector<MomentAccumulator> per_program;
   std::vector<int> ids;
 
-  for (const sim::Trace& t : traces) {
-    if (t.samples.size() != cols) {
-      throw std::invalid_argument("compute_class_moments: inconsistent trace length");
+  // Scalograms are computed in fixed-size windows fanned across the pool
+  // (each lane strides the window with its own workspace), then accumulated
+  // sequentially in trace order.  The summation order therefore never depends
+  // on the worker count, so the moments are bit-identical at 1 and N workers;
+  // the window also caps peak memory at kWindow scalograms.
+  constexpr std::size_t kWindow = 64;
+  const std::size_t lanes =
+      runtime::resolve_workers(workers, std::min(kWindow, traces.size()));
+  std::vector<dsp::CwtWorkspace> ws(lanes);
+  std::vector<dsp::Scalogram> window(std::min(kWindow, traces.size()));
+
+  for (std::size_t base = 0; base < traces.size(); base += kWindow) {
+    const std::size_t count = std::min(kWindow, traces.size() - base);
+    runtime::parallel_for(lanes, lanes, [&](std::size_t lane) {
+      for (std::size_t i = lane; i < count; i += lanes) {
+        window[i] = cwt.transform(traces[base + i].samples, ws[lane]);
+      }
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      const sim::Trace& t = traces[base + i];
+      pooled.add(window[i]);
+      const auto [it, inserted] = program_slot.try_emplace(t.meta.program_id,
+                                                           per_program.size());
+      if (inserted) {
+        per_program.emplace_back();
+        per_program.back().init(rows, cols);
+        ids.push_back(t.meta.program_id);
+      }
+      per_program[it->second].add(window[i]);
     }
-    const dsp::Scalogram s = cwt.transform(t.samples);
-    pooled.add(s);
-    const auto [it, inserted] = program_slot.try_emplace(t.meta.program_id,
-                                                         per_program.size());
-    if (inserted) {
-      per_program.emplace_back();
-      per_program.back().init(rows, cols);
-      ids.push_back(t.meta.program_id);
-    }
-    per_program[it->second].add(s);
   }
 
   ClassMoments out;
@@ -188,26 +213,40 @@ std::vector<stats::GridPoint> unify_points(
     if (a.j != b.j) return a.j < b.j;
     return a.k < b.k;
   });
+  // Hash-set dedup on the (j, k) coordinate keeps this linear; iterating the
+  // sorted list preserves the KL-ranked (value-descending) order.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(all.size());
   std::vector<stats::GridPoint> out;
+  out.reserve(all.size());
   for (const stats::GridPoint& p : all) {
-    const bool dup = std::any_of(out.begin(), out.end(), [&](const stats::GridPoint& q) {
-      return q.j == p.j && q.k == p.k;
-    });
-    if (!dup) out.push_back(p);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(p.j) << 32) |
+        (static_cast<std::uint64_t>(p.k) & 0xffffffffULL);
+    if (seen.insert(key).second) out.push_back(p);
   }
   return out;
 }
 
 linalg::Vector extract_features(const dsp::Cwt& cwt, const std::vector<double>& samples,
                                 const std::vector<stats::GridPoint>& points) {
-  // Per-point correlations: O(points x kernel) instead of the full grid,
-  // which is what makes real-time classification plausible (Sec. 5.4's
-  // variable-count discussion).
-  linalg::Vector out(points.size());
+  dsp::CwtWorkspace ws;
+  return extract_features(cwt, samples, points, ws);
+}
+
+linalg::Vector extract_features(const dsp::Cwt& cwt, const std::vector<double>& samples,
+                                const std::vector<stats::GridPoint>& points,
+                                dsp::CwtWorkspace& ws) {
+  // Sparse extraction: O(points x kernel) instead of the full grid, which is
+  // what makes real-time classification plausible (Sec. 5.4's variable-count
+  // discussion).  Cwt::coefficients groups the points by scale and upgrades
+  // point-dense scales to one spectral row each.
+  std::vector<std::size_t> js(points.size()), ks(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    out[i] = cwt.coefficient(samples, points[i].j, points[i].k);
+    js[i] = points[i].j;
+    ks[i] = points[i].k;
   }
-  return out;
+  return cwt.coefficients(samples, js, ks, ws);
 }
 
 }  // namespace sidis::features

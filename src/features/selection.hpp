@@ -32,9 +32,12 @@ struct ClassMoments {
 };
 
 /// One pass of CWTs over a trace set, accumulating moments only (memory stays
-/// O(programs x grid) regardless of trace count).
+/// O(programs x grid + workers x window) regardless of trace count).
+/// `workers` fans the scalogram computation across a thread pool (0 = all
+/// hardware threads); the moment reduction always runs in trace order, so the
+/// result is bit-identical for every worker count.
 ClassMoments compute_class_moments(const dsp::Cwt& cwt, const sim::TraceSet& traces,
-                                   double min_var = 1e-12);
+                                   double min_var = 1e-12, std::size_t workers = 1);
 
 /// Within-class KL map, D_KL^W of Definition 3.1(2).  Requires >= 2 programs.
 ///
@@ -79,8 +82,14 @@ std::vector<stats::GridPoint> dnvp(const linalg::Matrix& between_map,
 std::vector<stats::GridPoint> unify_points(
     const std::vector<std::vector<stats::GridPoint>>& per_pair);
 
-/// Extracts the CWT values of a trace at the given grid points.
+/// Extracts the CWT values of a trace at the given grid points (batched via
+/// Cwt::coefficients, which upgrades point-dense scales to spectral rows).
+/// The workspace overload reuses the caller's scratch buffers -- hand each
+/// worker thread its own.
 linalg::Vector extract_features(const dsp::Cwt& cwt, const std::vector<double>& samples,
                                 const std::vector<stats::GridPoint>& points);
+linalg::Vector extract_features(const dsp::Cwt& cwt, const std::vector<double>& samples,
+                                const std::vector<stats::GridPoint>& points,
+                                dsp::CwtWorkspace& ws);
 
 }  // namespace sidis::features

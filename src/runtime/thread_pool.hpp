@@ -6,6 +6,7 @@
 // exception-safe: the queue closes, queued jobs finish, threads join.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -21,6 +22,13 @@ namespace sidis::runtime {
 inline std::size_t default_workers() {
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+/// Resolves a worker-count parameter (0 = auto) against a job count:
+/// never more lanes than jobs, never fewer than one.
+inline std::size_t resolve_workers(std::size_t workers, std::size_t jobs) {
+  const std::size_t w = workers == 0 ? default_workers() : workers;
+  return std::max<std::size_t>(1, std::min(w, jobs));
 }
 
 class ThreadPool {

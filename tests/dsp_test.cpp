@@ -70,6 +70,67 @@ TEST(Fft, ParsevalHolds) {
   EXPECT_NEAR(freq_energy / static_cast<double>(spec.size()), time_energy, 1e-8);
 }
 
+TEST(Fft, PropertiesHoldAtRandomPowerOfTwoSizes) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> d(0, 1);
+  std::uniform_int_distribution<int> log_size(1, 12);  // 2 .. 4096
+  std::uniform_real_distribution<double> coeff(-2.0, 2.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = std::size_t{1} << log_size(rng);
+    ComplexVector x(n), y(n);
+    for (auto& c : x) c = Complex(d(rng), d(rng));
+    for (auto& c : y) c = Complex(d(rng), d(rng));
+
+    // Round trip: ifft(fft(x)) == x.
+    ComplexVector rt = x;
+    fft(rt);
+    ifft(rt);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(rt[i].real(), x[i].real(), 1e-9) << "n=" << n;
+      EXPECT_NEAR(rt[i].imag(), x[i].imag(), 1e-9) << "n=" << n;
+    }
+
+    // Linearity: fft(a x + b y) == a fft(x) + b fft(y).
+    const double a = coeff(rng), b = coeff(rng);
+    ComplexVector mix(n);
+    for (std::size_t i = 0; i < n; ++i) mix[i] = a * x[i] + b * y[i];
+    ComplexVector fx = x, fy = y;
+    fft(mix);
+    fft(fx);
+    fft(fy);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Complex want = a * fx[i] + b * fy[i];
+      EXPECT_NEAR(mix[i].real(), want.real(), 1e-8) << "n=" << n;
+      EXPECT_NEAR(mix[i].imag(), want.imag(), 1e-8) << "n=" << n;
+    }
+
+    // Parseval: sum |X|^2 == n * sum |x|^2.
+    double te = 0.0, fe = 0.0;
+    for (const Complex& c : x) te += std::norm(c);
+    for (const Complex& c : fx) fe += std::norm(c);
+    EXPECT_NEAR(fe / static_cast<double>(n), te, 1e-8 * te + 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Fft, PlanMatchesFreeFunctionsAndChecksSize) {
+  const FftPlan plan(32);
+  EXPECT_EQ(plan.size(), 32u);
+  std::mt19937_64 rng(12);
+  std::normal_distribution<double> d(0, 1);
+  ComplexVector x(32);
+  for (auto& c : x) c = Complex(d(rng), d(rng));
+  ComplexVector via_plan = x, via_free = x;
+  plan.forward(via_plan);
+  fft(via_free);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(via_plan[i].real(), via_free[i].real());
+    EXPECT_DOUBLE_EQ(via_plan[i].imag(), via_free[i].imag());
+  }
+  ComplexVector wrong(16);
+  EXPECT_THROW(plan.forward(wrong), std::invalid_argument);
+  EXPECT_THROW(FftPlan(12), std::invalid_argument);
+}
+
 TEST(Convolve, MatchesHandComputed) {
   const std::vector<double> a{1, 2, 3};
   const std::vector<double> b{1, 1};
@@ -204,6 +265,96 @@ TEST(Cwt, SparseCoefficientMatchesFullGrid) {
   for (std::size_t j : {0u, 10u, 25u, 49u}) {
     for (std::size_t k : {0u, 7u, 150u, 314u}) {
       EXPECT_NEAR(cwt.coefficient(x, j, k), s(j, k), 1e-12);
+    }
+  }
+}
+
+TEST(Cwt, SpectralMatchesDirectEverywhere) {
+  // The FFT path must reproduce the reference time-domain correlation to
+  // ~machine precision across families, scale spacings, and trace lengths
+  // (including lengths shorter than the widest kernel).
+  std::mt19937_64 rng(13);
+  std::normal_distribution<double> d(0, 1);
+  for (const WaveletFamily family : {WaveletFamily::kMorlet, WaveletFamily::kRicker}) {
+    for (const bool log_spacing : {true, false}) {
+      for (const std::size_t len : {std::size_t{100}, std::size_t{315}, std::size_t{500}}) {
+        CwtConfig cfg;
+        cfg.family = family;
+        cfg.log_spacing = log_spacing;
+        cfg.backend = CwtBackend::kDirect;
+        const Cwt direct(cfg);
+        cfg.backend = CwtBackend::kSpectral;
+        const Cwt spectral(cfg);
+        cfg.backend = CwtBackend::kAuto;
+        const Cwt hybrid(cfg);
+
+        std::vector<double> x(len);
+        for (double& v : x) v = d(rng);
+        const Scalogram want = direct.transform(x);
+        const Scalogram got_spectral = spectral.transform(x);
+        const Scalogram got_auto = hybrid.transform(x);
+        ASSERT_EQ(got_spectral.rows(), want.rows());
+        ASSERT_EQ(got_spectral.cols(), want.cols());
+        double err = 0.0, err_auto = 0.0;
+        for (std::size_t i = 0; i < want.data().size(); ++i) {
+          err = std::max(err, std::abs(got_spectral.data()[i] - want.data()[i]));
+          err_auto = std::max(err_auto, std::abs(got_auto.data()[i] - want.data()[i]));
+        }
+        EXPECT_LT(err, 1e-9) << "family=" << static_cast<int>(family)
+                             << " log=" << log_spacing << " len=" << len;
+        EXPECT_LT(err_auto, 1e-9) << "family=" << static_cast<int>(family)
+                                  << " log=" << log_spacing << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(Cwt, WorkspaceReuseAcrossTraceLengthsIsSound) {
+  // One workspace serving transforms of different lengths must give the same
+  // answers as fresh workspaces (buffers are resized, never trusted stale).
+  std::mt19937_64 rng(14);
+  std::normal_distribution<double> d(0, 1);
+  const Cwt cwt{CwtConfig{}};
+  CwtWorkspace shared_ws;
+  for (const std::size_t len : {std::size_t{400}, std::size_t{64}, std::size_t{315}}) {
+    std::vector<double> x(len);
+    for (double& v : x) v = d(rng);
+    const Scalogram fresh = cwt.transform(x);
+    const Scalogram reused = cwt.transform(x, shared_ws);
+    for (std::size_t i = 0; i < fresh.data().size(); ++i) {
+      EXPECT_DOUBLE_EQ(reused.data()[i], fresh.data()[i]) << "len=" << len;
+    }
+  }
+}
+
+TEST(Cwt, BatchedCoefficientsMatchPerPointAcrossBackends) {
+  std::mt19937_64 rng(15);
+  std::normal_distribution<double> d(0, 1);
+  std::vector<double> x(315);
+  for (double& v : x) v = d(rng);
+
+  // Dense cluster on one scale (forces the spectral-row upgrade) plus
+  // scattered single points (stay direct), in shuffled order.
+  std::vector<std::size_t> js, ks;
+  for (std::size_t k = 0; k < 300; k += 4) {
+    js.push_back(42);
+    ks.push_back(k);
+  }
+  for (std::size_t j : {0u, 7u, 21u, 49u}) {
+    js.push_back(j);
+    ks.push_back(11 * (j + 1) % 315);
+  }
+  for (const CwtBackend backend :
+       {CwtBackend::kAuto, CwtBackend::kDirect, CwtBackend::kSpectral}) {
+    CwtConfig cfg;
+    cfg.backend = backend;
+    const Cwt cwt(cfg);
+    CwtWorkspace ws;
+    const linalg::Vector got = cwt.coefficients(x, js, ks, ws);
+    ASSERT_EQ(got.size(), js.size());
+    for (std::size_t i = 0; i < js.size(); ++i) {
+      EXPECT_NEAR(got[i], cwt.coefficient(x, js[i], ks[i]), 1e-9)
+          << "backend=" << static_cast<int>(backend) << " i=" << i;
     }
   }
 }

@@ -108,6 +108,28 @@ TEST(Selection, NoiseFloorShrinksWithCorpus) {
   EXPECT_GT(within_class_noise_floor(small), within_class_noise_floor(big));
 }
 
+TEST(Selection, MomentsAreWorkerCountInvariant) {
+  std::mt19937_64 rng(21);
+  const sim::TraceSet set = synthetic_set(0, 3, 25, rng);
+  const dsp::Cwt cwt{dsp::CwtConfig{}};
+  const ClassMoments seq = compute_class_moments(cwt, set, 1e-12, 1);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{5}}) {
+    const ClassMoments par = compute_class_moments(cwt, set, 1e-12, workers);
+    ASSERT_EQ(par.per_program.size(), seq.per_program.size());
+    // Bit-identical, not merely close: the reduction runs in trace order
+    // regardless of the worker count.
+    for (std::size_t i = 0; i < seq.pooled.mean.data().size(); ++i) {
+      ASSERT_EQ(par.pooled.mean.data()[i], seq.pooled.mean.data()[i]) << "workers=" << workers;
+      ASSERT_EQ(par.pooled.var.data()[i], seq.pooled.var.data()[i]) << "workers=" << workers;
+    }
+    for (std::size_t p = 0; p < seq.per_program.size(); ++p) {
+      for (std::size_t i = 0; i < seq.per_program[p].mean.data().size(); ++i) {
+        ASSERT_EQ(par.per_program[p].mean.data()[i], seq.per_program[p].mean.data()[i]);
+      }
+    }
+  }
+}
+
 TEST(Selection, UnifyPointsDeduplicates) {
   const std::vector<std::vector<stats::GridPoint>> pairs = {
       {{1, 2, 5.0}, {3, 4, 2.0}},
@@ -127,6 +149,20 @@ TEST(Selection, ExtractFeaturesMatchesGrid) {
   const linalg::Vector f = extract_features(cwt, t.samples, pts);
   EXPECT_NEAR(f[0], s(5, 100), 1e-12);
   EXPECT_NEAR(f[1], s(20, 250), 1e-12);
+}
+
+TEST(Selection, ExtractFeaturesWorkspaceOverloadAgrees) {
+  std::mt19937_64 rng(22);
+  const sim::Trace t = synthetic_trace(1, 2, rng);
+  const dsp::Cwt cwt{dsp::CwtConfig{}};
+  std::vector<stats::GridPoint> pts;
+  for (std::size_t k = 5; k < 300; k += 3) pts.push_back({17, k, 0.0});  // dense scale
+  pts.push_back({3, 80, 0.0});
+  const linalg::Vector plain = extract_features(cwt, t.samples, pts);
+  dsp::CwtWorkspace ws;
+  const linalg::Vector with_ws = extract_features(cwt, t.samples, pts, ws);
+  ASSERT_EQ(plain.size(), with_ws.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) EXPECT_EQ(plain[i], with_ws[i]);
 }
 
 class PipelineFixture : public ::testing::Test {
@@ -189,6 +225,44 @@ TEST_F(PipelineFixture, PerTraceNormalizationCancelsGain) {
   const linalg::Vector z0 = pipe.transform(a_test_.front());
   const linalg::Vector z1 = pipe.transform(scaled);
   for (std::size_t i = 0; i < z0.size(); ++i) EXPECT_NEAR(z1[i], z0[i], 1e-9);
+}
+
+TEST_F(PipelineFixture, FitAndTransformAreWorkerCountInvariant) {
+  cfg_.workers = 1;
+  const auto seq = FeaturePipeline::fit({{0, 1}, {&a_train_, &b_train_}}, cfg_);
+  const ml::Dataset seq_ds = seq.transform({{0, 1}, {&a_test_, &b_test_}});
+  for (const std::size_t workers : {std::size_t{3}, std::size_t{8}}) {
+    cfg_.workers = workers;
+    const auto par = FeaturePipeline::fit({{0, 1}, {&a_train_, &b_train_}}, cfg_);
+    // Identical selection...
+    ASSERT_EQ(par.unified_points().size(), seq.unified_points().size());
+    for (std::size_t i = 0; i < seq.unified_points().size(); ++i) {
+      EXPECT_EQ(par.unified_points()[i].j, seq.unified_points()[i].j);
+      EXPECT_EQ(par.unified_points()[i].k, seq.unified_points()[i].k);
+      EXPECT_EQ(par.unified_points()[i].value, seq.unified_points()[i].value);
+    }
+    // ...and a bit-identical projection of unseen traces (scaler + PCA fitted
+    // on the same matrix in the same order).
+    const ml::Dataset par_ds = par.transform({{0, 1}, {&a_test_, &b_test_}});
+    ASSERT_EQ(par_ds.x.data().size(), seq_ds.x.data().size());
+    for (std::size_t i = 0; i < seq_ds.x.data().size(); ++i) {
+      ASSERT_EQ(par_ds.x.data()[i], seq_ds.x.data()[i]) << "workers=" << workers;
+    }
+    EXPECT_EQ(par_ds.y, seq_ds.y);
+  }
+}
+
+TEST_F(PipelineFixture, BatchedTransformMatchesPerTrace) {
+  const auto pipe = FeaturePipeline::fit({{0, 1}, {&a_train_, &b_train_}}, cfg_);
+  const ml::Dataset batched = pipe.transform(a_test_, /*label=*/0);
+  ASSERT_EQ(batched.size(), a_test_.size());
+  for (std::size_t i = 0; i < a_test_.size(); ++i) {
+    const linalg::Vector one = pipe.transform(a_test_[i]);
+    for (std::size_t c = 0; c < one.size(); ++c) {
+      EXPECT_EQ(batched.x(i, c), one[c]) << "trace " << i;
+    }
+    EXPECT_EQ(batched.y[i], 0);
+  }
 }
 
 TEST_F(PipelineFixture, InvalidInputsThrow) {
