@@ -1,0 +1,207 @@
+// Robustness sweep: accuracy-vs-severity curves per fault kind, with the
+// reject option armed.
+//
+// For every fault kind the bench replays one paired evaluation corpus (same
+// per-capture seeds, clean vs faulted) across a severity ladder and reports
+//
+//   * instruction-level accuracy,
+//   * reject / degraded rates,
+//   * the fraction of misclassified windows the gates flagged, and
+//   * the PR acceptance criterion at severity 1.0: accuracy within 5 points
+//     of the paired clean baseline OR >= 90% of misses flagged.
+//
+// Results are printed as a table and written to BENCH_robustness.json
+// (override the path with SIDIS_BENCH_OUT) so the sweep is diffable in CI.
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/profiler.hpp"
+#include "sim/fault.hpp"
+
+namespace sidis::bench {
+namespace {
+
+struct CellResult {
+  std::string fault;
+  double severity = 0.0;
+  double accuracy = 0.0;
+  double reject_rate = 0.0;
+  double degraded_rate = 0.0;
+  double flagged_miss_fraction = 1.0;
+  std::size_t windows = 0;
+};
+
+struct Sweep {
+  double clean_accuracy = 0.0;
+  double clean_reject_rate = 0.0;
+  std::vector<CellResult> cells;
+};
+
+const std::vector<std::size_t>& eval_classes() {
+  static const std::vector<std::size_t> classes = {
+      class_id(avr::Mnemonic::kAdd), class_id(avr::Mnemonic::kSub),
+      class_id(avr::Mnemonic::kLdi), class_id(avr::Mnemonic::kCom),
+      class_id(avr::Mnemonic::kRjmp)};
+  return classes;
+}
+
+core::HierarchicalDisassembler train_model() {
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0)};
+  std::mt19937_64 rng{0x0b0b};
+  core::ProfilerConfig pcfg;
+  pcfg.classes = eval_classes();
+  pcfg.traces_per_class = traces_per_class(100);
+  pcfg.num_programs = 4;
+  pcfg.profile_registers = false;
+  const core::ProfilingData data = core::profile_device(campaign, pcfg, rng);
+
+  core::HierarchicalConfig cfg;
+  cfg.pipeline = core::csa_config();
+  cfg.pipeline.pca_components = 20;
+  cfg.group_components = 18;
+  cfg.instruction_components = 18;
+  cfg.factory.discriminant.shrinkage = 0.15;
+  core::HierarchicalDisassembler model = core::HierarchicalDisassembler::train(data, cfg);
+
+  // Monitoring-grade gates (see tests/fault_test.cpp): margin floor at the
+  // clean 10% quantile so boundary-straddling windows get flagged.
+  core::RejectConfig reject;
+  reject.margin_quantile = 0.10;
+  reject.score_quantile = 0.06;
+  reject.score_slack = 0.25;
+  model.calibrate_reject(data, reject);
+  return model;
+}
+
+/// Classifies one paired evaluation corpus; `profile` empty = clean pass.
+CellResult evaluate(const core::HierarchicalDisassembler& model,
+                    const sim::FaultProfile& profile, int per_class) {
+  const sim::AcquisitionCampaign clean{sim::DeviceModel::make(0),
+                                       sim::SessionContext::make(0)};
+  sim::AcquisitionCampaign faulted{sim::DeviceModel::make(0),
+                                   sim::SessionContext::make(0)};
+  if (!profile.empty()) faulted.inject_faults(profile);
+  const sim::AcquisitionCampaign& campaign = profile.empty() ? clean : faulted;
+
+  CellResult out;
+  out.fault = profile.empty() ? "clean" : to_string(profile.faults.front().kind);
+  out.severity = profile.empty() ? 0.0 : profile.severity;
+  std::size_t hits = 0, rejected = 0, degraded = 0, misses = 0, miss_flagged = 0;
+  for (std::size_t cls : eval_classes()) {
+    for (int i = 0; i < per_class; ++i) {
+      // Per-capture seed: the same instruction instance and measurement
+      // stream at every severity -- the curves differ by the fault alone.
+      std::mt19937_64 rng{0xeba1u + cls * 977 + static_cast<std::size_t>(i)};
+      const avr::Instruction target = avr::random_instance(cls, rng);
+      const sim::Trace t =
+          campaign.capture_trace(target, sim::ProgramContext::make(80 + i % 4), rng);
+      const core::Disassembly d = model.classify(t);
+      ++out.windows;
+      if (d.verdict == core::Verdict::kRejected) ++rejected;
+      if (d.verdict == core::Verdict::kDegraded) ++degraded;
+      if (d.class_idx == cls) {
+        ++hits;
+      } else {
+        ++misses;
+        if (d.verdict != core::Verdict::kOk) ++miss_flagged;
+      }
+    }
+  }
+  const auto frac = [&](std::size_t n) {
+    return static_cast<double>(n) / static_cast<double>(out.windows);
+  };
+  out.accuracy = frac(hits);
+  out.reject_rate = frac(rejected);
+  out.degraded_rate = frac(degraded);
+  out.flagged_miss_fraction =
+      misses == 0 ? 1.0 : static_cast<double>(miss_flagged) / static_cast<double>(misses);
+  return out;
+}
+
+void write_json(const Sweep& sweep, const std::string& path, int per_class) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"robustness\",\n");
+  std::fprintf(f, "  \"config\": {\"classes\": %zu, \"windows_per_cell\": %zu,\n",
+               eval_classes().size(), eval_classes().size() * static_cast<std::size_t>(per_class));
+  std::fprintf(f,
+               "             \"reject\": {\"margin_quantile\": 0.10, "
+               "\"score_quantile\": 0.06, \"score_slack\": 0.25}},\n");
+  std::fprintf(f, "  \"clean\": {\"accuracy\": %.4f, \"reject_rate\": %.4f},\n",
+               sweep.clean_accuracy, sweep.clean_reject_rate);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    const CellResult& c = sweep.cells[i];
+    const bool pass = c.severity != 1.0 || c.accuracy >= sweep.clean_accuracy - 0.05 ||
+                      c.flagged_miss_fraction >= 0.9;
+    std::fprintf(f,
+                 "    {\"fault\": \"%s\", \"severity\": %.2f, \"accuracy\": %.4f, "
+                 "\"reject_rate\": %.4f, \"degraded_rate\": %.4f, "
+                 "\"flagged_miss_fraction\": %.4f, \"criterion_pass\": %s}%s\n",
+                 c.fault.c_str(), c.severity, c.accuracy, c.reject_rate, c.degraded_rate,
+                 c.flagged_miss_fraction, pass ? "true" : "false",
+                 i + 1 < sweep.cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace sidis::bench
+
+int main() {
+  using namespace sidis;
+  using namespace sidis::bench;
+
+  print_header("Robustness sweep: accuracy vs fault severity (reject option armed)");
+  const int per_class = fast_mode() ? 6 : env_int("SIDIS_EVAL_PER_CLASS", 15);
+  const std::vector<double> severities = {0.25, 0.5, 1.0, 1.5, 2.0};
+
+  const core::HierarchicalDisassembler model = train_model();
+
+  Sweep sweep;
+  const CellResult clean = evaluate(model, sim::FaultProfile{}, per_class);
+  sweep.clean_accuracy = clean.accuracy;
+  sweep.clean_reject_rate = clean.reject_rate;
+  std::printf("\nclean baseline: accuracy %.1f%%, reject rate %.1f%% (%zu windows)\n",
+              100.0 * clean.accuracy, 100.0 * clean.reject_rate, clean.windows);
+  std::printf("\n  %-16s %9s %9s %9s %9s %14s\n", "fault", "severity", "accuracy",
+              "rejected", "degraded", "flagged-misses");
+
+  for (sim::FaultKind kind : sim::all_fault_kinds()) {
+    for (double severity : severities) {
+      const CellResult c =
+          evaluate(model, sim::FaultProfile::single(kind, severity), per_class);
+      sweep.cells.push_back(c);
+      std::printf("  %-16s %8.2fx %8.1f%% %8.1f%% %8.1f%% %13.1f%%\n", c.fault.c_str(),
+                  c.severity, 100.0 * c.accuracy, 100.0 * c.reject_rate,
+                  100.0 * c.degraded_rate, 100.0 * c.flagged_miss_fraction);
+    }
+  }
+
+  // Acceptance-criterion summary at default severity.
+  std::printf("\ncriterion at severity 1.0 (accuracy within 5 points of clean %.1f%% "
+              "or >= 90%% of misses flagged):\n",
+              100.0 * sweep.clean_accuracy);
+  for (const CellResult& c : sweep.cells) {
+    if (c.severity != 1.0) continue;
+    const bool pass =
+        c.accuracy >= sweep.clean_accuracy - 0.05 || c.flagged_miss_fraction >= 0.9;
+    std::printf("  %-16s %s (accuracy %.1f%%, flagged %.1f%%)\n", c.fault.c_str(),
+                pass ? "PASS" : "FAIL", 100.0 * c.accuracy,
+                100.0 * c.flagged_miss_fraction);
+  }
+
+  const char* out = std::getenv("SIDIS_BENCH_OUT");
+  write_json(sweep, out != nullptr && *out != '\0' ? out : "BENCH_robustness.json",
+             per_class);
+  return 0;
+}

@@ -16,7 +16,27 @@ bool single_label(const std::vector<int>& labels) {
                      [&](int l) { return l == labels.front(); });
 }
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Low quantile of an unsorted sample (sorts a copy; calibration-time only).
+double low_quantile(std::vector<double> v, double q) {
+  if (v.empty()) return -kInf;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
 }  // namespace
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kDegraded: return "degraded";
+    case Verdict::kRejected: return "rejected";
+  }
+  return "unknown";
+}
 
 avr::Instruction Disassembly::to_instruction() const {
   const avr::ClassSpec& spec = avr::instruction_classes().at(class_idx);
@@ -75,6 +95,69 @@ int HierarchicalDisassembler::predict_level(const Level& level,
   // the classifier saw at fit time, so overrides only make sense on levels
   // evaluated standalone; the benches refit per sweep point instead.
   return level.classifier->predict(level.pipeline.transform(trace, k));
+}
+
+ml::ScoredPrediction HierarchicalDisassembler::predict_level_scored(
+    const Level& level, const sim::Trace& trace, std::size_t components) {
+  if (level.trivial) return {level.only_label, kInf, kInf};
+  if (level.classifier == nullptr) throw std::runtime_error("level not trained");
+  const std::size_t k = components == SIZE_MAX ? level.components : components;
+  return level.classifier->predict_scored(level.pipeline.transform(trace, k));
+}
+
+void HierarchicalDisassembler::calibrate_level(Level& level,
+                                               const features::LabeledTraces& input,
+                                               const RejectConfig& config) {
+  if (level.trivial) return;
+  std::vector<double> margins;
+  std::vector<double> scores;
+  for (const sim::TraceSet* set : input.sets) {
+    for (const sim::Trace& trace : *set) {
+      const ml::ScoredPrediction p = predict_level_scored(level, trace, SIZE_MAX);
+      margins.push_back(p.margin);
+      scores.push_back(p.top_score);
+    }
+  }
+  if (margins.empty()) return;
+  level.gate.margin_floor = low_quantile(margins, config.margin_quantile);
+  const double q = low_quantile(scores, config.score_quantile);
+  const double median = low_quantile(scores, 0.5);
+  // Widen the outlier floor below the clean quantile; the spread to the
+  // median scales the slack to the level's own score dispersion.
+  level.gate.score_floor = q - config.score_slack * std::max(0.0, median - q);
+  level.gate.active = true;
+}
+
+void HierarchicalDisassembler::calibrate_reject(const ProfilingData& clean,
+                                                const RejectConfig& config) {
+  features::LabeledTraces group_input;
+  std::map<int, features::LabeledTraces> per_group;
+  for (const auto& [class_idx, traces] : clean.classes) {
+    const int group = avr::group_of_class(class_idx);
+    group_input.labels.push_back(group);
+    group_input.sets.push_back(&traces);
+    per_group[group].labels.push_back(static_cast<int>(class_idx));
+    per_group[group].sets.push_back(&traces);
+  }
+  if (!group_input.sets.empty()) {
+    calibrate_level(group_level_, group_input, config);
+  }
+  for (auto& [group, level] : instruction_levels_) {
+    const auto it = per_group.find(group);
+    if (it != per_group.end()) calibrate_level(level, it->second, config);
+  }
+  const auto calibrate_registers = [&](Level* level,
+                                       const std::map<std::uint8_t, sim::TraceSet>& sets) {
+    if (level == nullptr || sets.empty()) return;
+    features::LabeledTraces input;
+    for (const auto& [reg, traces] : sets) {
+      input.labels.push_back(static_cast<int>(reg));
+      input.sets.push_back(&traces);
+    }
+    calibrate_level(*level, input, config);
+  };
+  calibrate_registers(rd_level_.get(), clean.rd_classes);
+  calibrate_registers(rr_level_.get(), clean.rr_classes);
 }
 
 HierarchicalDisassembler HierarchicalDisassembler::train(const ProfilingData& data,
@@ -175,13 +258,46 @@ std::uint8_t HierarchicalDisassembler::classify_rr(const sim::Trace& trace,
 
 Disassembly HierarchicalDisassembler::classify(const sim::Trace& trace) const {
   Disassembly out;
-  out.group = classify_group(trace);
-  out.class_idx = classify_within_group(out.group, trace);
+
+  // Walks every level through the scored path and folds each calibrated
+  // gate's headroom into the verdict.  `fatal` gates (group/instruction)
+  // reject the window; register gates only degrade it -- the opcode is still
+  // trusted, the operand is not.
+  const auto gate = [&out](const Level& level, const ml::ScoredPrediction& p,
+                           bool fatal) {
+    if (!level.gate.active) return;
+    const double margin_headroom = p.margin - level.gate.margin_floor;
+    const double score_headroom = p.top_score - level.gate.score_floor;
+    out.margin_headroom = std::min(out.margin_headroom, margin_headroom);
+    out.score_headroom = std::min(out.score_headroom, score_headroom);
+    if (margin_headroom < 0.0 || score_headroom < 0.0) {
+      out.verdict = fatal ? Verdict::kRejected
+                          : std::max(out.verdict, Verdict::kDegraded);
+    }
+  };
+
+  const ml::ScoredPrediction g =
+      predict_level_scored(group_level_, trace, SIZE_MAX);
+  out.group = g.label;
+  gate(group_level_, g, /*fatal=*/true);
+
+  const auto it = instruction_levels_.find(out.group);
+  if (it == instruction_levels_.end()) {
+    throw std::invalid_argument("classify_within_group: group not trained");
+  }
+  const ml::ScoredPrediction c = predict_level_scored(it->second, trace, SIZE_MAX);
+  out.class_idx = static_cast<std::size_t>(c.label);
+  gate(it->second, c, /*fatal=*/true);
+
   if (avr::class_uses_rd(out.class_idx) && rd_level_ != nullptr) {
-    out.rd = classify_rd(trace);
+    const ml::ScoredPrediction p = predict_level_scored(*rd_level_, trace, SIZE_MAX);
+    out.rd = static_cast<std::uint8_t>(p.label);
+    gate(*rd_level_, p, /*fatal=*/false);
   }
   if (avr::class_uses_rr(out.class_idx) && rr_level_ != nullptr) {
-    out.rr = classify_rr(trace);
+    const ml::ScoredPrediction p = predict_level_scored(*rr_level_, trace, SIZE_MAX);
+    out.rr = static_cast<std::uint8_t>(p.label);
+    gate(*rr_level_, p, /*fatal=*/false);
   }
   return out;
 }

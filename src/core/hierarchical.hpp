@@ -14,7 +14,9 @@
 // most C(8,2) + C(24,2) = 304.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -37,6 +39,31 @@ struct HierarchicalConfig {
   std::size_t register_components = 45;
 };
 
+/// Outcome of one classified window under the reject option.
+enum class Verdict : std::uint8_t {
+  kOk = 0,        ///< all gates passed; trust the recovered instruction
+  kDegraded = 1,  ///< delivered, but the input looks off-distribution or an
+                  ///< operand gate tripped -- treat operands with suspicion
+  kRejected = 2,  ///< a class-level gate tripped; the recovery is a guess
+};
+
+std::string to_string(Verdict v);
+
+/// Reject-option calibration knobs.  Thresholds are *calibrated*, not fixed:
+/// calibrate_reject() classifies held-out clean traces through every level
+/// and places each gate at a low quantile of the clean score distribution,
+/// so a gate fires only on inputs that look unlike anything a healthy
+/// acquisition chain produces.
+struct RejectConfig {
+  /// Fraction of clean traces allowed to fail the margin (ambiguity) gate.
+  double margin_quantile = 0.005;
+  /// Fraction of clean traces allowed to fail the top-score (outlier) gate.
+  double score_quantile = 0.005;
+  /// Extra slack widening the outlier floor below the quantile, in units of
+  /// (median - quantile); absorbs calibration-set sampling error.
+  double score_slack = 0.5;
+};
+
 /// Profiling corpus: traces per instruction class (any subset of the 112),
 /// plus optional per-register corpora for level 3.
 struct ProfilingData {
@@ -51,6 +78,18 @@ struct Disassembly {
   std::size_t class_idx = 0;
   std::optional<std::uint8_t> rd;
   std::optional<std::uint8_t> rr;
+
+  /// Reject-option outcome.  Always kOk until calibrate_reject() has armed
+  /// the gates; after that, kRejected/kDegraded flag windows whose scores
+  /// fall outside the clean calibration envelope.
+  Verdict verdict = Verdict::kOk;
+  /// Worst margin headroom over all gated levels: min(margin - floor).
+  /// Negative exactly when a margin gate tripped; +inf when gates are off.
+  double margin_headroom = std::numeric_limits<double>::infinity();
+  /// Worst top-score headroom over all gated levels (outlier gate).
+  double score_headroom = std::numeric_limits<double>::infinity();
+
+  bool accepted() const { return verdict != Verdict::kRejected; }
 
   /// Best-effort instruction reconstruction (unrecoverable operand fields --
   /// immediates, addresses -- stay zero; the paper's scope is opcode + regs).
@@ -97,12 +136,37 @@ class HierarchicalDisassembler {
   std::uint8_t classify_rr(const sim::Trace& trace,
                            std::size_t components = SIZE_MAX) const;
 
+  /// Calibrates the reject gates on *clean* traces (ideally held out from
+  /// training, though in-sample calibration is only mildly optimistic).
+  /// Every level present in `clean` gets a margin floor and a top-score
+  /// floor placed at low quantiles of the clean score distribution; levels
+  /// absent from `clean` stay ungated.  After calibration, classify()
+  /// populates Disassembly::verdict:
+  ///
+  ///   * group/instruction margin or score below floor  -> kRejected
+  ///   * register-level gate below floor                -> kDegraded
+  ///     (the opcode is still trusted; the operand is not)
+  ///
+  /// Idempotent; recalibrating replaces the thresholds.
+  void calibrate_reject(const ProfilingData& clean, const RejectConfig& config = {});
+
+  /// True once calibrate_reject() has armed at least the group gate.
+  bool reject_calibrated() const { return group_level_.gate.active; }
+
   bool has_register_level() const { return rd_level_ != nullptr || rr_level_ != nullptr; }
   const HierarchicalConfig& config() const { return config_; }
 
   /// Template persistence (QDA levels only); see core/serialize.hpp.
   void save(std::ostream& os) const;
   static HierarchicalDisassembler load(std::istream& is);
+
+ public:
+  /// Calibrated reject thresholds of one level (public for serialization).
+  struct LevelGate {
+    bool active = false;
+    double margin_floor = -std::numeric_limits<double>::infinity();
+    double score_floor = -std::numeric_limits<double>::infinity();
+  };
 
  private:
   struct Level {
@@ -111,6 +175,7 @@ class HierarchicalDisassembler {
     std::size_t components = SIZE_MAX;
     int only_label = 0;       ///< used when a level has a single class
     bool trivial = false;     ///< single-class level: no classifier needed
+    LevelGate gate;           ///< reject thresholds (inactive until calibrated)
   };
 
   static Level train_level(const features::LabeledTraces& input,
@@ -121,6 +186,11 @@ class HierarchicalDisassembler {
       std::size_t components);
   static int predict_level(const Level& level, const sim::Trace& trace,
                            std::size_t components);
+  static ml::ScoredPrediction predict_level_scored(const Level& level,
+                                                   const sim::Trace& trace,
+                                                   std::size_t components);
+  static void calibrate_level(Level& level, const features::LabeledTraces& input,
+                              const RejectConfig& config);
 
   HierarchicalConfig config_;
   Level group_level_;

@@ -11,7 +11,8 @@ namespace sidis::core {
 namespace {
 
 constexpr const char* kMagic = "sidis-template";
-constexpr int kVersion = 1;
+// v2: per-level reject-gate thresholds appended to each level record.
+constexpr int kVersion = 2;
 
 [[noreturn]] void corrupt(const std::string& what) {
   throw std::runtime_error("template archive corrupt: " + what);
@@ -217,6 +218,11 @@ void HierarchicalDisassembler::save(std::ostream& os) const {
   const auto save_level = [&os](const Level& level) {
     os << "level " << (level.trivial ? 1 : 0) << ' ' << level.only_label << ' '
        << level.components << '\n';
+    os << "gate " << (level.gate.active ? 1 : 0) << ' ';
+    write_double(os, level.gate.margin_floor);
+    os << ' ';
+    write_double(os, level.gate.score_floor);
+    os << '\n';
     if (level.trivial) return;
     const auto* qda = dynamic_cast<const ml::Qda*>(level.classifier.get());
     if (qda == nullptr) {
@@ -248,6 +254,10 @@ HierarchicalDisassembler HierarchicalDisassembler::load(std::istream& is) {
     if (!(is >> level.only_label)) corrupt("bad level label");
     level.components = read_size(is);
     level.trivial = trivial;
+    expect_tag(is, "gate");
+    level.gate.active = read_size(is) != 0;
+    level.gate.margin_floor = read_double(is);
+    level.gate.score_floor = read_double(is);
     if (!trivial) {
       level.pipeline = load_pipeline(is);
       level.classifier = std::make_unique<ml::Qda>(load_qda(is));

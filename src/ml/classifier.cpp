@@ -1,6 +1,35 @@
 #include "ml/classifier.hpp"
 
+#include <limits>
+
 namespace sidis::ml {
+
+ScoredPrediction Classifier::predict_scored(const linalg::Vector& x) const {
+  return {predict(x), std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+}
+
+ScoredPrediction scored_from_scores(const linalg::Vector& s,
+                                    const std::vector<int>& labels) {
+  ScoredPrediction out;
+  std::size_t best = 0;
+  double top = -std::numeric_limits<double>::infinity();
+  double second = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < s.size(); ++c) {
+    if (s[c] > top) {
+      second = top;
+      top = s[c];
+      best = c;
+    } else if (s[c] > second) {
+      second = s[c];
+    }
+  }
+  out.label = labels[best];
+  out.top_score = top;
+  out.margin = s.size() > 1 ? top - second
+                            : std::numeric_limits<double>::infinity();
+  return out;
+}
 
 std::vector<int> Classifier::predict_all(const linalg::Matrix& x) const {
   std::vector<int> out(x.rows());

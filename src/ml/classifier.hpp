@@ -12,6 +12,22 @@
 
 namespace sidis::ml {
 
+/// A prediction with its decision-confidence diagnostics, the raw material
+/// of the hierarchical disassembler's reject option.  Scores are in whatever
+/// units the classifier decides with (log-likelihoods for the Gaussian
+/// family, one-vs-one votes for SVM, neighbour votes for kNN); the reject
+/// gates calibrate thresholds per classifier from clean traces, so only the
+/// *ordering* within one fitted model matters.
+struct ScoredPrediction {
+  int label = 0;
+  /// Decision score of the winning class (outlier gate: off-distribution
+  /// inputs score low against every class).
+  double top_score = 0.0;
+  /// Winner-vs-runner-up score gap (ambiguity gate: a corrupted trace that
+  /// still lands near a class boundary has a thin margin).
+  double margin = 0.0;
+};
+
 class Classifier {
  public:
   virtual ~Classifier() = default;
@@ -22,6 +38,11 @@ class Classifier {
 
   /// Predicted label of one sample (must match training dim).
   virtual int predict(const linalg::Vector& x) const = 0;
+
+  /// Prediction plus decision scores.  The base implementation reports
+  /// infinite confidence (gates never fire); every shipped classifier
+  /// overrides it with real scores.
+  virtual ScoredPrediction predict_scored(const linalg::Vector& x) const;
 
   /// Display name ("QDA", "SVM-RBF", ...).
   virtual std::string name() const = 0;
@@ -35,5 +56,10 @@ class Classifier {
 
 /// Factory signature used by one-vs-one wrappers and sweep harnesses.
 using ClassifierFactory = std::unique_ptr<Classifier> (*)();
+
+/// Argmax + runner-up over a per-class score vector (aligned with `labels`)
+/// -- the shared back-half of every predict_scored override.
+ScoredPrediction scored_from_scores(const linalg::Vector& scores,
+                                    const std::vector<int>& labels);
 
 }  // namespace sidis::ml

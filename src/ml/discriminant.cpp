@@ -92,6 +92,10 @@ int Qda::predict(const linalg::Vector& x) const {
   return labels_[static_cast<std::size_t>(best - s.begin())];
 }
 
+ScoredPrediction Qda::predict_scored(const linalg::Vector& x) const {
+  return scored_from_scores(scores(x), labels_);
+}
+
 Lda::Lda(DiscriminantConfig config) : config_(config) {}
 
 void Lda::fit(const Dataset& train) {
@@ -119,6 +123,10 @@ int Lda::predict(const linalg::Vector& x) const {
   const linalg::Vector s = scores(x);
   const auto best = std::max_element(s.begin(), s.end());
   return labels_[static_cast<std::size_t>(best - s.begin())];
+}
+
+ScoredPrediction Lda::predict_scored(const linalg::Vector& x) const {
+  return scored_from_scores(scores(x), labels_);
 }
 
 }  // namespace sidis::ml

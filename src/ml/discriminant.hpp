@@ -26,6 +26,7 @@ class Qda : public Classifier {
 
   void fit(const Dataset& train) override;
   int predict(const linalg::Vector& x) const override;
+  ScoredPrediction predict_scored(const linalg::Vector& x) const override;
   std::string name() const override { return "QDA"; }
 
   /// Per-class posterior log-likelihoods (unnormalized), label order matches
@@ -54,6 +55,7 @@ class Lda : public Classifier {
 
   void fit(const Dataset& train) override;
   int predict(const linalg::Vector& x) const override;
+  ScoredPrediction predict_scored(const linalg::Vector& x) const override;
   std::string name() const override { return "LDA"; }
 
   linalg::Vector scores(const linalg::Vector& x) const;

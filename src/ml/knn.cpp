@@ -1,6 +1,7 @@
 #include "ml/knn.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <stdexcept>
 
@@ -16,7 +17,9 @@ void Knn::fit(const Dataset& train) {
   train_ = train;
 }
 
-int Knn::predict(const linalg::Vector& x) const {
+int Knn::predict(const linalg::Vector& x) const { return predict_scored(x).label; }
+
+ScoredPrediction Knn::predict_scored(const linalg::Vector& x) const {
   if (train_.size() == 0) throw std::runtime_error("Knn: not fitted");
   if (x.size() != train_.dim()) throw std::invalid_argument("Knn: dim mismatch");
 
@@ -33,11 +36,28 @@ int Knn::predict(const linalg::Vector& x) const {
   for (std::size_t i = 0; i < k_; ++i) ++votes[dist[i].second];
   // Majority vote; ties broken by the nearest member of the tied labels.
   std::size_t best_count = 0;
-  for (const auto& [label, count] : votes) best_count = std::max(best_count, count);
-  for (std::size_t i = 0; i < k_; ++i) {
-    if (votes[dist[i].second] == best_count) return dist[i].second;
+  std::size_t second_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      second_count = best_count;
+      best_count = count;
+    } else if (count > second_count) {
+      second_count = count;
+    }
   }
-  return dist.front().second;
+  ScoredPrediction out;
+  out.label = dist.front().second;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (votes[dist[i].second] == best_count) {
+      out.label = dist[i].second;
+      // Off-distribution gate: distance to the winning label's nearest
+      // neighbour, negated so that larger = more confident.
+      out.top_score = -std::sqrt(dist[i].first);
+      break;
+    }
+  }
+  out.margin = static_cast<double>(best_count) - static_cast<double>(second_count);
+  return out;
 }
 
 std::string Knn::name() const { return "kNN(k=" + std::to_string(k_) + ")"; }

@@ -14,6 +14,9 @@ class Knn : public Classifier {
 
   void fit(const Dataset& train) override;
   int predict(const linalg::Vector& x) const override;
+  /// Margin is the neighbour-vote gap; top_score is the negated distance to
+  /// the winning label's nearest neighbour (an off-distribution gate).
+  ScoredPrediction predict_scored(const linalg::Vector& x) const override;
   std::string name() const override;
 
   std::size_t k() const { return k_; }

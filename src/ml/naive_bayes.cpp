@@ -54,4 +54,8 @@ int GaussianNaiveBayes::predict(const linalg::Vector& x) const {
   return labels_[static_cast<std::size_t>(best - s.begin())];
 }
 
+ScoredPrediction GaussianNaiveBayes::predict_scored(const linalg::Vector& x) const {
+  return scored_from_scores(scores(x), labels_);
+}
+
 }  // namespace sidis::ml

@@ -16,6 +16,7 @@ class GaussianNaiveBayes : public Classifier {
 
   void fit(const Dataset& train) override;
   int predict(const linalg::Vector& x) const override;
+  ScoredPrediction predict_scored(const linalg::Vector& x) const override;
   std::string name() const override { return "NaiveBayes"; }
 
   linalg::Vector scores(const linalg::Vector& x) const;

@@ -176,4 +176,13 @@ int Svm::predict(const linalg::Vector& x) const {
   return labels_[static_cast<std::size_t>(best - votes.begin())];
 }
 
+ScoredPrediction Svm::predict_scored(const linalg::Vector& x) const {
+  if (machines_.empty()) throw std::runtime_error("Svm: not fitted");
+  linalg::Vector votes(labels_.size(), 0.0);
+  for (const Pair& p : machines_) {
+    votes[p.machine.decision(x) >= 0.0 ? p.a : p.b] += 1.0;
+  }
+  return scored_from_scores(votes, labels_);
+}
+
 }  // namespace sidis::ml

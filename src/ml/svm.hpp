@@ -62,6 +62,9 @@ class Svm : public Classifier {
 
   void fit(const Dataset& train) override;
   int predict(const linalg::Vector& x) const override;
+  /// Scores are one-vs-one votes: the margin is the paper's majority-vote
+  /// margin (Eq. (3) winner vs runner-up vote gap).
+  ScoredPrediction predict_scored(const linalg::Vector& x) const override;
   std::string name() const override {
     return config_.kernel == KernelType::kRbf ? "SVM-RBF" : "SVM-linear";
   }

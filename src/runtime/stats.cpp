@@ -52,6 +52,19 @@ std::string RuntimeStats::report() const {
   out += " emitted=" + std::to_string(traces_emitted);
   if (traces_failed != 0) out += " FAILED=" + std::to_string(traces_failed);
   out += "\n";
+  if (traces_rejected != 0 || traces_degraded != 0) {
+    out += "  verdicts: rejected=" + std::to_string(traces_rejected) +
+           ", degraded=" + std::to_string(traces_degraded) + "\n";
+  }
+  if (traces_faulted != 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "  faulted: %llu windows, mean severity %.2f, max %.2f\n",
+                  static_cast<unsigned long long>(traces_faulted),
+                  fault_severity_sum / static_cast<double>(traces_faulted),
+                  max_fault_severity);
+    out += buf;
+  }
   out += "  queue high-water: " + std::to_string(queue_depth_high_water) +
          ", in-flight high-water: " + std::to_string(in_flight_high_water) + "\n";
   out += "  queue wait:  " + queue_wait.summary() + "\n";

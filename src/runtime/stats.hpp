@@ -67,6 +67,15 @@ struct RuntimeStats {
   std::uint64_t traces_completed = 0;  ///< classified by a worker
   std::uint64_t traces_emitted = 0;    ///< handed to the consumer, in order
   std::uint64_t traces_failed = 0;     ///< classify threw; default result emitted
+  /// Reject-option outcomes (core::Verdict of each classified window).  All
+  /// zero until the wrapped model has calibrated reject gates.
+  std::uint64_t traces_rejected = 0;   ///< class-level gate tripped
+  std::uint64_t traces_degraded = 0;   ///< off-distribution / operand gate
+  /// Fault-injection telemetry, from TraceMeta::fault_severity ground truth
+  /// (robustness sweeps stream faulted corpora through the engine).
+  std::uint64_t traces_faulted = 0;    ///< windows with fault_severity > 0
+  double fault_severity_sum = 0.0;     ///< sum over faulted windows
+  double max_fault_severity = 0.0;     ///< worst severity seen
   std::size_t queue_depth_high_water = 0;     ///< work-queue backlog peak
   std::size_t in_flight_high_water = 0;       ///< accepted-not-yet-classified peak
   std::size_t workers = 0;

@@ -60,10 +60,20 @@ void StreamingDisassembler::worker_loop() {
       failed = true;
     }
     const Clock::time_point done = Clock::now();
+    const double fault_severity = job->trace.meta.fault_severity;
     {
       std::lock_guard lock(mutex_);
       queue_wait_.record(elapsed_nanos(job->submitted_at, picked_up));
       classify_hist_.record(elapsed_nanos(picked_up, done));
+      if (!failed) {
+        if (result.verdict == core::Verdict::kRejected) ++rejected_;
+        if (result.verdict == core::Verdict::kDegraded) ++degraded_;
+      }
+      if (fault_severity > 0.0) {
+        ++faulted_;
+        fault_severity_sum_ += fault_severity;
+        max_fault_severity_ = std::max(max_fault_severity_, fault_severity);
+      }
       reorder_.emplace(job->sequence, Pending{std::move(result), job->submitted_at});
       ++completed_;
       if (failed) ++failed_;
@@ -155,6 +165,11 @@ RuntimeStats StreamingDisassembler::stats() const {
   s.traces_completed = completed_;
   s.traces_emitted = next_emit_;
   s.traces_failed = failed_;
+  s.traces_rejected = rejected_;
+  s.traces_degraded = degraded_;
+  s.traces_faulted = faulted_;
+  s.fault_severity_sum = fault_severity_sum_;
+  s.max_fault_severity = max_fault_severity_;
   s.queue_depth_high_water = queue_.high_water();
   s.in_flight_high_water = in_flight_high_water_;
   s.workers = threads_.size();

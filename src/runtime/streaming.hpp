@@ -137,6 +137,11 @@ class StreamingDisassembler {
   std::uint64_t next_emit_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t rejected_ = 0;  ///< results with Verdict::kRejected
+  std::uint64_t degraded_ = 0;  ///< results with Verdict::kDegraded
+  std::uint64_t faulted_ = 0;   ///< submitted windows with fault_severity > 0
+  double fault_severity_sum_ = 0.0;
+  double max_fault_severity_ = 0.0;
   std::size_t in_flight_high_water_ = 0;
   bool accepting_ = true;
   LatencyHistogram queue_wait_;

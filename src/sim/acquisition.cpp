@@ -42,6 +42,19 @@ std::vector<double> AcquisitionCampaign::compute_reference_window() const {
           captured.begin() + static_cast<std::ptrdiff_t>(start + options_.window_samples)};
 }
 
+void AcquisitionCampaign::inject_faults(FaultProfile profile) {
+  injector_.emplace(std::move(profile));
+}
+
+double AcquisitionCampaign::maybe_inject(std::vector<double>& wave,
+                                         std::mt19937_64& rng) const {
+  if (!injector_ || injector_->profile().empty()) return 0.0;
+  // One draw keys this capture's fault stream; per-capture RNG streams are
+  // already worker-count-invariant, so faulted corpora replay bit-identically.
+  wave = injector_->apply(wave, rng());
+  return injector_->profile().severity;
+}
+
 void AcquisitionCampaign::use_reference(std::vector<double> reference) {
   if (reference.size() != options_.window_samples) {
     throw std::invalid_argument("use_reference: window length mismatch");
@@ -76,7 +89,8 @@ Trace AcquisitionCampaign::capture_trace(const avr::Instruction& target,
   const double target_start_cycle = static_cast<double>(before_cycles);
 
   const IssueMap issue = make_issue_map(program);
-  const std::vector<double> wave = synth_.synthesize(records, &issue);
+  std::vector<double> wave = synth_.synthesize(records, &issue);
+  const double fault_severity = maybe_inject(wave, rng);
   Environment env{synth_.device(), session_, prog};
   const std::vector<double> captured = scope_.capture(wave, env, rng);
 
@@ -112,6 +126,7 @@ Trace AcquisitionCampaign::capture_trace(const avr::Instruction& target,
   trace.meta.program_id = prog.id;
   trace.meta.device_id = synth_.device().id;
   trace.meta.session_id = session_.id;
+  trace.meta.fault_severity = fault_severity;
   if (cls && avr::class_uses_rd(*cls)) trace.meta.rd = target.rd;
   if (cls && avr::class_uses_rr(*cls)) trace.meta.rr = target.rr;
   return trace;
@@ -150,7 +165,8 @@ TraceSet AcquisitionCampaign::capture_program(const avr::Program& program,
   if (records.empty()) return {};
 
   const IssueMap issue = make_issue_map(program);
-  const std::vector<double> wave = synth_.synthesize(records, &issue);
+  std::vector<double> wave = synth_.synthesize(records, &issue);
+  const double fault_severity = maybe_inject(wave, rng);
   Environment env{synth_.device(), session_, prog};
   const std::vector<double> captured = scope_.capture(wave, env, rng);
 
@@ -190,6 +206,7 @@ TraceSet AcquisitionCampaign::capture_program(const avr::Program& program,
     t.meta.device_id = synth_.device().id;
     t.meta.session_id = session_.id;
     t.meta.gain_estimate = gain_estimate;
+    t.meta.fault_severity = fault_severity;
     if (cls && avr::class_uses_rd(*cls)) t.meta.rd = issued.rd;
     if (cls && avr::class_uses_rr(*cls)) t.meta.rr = issued.rr;
     out.push_back(std::move(t));

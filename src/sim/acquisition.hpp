@@ -8,9 +8,11 @@
 // cleaned by subtracting the averaged SBI/NOPx5/CBI reference trace.
 #pragma once
 
+#include <optional>
 #include <random>
 
 #include "avr/program.hpp"
+#include "sim/fault.hpp"
 #include "sim/oscilloscope.hpp"
 #include "sim/power_model.hpp"
 #include "sim/trace.hpp"
@@ -71,6 +73,20 @@ class AcquisitionCampaign {
   /// and for the paper's Fig-4 discussion).
   const std::vector<double>& reference_window() const { return reference_window_; }
 
+  /// Arms fault injection for subsequent captures.  Faults corrupt the ideal
+  /// current waveform after the power model and before the scope front-end
+  /// (where supply disturbance, probe motion and clock drift enter a real
+  /// bench); the reference window stays clean, mirroring a monitor whose
+  /// averaged reference was recorded on a healthy setup.  Each capture's
+  /// fault stream is keyed off one draw from its RNG stream, so campaigns
+  /// stay bit-identical for a fixed seed at any worker count.
+  void inject_faults(FaultProfile profile);
+  /// Disarms fault injection.
+  void clear_faults() { injector_.reset(); }
+  const FaultInjector* injector() const {
+    return injector_ ? &*injector_ : nullptr;
+  }
+
   /// Replaces the campaign's own reference with an externally supplied one.
   ///
   /// This models the practical covariate-shift scenario of Sec. 4: a deployed
@@ -83,12 +99,16 @@ class AcquisitionCampaign {
 
  private:
   std::vector<double> compute_reference_window() const;
+  /// Applies the armed fault profile (if any) to an ideal waveform, keyed by
+  /// one draw from `rng`; returns the profile severity (0 when clean).
+  double maybe_inject(std::vector<double>& wave, std::mt19937_64& rng) const;
 
   SessionContext session_;
   PowerSynthesizer synth_;
   Oscilloscope scope_;
   AcquisitionOptions options_;
   std::vector<double> reference_window_;
+  std::optional<FaultInjector> injector_;
 };
 
 }  // namespace sidis::sim

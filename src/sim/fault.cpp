@@ -1,0 +1,333 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numbers>
+#include <random>
+
+#include "sim/hash.hpp"
+
+namespace sidis::sim {
+
+namespace {
+
+/// Root-mean-square of the mean-removed signal -- the scale reference every
+/// relative fault magnitude is expressed against.  Computed on the *input* of
+/// each fault so composed faults stack on the running waveform.
+double signal_rms(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double acc = 0.0;
+  for (double v : x) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+/// Linear-interpolated read at fractional index, clamped at the edges.
+double sample_at(const std::vector<double>& x, double t) {
+  if (x.empty()) return 0.0;
+  if (t <= 0.0) return x.front();
+  const double last = static_cast<double>(x.size() - 1);
+  if (t >= last) return x.back();
+  const std::size_t i = static_cast<std::size_t>(t);
+  const double frac = t - static_cast<double>(i);
+  return x[i] + frac * (x[i + 1] - x[i]);
+}
+
+void apply_gaussian_noise(std::vector<double>& x, const TraceFault& f,
+                          double severity, std::mt19937_64& rng) {
+  const double rms = signal_rms(x);
+  if (rms <= 0.0) return;
+  // severity scales the noise amplitude linearly: each doubling costs ~6 dB.
+  const double sigma = rms * std::pow(10.0, -f.magnitude / 20.0) * severity;
+  std::normal_distribution<double> noise(0.0, sigma);
+  for (double& v : x) v += noise(rng);
+}
+
+void apply_burst_noise(std::vector<double>& x, const TraceFault& f,
+                       double severity, std::mt19937_64& rng) {
+  if (x.empty()) return;
+  const double rms = signal_rms(x);
+  const auto bursts = static_cast<std::size_t>(
+      std::lround(std::max(0.0, f.magnitude * severity)));
+  const auto len = static_cast<std::size_t>(std::max(1.0, f.param));
+  std::uniform_int_distribution<std::size_t> pos(0, x.size() - 1);
+  std::uniform_real_distribution<double> amp(2.0, 4.0);
+  std::bernoulli_distribution sign(0.5);
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const std::size_t start = pos(rng);
+    const double a = (sign(rng) ? 1.0 : -1.0) * amp(rng) * rms;
+    for (std::size_t i = start; i < std::min(start + len, x.size()); ++i) {
+      x[i] += a;
+    }
+  }
+}
+
+void apply_dc_drift(std::vector<double>& x, const TraceFault& f,
+                    double severity, std::mt19937_64& rng) {
+  if (x.size() < 2) return;
+  const double rms = signal_rms(x);
+  std::bernoulli_distribution sign(0.5);
+  const double delta = (sign(rng) ? 1.0 : -1.0) * f.magnitude * severity * rms;
+  const double denom = static_cast<double>(x.size() - 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += delta * static_cast<double>(i) / denom;
+  }
+}
+
+void apply_amplitude_drift(std::vector<double>& x, const TraceFault& f,
+                           double severity, std::mt19937_64& rng) {
+  if (x.size() < 2) return;
+  std::bernoulli_distribution sign(0.5);
+  const double delta = (sign(rng) ? 1.0 : -1.0) * f.magnitude * severity;
+  const double denom = static_cast<double>(x.size() - 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] *= 1.0 + delta * static_cast<double>(i) / denom;
+  }
+}
+
+void apply_clipping(std::vector<double>& x, const TraceFault& f,
+                    double severity, std::mt19937_64& /*rng*/) {
+  if (x.empty()) return;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double peak = 0.0;
+  for (double v : x) peak = std::max(peak, std::abs(v - mean));
+  if (peak <= 0.0) return;
+  // Keep at least 5% of the swing so the trace never collapses to DC.
+  const double keep = std::clamp(1.0 - f.magnitude * severity, 0.05, 1.0);
+  const double rail = peak * keep;
+  for (double& v : x) v = mean + std::clamp(v - mean, -rail, rail);
+}
+
+void apply_clock_jitter(std::vector<double>& x, const TraceFault& f,
+                        double severity, std::mt19937_64& rng) {
+  if (x.size() < 2) return;
+  std::uniform_real_distribution<double> phase(0.0, 2.0 * std::numbers::pi);
+  const double phi = phase(rng);
+  const double dev = f.magnitude * severity;
+  const double omega =
+      2.0 * std::numbers::pi * f.param / static_cast<double>(x.size());
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t =
+        static_cast<double>(i) + dev * std::sin(omega * static_cast<double>(i) + phi);
+    out[i] = sample_at(x, t);
+  }
+  x = std::move(out);
+}
+
+void apply_dropped_samples(std::vector<double>& x, const TraceFault& f,
+                           double severity, std::mt19937_64& rng) {
+  if (x.empty()) return;
+  const auto gaps = static_cast<std::size_t>(
+      std::lround(std::max(0.0, f.magnitude * severity)));
+  const auto len = static_cast<std::size_t>(std::max(1.0, f.param));
+  std::uniform_int_distribution<std::size_t> pos(0, x.size() - 1);
+  for (std::size_t g = 0; g < gaps; ++g) {
+    const std::size_t start = pos(rng);
+    const double hold = start > 0 ? x[start - 1] : x[start];
+    for (std::size_t i = start; i < std::min(start + len, x.size()); ++i) {
+      x[i] = hold;
+    }
+  }
+}
+
+void apply_trigger_shift(std::vector<double>& x, const TraceFault& f,
+                         double severity, std::mt19937_64& rng) {
+  if (x.size() < 2) return;
+  const double max_shift = f.magnitude * severity;
+  std::uniform_real_distribution<double> d(-max_shift, max_shift);
+  const double shift = d(rng);
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = sample_at(x, static_cast<double>(i) - shift);
+  }
+  x = std::move(out);
+}
+
+}  // namespace
+
+const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = {
+      FaultKind::kGaussianNoise, FaultKind::kBurstNoise,
+      FaultKind::kDcDrift,       FaultKind::kAmplitudeDrift,
+      FaultKind::kClipping,      FaultKind::kClockJitter,
+      FaultKind::kDroppedSamples, FaultKind::kTriggerShift};
+  return kinds;
+}
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kGaussianNoise: return "gaussian_noise";
+    case FaultKind::kBurstNoise: return "burst_noise";
+    case FaultKind::kDcDrift: return "dc_drift";
+    case FaultKind::kAmplitudeDrift: return "amplitude_drift";
+    case FaultKind::kClipping: return "clipping";
+    case FaultKind::kClockJitter: return "clock_jitter";
+    case FaultKind::kDroppedSamples: return "dropped_samples";
+    case FaultKind::kTriggerShift: return "trigger_shift";
+  }
+  return "unknown";
+}
+
+TraceFault TraceFault::gaussian_noise(double snr_db) {
+  return {FaultKind::kGaussianNoise, snr_db, 0.0};
+}
+TraceFault TraceFault::burst_noise(double bursts_per_window, double burst_len) {
+  return {FaultKind::kBurstNoise, bursts_per_window, burst_len};
+}
+TraceFault TraceFault::dc_drift(double delta_rms) {
+  return {FaultKind::kDcDrift, delta_rms, 0.0};
+}
+TraceFault TraceFault::amplitude_drift(double relative) {
+  return {FaultKind::kAmplitudeDrift, relative, 0.0};
+}
+TraceFault TraceFault::clipping(double depth) {
+  return {FaultKind::kClipping, depth, 0.0};
+}
+TraceFault TraceFault::clock_jitter(double max_deviation, double wander_cycles) {
+  return {FaultKind::kClockJitter, max_deviation, wander_cycles};
+}
+TraceFault TraceFault::dropped_samples(double gaps_per_window, double gap_len) {
+  return {FaultKind::kDroppedSamples, gaps_per_window, gap_len};
+}
+TraceFault TraceFault::trigger_shift(double max_shift) {
+  return {FaultKind::kTriggerShift, max_shift, 0.0};
+}
+
+TraceFault TraceFault::of_kind(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kGaussianNoise: return gaussian_noise();
+    case FaultKind::kBurstNoise: return burst_noise();
+    case FaultKind::kDcDrift: return dc_drift();
+    case FaultKind::kAmplitudeDrift: return amplitude_drift();
+    case FaultKind::kClipping: return clipping();
+    case FaultKind::kClockJitter: return clock_jitter();
+    case FaultKind::kDroppedSamples: return dropped_samples();
+    case FaultKind::kTriggerShift: return trigger_shift();
+  }
+  return gaussian_noise();
+}
+
+FaultProfile FaultProfile::single(FaultKind kind, double severity,
+                                  std::uint64_t seed) {
+  FaultProfile p;
+  p.seed = seed;
+  p.severity = severity;
+  p.faults = {TraceFault::of_kind(kind)};
+  return p;
+}
+
+FaultProfile FaultProfile::compound(double severity, std::uint64_t seed) {
+  FaultProfile p;
+  p.seed = seed;
+  p.severity = severity;
+  for (FaultKind kind : all_fault_kinds()) p.faults.push_back(TraceFault::of_kind(kind));
+  return p;
+}
+
+std::string FaultProfile::name() const {
+  if (empty()) return "clean";
+  char sev[32];
+  std::snprintf(sev, sizeof sev, "@%g", severity);
+  if (faults.size() == 1) return to_string(faults.front().kind) + sev;
+  return "compound(n=" + std::to_string(faults.size()) + ")" + sev;
+}
+
+FaultMetrics measure_fault(const std::vector<double>& clean,
+                           const std::vector<double>& faulted) {
+  FaultMetrics m;
+  const std::size_t n = std::min(clean.size(), faulted.size());
+  if (n == 0) return m;
+  double clean_power = 0.0;
+  double delta_power = 0.0;
+  const double clean_rms = signal_rms(clean);
+  double lo = faulted[0];
+  double hi = faulted[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = faulted[i] - clean[i];
+    m.mean_delta += d;
+    m.max_abs_delta = std::max(m.max_abs_delta, std::abs(d));
+    if (d != 0.0) ++m.changed_samples;
+    delta_power += d * d;
+    clean_power += clean_rms * clean_rms;
+    lo = std::min(lo, faulted[i]);
+    hi = std::max(hi, faulted[i]);
+  }
+  m.mean_delta /= static_cast<double>(n);
+  m.snr_db = delta_power > 0.0
+                 ? 10.0 * std::log10(clean_power / delta_power)
+                 : std::numeric_limits<double>::infinity();
+  // Samples pinned at either extreme value (saturation rails).  A healthy
+  // trace touches its min/max once or twice; a clipped one dwells there.
+  std::size_t at_rail = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (faulted[i] == lo || faulted[i] == hi) ++at_rail;
+  }
+  m.clip_fraction = static_cast<double>(at_rail) / static_cast<double>(n);
+  return m;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile) : profile_(std::move(profile)) {}
+
+std::vector<double> FaultInjector::apply(const std::vector<double>& samples,
+                                         std::uint64_t key) const {
+  std::vector<double> x = samples;
+  if (profile_.empty()) return x;
+  // One stream per (profile, capture); faults consume it in list order, so
+  // the whole transform is a pure function of (profile, key, input).
+  std::mt19937_64 rng(hash_combine(profile_.seed, key));
+  for (const TraceFault& f : profile_.faults) {
+    switch (f.kind) {
+      case FaultKind::kGaussianNoise:
+        apply_gaussian_noise(x, f, profile_.severity, rng);
+        break;
+      case FaultKind::kBurstNoise:
+        apply_burst_noise(x, f, profile_.severity, rng);
+        break;
+      case FaultKind::kDcDrift:
+        apply_dc_drift(x, f, profile_.severity, rng);
+        break;
+      case FaultKind::kAmplitudeDrift:
+        apply_amplitude_drift(x, f, profile_.severity, rng);
+        break;
+      case FaultKind::kClipping:
+        apply_clipping(x, f, profile_.severity, rng);
+        break;
+      case FaultKind::kClockJitter:
+        apply_clock_jitter(x, f, profile_.severity, rng);
+        break;
+      case FaultKind::kDroppedSamples:
+        apply_dropped_samples(x, f, profile_.severity, rng);
+        break;
+      case FaultKind::kTriggerShift:
+        apply_trigger_shift(x, f, profile_.severity, rng);
+        break;
+    }
+  }
+  return x;
+}
+
+Trace FaultInjector::apply(const Trace& trace, std::uint64_t key) const {
+  Trace out = trace;
+  out.samples = apply(trace.samples, key);
+  if (!profile_.empty()) out.meta.fault_severity = profile_.severity;
+  return out;
+}
+
+TraceSet FaultInjector::apply_all(const TraceSet& traces,
+                                  std::uint64_t base_key) const {
+  TraceSet out;
+  out.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    out.push_back(apply(traces[i], hash_combine(base_key, i)));
+  }
+  return out;
+}
+
+}  // namespace sidis::sim

@@ -1,0 +1,143 @@
+// Deterministic fault injection for the acquisition chain.
+//
+// The paper's accuracy claims rest on clean, well-aligned traces; its own CSA
+// section concedes that acquisition drift is the dominant failure mode in the
+// field.  This module makes that failure mode *testable*: composable,
+// seed-reproducible `TraceFault` transforms model the collection
+// perturbations that break side-channel disassembly in practice -- additive
+// Gaussian and burst noise, DC/amplitude drift, clipping, clock jitter
+// (fractional resampling), dropped-sample gaps, and trigger misalignment.
+//
+// Faults sit between the power model and the oscilloscope: they corrupt the
+// *ideal current waveform* before the scope front-end sees it, exactly where
+// supply disturbance, probe motion, and clock drift enter a real bench.  A
+// `FaultProfile` scales severity and composes faults; every random draw comes
+// from a splitmix64 stream derived from (profile seed, trace key), so a
+// faulted corpus replays bit-identically at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace sidis::sim {
+
+enum class FaultKind : std::uint8_t {
+  kGaussianNoise,   ///< additive white noise at a configured SNR
+  kBurstNoise,      ///< short high-amplitude interference bursts
+  kDcDrift,         ///< baseline offset ramping across the capture
+  kAmplitudeDrift,  ///< multiplicative gain ramping across the capture
+  kClipping,        ///< symmetric saturation of the capture chain
+  kClockJitter,     ///< sampling-clock wander (fractional resampling)
+  kDroppedSamples,  ///< acquisition gaps, filled by sample-and-hold
+  kTriggerShift,    ///< trigger misalignment (sub-sample window shift)
+};
+
+/// All injectable kinds, in declaration order (sweeps iterate this).
+const std::vector<FaultKind>& all_fault_kinds();
+
+std::string to_string(FaultKind kind);
+
+/// One fault transform.  `magnitude` is the strength at profile severity 1.0
+/// (meaning depends on the kind; see the factories), `param` a secondary
+/// shape knob.  Use the factories -- they document the units.
+struct TraceFault {
+  FaultKind kind = FaultKind::kGaussianNoise;
+  double magnitude = 1.0;
+  double param = 0.0;
+
+  /// Additive white Gaussian noise.  `snr_db` is the signal-to-injected-noise
+  /// ratio at severity 1; each severity doubling costs ~6 dB.
+  static TraceFault gaussian_noise(double snr_db = 14.0);
+  /// `bursts_per_window` rectangular bursts (count scales with severity) of
+  /// `burst_len` samples, each at ~4x the signal RMS with random sign.
+  static TraceFault burst_noise(double bursts_per_window = 2.0,
+                                double burst_len = 12.0);
+  /// Baseline offset ramping linearly from 0 to `delta_rms` x signal-RMS
+  /// (random sign) over the capture.
+  static TraceFault dc_drift(double delta_rms = 1.0);
+  /// Gain ramping linearly from 1 to 1 +/- `relative` over the capture.
+  static TraceFault amplitude_drift(double relative = 0.35);
+  /// Symmetric clip at (1 - `depth` x severity) of the peak deviation from
+  /// the mean, i.e. depth 0.3 at severity 1 shaves the top 30% of the swing.
+  static TraceFault clipping(double depth = 0.35);
+  /// Sinusoidal sampling-time wander of up to `max_deviation` samples
+  /// (`wander_cycles` periods per window, random phase), applied by linear
+  /// fractional resampling.
+  static TraceFault clock_jitter(double max_deviation = 2.0,
+                                 double wander_cycles = 3.0);
+  /// `gaps_per_window` gaps (count scales with severity) of `gap_len`
+  /// samples, filled by holding the last good sample.
+  static TraceFault dropped_samples(double gaps_per_window = 2.0,
+                                    double gap_len = 10.0);
+  /// Uniform trigger error in [-`max_shift`, +`max_shift`] samples,
+  /// including the fractional part (linear interpolation).
+  static TraceFault trigger_shift(double max_shift = 3.0);
+
+  /// The default fault of a kind (the factory with default arguments).
+  static TraceFault of_kind(FaultKind kind);
+};
+
+/// A reproducible fault scenario: which faults, how hard, which seed.
+struct FaultProfile {
+  std::uint64_t seed = 0x5eedfa17ull;
+  /// Global severity multiplier applied to every fault's magnitude-like
+  /// knobs; 0 disables all faults, 1 is the kind's nominal strength.
+  double severity = 1.0;
+  std::vector<TraceFault> faults;
+
+  /// One default-strength fault of `kind` at the given severity.
+  static FaultProfile single(FaultKind kind, double severity = 1.0,
+                             std::uint64_t seed = 0x5eedfa17ull);
+  /// Every fault kind composed, each at the given severity.
+  static FaultProfile compound(double severity = 1.0,
+                               std::uint64_t seed = 0x5eedfa17ull);
+
+  bool empty() const { return faults.empty() || severity <= 0.0; }
+  /// "clean", "gaussian_noise@1.0", or "compound(n=8)@0.5".
+  std::string name() const;
+};
+
+/// Clean-vs-faulted comparison, used by the determinism tests and the
+/// robustness bench to verify each fault's statistical footprint.
+struct FaultMetrics {
+  double snr_db = 0.0;          ///< 10 log10(clean power / delta power)
+  double mean_delta = 0.0;      ///< mean(faulted - clean)
+  double max_abs_delta = 0.0;   ///< worst single-sample deviation
+  std::size_t changed_samples = 0;  ///< samples that differ at all
+  double clip_fraction = 0.0;   ///< fraction pinned at the faulted extremes
+};
+
+FaultMetrics measure_fault(const std::vector<double>& clean,
+                           const std::vector<double>& faulted);
+
+/// Applies a FaultProfile to waveforms.  Stateless and const: the output is
+/// a pure function of (profile, key, input), so concurrent use is safe and
+/// corpora replay bit-identically regardless of scheduling.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile);
+
+  /// Corrupts one waveform.  `key` individualizes the random draws per
+  /// capture; the same (profile, key, samples) triple always produces the
+  /// same output.
+  std::vector<double> apply(const std::vector<double>& samples,
+                            std::uint64_t key) const;
+
+  /// Trace overload: faults the samples and stamps
+  /// `meta.fault_severity = profile().severity`.
+  Trace apply(const Trace& trace, std::uint64_t key) const;
+
+  /// Faults a whole set with per-index keys derived from `base_key`
+  /// (element i uses hash_combine(base_key, i)).
+  TraceSet apply_all(const TraceSet& traces, std::uint64_t base_key = 0) const;
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  FaultProfile profile_;
+};
+
+}  // namespace sidis::sim

@@ -27,6 +27,10 @@ struct TraceMeta {
   /// session/device/program gain without touching the instruction-dependent
   /// part of the window.
   double gain_estimate = 1.0;
+  /// Severity of the FaultProfile that corrupted this capture (0 = clean).
+  /// Ground-truth bookkeeping for robustness sweeps and runtime telemetry;
+  /// the classifier never reads it.
+  double fault_severity = 0.0;
 };
 
 /// One captured power trace: the paper's 315-sample window plus its labels.

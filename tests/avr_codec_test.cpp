@@ -3,6 +3,7 @@
 // classes with random operands.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "avr/codec.hpp"
@@ -239,6 +240,103 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return n;
     });
+
+// ---- property sweep: residual (non-profiled) mnemonics ---------------------
+
+TEST(CodecRoundTrip, ResidualMnemonicsSurviveEncodeDecode) {
+  // The residual instructions live outside the 112 profiled classes, so the
+  // parameterized sweep above never touches them; randomize their operands
+  // here.  Fields are drawn uniformly over each mnemonic's legal range.
+  std::mt19937_64 rng(0x0E51D);
+  std::uniform_int_distribution<int> reg(0, 31);
+  std::uniform_int_distribution<int> high_reg(16, 31);
+  std::uniform_int_distribution<int> io6(0, 63);
+  std::uniform_int_distribution<int> rel12(-2048, 2047);
+  std::uniform_int_distribution<std::uint32_t> k22(0, 0x3FFFFF);
+
+  const auto randomized = [&](Mnemonic m) {
+    Instruction in = make(m);
+    switch (m) {
+      case Mnemonic::kIn:
+        in.rd = static_cast<std::uint8_t>(reg(rng));
+        in.io = static_cast<std::uint8_t>(io6(rng));
+        break;
+      case Mnemonic::kOut:
+        in.rr = static_cast<std::uint8_t>(reg(rng));
+        in.io = static_cast<std::uint8_t>(io6(rng));
+        break;
+      case Mnemonic::kPush:
+      case Mnemonic::kPop:
+        in.rd = static_cast<std::uint8_t>(reg(rng));
+        break;
+      case Mnemonic::kMul:
+        in.rd = static_cast<std::uint8_t>(reg(rng));
+        in.rr = static_cast<std::uint8_t>(reg(rng));
+        break;
+      case Mnemonic::kMuls:
+        in.rd = static_cast<std::uint8_t>(high_reg(rng));
+        in.rr = static_cast<std::uint8_t>(high_reg(rng));
+        break;
+      case Mnemonic::kRcall:
+        in.rel = static_cast<std::int16_t>(rel12(rng));
+        break;
+      case Mnemonic::kCall:
+        in.k22 = k22(rng);
+        break;
+      default:  // NOP, RET, RETI, ICALL, IJMP, SLEEP, WDR, BREAK, CLI
+        break;
+    }
+    return in;
+  };
+
+  for (Mnemonic m : {Mnemonic::kNop, Mnemonic::kIn, Mnemonic::kOut, Mnemonic::kPush,
+                     Mnemonic::kPop, Mnemonic::kRet, Mnemonic::kReti, Mnemonic::kRcall,
+                     Mnemonic::kCall, Mnemonic::kIcall, Mnemonic::kIjmp, Mnemonic::kMul,
+                     Mnemonic::kMuls, Mnemonic::kSleep, Mnemonic::kWdr, Mnemonic::kBreak,
+                     Mnemonic::kCli}) {
+    for (int rep = 0; rep < 25; ++rep) {
+      const Instruction in = randomized(m);
+      const Instruction canon = canonicalize(in);  // CLI lowers to BCLR I
+      const auto words = encode(in);
+      ASSERT_FALSE(words.empty()) << name(m);
+      const auto decoded = decode(words, 0);
+      ASSERT_TRUE(decoded.has_value()) << name(m) << ": " << to_string(in);
+      EXPECT_EQ(decoded->words, words.size()) << name(m);
+      EXPECT_EQ(decoded->instr, canon)
+          << name(m) << ": " << to_string(canon) << " vs " << to_string(decoded->instr);
+    }
+  }
+}
+
+// ---- reserved / invalid opcode words ---------------------------------------
+
+TEST(Decode, ReservedWordsAreRejectedIndependentlyOfContext) {
+  // Sweep the full 16-bit space once to harvest the decoder's reject set,
+  // then pin down its properties: it is non-empty, rejection does not depend
+  // on the trailing word, and decode_program truncates at the first reserved
+  // word instead of inventing instructions.
+  std::vector<std::uint16_t> reserved;
+  for (std::uint32_t w = 0; w <= 0xFFFF; ++w) {
+    const std::uint16_t code[2] = {static_cast<std::uint16_t>(w), 0x0000};
+    if (!decode(code, 0).has_value()) reserved.push_back(static_cast<std::uint16_t>(w));
+  }
+  ASSERT_FALSE(reserved.empty());
+  // The known hole between WDR (0x95A8) and LPM (0x95C8) must be in it.
+  EXPECT_NE(std::find(reserved.begin(), reserved.end(), 0x95B8), reserved.end());
+
+  std::mt19937_64 rng(0xDEAD);
+  std::uniform_int_distribution<std::uint32_t> any(0, 0xFFFF);
+  for (std::size_t i = 0; i < reserved.size(); i += 97) {  // sampled sweep
+    const std::uint16_t w = reserved[i];
+    const std::uint16_t code[2] = {w, static_cast<std::uint16_t>(any(rng))};
+    EXPECT_FALSE(decode(code, 0).has_value()) << "word " << w;
+  }
+
+  const std::uint16_t stream[] = {0x0000 /* NOP */, reserved.front(), 0x9508 /* RET */};
+  const auto program = decode_program(stream);
+  ASSERT_EQ(program.size(), 1u);  // truncated at the reserved word
+  EXPECT_EQ(program[0].mnemonic, Mnemonic::kNop);
+}
 
 TEST(EncodeProgram, ConcatenatesWords) {
   Instruction nop = make(Mnemonic::kNop);

@@ -1,0 +1,419 @@
+// Fault-injection layer tests: seed determinism (bit-identical replay at any
+// worker count), each fault kind's statistical footprint against its
+// configuration, and the reject-option acceptance criterion -- under every
+// single-fault profile at default severity the disassembler either stays
+// within 5 points of clean accuracy or flags >= 90% of its misclassified
+// windows as rejected/degraded.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "core/csa.hpp"
+#include "core/profiler.hpp"
+#include "sim/acquisition.hpp"
+#include "sim/fault.hpp"
+#include "sim/hash.hpp"
+
+namespace sidis::sim {
+namespace {
+
+/// Multi-tone synthetic waveform with a DC offset -- long enough that the
+/// statistical assertions (SNR within a couple dB) are tight.
+std::vector<double> synthetic_wave(std::size_t n = 4096) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = 3.0 + std::sin(2.0 * std::numbers::pi * t / 50.0) +
+           0.4 * std::sin(2.0 * std::numbers::pi * t / 7.0);
+  }
+  return x;
+}
+
+double wave_rms(const std::vector<double>& x) {
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double acc = 0.0;
+  for (double v : x) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+// -- determinism -------------------------------------------------------------
+
+TEST(FaultDeterminism, SameProfileKeyInputIsBitIdentical) {
+  const std::vector<double> clean = synthetic_wave();
+  for (FaultKind kind : all_fault_kinds()) {
+    const FaultProfile profile = FaultProfile::single(kind);
+    const FaultInjector a(profile);
+    const FaultInjector b(profile);  // independent instance, same profile
+    EXPECT_EQ(a.apply(clean, 42), b.apply(clean, 42)) << to_string(kind);
+  }
+}
+
+TEST(FaultDeterminism, DifferentKeysAndSeedsDecorrelate) {
+  const std::vector<double> clean = synthetic_wave();
+  const FaultInjector base(FaultProfile::single(FaultKind::kGaussianNoise));
+  EXPECT_NE(base.apply(clean, 1), base.apply(clean, 2));
+  FaultProfile reseeded = FaultProfile::single(FaultKind::kGaussianNoise);
+  reseeded.seed ^= 0xdeadbeef;
+  EXPECT_NE(base.apply(clean, 1), FaultInjector(reseeded).apply(clean, 1));
+}
+
+TEST(FaultDeterminism, EmptyOrZeroSeverityProfileIsIdentity) {
+  const std::vector<double> clean = synthetic_wave(512);
+  FaultProfile off = FaultProfile::single(FaultKind::kClipping, 0.0);
+  EXPECT_TRUE(off.empty());
+  EXPECT_EQ(FaultInjector(off).apply(clean, 7), clean);
+  EXPECT_EQ(FaultInjector(FaultProfile{}).apply(clean, 7), clean);
+
+  Trace t;
+  t.samples = clean;
+  const Trace out = FaultInjector(off).apply(t, 7);
+  EXPECT_EQ(out.meta.fault_severity, 0.0);  // clean capture stays unmarked
+}
+
+TEST(FaultDeterminism, ApplyAllKeysEachElementByIndex) {
+  TraceSet traces(3);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    traces[i].samples = synthetic_wave(256);
+  }
+  const FaultInjector inj(FaultProfile::compound(0.5));
+  const TraceSet faulted = inj.apply_all(traces, 99);
+  ASSERT_EQ(faulted.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(faulted[i].samples,
+              inj.apply(traces[i], hash_combine(99, i)).samples);
+    EXPECT_EQ(faulted[i].meta.fault_severity, 0.5);
+  }
+  // Identical inputs, distinct keys: the corpus must not repeat itself.
+  EXPECT_NE(faulted[0].samples, faulted[1].samples);
+}
+
+// -- per-kind statistical footprint ------------------------------------------
+
+TEST(FaultEffects, GaussianNoiseHitsConfiguredSnr) {
+  const std::vector<double> clean = synthetic_wave();
+  FaultProfile p;
+  p.faults = {TraceFault::gaussian_noise(14.0)};
+  const FaultMetrics m = measure_fault(clean, FaultInjector(p).apply(clean, 3));
+  EXPECT_NEAR(m.snr_db, 14.0, 2.0);
+  EXPECT_EQ(m.changed_samples, clean.size());
+
+  // Each severity doubling costs ~6 dB.
+  p.severity = 2.0;
+  const FaultMetrics hard = measure_fault(clean, FaultInjector(p).apply(clean, 3));
+  EXPECT_NEAR(m.snr_db - hard.snr_db, 6.0, 0.5);
+}
+
+TEST(FaultEffects, BurstNoiseStaysWithinItsSampleBudget) {
+  const std::vector<double> clean = synthetic_wave();
+  FaultProfile p;
+  p.faults = {TraceFault::burst_noise(3.0, 10.0)};
+  const FaultMetrics m = measure_fault(clean, FaultInjector(p).apply(clean, 5));
+  EXPECT_GE(m.changed_samples, 10u);       // at least one full burst landed
+  EXPECT_LE(m.changed_samples, 30u);       // 3 bursts x 10 samples, may overlap
+  EXPECT_GE(m.max_abs_delta, 1.8 * wave_rms(clean));  // bursts are 2-4x RMS
+}
+
+TEST(FaultEffects, DcDriftRampsToTheConfiguredOffset) {
+  const std::vector<double> clean = synthetic_wave();
+  const double rms = wave_rms(clean);
+  FaultProfile p;
+  p.faults = {TraceFault::dc_drift(1.0)};
+  const std::vector<double> faulted = FaultInjector(p).apply(clean, 11);
+  // Linear ramp from 0 to +/- 1.0 x RMS: exact at both ends, half on average.
+  EXPECT_NEAR(faulted.front() - clean.front(), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(faulted.back() - clean.back()), rms, 1e-9);
+  const FaultMetrics m = measure_fault(clean, faulted);
+  EXPECT_NEAR(std::abs(m.mean_delta), rms / 2.0, 0.02 * rms);
+}
+
+TEST(FaultEffects, AmplitudeDriftScalesGainLinearly) {
+  const std::vector<double> clean = synthetic_wave();
+  FaultProfile p;
+  p.faults = {TraceFault::amplitude_drift(0.35)};
+  const std::vector<double> faulted = FaultInjector(p).apply(clean, 13);
+  EXPECT_NEAR(faulted.front(), clean.front(), 1e-12);  // gain starts at 1
+  const double end_gain = faulted.back() / clean.back();
+  EXPECT_NEAR(std::abs(end_gain - 1.0), 0.35, 1e-9);
+}
+
+TEST(FaultEffects, ClippingPinsTheExtremes) {
+  const std::vector<double> clean = synthetic_wave();
+  double mean = 0.0;
+  for (double v : clean) mean += v;
+  mean /= static_cast<double>(clean.size());
+  double peak = 0.0;
+  for (double v : clean) peak = std::max(peak, std::abs(v - mean));
+
+  FaultProfile p;
+  p.faults = {TraceFault::clipping(0.35)};
+  const std::vector<double> faulted = FaultInjector(p).apply(clean, 17);
+  for (double v : faulted) {
+    EXPECT_LE(std::abs(v - mean), 0.65 * peak + 1e-9);
+  }
+  const FaultMetrics m = measure_fault(clean, faulted);
+  EXPECT_GT(m.clip_fraction, 0.05);  // the rails accumulate dwell time
+  EXPECT_GT(m.changed_samples, 0u);
+}
+
+TEST(FaultEffects, ClockJitterWarpsTimeWithoutLeavingTheRange) {
+  const std::vector<double> clean = synthetic_wave();
+  const double lo = *std::min_element(clean.begin(), clean.end());
+  const double hi = *std::max_element(clean.begin(), clean.end());
+  FaultProfile p;
+  p.faults = {TraceFault::clock_jitter(2.0, 3.0)};
+  const std::vector<double> faulted = FaultInjector(p).apply(clean, 19);
+  for (double v : faulted) {
+    EXPECT_GE(v, lo - 1e-12);  // linear resampling cannot overshoot
+    EXPECT_LE(v, hi + 1e-12);
+  }
+  const FaultMetrics m = measure_fault(clean, faulted);
+  EXPECT_GT(m.changed_samples, clean.size() / 2);
+}
+
+TEST(FaultEffects, DroppedSamplesHoldWithinTheGapBudget) {
+  const std::vector<double> clean = synthetic_wave();
+  FaultProfile p;
+  p.faults = {TraceFault::dropped_samples(2.0, 10.0)};
+  const FaultMetrics m = measure_fault(clean, FaultInjector(p).apply(clean, 23));
+  EXPECT_GE(m.changed_samples, 1u);
+  EXPECT_LE(m.changed_samples, 20u);  // 2 gaps x 10 samples
+}
+
+TEST(FaultEffects, TriggerShiftIsBoundedAndUniformAcrossTheWindow) {
+  // A pure ramp turns the resampling into an exact shift readout:
+  // out[i] = i - shift away from the clamped edges.
+  std::vector<double> ramp(512);
+  for (std::size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i);
+  FaultProfile p;
+  p.faults = {TraceFault::trigger_shift(3.0)};
+  const std::vector<double> faulted = FaultInjector(p).apply(ramp, 29);
+  const double shift = ramp[100] - faulted[100];
+  EXPECT_LE(std::abs(shift), 3.0);
+  EXPECT_GT(std::abs(shift), 1e-6);  // with this key the draw is nonzero
+  for (std::size_t i = 8; i + 8 < ramp.size(); ++i) {
+    EXPECT_NEAR(ramp[i] - faulted[i], shift, 1e-9);
+  }
+}
+
+// -- campaign integration ----------------------------------------------------
+
+class FaultCampaignFixture : public ::testing::Test {
+ protected:
+  static core::ProfilingData profile_with_workers(std::size_t workers,
+                                                  const FaultProfile& profile) {
+    AcquisitionCampaign campaign{DeviceModel::make(0), SessionContext::make(0)};
+    if (!profile.empty()) campaign.inject_faults(profile);
+    core::ProfilerConfig cfg;
+    cfg.classes = {*avr::class_index(avr::Mnemonic::kAdd),
+                   *avr::class_index(avr::Mnemonic::kLdi)};
+    cfg.traces_per_class = 6;
+    cfg.num_programs = 2;
+    cfg.profile_registers = false;
+    cfg.workers = workers;
+    std::mt19937_64 rng{77};
+    return core::profile_device(campaign, cfg, rng);
+  }
+};
+
+TEST_F(FaultCampaignFixture, FaultedCorpusIsBitIdenticalAcrossWorkerCounts) {
+  const FaultProfile profile = FaultProfile::compound(0.8);
+  const core::ProfilingData serial = profile_with_workers(1, profile);
+  const core::ProfilingData parallel = profile_with_workers(4, profile);
+  const core::ProfilingData clean = profile_with_workers(4, FaultProfile{});
+  ASSERT_EQ(serial.classes.size(), parallel.classes.size());
+  for (const auto& [cls, traces] : serial.classes) {
+    const TraceSet& other = parallel.classes.at(cls);
+    ASSERT_EQ(traces.size(), other.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      EXPECT_EQ(traces[i].samples, other[i].samples);  // bit-identical replay
+      EXPECT_EQ(traces[i].meta.fault_severity, 0.8);
+      // ... and the faults did something: the clean corpus differs.
+      EXPECT_NE(traces[i].samples, clean.classes.at(cls)[i].samples);
+    }
+  }
+}
+
+TEST(FaultCampaign, ReferenceWindowStaysCleanUnderInjection) {
+  AcquisitionCampaign clean{DeviceModel::make(0), SessionContext::make(0)};
+  AcquisitionCampaign faulty{DeviceModel::make(0), SessionContext::make(0)};
+  faulty.inject_faults(FaultProfile::compound(1.0));
+  // The averaged reference models a healthy profiling bench; arming faults
+  // must corrupt captures, never the stored reference.
+  EXPECT_EQ(clean.reference_window(), faulty.reference_window());
+
+  std::mt19937_64 rng{5};
+  const std::size_t add = *avr::class_index(avr::Mnemonic::kAdd);
+  const Trace t = faulty.capture_trace(avr::random_instance(add, rng),
+                                       ProgramContext::make(0), rng);
+  EXPECT_EQ(t.meta.fault_severity, 1.0);
+  faulty.clear_faults();
+  EXPECT_EQ(faulty.injector(), nullptr);
+}
+
+}  // namespace
+}  // namespace sidis::sim
+
+// -- reject option + robustness acceptance criterion -------------------------
+
+namespace sidis::core {
+namespace {
+
+/// One trained + reject-calibrated model shared by every robustness test
+/// (training dominates the suite's cost; the sweeps reuse it read-only).
+struct RobustnessBundle {
+  HierarchicalDisassembler model;
+  double clean_accuracy = 0.0;
+};
+
+const RobustnessBundle& robustness_bundle() {
+  static const RobustnessBundle bundle = [] {
+    sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                      sim::SessionContext::make(0)};
+    std::mt19937_64 rng{2718};
+    ProfilingData data;
+    for (avr::Mnemonic m :
+         {avr::Mnemonic::kAdd, avr::Mnemonic::kSub, avr::Mnemonic::kLdi}) {
+      const std::size_t cls = *avr::class_index(m);
+      data.classes[cls] = campaign.capture_class(cls, 50, 3, rng);
+    }
+    HierarchicalConfig cfg;
+    cfg.pipeline = csa_config();
+    cfg.pipeline.pca_components = 20;
+    cfg.group_components = 15;
+    cfg.instruction_components = 15;
+    cfg.factory.discriminant.shrinkage = 0.15;
+    RobustnessBundle b;
+    b.model = HierarchicalDisassembler::train(data, cfg);
+    // A monitoring deployment trades a few percent clean throughput for
+    // sensitivity: the margin gate sits at the clean 5% quantile, so windows
+    // that land near a decision boundary (the signature of a perturbed
+    // capture) get flagged rather than silently guessed.
+    RejectConfig reject;
+    reject.margin_quantile = 0.10;
+    reject.score_quantile = 0.06;
+    reject.score_slack = 0.25;
+    b.model.calibrate_reject(data, reject);
+
+    std::size_t hits = 0, total = 0;
+    for (const auto& [cls, _] : data.classes) {
+      for (int i = 0; i < 10; ++i) {
+        const sim::Trace t = campaign.capture_trace(
+            avr::random_instance(cls, rng), sim::ProgramContext::make(40 + i % 3), rng);
+        hits += b.model.classify(t).class_idx == cls ? 1 : 0;
+        ++total;
+      }
+    }
+    b.clean_accuracy = static_cast<double>(hits) / static_cast<double>(total);
+    return b;
+  }();
+  return bundle;
+}
+
+TEST(RejectOption, CleanTracesMostlyPassTheGates) {
+  const RobustnessBundle& b = robustness_bundle();
+  ASSERT_TRUE(b.model.reject_calibrated());
+  EXPECT_GE(b.clean_accuracy, 0.85);
+
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0)};
+  std::mt19937_64 rng{31};
+  const std::size_t add = *avr::class_index(avr::Mnemonic::kAdd);
+  std::size_t ok = 0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    const sim::Trace t = campaign.capture_trace(avr::random_instance(add, rng),
+                                                sim::ProgramContext::make(50 + i % 3), rng);
+    const Disassembly d = b.model.classify(t);
+    if (d.verdict == Verdict::kOk) ++ok;
+    EXPECT_TRUE(std::isfinite(d.margin_headroom));  // gates are armed
+    EXPECT_TRUE(std::isfinite(d.score_headroom));
+  }
+  // The gates sit at the ~0.5% clean quantile; a fresh clean capture session
+  // should sail through almost entirely.
+  EXPECT_GE(ok, n * 8 / 10);
+}
+
+TEST(RejectOption, PureNoiseIsRejectedAsOffDistribution) {
+  const RobustnessBundle& b = robustness_bundle();
+  std::mt19937_64 rng{0xbad};
+  std::normal_distribution<double> noise(0.0, 1.0);
+  sim::Trace garbage;
+  garbage.samples.resize(315);
+  for (double& v : garbage.samples) v = noise(rng);
+  const Disassembly d = b.model.classify(garbage);
+  EXPECT_EQ(d.verdict, Verdict::kRejected);
+  EXPECT_FALSE(d.accepted());
+  EXPECT_LT(d.score_headroom, 0.0);  // the outlier gate is what fired
+}
+
+TEST(RejectOption, VerdictNamesRoundTrip) {
+  EXPECT_EQ(to_string(Verdict::kOk), "ok");
+  EXPECT_EQ(to_string(Verdict::kDegraded), "degraded");
+  EXPECT_EQ(to_string(Verdict::kRejected), "rejected");
+}
+
+/// The ISSUE acceptance criterion, verbatim: under each single-fault profile
+/// at default severity, accuracy stays within 5 points of clean OR >= 90% of
+/// the misclassified windows carry a rejected/degraded verdict.
+///
+/// The comparison is *paired*: every evaluation capture is replayed twice
+/// from the same per-capture seed -- once on a clean campaign, once with the
+/// fault armed -- so the clean baseline shares the instruction instances,
+/// program contexts and measurement noise, and the delta is attributable to
+/// the fault alone.
+TEST(RejectOption, SingleFaultAccuracyOrFlaggedCriterion) {
+  const RobustnessBundle& b = robustness_bundle();
+  const std::vector<std::size_t> classes = {
+      *avr::class_index(avr::Mnemonic::kAdd), *avr::class_index(avr::Mnemonic::kSub),
+      *avr::class_index(avr::Mnemonic::kLdi)};
+  const int kPerClass = 15;
+
+  const sim::AcquisitionCampaign clean_campaign{sim::DeviceModel::make(0),
+                                                sim::SessionContext::make(0)};
+
+  for (sim::FaultKind kind : sim::all_fault_kinds()) {
+    sim::AcquisitionCampaign faulted_campaign{sim::DeviceModel::make(0),
+                                              sim::SessionContext::make(0)};
+    faulted_campaign.inject_faults(sim::FaultProfile::single(kind));
+
+    std::size_t clean_hits = 0, hits = 0, total = 0, miss_flagged = 0, misses = 0;
+    for (std::size_t cls : classes) {
+      for (int i = 0; i < kPerClass; ++i) {
+        const std::uint64_t capture_seed = 0x4242u + cls * 1000 + static_cast<std::size_t>(i);
+        const sim::ProgramContext ctx = sim::ProgramContext::make(60 + i % 3);
+        const auto capture = [&](const sim::AcquisitionCampaign& campaign) {
+          std::mt19937_64 rng{capture_seed};
+          const avr::Instruction target = avr::random_instance(cls, rng);
+          return campaign.capture_trace(target, ctx, rng);
+        };
+        const Disassembly clean_d = b.model.classify(capture(clean_campaign));
+        const Disassembly fault_d = b.model.classify(capture(faulted_campaign));
+        ++total;
+        if (clean_d.class_idx == cls) ++clean_hits;
+        if (fault_d.class_idx == cls) {
+          ++hits;
+        } else {
+          ++misses;
+          if (fault_d.verdict != Verdict::kOk) ++miss_flagged;
+        }
+      }
+    }
+    const double clean_acc = static_cast<double>(clean_hits) / static_cast<double>(total);
+    const double accuracy = static_cast<double>(hits) / static_cast<double>(total);
+    const double flagged = misses == 0 ? 1.0
+                                       : static_cast<double>(miss_flagged) /
+                                             static_cast<double>(misses);
+    EXPECT_TRUE(accuracy >= clean_acc - 0.05 || flagged >= 0.9)
+        << sim::to_string(kind) << ": accuracy " << accuracy << " vs paired clean "
+        << clean_acc << ", flagged fraction " << flagged << " (" << miss_flagged
+        << "/" << misses << ")";
+  }
+}
+
+}  // namespace
+}  // namespace sidis::core

@@ -258,6 +258,37 @@ TEST(Streaming, WorkerExceptionEmitsDefaultResultAndCounts) {
   EXPECT_EQ(engine.stats().traces_failed, 1u);
 }
 
+TEST(Streaming, VerdictAndFaultCountersAggregate) {
+  StreamingConfig cfg;
+  cfg.workers = 2;
+  // Stub model: program_id selects the verdict, so the expected counter
+  // values are exact.  Faulted windows are marked by their ground-truth
+  // severity stamp, which the engine reads off TraceMeta.
+  StreamingDisassembler engine(
+      [](const sim::Trace& t) {
+        core::Disassembly d;
+        if (t.meta.program_id % 3 == 1) d.verdict = core::Verdict::kRejected;
+        if (t.meta.program_id % 3 == 2) d.verdict = core::Verdict::kDegraded;
+        return d;
+      },
+      cfg);
+  for (std::size_t i = 0; i < 9; ++i) {
+    sim::Trace t = tagged_trace(i);
+    if (i < 4) t.meta.fault_severity = 0.5 * static_cast<double>(i + 1);
+    ASSERT_TRUE(engine.submit(std::move(t)));
+  }
+  (void)engine.drain();
+  const RuntimeStats stats = engine.stats();
+  EXPECT_EQ(stats.traces_rejected, 3u);   // ids 1, 4, 7
+  EXPECT_EQ(stats.traces_degraded, 3u);   // ids 2, 5, 8
+  EXPECT_EQ(stats.traces_faulted, 4u);
+  EXPECT_DOUBLE_EQ(stats.fault_severity_sum, 0.5 + 1.0 + 1.5 + 2.0);
+  EXPECT_DOUBLE_EQ(stats.max_fault_severity, 2.0);
+  const std::string report = stats.report();
+  EXPECT_NE(report.find("rejected=3"), std::string::npos);
+  EXPECT_NE(report.find("faulted: 4 windows"), std::string::npos);
+}
+
 // -- end-to-end against the real model --------------------------------------
 
 class RuntimeModelFixture : public ::testing::Test {

@@ -105,11 +105,16 @@ TEST_F(SerializeFixture, DisassemblerRoundTripClassifiesIdentically) {
   cfg.pipeline.pca_components = 10;
   cfg.group_components = 8;
   cfg.instruction_components = 8;
-  const auto original = HierarchicalDisassembler::train(data, cfg);
+  auto original = HierarchicalDisassembler::train(data, cfg);
+  // v2 archives carry the reject-gate thresholds; calibrate so the gates are
+  // armed with non-trivial floors before the round trip.
+  original.calibrate_reject(data);
+  ASSERT_TRUE(original.reject_calibrated());
 
   std::stringstream ss;
   save_disassembler(ss, original);
   const auto restored = load_disassembler(ss);
+  EXPECT_TRUE(restored.reject_calibrated());
 
   for (int i = 0; i < 25; ++i) {
     const sim::Trace t = campaign.capture_trace(
@@ -119,6 +124,11 @@ TEST_F(SerializeFixture, DisassemblerRoundTripClassifiesIdentically) {
     const Disassembly db = restored.classify(t);
     EXPECT_EQ(da.group, db.group);
     EXPECT_EQ(da.class_idx, db.class_idx);
+    EXPECT_EQ(da.verdict, db.verdict);
+    // Hex-float persistence makes the gate floors, and therefore the
+    // headroom arithmetic, bit-exact across the round trip.
+    EXPECT_EQ(da.margin_headroom, db.margin_headroom);
+    EXPECT_EQ(da.score_headroom, db.score_headroom);
   }
 }
 
