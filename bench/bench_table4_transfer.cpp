@@ -1,0 +1,336 @@
+// Table-4-style cross-device transfer matrix with recalibration budgets.
+//
+// Every device in a 6-device pool takes a turn as the profiling device; its
+// templates then classify field traces from all 6 devices (the diagonal is
+// the within-device control).  Two template recipes run side by side:
+//
+//   * without CSA (Sec. 4 pipeline): loose KL threshold, no per-trace
+//     normalization -- collapses off-diagonal;
+//   * with CSA (Table 3 "With Norm."): tight threshold + per-trace
+//     normalization -- recovers the gain/offset part of the device shift.
+//
+// What CSA cannot cancel (per-opcode process corners, the decoupling-pole
+// spectrum reshape) is attacked with a recalibration budget: K traces/class
+// from the deployment device spent on scaler re-centring ("renorm") or on
+// re-centring plus a classifier refit over profiling + budget ("refit"),
+// sweeping K in {0, 1, 5, 10, 25} -- the accuracy-vs-K curve a field team
+// uses to decide how many captures a new device is worth.
+//
+// The last act wires the result through the serving stack: the baseline and
+// recalibrated template sets are published to a runtime::ModelRegistry, and
+// a StreamingDisassembler hot-swaps to the recalibrated version mid-stream
+// (RuntimeStats::model_swaps counts the publication).
+//
+// Results are printed and written to BENCH_transfer.json (override with
+// SIDIS_BENCH_OUT); CI diffs the key metrics against a checked-in baseline.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/transfer.hpp"
+#include "runtime/registry.hpp"
+#include "runtime/streaming.hpp"
+
+namespace sidis::bench {
+namespace {
+
+constexpr int kDevices = 6;
+
+/// Same-group ALU classes (Table 2 group 1): the fine-grained discrimination
+/// the hierarchy's level 2 does, where inter-device corners actually bite --
+/// a cross-group set (ADD vs LDI vs RJMP) stays separable on any device and
+/// would hide the transfer gap.
+const std::vector<std::size_t>& eval_classes() {
+  static const std::vector<std::size_t> classes = {
+      class_id(avr::Mnemonic::kAdd), class_id(avr::Mnemonic::kAdc),
+      class_id(avr::Mnemonic::kSub), class_id(avr::Mnemonic::kAnd),
+      class_id(avr::Mnemonic::kEor)};
+  return classes;
+}
+
+core::TransferConfig make_config(bool csa) {
+  core::TransferConfig cfg;
+  cfg.classes = eval_classes();
+  cfg.train_traces_per_class = traces_per_class(100);
+  cfg.test_traces_per_class = static_cast<std::size_t>(fast_mode() ? 24 : 40);
+  cfg.num_programs = 4;
+  cfg.budgets = {0, 1, 5, 10, 25};
+  cfg.model.pipeline = csa ? core::csa_config() : core::without_csa_config();
+  cfg.model.pipeline.pca_components = 20;
+  cfg.model.group_components = 18;
+  cfg.model.instruction_components = 18;
+  cfg.model.factory.discriminant.shrinkage = 0.15;
+  return cfg;
+}
+
+struct MatrixStats {
+  double diag_mean = 0.0;
+  double offdiag_mean = 0.0;
+};
+
+MatrixStats matrix_stats(const std::vector<std::vector<double>>& m) {
+  MatrixStats s;
+  double diag = 0.0, off = 0.0;
+  std::size_t n_off = 0;
+  for (std::size_t a = 0; a < m.size(); ++a) {
+    for (std::size_t b = 0; b < m[a].size(); ++b) {
+      if (a == b) {
+        diag += m[a][b];
+      } else {
+        off += m[a][b];
+        ++n_off;
+      }
+    }
+  }
+  s.diag_mean = diag / static_cast<double>(m.size());
+  s.offdiag_mean = n_off == 0 ? 0.0 : off / static_cast<double>(n_off);
+  return s;
+}
+
+void print_matrix(const char* title, const std::vector<std::vector<double>>& m) {
+  std::printf("\n  %s (rows: train device, cols: test device)\n      ", title);
+  for (int e = 0; e < kDevices; ++e) std::printf("  dev%-3d", e);
+  std::printf("\n");
+  for (int d = 0; d < kDevices; ++d) {
+    std::printf("  dev%d ", d);
+    for (int e = 0; e < kDevices; ++e) std::printf(" %5.1f%%", 100.0 * m[d][e]);
+    std::printf("\n");
+  }
+}
+
+struct HotSwapResult {
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;
+  std::uint64_t model_swaps = 0;
+  int registry_versions = 0;
+};
+
+/// Publishes baseline + recalibrated templates through the model registry
+/// and hot-swaps a live streaming engine between them mid-corpus.
+HotSwapResult hot_swap_demo(const core::TransferEvaluator& evaluator,
+                            int test_device) {
+  const core::TransferEvaluator::FieldData fd = evaluator.capture_field(test_device);
+  const std::size_t max_budget = evaluator.config().budgets.back();
+  core::HierarchicalDisassembler recal = evaluator.recalibrated(
+      evaluator.budget_slice(fd.recal_pool, max_budget), core::RecalMode::kRefit);
+
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() / "sidis-transfer-registry";
+  std::filesystem::remove_all(root);
+  runtime::ModelRegistry registry(root);
+  registry.save("transfer-monitor", evaluator.model());
+  registry.save("transfer-monitor", recal);
+
+  // The monitor starts on the profiling templates (v1), then a recalibrated
+  // artifact lands in the registry and gets swapped in without stopping the
+  // stream.  Loaded models must outlive the engine.
+  const core::HierarchicalDisassembler v1 = registry.load("transfer-monitor", 1);
+  const core::HierarchicalDisassembler v2 = registry.load("transfer-monitor", 2);
+
+  HotSwapResult out;
+  out.registry_versions = registry.latest_version("transfer-monitor");
+  runtime::StreamingConfig scfg;
+  scfg.workers = 2;
+  runtime::StreamingDisassembler engine(v1, scfg);
+  const std::size_t half = fd.field.size() / 2;
+  std::size_t hits_before = 0, hits_after = 0;
+
+  std::size_t emitted = 0;
+  const auto score = [&](const runtime::StreamResult& r) {
+    const bool hit =
+        r.value.class_idx == fd.field[r.sequence].meta.class_idx;
+    if (r.sequence < half) {
+      hits_before += hit ? 1 : 0;
+    } else {
+      hits_after += hit ? 1 : 0;
+    }
+    ++emitted;
+  };
+  for (std::size_t i = 0; i < half; ++i) engine.submit(fd.field[i]);
+  while (emitted < half) {
+    if (const auto r = engine.poll()) {
+      score(*r);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  engine.swap_model(v2);
+  for (std::size_t i = half; i < fd.field.size(); ++i) engine.submit(fd.field[i]);
+  for (const runtime::StreamResult& r : engine.drain()) score(r);
+
+  out.accuracy_before = static_cast<double>(hits_before) / static_cast<double>(half);
+  out.accuracy_after = static_cast<double>(hits_after) /
+                       static_cast<double>(fd.field.size() - half);
+  out.model_swaps = engine.stats().model_swaps;
+  std::filesystem::remove_all(root);
+  return out;
+}
+
+void write_json(const std::string& path,
+                const std::vector<std::vector<double>>& csa,
+                const std::vector<std::vector<double>>& nocsa,
+                const std::vector<core::BudgetPoint>& curve,
+                const HotSwapResult& swap, std::size_t test_per_class) {
+  const MatrixStats s_csa = matrix_stats(csa);
+  const MatrixStats s_nocsa = matrix_stats(nocsa);
+  const double drop_nocsa = s_nocsa.diag_mean - s_nocsa.offdiag_mean;
+  const double recovered =
+      drop_nocsa <= 0.0
+          ? 1.0
+          : (s_csa.offdiag_mean - s_nocsa.offdiag_mean) / drop_nocsa;
+  bool monotone = true;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    // "Monotone within noise": each budget step may lose at most 3 points
+    // to sampling noise, and the full budget must beat no adaptation.
+    if (curve[i].renorm_accuracy < curve[i - 1].renorm_accuracy - 0.03) monotone = false;
+  }
+  if (!curve.empty() &&
+      curve.back().renorm_accuracy < curve.front().renorm_accuracy) {
+    monotone = false;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"table4_transfer\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"devices\": %d, \"classes\": %zu, "
+               "\"test_traces_per_class\": %zu},\n",
+               kDevices, eval_classes().size(), test_per_class);
+  const auto write_matrix = [&](const char* key,
+                                const std::vector<std::vector<double>>& m,
+                                const char* tail) {
+    std::fprintf(f, "  \"%s\": [\n", key);
+    for (int d = 0; d < kDevices; ++d) {
+      std::fprintf(f, "    [");
+      for (int e = 0; e < kDevices; ++e) {
+        std::fprintf(f, "%.4f%s", m[d][e], e + 1 < kDevices ? ", " : "");
+      }
+      std::fprintf(f, "]%s\n", d + 1 < kDevices ? "," : "");
+    }
+    std::fprintf(f, "  ]%s\n", tail);
+  };
+  write_matrix("matrix_csa", csa, ",");
+  write_matrix("matrix_without_csa", nocsa, ",");
+  std::fprintf(f, "  \"summary\": {\n");
+  std::fprintf(f, "    \"diag_csa\": %.4f, \"offdiag_csa\": %.4f,\n", s_csa.diag_mean,
+               s_csa.offdiag_mean);
+  std::fprintf(f, "    \"diag_without_csa\": %.4f, \"offdiag_without_csa\": %.4f,\n",
+               s_nocsa.diag_mean, s_nocsa.offdiag_mean);
+  std::fprintf(f, "    \"cross_device_drop_without_csa\": %.4f,\n", drop_nocsa);
+  std::fprintf(f, "    \"csa_gap_recovered_fraction\": %.4f,\n", recovered);
+  std::fprintf(f, "    \"criterion_cross_device_drop\": %s,\n",
+               drop_nocsa >= 0.20 ? "true" : "false");
+  std::fprintf(f, "    \"criterion_csa_recovery\": %s\n",
+               recovered >= 0.5 ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"budget_curve\": [\n");
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"budget_per_class\": %zu, \"renorm_accuracy\": %.4f, "
+                 "\"refit_accuracy\": %.4f}%s\n",
+                 curve[i].budget_per_class, curve[i].renorm_accuracy,
+                 curve[i].refit_accuracy, i + 1 < curve.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"criterion_curve_monotone\": %s,\n", monotone ? "true" : "false");
+  std::fprintf(f,
+               "  \"hot_swap\": {\"accuracy_before\": %.4f, \"accuracy_after\": "
+               "%.4f, \"model_swaps\": %llu, \"registry_versions\": %d}\n",
+               swap.accuracy_before, swap.accuracy_after,
+               static_cast<unsigned long long>(swap.model_swaps),
+               swap.registry_versions);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace sidis::bench
+
+int main() {
+  using namespace sidis;
+  using namespace sidis::bench;
+
+  print_header("Table 4 -- cross-device transfer matrix + recalibration budgets");
+  const core::TransferConfig cfg_csa = make_config(/*csa=*/true);
+  const core::TransferConfig cfg_nocsa = make_config(/*csa=*/false);
+  std::printf("  %d devices, %zu classes, train %zu / test %zu traces per class\n",
+              kDevices, cfg_csa.classes.size(), cfg_csa.train_traces_per_class,
+              cfg_csa.test_traces_per_class);
+
+  std::vector<std::vector<double>> m_csa(kDevices, std::vector<double>(kDevices, 0.0));
+  std::vector<std::vector<double>> m_nocsa(kDevices, std::vector<double>(kDevices, 0.0));
+  std::vector<core::BudgetPoint> curve(cfg_csa.budgets.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    curve[i].budget_per_class = cfg_csa.budgets[i];
+  }
+  std::size_t curve_cells = 0;
+
+  HotSwapResult swap;
+  for (int train = 0; train < kDevices; ++train) {
+    const core::TransferEvaluator eval_csa(train, cfg_csa);
+    const core::TransferEvaluator eval_nocsa(train, cfg_nocsa);
+    for (int test = 0; test < kDevices; ++test) {
+      if (train == 0 && test != 0) {
+        // Row 0 doubles as the recalibration-budget sweep (the paper's
+        // protocol: one profiling device, many deployment devices).
+        const core::TransferCell cell = eval_csa.evaluate(test);
+        m_csa[train][test] = cell.baseline_accuracy;
+        for (std::size_t i = 0; i < cell.curve.size() && i < curve.size(); ++i) {
+          curve[i].renorm_accuracy += cell.curve[i].renorm_accuracy;
+          curve[i].refit_accuracy += cell.curve[i].refit_accuracy;
+        }
+        ++curve_cells;
+      } else {
+        const auto fd = eval_csa.capture_field(test);
+        m_csa[train][test] = eval_csa.accuracy(eval_csa.model(), fd.field);
+      }
+      const auto fd = eval_nocsa.capture_field(test);
+      m_nocsa[train][test] = eval_nocsa.accuracy(eval_nocsa.model(), fd.field);
+      std::printf("  train dev%d -> test dev%d: csa %5.1f%%, without %5.1f%%\n",
+                  train, test, 100.0 * m_csa[train][test],
+                  100.0 * m_nocsa[train][test]);
+      std::fflush(stdout);
+    }
+    if (train == 0) swap = hot_swap_demo(eval_csa, /*test_device=*/1);
+  }
+  for (core::BudgetPoint& p : curve) {
+    p.renorm_accuracy /= static_cast<double>(curve_cells);
+    p.refit_accuracy /= static_cast<double>(curve_cells);
+  }
+
+  print_matrix("with CSA", m_csa);
+  print_matrix("without CSA", m_nocsa);
+
+  const MatrixStats s_csa = matrix_stats(m_csa);
+  const MatrixStats s_nocsa = matrix_stats(m_nocsa);
+  std::printf("\n  diagonal mean:      csa %5.1f%%, without %5.1f%%\n",
+              100.0 * s_csa.diag_mean, 100.0 * s_nocsa.diag_mean);
+  std::printf("  off-diagonal mean:  csa %5.1f%%, without %5.1f%%\n",
+              100.0 * s_csa.offdiag_mean, 100.0 * s_nocsa.offdiag_mean);
+
+  std::printf("\n  recalibration budget curve (train dev0, mean over dev1..%d):\n",
+              kDevices - 1);
+  std::printf("  %-18s %10s %10s\n", "budget/class", "renorm", "refit");
+  for (const core::BudgetPoint& p : curve) {
+    std::printf("  K = %-14zu %9.1f%% %9.1f%%\n", p.budget_per_class,
+                100.0 * p.renorm_accuracy, 100.0 * p.refit_accuracy);
+  }
+
+  std::printf("\n  registry hot-swap on dev1: %5.1f%% -> %5.1f%% "
+              "(swaps: %llu, versions: %d)\n",
+              100.0 * swap.accuracy_before, 100.0 * swap.accuracy_after,
+              static_cast<unsigned long long>(swap.model_swaps),
+              swap.registry_versions);
+
+  const char* out = std::getenv("SIDIS_BENCH_OUT");
+  write_json(out != nullptr && *out != '\0' ? out : "BENCH_transfer.json", m_csa,
+             m_nocsa, curve, swap, cfg_csa.test_traces_per_class);
+  return 0;
+}

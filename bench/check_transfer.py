@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Diff a bench_table4_transfer run against the checked-in baseline.
+
+Usage: check_transfer.py CANDIDATE.json [BASELINE.json]
+
+Fails (exit 1) when any acceptance criterion flips to false or a key metric
+regresses by more than two accuracy points against the baseline.  Improvements
+are reported but never fail the check; re-pin the baseline to lock them in.
+Stdlib only, so the CI job needs nothing beyond python3.
+"""
+import json
+import sys
+from pathlib import Path
+
+# Accuracy-point tolerance: 0.02 = 2 points.  Fast-mode runs use 24 traces
+# per class and 5 classes per cell, so the summary means aggregate 3600
+# classifications -- two points is far above their reseeded jitter (zero in
+# CI, where the run is bit-deterministic) but far below a real regression.
+TOLERANCE = 0.02
+
+CRITERIA = [
+    ("summary", "criterion_cross_device_drop"),
+    ("summary", "criterion_csa_recovery"),
+    (None, "criterion_curve_monotone"),
+]
+
+METRICS = [
+    ("summary", "diag_csa", "higher"),
+    ("summary", "offdiag_csa", "higher"),
+    ("summary", "diag_without_csa", "higher"),
+    ("summary", "cross_device_drop_without_csa", "lower-is-worse"),
+    ("summary", "csa_gap_recovered_fraction", "higher"),
+]
+
+
+def lookup(doc, section, key):
+    node = doc if section is None else doc.get(section, {})
+    return node.get(key)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate = json.loads(Path(argv[1]).read_text())
+    baseline_path = argv[2] if len(argv) > 2 else str(Path(__file__).parent / "BENCH_transfer.json")
+    baseline = json.loads(Path(baseline_path).read_text())
+
+    failures = []
+    rows = []
+
+    for section, key in CRITERIA:
+        got = lookup(candidate, section, key)
+        rows.append((key, lookup(baseline, section, key), got, "criterion"))
+        if got is not True:
+            failures.append(f"acceptance criterion '{key}' is {got}, expected true")
+
+    for section, key, sense in METRICS:
+        base = lookup(baseline, section, key)
+        got = lookup(candidate, section, key)
+        rows.append((key, base, got, sense))
+        if base is None or got is None:
+            failures.append(f"metric '{key}' missing (baseline={base}, candidate={got})")
+            continue
+        # cross_device_drop measures how hard transfer *without* CSA fails;
+        # shrinking it means the variation model stopped biting.
+        delta = got - base if sense == "higher" else base - got
+        if delta < -TOLERANCE:
+            failures.append(f"'{key}' regressed: {base:.4f} -> {got:.4f}")
+
+    base_curve = {p["budget_per_class"]: p for p in baseline.get("budget_curve", [])}
+    for point in candidate.get("budget_curve", []):
+        k = point["budget_per_class"]
+        ref = base_curve.get(k)
+        if ref is None:
+            continue
+        for arm in ("renorm_accuracy", "refit_accuracy"):
+            rows.append((f"K={k} {arm}", ref[arm], point[arm], "higher"))
+            if point[arm] < ref[arm] - TOLERANCE:
+                failures.append(
+                    f"budget curve K={k} {arm} regressed: {ref[arm]:.4f} -> {point[arm]:.4f}")
+
+    swap = candidate.get("hot_swap", {})
+    if swap.get("model_swaps", 0) < 1:
+        failures.append("hot-swap demo performed no model swap")
+    if swap.get("accuracy_after", 0.0) < swap.get("accuracy_before", 0.0) - TOLERANCE:
+        failures.append(
+            f"hot-swapped model lost accuracy: {swap.get('accuracy_before')} -> "
+            f"{swap.get('accuracy_after')}")
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric'.ljust(width)}  baseline  candidate")
+    for key, base, got, _ in rows:
+        fmt = lambda v: f"{v:.4f}" if isinstance(v, float) else str(v)
+        print(f"{key.ljust(width)}  {fmt(base):>8}  {fmt(got):>9}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond {TOLERANCE:.2f}:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: transfer metrics within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

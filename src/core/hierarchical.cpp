@@ -160,6 +160,60 @@ void HierarchicalDisassembler::calibrate_reject(const ProfilingData& clean,
   calibrate_registers(rr_level_.get(), clean.rr_classes);
 }
 
+void HierarchicalDisassembler::recalibrate(const sim::TraceSet& recal, bool rescale) {
+  const auto renorm = [&](Level& level) {
+    if (level.trivial) return;
+    level.pipeline = level.pipeline.renormalized(recal, rescale);
+  };
+  renorm(group_level_);
+  for (auto& [group, level] : instruction_levels_) {
+    (void)group;
+    renorm(level);
+  }
+  if (rd_level_) renorm(*rd_level_);
+  if (rr_level_) renorm(*rr_level_);
+}
+
+void HierarchicalDisassembler::refit_classifiers(const ProfilingData& data) {
+  const auto refit = [&](Level& level, const features::LabeledTraces& input) {
+    if (level.trivial || level.classifier == nullptr) return;
+    // Can't retrain a decision boundary on fewer than two labels.
+    if (input.sets.size() < 2 || single_label(input.labels)) return;
+    const ml::Dataset train = level.pipeline.transform(input, level.components);
+    auto classifier = ml::make_classifier(config_.classifier, config_.factory);
+    classifier->fit(train);
+    level.classifier = std::move(classifier);
+  };
+
+  features::LabeledTraces group_input;
+  std::map<int, features::LabeledTraces> per_group;
+  for (const auto& [class_idx, traces] : data.classes) {
+    if (traces.empty()) continue;
+    const int group = avr::group_of_class(class_idx);
+    group_input.labels.push_back(group);
+    group_input.sets.push_back(&traces);
+    per_group[group].labels.push_back(static_cast<int>(class_idx));
+    per_group[group].sets.push_back(&traces);
+  }
+  refit(group_level_, group_input);
+  for (auto& [group, level] : instruction_levels_) {
+    const auto it = per_group.find(group);
+    if (it != per_group.end()) refit(level, it->second);
+  }
+  const auto refit_registers = [&](Level* level,
+                                   const std::map<std::uint8_t, sim::TraceSet>& sets) {
+    if (level == nullptr || sets.empty()) return;
+    features::LabeledTraces input;
+    for (const auto& [reg, traces] : sets) {
+      input.labels.push_back(static_cast<int>(reg));
+      input.sets.push_back(&traces);
+    }
+    refit(*level, input);
+  };
+  refit_registers(rd_level_.get(), data.rd_classes);
+  refit_registers(rr_level_.get(), data.rr_classes);
+}
+
 HierarchicalDisassembler HierarchicalDisassembler::train(const ProfilingData& data,
                                                          HierarchicalConfig config) {
   if (data.classes.empty()) {

@@ -153,6 +153,26 @@ class HierarchicalDisassembler {
   /// True once calibrate_reject() has armed at least the group gate.
   bool reject_calibrated() const { return group_level_.gate.active; }
 
+  /// CSA re-normalization against a recalibration corpus captured on the
+  /// *deployment* device (Sec. 5.6 recalibration budgets): re-centres every
+  /// non-trivial level's column scaler on the corpus via
+  /// FeaturePipeline::renormalized, leaving feature points, PCA and the
+  /// trained classifiers untouched.  Labels are not consulted; a roughly
+  /// class-balanced corpus of a few traces per class suffices.  Reject gates
+  /// calibrated before recalibration remain armed but conservative --
+  /// re-run calibrate_reject() with deployment-device traces to retighten
+  /// them.  Throws like FeaturePipeline::renormalized.
+  void recalibrate(const sim::TraceSet& recal, bool rescale = false);
+
+  /// Partial refit (the second Sec. 5.6 recalibration arm): retrains every
+  /// level's classifier on `data` through the existing -- possibly
+  /// recalibrated -- pipelines, keeping feature selection and PCA fixed.
+  /// Intended use: append a small deployment-device corpus to the profiling
+  /// corpus and refit, so decision boundaries adapt without re-running
+  /// selection.  Levels whose labels are absent from `data` (e.g. register
+  /// corpora not re-captured) keep their trained classifiers.
+  void refit_classifiers(const ProfilingData& data);
+
   bool has_register_level() const { return rd_level_ != nullptr || rr_level_ != nullptr; }
   const HierarchicalConfig& config() const { return config_; }
 

@@ -1,9 +1,48 @@
 #include "core/majority_vote.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace sidis::core {
+
+double vote_weight(const Disassembly& d) {
+  if (!d.accepted()) return 0.0;
+  const double h = std::min(d.margin_headroom, d.score_headroom);
+  if (std::isinf(h)) return 1.0;  // gates unarmed: plain majority voting
+  return std::clamp(h, kMinAcceptedWeight, 1.0);
+}
+
+const Disassembly SlotVote::kNone{};
+
+void SlotVote::add(const Disassembly& d) {
+  const double w = vote_weight(d);
+  if (w <= 0.0) return;  // rejected windows cast no vote
+  auto [it, inserted] = tally_.try_emplace(d.text());
+  if (inserted) {
+    it->second.rep = d;
+    it->second.order = tally_.size();
+  }
+  it->second.weight += w;
+  total_ += w;
+}
+
+const Disassembly& SlotVote::winner() const {
+  const Entry* best = nullptr;
+  for (const auto& [text, entry] : tally_) {
+    if (best == nullptr || entry.weight > best->weight ||
+        (entry.weight == best->weight && entry.order < best->order)) {
+      best = &entry;
+    }
+  }
+  return best == nullptr ? kNone : best->rep;
+}
+
+double SlotVote::winner_weight() const {
+  double w = 0.0;
+  for (const auto& [text, entry] : tally_) w = std::max(w, entry.weight);
+  return w;
+}
 
 MajorityVoteClassifier MajorityVoteClassifier::train(
     const features::LabeledTraces& input, MajorityVoteConfig config) {

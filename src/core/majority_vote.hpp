@@ -10,13 +10,62 @@
 // to 82-85%.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/hierarchical.hpp"
 #include "features/pipeline.hpp"
 #include "ml/factory.hpp"
 
 namespace sidis::core {
+
+/// Floor weight of an *accepted* window whose gate headroom is tiny: a
+/// degraded-but-delivered window still gets a say, just not a full one.
+inline constexpr double kMinAcceptedWeight = 0.05;
+
+/// Weight of one classified window in a sequence-level (per-slot) vote.
+///
+/// Fixes the interaction flagged in the ROADMAP: a *rejected* window used to
+/// cast a full-weight vote, so a burst of rejects could flip a slot decision
+/// away from cleanly observed iterations.  Weights:
+///
+///   * rejected windows vote 0 -- the recovery is a guess by definition;
+///   * with the reject gates unarmed (headrooms +inf), every window votes 1
+///     (plain majority voting, the pre-reject-option behaviour);
+///   * otherwise the vote is the worst signed gate headroom
+///     min(margin_headroom, score_headroom) clamped to
+///     [kMinAcceptedWeight, 1], so confidently-clean windows outvote
+///     barely-accepted ones monotonically.
+double vote_weight(const Disassembly& d);
+
+/// Weighted vote accumulator for one instruction slot observed over several
+/// loop iterations.  Candidates are keyed by their rendered text (opcode +
+/// operands); ties resolve to the earliest-seen candidate for determinism.
+class SlotVote {
+ public:
+  /// Adds one observation with weight vote_weight(d).
+  void add(const Disassembly& d);
+
+  /// Best-weighted candidate so far; a default Disassembly when no
+  /// observation carried weight (all rejected or nothing added).
+  const Disassembly& winner() const;
+
+  double winner_weight() const;
+  /// Total weight cast; 0 means every observation was rejected.
+  double total_weight() const { return total_; }
+
+ private:
+  struct Entry {
+    Disassembly rep;  ///< first accepted observation of this candidate
+    double weight = 0.0;
+    std::size_t order = 0;  ///< insertion order, the deterministic tie-break
+  };
+  std::map<std::string, Entry> tally_;
+  double total_ = 0.0;
+  static const Disassembly kNone;
+};
 
 struct MajorityVoteConfig {
   features::PipelineConfig pipeline;  ///< pipeline.pca_components = per-pair variables

@@ -1,0 +1,177 @@
+#include "core/transfer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
+#include "sim/hash.hpp"
+
+namespace sidis::core {
+
+namespace {
+
+/// HierarchicalDisassembler is move-only (levels own their classifiers), so
+/// recalibrated variants are cloned through the template serializer -- the
+/// same round trip a deployed monitor performs when loading templates.
+HierarchicalDisassembler clone_model(const HierarchicalDisassembler& model) {
+  std::stringstream ss;
+  model.save(ss);
+  return HierarchicalDisassembler::load(ss);
+}
+
+std::mt19937_64 stream_rng(std::uint64_t seed, std::uint64_t salt, int device,
+                           std::size_t class_idx) {
+  const std::uint64_t dev_key =
+      sim::hash_combine(salt, static_cast<std::uint64_t>(device));
+  return std::mt19937_64(sim::splitmix64(
+      sim::hash_combine(seed, sim::hash_combine(dev_key, class_idx))));
+}
+
+/// Interleaves per-class capture sets round-robin: out[k * C + c] is class
+/// c's k-th trace, so every prefix of K * C traces is class-balanced.
+sim::TraceSet interleave(const std::vector<sim::TraceSet>& per_class) {
+  sim::TraceSet out;
+  if (per_class.empty()) return out;
+  const std::size_t depth = per_class.front().size();
+  out.reserve(depth * per_class.size());
+  for (std::size_t k = 0; k < depth; ++k) {
+    for (const sim::TraceSet& set : per_class) {
+      if (k < set.size()) out.push_back(set[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(RecalMode mode) {
+  switch (mode) {
+    case RecalMode::kRenorm: return "renorm";
+    case RecalMode::kRefit: return "refit";
+  }
+  return "unknown";
+}
+
+TransferEvaluator::TransferEvaluator(int train_device, TransferConfig config)
+    : config_(std::move(config)), train_device_(train_device) {
+  if (config_.classes.size() < 2) {
+    throw std::invalid_argument("TransferEvaluator: need >= 2 classes");
+  }
+  if (config_.model.classifier != ml::ClassifierKind::kQda) {
+    throw std::invalid_argument(
+        "TransferEvaluator: recalibration clones templates through the "
+        "serializer, which requires QDA levels");
+  }
+  const sim::AcquisitionCampaign campaign(sim::DeviceModel::make(train_device),
+                                          sim::SessionContext{}, config_.leakage,
+                                          config_.scope);
+  ProfilerConfig pc;
+  pc.traces_per_class = config_.train_traces_per_class;
+  pc.num_programs = config_.num_programs;
+  pc.classes = config_.classes;
+  pc.profile_registers = false;
+  pc.workers = config_.eval_workers;
+  std::mt19937_64 rng(sim::splitmix64(sim::hash_combine(
+      config_.seed, sim::hash_combine(0x7124A1Full,
+                                      static_cast<std::uint64_t>(train_device)))));
+  profiling_ = profile_device(campaign, pc, rng);
+  model_ = HierarchicalDisassembler::train(profiling_, config_.model);
+  reference_ = campaign.reference_window();
+}
+
+TransferEvaluator::FieldData TransferEvaluator::capture_field(int test_device) const {
+  sim::AcquisitionCampaign field(sim::DeviceModel::make(test_device),
+                                 sim::SessionContext{}, config_.leakage,
+                                 config_.scope);
+  // The deployed monitor subtracts the reference it recorded while
+  // profiling; the device mismatch survives subtraction as a structured
+  // residual (Sec. 4's "similar shape, different offsets").
+  field.use_reference(reference_);
+
+  const std::size_t max_budget =
+      config_.budgets.empty()
+          ? 0
+          : *std::max_element(config_.budgets.begin(), config_.budgets.end());
+
+  std::vector<sim::TraceSet> field_sets;
+  std::vector<sim::TraceSet> recal_sets;
+  field_sets.reserve(config_.classes.size());
+  recal_sets.reserve(config_.classes.size());
+  for (const std::size_t class_idx : config_.classes) {
+    std::mt19937_64 frng = stream_rng(config_.seed, 0xF1E1Dull, test_device, class_idx);
+    field_sets.push_back(field.capture_class(class_idx, config_.test_traces_per_class,
+                                             config_.num_programs, frng));
+    if (max_budget > 0) {
+      std::mt19937_64 rrng =
+          stream_rng(config_.seed, 0x2ECA1ull, test_device, class_idx);
+      recal_sets.push_back(
+          field.capture_class(class_idx, max_budget, config_.num_programs, rrng));
+    }
+  }
+  return {interleave(field_sets), interleave(recal_sets)};
+}
+
+sim::TraceSet TransferEvaluator::budget_slice(const sim::TraceSet& pool,
+                                              std::size_t per_class) const {
+  const std::size_t want = per_class * config_.classes.size();
+  const std::size_t n = std::min(want, pool.size());
+  return sim::TraceSet(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+HierarchicalDisassembler TransferEvaluator::recalibrated(const sim::TraceSet& recal,
+                                                         RecalMode mode) const {
+  HierarchicalDisassembler m = clone_model(model_);
+  if (recal.empty()) return m;
+  m.recalibrate(recal, config_.renorm_rescale);
+  if (mode == RecalMode::kRefit) {
+    // Boundary adaptation: profiling corpus plus the budget, through the
+    // re-normalized pipelines.  The profiling traces anchor the fit where
+    // the budget is too small to estimate class covariances alone.
+    ProfilingData aug;
+    aug.classes = profiling_.classes;
+    for (const sim::Trace& t : recal) {
+      aug.classes[t.meta.class_idx].push_back(t);
+    }
+    m.refit_classifiers(aug);
+  }
+  return m;
+}
+
+double TransferEvaluator::accuracy(const HierarchicalDisassembler& model,
+                                   const sim::TraceSet& field) const {
+  if (field.empty()) return 0.0;
+  std::vector<std::uint8_t> hit(field.size(), 0);
+  runtime::parallel_for(field.size(), config_.eval_workers, [&](std::size_t i) {
+    hit[i] = model.classify(field[i]).class_idx == field[i].meta.class_idx ? 1 : 0;
+  });
+  const std::size_t correct =
+      static_cast<std::size_t>(std::accumulate(hit.begin(), hit.end(), 0u));
+  return static_cast<double>(correct) / static_cast<double>(field.size());
+}
+
+TransferCell TransferEvaluator::evaluate(int test_device) const {
+  const FieldData fd = capture_field(test_device);
+  TransferCell cell;
+  cell.train_device = train_device_;
+  cell.test_device = test_device;
+  cell.baseline_accuracy = accuracy(model_, fd.field);
+  cell.curve.reserve(config_.budgets.size());
+  for (const std::size_t k : config_.budgets) {
+    BudgetPoint p;
+    p.budget_per_class = k;
+    if (k == 0) {
+      p.renorm_accuracy = cell.baseline_accuracy;
+      p.refit_accuracy = cell.baseline_accuracy;
+    } else {
+      const sim::TraceSet slice = budget_slice(fd.recal_pool, k);
+      p.renorm_accuracy = accuracy(recalibrated(slice, RecalMode::kRenorm), fd.field);
+      p.refit_accuracy = accuracy(recalibrated(slice, RecalMode::kRefit), fd.field);
+    }
+    cell.curve.push_back(p);
+  }
+  return cell;
+}
+
+}  // namespace sidis::core

@@ -1,0 +1,121 @@
+// Template-transfer evaluation (Sec. 5.6 / Table 4): train the hierarchical
+// disassembler on one device, classify field traces captured on another, and
+// sweep a recalibration budget -- K traces per class from the deployment
+// device spent on CSA re-normalization or a partial classifier refit.
+//
+// The evaluator owns the profiling-device model plus its reference window;
+// every field capture classifies against *profiling* templates and the
+// profiling reference, exactly like a deployed monitor that cannot re-profile
+// in the field.  Both campaigns run in the same nominal session, so the
+// measured gap isolates inter-device process variation (per-opcode corners,
+// thermal drift, decoupling pole) from session effects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hierarchical.hpp"
+#include "core/profiler.hpp"
+#include "sim/acquisition.hpp"
+
+namespace sidis::core {
+
+/// How a recalibration budget is spent.
+enum class RecalMode {
+  kRenorm,  ///< re-centre each level's column scaler (CSA re-normalization)
+  kRefit,   ///< re-normalize, then retrain classifiers on profiling + budget
+};
+
+std::string to_string(RecalMode mode);
+
+struct TransferConfig {
+  /// Instruction classes in the evaluation matrix (>= 2 required).
+  std::vector<std::size_t> classes;
+  std::size_t train_traces_per_class = 90;
+  std::size_t test_traces_per_class = 40;
+  /// Profiling program files; field captures reuse the same files so the
+  /// matrix isolates the device axis (the paper's Sec. 5.6 protocol swaps
+  /// only the chip).
+  int num_programs = 10;
+  /// Recalibration budgets, in traces per class.  0 means "no adaptation"
+  /// and always reproduces the baseline accuracy.
+  std::vector<std::size_t> budgets = {0, 1, 5, 10, 25};
+  /// Also replace per-column standard deviations during re-normalization
+  /// (noisy below ~10 traces/class; see FeaturePipeline::renormalized).
+  bool renorm_rescale = false;
+  /// Model recipe.  Must use a QDA classifier: recalibrated variants are
+  /// cloned through the template serializer, which persists QDA levels.
+  HierarchicalConfig model;
+  sim::LeakageConfig leakage;
+  sim::ScopeConfig scope;
+  std::uint64_t seed = 0x51D15;
+  /// Worker threads for field-classification sweeps (0 = auto).  Capture
+  /// streams are keyed per (device, class), so results are bit-identical
+  /// for any worker count.
+  std::size_t eval_workers = 0;
+};
+
+/// One accuracy-vs-budget sample of the Table 4 sweep.
+struct BudgetPoint {
+  std::size_t budget_per_class = 0;
+  double renorm_accuracy = 0.0;
+  double refit_accuracy = 0.0;
+};
+
+/// One (train device, test device) cell of the transfer matrix.
+struct TransferCell {
+  int train_device = 0;
+  int test_device = 0;
+  /// Accuracy with profiling templates applied verbatim (budget 0).
+  double baseline_accuracy = 0.0;
+  std::vector<BudgetPoint> curve;
+};
+
+class TransferEvaluator {
+ public:
+  /// Profiles `train_device` and trains the transferable model.  Throws
+  /// std::invalid_argument on fewer than 2 classes or a non-QDA classifier.
+  TransferEvaluator(int train_device, TransferConfig config);
+
+  /// Field + recalibration corpora captured on one deployment device.  Both
+  /// sets are interleaved round-robin by class, so any prefix of
+  /// K * classes() recalibration traces is class-balanced.
+  struct FieldData {
+    sim::TraceSet field;       ///< scoring corpus (labels in meta.class_idx)
+    sim::TraceSet recal_pool;  ///< max-budget recalibration pool
+  };
+  FieldData capture_field(int test_device) const;
+
+  /// First `per_class` recalibration traces of each class from an
+  /// interleaved pool (clamped to what the pool holds).
+  sim::TraceSet budget_slice(const sim::TraceSet& pool, std::size_t per_class) const;
+
+  /// Clones the trained model and spends `recal` on the chosen adaptation.
+  /// An empty corpus returns an untouched clone.
+  HierarchicalDisassembler recalibrated(const sim::TraceSet& recal,
+                                        RecalMode mode) const;
+
+  /// Fraction of `field` windows whose predicted class matches the ground
+  /// truth; parallel over traces, worker-count invariant.
+  double accuracy(const HierarchicalDisassembler& model,
+                  const sim::TraceSet& field) const;
+
+  /// Full budget sweep against one deployment device.
+  TransferCell evaluate(int test_device) const;
+
+  const HierarchicalDisassembler& model() const { return model_; }
+  const TransferConfig& config() const { return config_; }
+  int train_device() const { return train_device_; }
+  /// Profiling reference window a deployed monitor would carry.
+  const std::vector<double>& reference_window() const { return reference_; }
+
+ private:
+  TransferConfig config_;
+  int train_device_ = 0;
+  ProfilingData profiling_;  ///< retained: the refit arm augments this corpus
+  HierarchicalDisassembler model_;
+  std::vector<double> reference_;
+};
+
+}  // namespace sidis::core

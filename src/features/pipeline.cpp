@@ -160,6 +160,47 @@ FeaturePipeline FeaturePipeline::from_parts(PipelineConfig config,
   return p;
 }
 
+FeaturePipeline FeaturePipeline::renormalized(const sim::TraceSet& recal,
+                                              bool rescale) const {
+  if (points_.empty()) throw std::runtime_error("FeaturePipeline: not fitted");
+  if (scaler_.dim() == 0) {
+    throw std::logic_error(
+        "FeaturePipeline::renormalized: pipeline was fitted without "
+        "column_standardization");
+  }
+  if (recal.empty()) {
+    throw std::invalid_argument("FeaturePipeline::renormalized: empty corpus");
+  }
+  // Selected-point features of the recalibration traces, in the pre-scaler
+  // space the original column statistics were fitted in.
+  std::vector<linalg::Vector> rows(recal.size());
+  trace_parallel(recal.size(), config_.workers, [&](std::size_t i, dsp::CwtWorkspace& ws) {
+    const std::vector<double> prep =
+        config_.per_trace_normalization
+            ? normalize_window(recal[i].samples, recal[i].meta.gain_estimate)
+            : recal[i].samples;
+    rows[i] = extract_features(cwt_, prep, points_, ws);
+  });
+  const stats::ColumnScaler observed =
+      stats::ColumnScaler::fit(linalg::Matrix::from_rows(rows));
+
+  // Shrink the re-centring towards the training means when the budget is
+  // tiny: with n recalibration traces the observed mean carries O(1/sqrt(n))
+  // estimator noise, and a raw swap at n ~ 5 can cost more than the shift it
+  // removes.  alpha -> 1 within a few dozen traces.
+  const double n = static_cast<double>(recal.size());
+  constexpr double kMeanShrink = 4.0;
+  const double alpha = n / (n + kMeanShrink);
+  linalg::Vector mean = scaler_.mean();
+  for (std::size_t c = 0; c < mean.size(); ++c) {
+    mean[c] += alpha * (observed.mean()[c] - mean[c]);
+  }
+  FeaturePipeline out = *this;
+  out.scaler_ = stats::ColumnScaler::from_parts(
+      std::move(mean), rescale ? observed.stddev() : scaler_.stddev());
+  return out;
+}
+
 linalg::Vector FeaturePipeline::transform_one(const sim::Trace& trace,
                                               std::size_t components,
                                               dsp::CwtWorkspace& ws) const {

@@ -117,6 +117,18 @@ class FeaturePipeline {
   ml::Dataset transform(const sim::TraceSet& traces, int label,
                         std::size_t components = SIZE_MAX) const;
 
+  /// CSA re-normalization from a small recalibration corpus captured on a
+  /// *different* device or session (Sec. 5.6 recalibration budgets): returns
+  /// a copy of this pipeline whose column scaler is re-centred on the
+  /// recalibration traces' selected-feature means, so the shifted corpus
+  /// lands where the training corpus did and the fitted PCA + classifier
+  /// stay valid.  `rescale` also replaces the per-column standard deviations
+  /// (needs a generous budget; noisy below ~10 traces/class).  Labels are
+  /// not used -- a roughly class-balanced corpus suffices.  Requires a
+  /// pipeline fitted with column_standardization; throws std::logic_error
+  /// otherwise and std::invalid_argument on an empty corpus.
+  FeaturePipeline renormalized(const sim::TraceSet& recal, bool rescale = false) const;
+
   // -- introspection for the experiment benches -----------------------------
   const std::vector<stats::GridPoint>& unified_points() const { return points_; }
   const stats::Pca& pca() const { return pca_; }

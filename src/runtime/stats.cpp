@@ -65,6 +65,9 @@ std::string RuntimeStats::report() const {
                   max_fault_severity);
     out += buf;
   }
+  if (model_swaps != 0) {
+    out += "  model swaps: " + std::to_string(model_swaps) + "\n";
+  }
   out += "  queue high-water: " + std::to_string(queue_depth_high_water) +
          ", in-flight high-water: " + std::to_string(in_flight_high_water) + "\n";
   out += "  queue wait:  " + queue_wait.summary() + "\n";

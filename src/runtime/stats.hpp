@@ -76,6 +76,9 @@ struct RuntimeStats {
   std::uint64_t traces_faulted = 0;    ///< windows with fault_severity > 0
   double fault_severity_sum = 0.0;     ///< sum over faulted windows
   double max_fault_severity = 0.0;     ///< worst severity seen
+  /// Classifier hot-swaps performed (swap_model/swap_classifier) -- e.g. a
+  /// monitor publishing a recalibrated template set mid-stream.
+  std::uint64_t model_swaps = 0;
   std::size_t queue_depth_high_water = 0;     ///< work-queue backlog peak
   std::size_t in_flight_high_water = 0;       ///< accepted-not-yet-classified peak
   std::size_t workers = 0;

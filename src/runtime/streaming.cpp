@@ -25,7 +25,7 @@ StreamingDisassembler::StreamingDisassembler(
 StreamingDisassembler::StreamingDisassembler(ClassifyFn classify,
                                              StreamingConfig config,
                                              std::stop_token stop)
-    : classify_(std::move(classify)),
+    : classify_(std::make_shared<const ClassifyFn>(std::move(classify))),
       config_(config),
       queue_(config.queue_capacity),
       stop_callback_(std::move(stop), std::function<void()>([this] { request_stop(); })) {
@@ -50,10 +50,18 @@ StreamingDisassembler::~StreamingDisassembler() {
 void StreamingDisassembler::worker_loop() {
   while (std::optional<Job> job = queue_.pop()) {
     const Clock::time_point picked_up = Clock::now();
+    // Pin the current classification stage for this job; a concurrent
+    // swap_classifier() publishes a new stage without pulling this one out
+    // from under us.
+    std::shared_ptr<const ClassifyFn> classify;
+    {
+      std::lock_guard lock(mutex_);
+      classify = classify_;
+    }
     core::Disassembly result;
     bool failed = false;
     try {
-      result = classify_(job->trace);
+      result = (*classify)(job->trace);
     } catch (...) {
       // A serving layer must not lose a worker (drain() would hang); emit a
       // default result and count the failure instead.
@@ -145,6 +153,19 @@ std::vector<StreamResult> StreamingDisassembler::drain() {
   return out;
 }
 
+void StreamingDisassembler::swap_classifier(ClassifyFn classify) {
+  auto stage = std::make_shared<const ClassifyFn>(std::move(classify));
+  {
+    std::lock_guard lock(mutex_);
+    classify_ = std::move(stage);
+    ++model_swaps_;
+  }
+}
+
+void StreamingDisassembler::swap_model(const core::HierarchicalDisassembler& model) {
+  swap_classifier([&model](const sim::Trace& t) { return model.classify(t); });
+}
+
 void StreamingDisassembler::request_stop() {
   {
     std::lock_guard lock(mutex_);
@@ -165,6 +186,7 @@ RuntimeStats StreamingDisassembler::stats() const {
   s.traces_completed = completed_;
   s.traces_emitted = next_emit_;
   s.traces_failed = failed_;
+  s.model_swaps = model_swaps_;
   s.traces_rejected = rejected_;
   s.traces_degraded = degraded_;
   s.traces_faulted = faulted_;

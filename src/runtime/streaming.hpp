@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stop_token>
@@ -104,6 +105,17 @@ class StreamingDisassembler {
 
   bool stopped() const;
 
+  /// Atomically replaces the classification stage while the engine runs --
+  /// how a monitor publishes a recalibrated template set without dropping a
+  /// single window.  Workers pick up the new stage at their next job;
+  /// classifications already in progress finish with the stage they started
+  /// with, so every result comes from exactly one coherent model.  Safe from
+  /// any thread; counted in RuntimeStats::model_swaps.
+  void swap_classifier(ClassifyFn classify);
+  /// Model overload: the new model must outlive the engine (or the next
+  /// swap), like the constructor's.
+  void swap_model(const core::HierarchicalDisassembler& model);
+
   /// Consistent snapshot of counters and latency histograms.
   RuntimeStats stats() const;
 
@@ -125,7 +137,9 @@ class StreamingDisassembler {
   /// Pops ready in-order results into `out`; caller holds mutex_.
   void collect_ready_locked(std::vector<StreamResult>& out);
 
-  ClassifyFn classify_;
+  /// Shared with workers job-by-job: each pickup copies the pointer under
+  /// mutex_, so a swap never frees a stage mid-classification.
+  std::shared_ptr<const ClassifyFn> classify_;
   StreamingConfig config_;
   BoundedQueue<Job> queue_;
 
@@ -137,6 +151,7 @@ class StreamingDisassembler {
   std::uint64_t next_emit_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t model_swaps_ = 0;
   std::uint64_t rejected_ = 0;  ///< results with Verdict::kRejected
   std::uint64_t degraded_ = 0;  ///< results with Verdict::kDegraded
   std::uint64_t faulted_ = 0;   ///< submitted windows with fault_severity > 0

@@ -64,7 +64,8 @@ void AcquisitionCampaign::use_reference(std::vector<double> reference) {
 
 Trace AcquisitionCampaign::capture_trace(const avr::Instruction& target,
                                          const ProgramContext& prog,
-                                         std::mt19937_64& rng) const {
+                                         std::mt19937_64& rng,
+                                         double campaign_progress) const {
   const avr::SegmentTemplate seg = avr::SegmentTemplate::make(target, rng);
   avr::Program program = seg.sequence();
   avr::finalize_control_flow(program);
@@ -91,7 +92,7 @@ Trace AcquisitionCampaign::capture_trace(const avr::Instruction& target,
   const IssueMap issue = make_issue_map(program);
   std::vector<double> wave = synth_.synthesize(records, &issue);
   const double fault_severity = maybe_inject(wave, rng);
-  Environment env{synth_.device(), session_, prog};
+  Environment env{synth_.device(), session_, prog, campaign_progress};
   const std::vector<double> captured = scope_.capture(wave, env, rng);
 
   // Window: the fetch/decode cycle (one before execution starts) plus the
@@ -139,11 +140,12 @@ TraceSet AcquisitionCampaign::capture_class(std::size_t class_idx, std::size_t n
   if (num_programs < 1) throw std::invalid_argument("capture_class: num_programs >= 1");
   TraceSet out;
   out.reserve(n);
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
   for (std::size_t i = 0; i < n; ++i) {
     const int pid = first_program + static_cast<int>(i % static_cast<std::size_t>(num_programs));
     const ProgramContext prog = ProgramContext::make(pid);
     const avr::Instruction target = avr::random_instance(class_idx, rng, sample_opts);
-    out.push_back(capture_trace(target, prog, rng));
+    out.push_back(capture_trace(target, prog, rng, static_cast<double>(i) / denom));
   }
   return out;
 }
@@ -230,6 +232,7 @@ TraceSet AcquisitionCampaign::capture_register(bool dest, std::uint8_t reg,
   TraceSet out;
   out.reserve(n);
   std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
   for (std::size_t i = 0; i < n; ++i) {
     const int pid = first_program + static_cast<int>(i % static_cast<std::size_t>(num_programs));
     const ProgramContext prog = ProgramContext::make(pid);
@@ -240,7 +243,7 @@ TraceSet AcquisitionCampaign::capture_register(bool dest, std::uint8_t reg,
       opts.fix_rr = reg;
     }
     const avr::Instruction target = avr::random_instance(candidates[pick(rng)], rng, opts);
-    Trace t = capture_trace(target, prog, rng);
+    Trace t = capture_trace(target, prog, rng, static_cast<double>(i) / denom);
     // Force the label to the pinned register (sampling clamps never fire for
     // legal candidates, but belt and braces).
     if (dest) {

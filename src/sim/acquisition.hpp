@@ -34,8 +34,11 @@ class AcquisitionCampaign {
                       AcquisitionOptions options = {});
 
   /// Captures a single trace of `target` inside program context `prog`.
+  /// `campaign_progress` in [0, 1] positions the capture on the device's
+  /// thermal warm-up trend (0 = campaign start); capture_class fills it from
+  /// the capture index, so corpora stay worker-count-invariant.
   Trace capture_trace(const avr::Instruction& target, const ProgramContext& prog,
-                      std::mt19937_64& rng) const;
+                      std::mt19937_64& rng, double campaign_progress = 0.0) const;
 
   /// Captures `n` traces of one instruction class, operands freshly
   /// randomized per trace, spread round-robin over program files

@@ -1,6 +1,31 @@
 #include "sim/environment.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace sidis::sim {
+
+double DeviceModel::opcode_gain(std::uint64_t opcode_key) const {
+  if (opcode_gain_spread <= 0.0) return 1.0;
+  return 1.0 + hash_sym(hash_combine(corner_seed, hash_combine(0x6A17, opcode_key)),
+                        opcode_gain_spread);
+}
+
+double DeviceModel::opcode_offset(std::uint64_t opcode_key) const {
+  if (opcode_offset_spread <= 0.0) return 0.0;
+  return hash_sym(hash_combine(corner_seed, hash_combine(0x0FF5, opcode_key)),
+                  opcode_offset_spread);
+}
+
+double DeviceModel::thermal_gain(double campaign_progress) const {
+  if (thermal_drift == 0.0) return 1.0;
+  const double p = std::clamp(campaign_progress, 0.0, 1.0);
+  // Saturating warm-up: fast early drift that levels off, normalized so a
+  // full campaign spans exactly [1, 1 + thermal_drift].
+  constexpr double kRate = 3.0;
+  const double warmup = (1.0 - std::exp(-kRate * p)) / (1.0 - std::exp(-kRate));
+  return 1.0 + thermal_drift * warmup;
+}
 
 DeviceModel DeviceModel::make(int device_id, std::uint64_t base_seed) {
   DeviceModel d;
@@ -12,10 +37,21 @@ DeviceModel DeviceModel::make(int device_id, std::uint64_t base_seed) {
   }
   const std::uint64_t h = hash_combine(base_seed, static_cast<std::uint64_t>(device_id));
   d.signature_seed = splitmix64(h);
-  d.gain = 1.0 + hash_sym(hash_combine(h, 1), 0.06);
-  d.offset = hash_sym(hash_combine(h, 2), 0.03);
+  // Shunt-resistor tolerance + silicon corner: the dominant, purely
+  // multiplicative part of inter-device variation (what per-trace
+  // normalization cancels).  A real 5% shunt on two boards plus supply
+  // spread lands in the +-15% range.
+  d.gain = 1.0 + hash_sym(hash_combine(h, 1), 0.20);
+  d.offset = hash_sym(hash_combine(h, 2), 0.08);
   d.noise_factor = hash_range(hash_combine(h, 3), 0.9, 1.25);
   d.signature_spread = hash_range(hash_combine(h, 4), 0.005, 0.025);
+  // Structured inter-device variation (Sec. 5.6): per-opcode process
+  // corners, campaign-long thermal drift, and the board's decoupling pole.
+  d.corner_seed = splitmix64(hash_combine(h, 5));
+  d.opcode_gain_spread = hash_range(hash_combine(h, 6), 0.03, 0.09);
+  d.opcode_offset_spread = hash_range(hash_combine(h, 7), 0.004, 0.012);
+  d.thermal_drift = hash_sym(hash_combine(h, 8), 0.03);
+  d.decoupling_cutoff = hash_range(hash_combine(h, 9), 0.09, 0.22);
   return d;
 }
 

@@ -19,6 +19,21 @@
 namespace sidis::sim {
 
 /// Per-device process variation, derived deterministically from an id.
+///
+/// Beyond the global gain/offset pair, three structured inter-device effects
+/// model why templates trained on one chip collapse on another (Sec. 5.6 /
+/// Table 4):
+///
+///  * per-opcode process corners: each opcode's switching blocks sit on
+///    different dies in different corners of the process distribution, so
+///    its current signature is scaled (and its quiescent draw shifted) by an
+///    opcode-specific amount.  A *global* gain is cancelled by per-trace
+///    normalization; a class-conditional one is not -- it moves templates.
+///  * thermal drift: a chip warms up over a capture campaign, so its
+///    effective gain follows a slow multiplicative trend in campaign time.
+///  * decoupling capacitance: each board's decoupling network forms a
+///    different low-pass pole on the shunt path, reshaping the trace
+///    spectrum per device (clusters rotate, they don't just translate).
 struct DeviceModel {
   int id = 0;
   std::uint64_t signature_seed = 0;  ///< perturbs opcode waveform shapes
@@ -26,6 +41,27 @@ struct DeviceModel {
   double offset = 0.0;               ///< static current offset
   double noise_factor = 1.0;         ///< relative thermal-noise level
   double signature_spread = 0.0;     ///< relative perturbation of bump amplitudes
+  std::uint64_t corner_seed = 0;     ///< keys the per-opcode corner streams
+  double opcode_gain_spread = 0.0;   ///< per-opcode multiplicative corner, +-spread
+  double opcode_offset_spread = 0.0; ///< per-opcode additive baseline corner
+  double thermal_drift = 0.0;        ///< campaign-long multiplicative trend amplitude
+  /// Decoupling-network low-pass pole (fraction of the sample rate; 0
+  /// disables the stage -- the profiling device's decoupling is absorbed in
+  /// the scope's own bandwidth limit, which defines "nominal").
+  double decoupling_cutoff = 0.0;
+
+  /// Multiplicative process corner of one opcode's current signature.
+  /// `opcode_key` is the power model's signature key (mnemonic << 8 | mode);
+  /// draws are uniform in [1 - spread, 1 + spread), independent per opcode
+  /// and per device via the corner seed.
+  double opcode_gain(std::uint64_t opcode_key) const;
+  /// Additive quiescent-current corner of one opcode, uniform in
+  /// [-spread, spread).
+  double opcode_offset(std::uint64_t opcode_key) const;
+  /// Warm-up gain at `campaign_progress` in [0, 1]: a saturating exponential
+  /// trend from exactly 1.0 (campaign start) towards 1 + thermal_drift.
+  /// Monotone in progress for either drift sign.
+  double thermal_gain(double campaign_progress) const;
 
   /// Device 0 is the training/profiling device with nominal parameters;
   /// devices 1..N are targets with hash-derived variation.
@@ -67,8 +103,15 @@ struct Environment {
   DeviceModel device;
   SessionContext session;
   ProgramContext program;
+  /// Position of this capture within its campaign, in [0, 1]; drives the
+  /// device's thermal warm-up trend.  Keyed by capture index (not wall
+  /// time), so campaigns replay bit-identically at any worker count.
+  double campaign_progress = 0.0;
 
-  double total_gain() const { return device.gain * session.gain * program.gain; }
+  double total_gain() const {
+    return device.gain * device.thermal_gain(campaign_progress) * session.gain *
+           program.gain;
+  }
   double total_offset() const { return device.offset + session.offset + program.offset; }
 };
 

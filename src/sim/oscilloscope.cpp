@@ -39,6 +39,13 @@ std::vector<double> Oscilloscope::capture(const std::vector<double>& ideal,
     x[i] = v;
   }
 
+  // The board's decoupling network forms a device-specific low-pass pole on
+  // the shunt path -- it reshapes the trace *spectrum* per device, which no
+  // amplitude normalization can undo (the Sec. 5.6 cross-device shift is
+  // more than a gain).  Physically it sits before the probe.
+  if (env.device.decoupling_cutoff > 0.0) {
+    x = dsp::lowpass_single_pole(x, env.device.decoupling_cutoff);
+  }
   if (env.session.probe_cutoff > 0.0) {
     x = dsp::lowpass_single_pole(x, env.session.probe_cutoff);
   }

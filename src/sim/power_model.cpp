@@ -1,5 +1,6 @@
 #include "sim/power_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "avr/codec.hpp"
@@ -181,6 +182,17 @@ std::vector<double> PowerSynthesizer::synthesize(
     }
     const avr::Instruction& key = issue != nullptr ? *issue : rec.instr;
 
+    // Per-opcode process corner of this device (Sec. 5.6): the opcode's
+    // switching blocks draw corner_gain x their nominal current, and its
+    // quiescent draw differs by corner_offset while the opcode executes.
+    // Class-conditional by construction, so unlike the global device gain it
+    // survives per-trace normalization -- this is what moves templates
+    // between chips.
+    const std::uint64_t okey = static_cast<std::uint64_t>(key.mnemonic) << 8 |
+                               static_cast<std::uint64_t>(key.mode);
+    const double corner_gain = device_.opcode_gain(okey);
+    const double corner_offset = device_.opcode_offset(okey);
+
     for (unsigned c = 0; c < rec.cycles; ++c) {
       bumps.clear();
       bumps.push_back({0.03, config_.clock_spike_width, config_.clock_spike_amp});
@@ -193,7 +205,15 @@ std::vector<double> PowerSynthesizer::synthesize(
         memory_leakage(rec, bumps);
         if (idx + 1 < records.size()) fetch_signature(records[idx + 1].opcode, bumps);
       }
+      if (corner_gain != 1.0) {
+        for (Bump& b : bumps) b.amp *= corner_gain;
+      }
       render_cycle(wave, cycle_cursor, bumps);
+      if (corner_offset != 0.0) {
+        const std::size_t lo = sample_of_cycle(cycle_cursor);
+        const std::size_t hi = std::min(sample_of_cycle(cycle_cursor + 1.0), wave.size());
+        for (std::size_t i = lo; i < hi; ++i) wave[i] += corner_offset;
+      }
       cycle_cursor += 1.0;
     }
   }

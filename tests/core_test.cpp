@@ -130,6 +130,85 @@ TEST(Disassembly, TextAndInstructionReconstruction) {
   EXPECT_EQ(in.rd, 16);
 }
 
+Disassembly observation(avr::Mnemonic m, Verdict v, double margin, double score) {
+  Disassembly d;
+  d.class_idx = *avr::class_index(m);
+  d.verdict = v;
+  d.margin_headroom = margin;
+  d.score_headroom = score;
+  return d;
+}
+
+TEST(VoteWeight, RejectedWindowsCarryNoWeight) {
+  EXPECT_EQ(vote_weight(observation(avr::Mnemonic::kAdd, Verdict::kRejected, 5.0, 5.0)), 0.0);
+  // A rejected window's headroom is irrelevant: the recovery is a guess.
+  EXPECT_EQ(vote_weight(observation(avr::Mnemonic::kAdd, Verdict::kRejected, -0.3, 1.0)), 0.0);
+}
+
+TEST(VoteWeight, UnarmedGatesReproducePlainMajorityVoting) {
+  // Before calibrate_reject() every window carries +inf headroom; the weight
+  // must collapse to the pre-reject-option behaviour of one vote per window.
+  Disassembly d;  // default: kOk, +inf headrooms
+  EXPECT_EQ(vote_weight(d), 1.0);
+}
+
+TEST(VoteWeight, AcceptedWeightIsWorstHeadroomClampedToTheBand) {
+  using M = avr::Mnemonic;
+  // Worst of the two signed headrooms drives the vote.
+  EXPECT_DOUBLE_EQ(vote_weight(observation(M::kAdd, Verdict::kOk, 0.3, 0.6)), 0.3);
+  EXPECT_DOUBLE_EQ(vote_weight(observation(M::kAdd, Verdict::kOk, 0.9, 0.2)), 0.2);
+  // Barely-accepted windows floor at kMinAcceptedWeight, never at zero...
+  EXPECT_DOUBLE_EQ(vote_weight(observation(M::kAdd, Verdict::kDegraded, 1e-9, 4.0)),
+                   kMinAcceptedWeight);
+  // ...and confidently-clean windows cap at one full vote.
+  EXPECT_DOUBLE_EQ(vote_weight(observation(M::kAdd, Verdict::kOk, 7.0, 3.0)), 1.0);
+}
+
+TEST(SlotVote, RejectedBurstCanNoLongerFlipASlotDecision) {
+  // The ROADMAP bug: three rejected windows all guessing SUB used to outvote
+  // two cleanly accepted ADD windows (3 > 5/2 under the old unweighted count
+  // rule).  With signed-headroom weights the rejected burst casts nothing.
+  SlotVote slot;
+  int rejected_votes = 0, accepted_votes = 0, repeats = 0;
+  const auto add = [&](const Disassembly& d) {
+    slot.add(d);
+    ++repeats;
+    (d.accepted() ? accepted_votes : rejected_votes) += 1;
+  };
+  add(observation(avr::Mnemonic::kAdd, Verdict::kOk, 0.8, 0.9));
+  add(observation(avr::Mnemonic::kSub, Verdict::kRejected, 2.0, 2.0));
+  add(observation(avr::Mnemonic::kSub, Verdict::kRejected, 2.0, 2.0));
+  add(observation(avr::Mnemonic::kAdd, Verdict::kOk, 0.7, 0.6));
+  add(observation(avr::Mnemonic::kSub, Verdict::kRejected, 2.0, 2.0));
+
+  // Document the pre-fix failure mode: the count rule picks the reject burst.
+  ASSERT_GT(rejected_votes, repeats / 2);
+  ASSERT_LT(accepted_votes, repeats / 2 + 1);
+
+  EXPECT_EQ(slot.winner().class_idx, *avr::class_index(avr::Mnemonic::kAdd));
+  EXPECT_DOUBLE_EQ(slot.winner_weight(), 0.8 + 0.6);
+  EXPECT_DOUBLE_EQ(slot.total_weight(), 0.8 + 0.6);
+}
+
+TEST(SlotVote, AllRejectedYieldsAnEmptyWinnerWithZeroWeight) {
+  SlotVote slot;
+  slot.add(observation(avr::Mnemonic::kSub, Verdict::kRejected, 1.0, 1.0));
+  slot.add(observation(avr::Mnemonic::kSub, Verdict::kRejected, 1.0, 1.0));
+  EXPECT_EQ(slot.total_weight(), 0.0);
+  EXPECT_EQ(slot.winner_weight(), 0.0);
+  EXPECT_EQ(slot.winner().text(), Disassembly{}.text());
+}
+
+TEST(SlotVote, TiesResolveToTheEarliestSeenCandidate) {
+  SlotVote slot;
+  slot.add(observation(avr::Mnemonic::kCom, Verdict::kOk, 0.4, 0.9));
+  slot.add(observation(avr::Mnemonic::kAdd, Verdict::kOk, 0.4, 0.9));
+  EXPECT_EQ(slot.winner().class_idx, *avr::class_index(avr::Mnemonic::kCom));
+  slot.add(observation(avr::Mnemonic::kAdd, Verdict::kOk, 0.1, 0.9));
+  EXPECT_EQ(slot.winner().class_idx, *avr::class_index(avr::Mnemonic::kAdd));
+  EXPECT_DOUBLE_EQ(slot.winner_weight(), 0.5);
+}
+
 TEST_F(CoreFixture, MajorityVoteBeatsGeneralAtLowDims) {
   features::LabeledTraces train, test;
   std::vector<sim::TraceSet> train_sets, test_sets;

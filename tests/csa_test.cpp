@@ -1,0 +1,215 @@
+// Covariate-shift adaptation battery: the three Table-3 pipeline recipes
+// round-trip through the template serializer, and the Sec.-5.6 CSA
+// re-normalization (FeaturePipeline::renormalized) demonstrably recovers
+// accuracy on a gain-shifted corpus without retraining the classifier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/csa.hpp"
+#include "core/serialize.hpp"
+#include "features/pipeline.hpp"
+#include "ml/discriminant.hpp"
+
+namespace sidis::core {
+namespace {
+
+constexpr int kClasses = 3;
+
+/// Amplitude-ladder microcosm: class c carries a burst of height 0.5 * (c+1)
+/// at samples 95..105, so a multiplicative gain slides every class toward
+/// its neighbour one rung up -- the cheapest synthetic stand-in for a
+/// cross-device gain corner that actually breaks argmax accuracy (a
+/// symmetric +-1 coding would survive any positive gain).
+sim::Trace ladder_trace(int cls, int program, std::mt19937_64& rng) {
+  std::normal_distribution<double> noise(0.0, 0.05);
+  sim::Trace t;
+  t.samples.assign(315, 0.0);
+  for (double& v : t.samples) v = noise(rng);
+  const double height = 0.5 * static_cast<double>(cls + 1);
+  for (int i = 95; i < 105; ++i) t.samples[static_cast<std::size_t>(i)] += height;
+  t.meta.class_idx = static_cast<std::size_t>(cls);
+  t.meta.program_id = program;
+  return t;
+}
+
+sim::TraceSet ladder_set(int cls, int num_programs, std::size_t per_program,
+                         std::mt19937_64& rng) {
+  sim::TraceSet out;
+  for (int p = 0; p < num_programs; ++p) {
+    for (std::size_t i = 0; i < per_program; ++i) out.push_back(ladder_trace(cls, p, rng));
+  }
+  return out;
+}
+
+/// The deployment device's gain corner: every sample scaled by `gain`.
+sim::TraceSet shifted(const sim::TraceSet& in, double gain) {
+  sim::TraceSet out = in;
+  for (sim::Trace& t : out) {
+    for (double& v : t.samples) v *= gain;
+  }
+  return out;
+}
+
+features::LabeledTraces labeled(const std::vector<sim::TraceSet>& sets) {
+  features::LabeledTraces input;
+  for (std::size_t c = 0; c < sets.size(); ++c) {
+    input.labels.push_back(static_cast<int>(c));
+    input.sets.push_back(&sets[c]);
+  }
+  return input;
+}
+
+TEST(CsaConfigs, TableThreeRecipesAreWiredAsDocumented) {
+  const features::PipelineConfig initial = without_csa_config();
+  EXPECT_EQ(initial.kl_threshold, kInitialKlThreshold);
+  EXPECT_FALSE(initial.per_trace_normalization);
+  EXPECT_FALSE(initial.adaptive_threshold);
+  EXPECT_TRUE(initial.allow_fallback_points);
+
+  const features::PipelineConfig no_norm = csa_without_norm_config();
+  EXPECT_EQ(no_norm.kl_threshold, kCsaKlThreshold);
+  EXPECT_FALSE(no_norm.per_trace_normalization);
+
+  const features::PipelineConfig full = csa_config();
+  EXPECT_EQ(full.kl_threshold, kCsaKlThreshold);
+  EXPECT_TRUE(full.per_trace_normalization);
+  EXPECT_LT(full.kl_threshold, initial.kl_threshold);
+}
+
+TEST(CsaConfigs, AllThreeRecipesRoundTripThroughTheSerializer) {
+  std::mt19937_64 rng{11};
+  std::vector<sim::TraceSet> sets;
+  for (int c = 0; c < kClasses; ++c) sets.push_back(ladder_set(c, 3, 20, rng));
+  sim::Trace probe = ladder_trace(1, 0, rng);
+
+  for (features::PipelineConfig cfg :
+       {without_csa_config(), csa_without_norm_config(), csa_config()}) {
+    cfg.pca_components = 8;
+    cfg.workers = 1;
+    const features::FeaturePipeline fitted =
+        features::FeaturePipeline::fit(labeled(sets), cfg);
+
+    std::stringstream stream;
+    save_pipeline(stream, fitted);
+    const features::FeaturePipeline loaded = load_pipeline(stream);
+
+    // The distinguishing Table-3 settings survive the round trip...
+    EXPECT_EQ(loaded.config().kl_threshold, cfg.kl_threshold);
+    EXPECT_EQ(loaded.config().per_trace_normalization, cfg.per_trace_normalization);
+    EXPECT_EQ(loaded.config().adaptive_threshold, cfg.adaptive_threshold);
+    EXPECT_EQ(loaded.config().allow_fallback_points, cfg.allow_fallback_points);
+    EXPECT_EQ(loaded.grid_size(), fitted.grid_size());
+    ASSERT_EQ(loaded.unified_points().size(), fitted.unified_points().size());
+    // ...and so does the fitted transform, bit for bit.
+    EXPECT_EQ(loaded.transform(probe), fitted.transform(probe));
+  }
+}
+
+TEST(Renormalization, RecoversAccuracyOnAGainShiftedCorpus) {
+  std::mt19937_64 rng{12};
+  std::vector<sim::TraceSet> train_sets, test_sets;
+  for (int c = 0; c < kClasses; ++c) {
+    train_sets.push_back(ladder_set(c, 3, 20, rng));
+    test_sets.push_back(ladder_set(c, 3, 10, rng));
+  }
+
+  features::PipelineConfig cfg = csa_without_norm_config();
+  cfg.pca_components = 8;
+  cfg.workers = 1;
+  const features::FeaturePipeline pipeline =
+      features::FeaturePipeline::fit(labeled(train_sets), cfg);
+
+  ml::DiscriminantConfig qcfg;
+  qcfg.shrinkage = 0.1;
+  ml::Qda qda{qcfg};
+  qda.fit(pipeline.transform(labeled(train_sets)));
+
+  // Within-session sanity: the ladder separates cleanly.
+  std::vector<sim::TraceSet> shifted_tests;
+  const double kGain = 1.35;
+  sim::TraceSet recal;  // class-balanced, unlabeled recalibration corpus
+  for (int c = 0; c < kClasses; ++c) {
+    shifted_tests.push_back(shifted(test_sets[static_cast<std::size_t>(c)], kGain));
+    for (std::size_t i = 0; i < 8; ++i) {
+      recal.push_back(shifted_tests.back()[i]);
+    }
+  }
+  const double clean = qda.accuracy(pipeline.transform(labeled(test_sets)));
+  ASSERT_GE(clean, 0.95) << "ladder corpus is not separable to begin with";
+
+  // The gain corner slides every class up the ladder: accuracy collapses.
+  const double broken = qda.accuracy(pipeline.transform(labeled(shifted_tests)));
+  EXPECT_LT(broken, clean - 0.25)
+      << "gain shift did not hurt -- the recovery below proves nothing";
+
+  // CSA re-normalization from the small recal corpus, classifier untouched.
+  const features::FeaturePipeline recovered = pipeline.renormalized(recal, true);
+  const double after = qda.accuracy(recovered.transform(labeled(shifted_tests)));
+  EXPECT_GE(after, clean - 0.05)
+      << "re-normalization failed to recover within-session accuracy: "
+      << broken << " -> " << after << " (clean " << clean << ")";
+}
+
+TEST(Renormalization, SmallBudgetShrinksTowardTheTrainingScaler) {
+  // With one recalibration trace the shrinkage weight alpha = n / (n + 4)
+  // keeps 80% of the training mean -- the re-centred scaler must land
+  // strictly between the training mean and the observed corpus mean.
+  std::mt19937_64 rng{13};
+  std::vector<sim::TraceSet> sets;
+  for (int c = 0; c < kClasses; ++c) sets.push_back(ladder_set(c, 3, 20, rng));
+  features::PipelineConfig cfg = csa_without_norm_config();
+  cfg.pca_components = 8;
+  cfg.workers = 1;
+  const features::FeaturePipeline pipeline =
+      features::FeaturePipeline::fit(labeled(sets), cfg);
+
+  sim::TraceSet one;
+  one.push_back(shifted(sets[2], 1.5)[0]);
+  const features::FeaturePipeline small = pipeline.renormalized(one);
+  const features::FeaturePipeline big = [&] {
+    sim::TraceSet many;
+    for (int i = 0; i < 30; ++i) many.push_back(shifted(sets[2], 1.5)[static_cast<std::size_t>(i)]);
+    return pipeline.renormalized(many);
+  }();
+  double moved_small = 0.0, moved_big = 0.0;
+  for (std::size_t c = 0; c < pipeline.scaler().dim(); ++c) {
+    moved_small += std::abs(small.scaler().mean()[c] - pipeline.scaler().mean()[c]);
+    moved_big += std::abs(big.scaler().mean()[c] - pipeline.scaler().mean()[c]);
+  }
+  EXPECT_GT(moved_small, 0.0) << "a budget of one must still move the scaler";
+  EXPECT_GT(moved_big, moved_small)
+      << "larger budgets should trust the observed means more";
+  // Re-normalization never touches selection or PCA.
+  EXPECT_EQ(small.unified_points().size(), pipeline.unified_points().size());
+  EXPECT_EQ(small.pca().num_components(), pipeline.pca().num_components());
+}
+
+TEST(Renormalization, ErrorPathsAreExplicit) {
+  std::mt19937_64 rng{14};
+  std::vector<sim::TraceSet> sets;
+  for (int c = 0; c < 2; ++c) sets.push_back(ladder_set(c, 3, 15, rng));
+
+  features::PipelineConfig cfg = csa_without_norm_config();
+  cfg.pca_components = 6;
+  cfg.workers = 1;
+  const features::FeaturePipeline fitted =
+      features::FeaturePipeline::fit(labeled(sets), cfg);
+  EXPECT_THROW((void)fitted.renormalized(sim::TraceSet{}), std::invalid_argument);
+
+  features::PipelineConfig raw = cfg;
+  raw.column_standardization = false;
+  const features::FeaturePipeline unscaled =
+      features::FeaturePipeline::fit(labeled(sets), raw);
+  EXPECT_THROW((void)unscaled.renormalized(sets[0]), std::logic_error);
+
+  const features::FeaturePipeline unfitted;
+  EXPECT_THROW((void)unfitted.renormalized(sets[0]), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sidis::core

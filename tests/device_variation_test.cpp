@@ -1,0 +1,239 @@
+// Statistical battery for the structured inter-device variation model
+// (Sec. 5.6 / Table 4): per-opcode process corners, campaign-long thermal
+// drift, and the board's decoupling-capacitance pole.  These are the knobs
+// the cross-device transfer bench turns, so their distributions and
+// determinism guarantees are pinned here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "sim/environment.hpp"
+#include "sim/oscilloscope.hpp"
+
+namespace sidis::sim {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double rms(const std::vector<double>& x, std::size_t skip) {
+  double acc = 0.0;
+  for (std::size_t i = skip; i < x.size(); ++i) acc += x[i] * x[i];
+  return std::sqrt(acc / static_cast<double>(x.size() - skip));
+}
+
+std::vector<double> tone(double freq, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * freq * static_cast<double>(i));
+  }
+  return x;
+}
+
+/// Scope with every stochastic/shaping stage off: captures reduce to the
+/// environment chain, isolating the device's decoupling pole.
+ScopeConfig transparent_scope() {
+  ScopeConfig cfg;
+  cfg.enable_noise = false;
+  cfg.enable_quantization = false;
+  cfg.enable_bandwidth = false;
+  cfg.trigger_jitter = 0;
+  return cfg;
+}
+
+TEST(DeviceModel, SameSeedIsBitIdentical) {
+  for (int id = 0; id <= 6; ++id) {
+    const DeviceModel a = DeviceModel::make(id, 0xABCDEF);
+    const DeviceModel b = DeviceModel::make(id, 0xABCDEF);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.signature_seed, b.signature_seed);
+    EXPECT_EQ(a.gain, b.gain);
+    EXPECT_EQ(a.offset, b.offset);
+    EXPECT_EQ(a.noise_factor, b.noise_factor);
+    EXPECT_EQ(a.signature_spread, b.signature_spread);
+    EXPECT_EQ(a.corner_seed, b.corner_seed);
+    EXPECT_EQ(a.opcode_gain_spread, b.opcode_gain_spread);
+    EXPECT_EQ(a.opcode_offset_spread, b.opcode_offset_spread);
+    EXPECT_EQ(a.thermal_drift, b.thermal_drift);
+    EXPECT_EQ(a.decoupling_cutoff, b.decoupling_cutoff);
+  }
+}
+
+TEST(DeviceModel, DeviceZeroIsNominalByDefinition) {
+  const DeviceModel d = DeviceModel::make(0);
+  EXPECT_EQ(d.gain, 1.0);
+  EXPECT_EQ(d.offset, 0.0);
+  EXPECT_EQ(d.opcode_gain_spread, 0.0);
+  EXPECT_EQ(d.opcode_offset_spread, 0.0);
+  EXPECT_EQ(d.thermal_drift, 0.0);
+  EXPECT_EQ(d.decoupling_cutoff, 0.0);
+  // The structured stages degenerate to identity on the profiling device.
+  EXPECT_EQ(d.opcode_gain(0x1234), 1.0);
+  EXPECT_EQ(d.opcode_offset(0x1234), 0.0);
+  EXPECT_EQ(d.thermal_gain(0.5), 1.0);
+}
+
+TEST(DeviceModel, DistinctIdsAreMeasurablyDistinct) {
+  const std::uint64_t seed = 0x5eed;
+  for (int a = 1; a <= 5; ++a) {
+    for (int b = a + 1; b <= 6; ++b) {
+      const DeviceModel da = DeviceModel::make(a, seed);
+      const DeviceModel db = DeviceModel::make(b, seed);
+      EXPECT_NE(da.corner_seed, db.corner_seed) << a << " vs " << b;
+      EXPECT_NE(da.signature_seed, db.signature_seed);
+      EXPECT_NE(da.gain, db.gain);
+      // Same opcode, different device: the corner is device-conditional.
+      EXPECT_NE(da.opcode_gain(0x0C01), db.opcode_gain(0x0C01));
+    }
+  }
+}
+
+TEST(DeviceModel, CornerDrawsStayInsideTheConfiguredSupport) {
+  DeviceModel d;
+  d.corner_seed = 0xC0FFEE;
+  d.opcode_gain_spread = 0.08;
+  d.opcode_offset_spread = 0.01;
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    const double g = d.opcode_gain(key);
+    EXPECT_GE(g, 1.0 - d.opcode_gain_spread);
+    EXPECT_LT(g, 1.0 + d.opcode_gain_spread);
+    const double o = d.opcode_offset(key);
+    EXPECT_GE(o, -d.opcode_offset_spread);
+    EXPECT_LT(o, d.opcode_offset_spread);
+  }
+}
+
+TEST(DeviceModel, CornerMomentsMatchTheConfiguredSpread) {
+  // Draws are uniform on [c - s, c + s), so the population moments are
+  // mean = c and variance = s^2 / 3.  With N = 4096 keys the standard error
+  // of the sample mean is s / sqrt(3 N); we allow 5 sigma.
+  DeviceModel d;
+  d.corner_seed = 0xDECADE;
+  d.opcode_gain_spread = 0.08;
+  d.opcode_offset_spread = 0.01;
+  constexpr std::size_t kKeys = 4096;
+  double gain_sum = 0.0, gain_sq = 0.0, off_sum = 0.0, off_sq = 0.0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const double g = d.opcode_gain(key) - 1.0;
+    gain_sum += g;
+    gain_sq += g * g;
+    const double o = d.opcode_offset(key);
+    off_sum += o;
+    off_sq += o * o;
+  }
+  const double n = static_cast<double>(kKeys);
+  const double gain_tol = 5.0 * d.opcode_gain_spread / std::sqrt(3.0 * n);
+  EXPECT_NEAR(gain_sum / n, 0.0, gain_tol);
+  const double off_tol = 5.0 * d.opcode_offset_spread / std::sqrt(3.0 * n);
+  EXPECT_NEAR(off_sum / n, 0.0, off_tol);
+  // Sample variance vs s^2/3 within a 10% band (chi-square spread at this N
+  // is ~2%, so the band has generous headroom without masking a wrong law).
+  const double gain_var = gain_sq / n - (gain_sum / n) * (gain_sum / n);
+  EXPECT_NEAR(gain_var, d.opcode_gain_spread * d.opcode_gain_spread / 3.0,
+              0.1 * d.opcode_gain_spread * d.opcode_gain_spread / 3.0);
+  const double off_var = off_sq / n - (off_sum / n) * (off_sum / n);
+  EXPECT_NEAR(off_var, d.opcode_offset_spread * d.opcode_offset_spread / 3.0,
+              0.1 * d.opcode_offset_spread * d.opcode_offset_spread / 3.0);
+}
+
+TEST(DeviceModel, CornersAreOpcodeConditional) {
+  // A *global* gain would be cancelled by per-trace normalization; the whole
+  // point of the corner model is that different opcodes draw different
+  // scalings on the same device.
+  DeviceModel d;
+  d.corner_seed = 0xFACADE;
+  d.opcode_gain_spread = 0.05;
+  double lo = 2.0, hi = 0.0;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    lo = std::min(lo, d.opcode_gain(key));
+    hi = std::max(hi, d.opcode_gain(key));
+  }
+  EXPECT_GT(hi - lo, 0.02) << "corner draws are suspiciously concentrated";
+}
+
+TEST(DeviceModel, ThermalGainIsAnchoredAtBothCampaignEnds) {
+  DeviceModel d;
+  d.thermal_drift = 0.03;
+  EXPECT_DOUBLE_EQ(d.thermal_gain(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.thermal_gain(1.0), 1.0 + d.thermal_drift);
+  // Progress clamps to the campaign.
+  EXPECT_DOUBLE_EQ(d.thermal_gain(-0.5), d.thermal_gain(0.0));
+  EXPECT_DOUBLE_EQ(d.thermal_gain(1.5), d.thermal_gain(1.0));
+}
+
+TEST(DeviceModel, ThermalGainIsMonotoneForEitherDriftSign) {
+  for (const double drift : {0.03, -0.02}) {
+    DeviceModel d;
+    d.thermal_drift = drift;
+    double prev = d.thermal_gain(0.0);
+    for (int i = 1; i <= 100; ++i) {
+      const double g = d.thermal_gain(static_cast<double>(i) / 100.0);
+      if (drift > 0.0) {
+        EXPECT_GT(g, prev) << "warm-up trend not increasing at step " << i;
+      } else {
+        EXPECT_LT(g, prev) << "cool-down trend not decreasing at step " << i;
+      }
+      prev = g;
+    }
+  }
+}
+
+TEST(Environment, TotalGainFollowsTheThermalTrend) {
+  Environment env;
+  env.device.thermal_drift = 0.04;
+  env.campaign_progress = 0.0;
+  const double start = env.total_gain();
+  env.campaign_progress = 1.0;
+  EXPECT_DOUBLE_EQ(env.total_gain(), start * (1.0 + env.device.thermal_drift));
+}
+
+TEST(Oscilloscope, DecouplingPoleAttenuatesAHighFrequencyProbeTone) {
+  const Oscilloscope scope{transparent_scope()};
+  std::mt19937_64 rng{7};
+  Environment nominal;  // device 0: no decoupling stage
+  Environment filtered;
+  filtered.device.decoupling_cutoff = 0.12;
+
+  // High-frequency probe tone, well above the pole: strongly attenuated.
+  const std::vector<double> hi = tone(0.35, 512);
+  const std::vector<double> hi_nom = scope.capture(hi, nominal, rng, false);
+  const std::vector<double> hi_fil = scope.capture(hi, filtered, rng, false);
+  // Skip the filter warm-up transient when comparing steady-state power.
+  EXPECT_LT(rms(hi_fil, 64), 0.6 * rms(hi_nom, 64))
+      << "pole at 0.12 barely touched a 0.35 tone";
+
+  // Low-frequency tone, well below the pole: essentially preserved.
+  const std::vector<double> lo = tone(0.01, 512);
+  const std::vector<double> lo_nom = scope.capture(lo, nominal, rng, false);
+  const std::vector<double> lo_fil = scope.capture(lo, filtered, rng, false);
+  EXPECT_GT(rms(lo_fil, 64), 0.85 * rms(lo_nom, 64))
+      << "pole distorts the passband";
+}
+
+TEST(Oscilloscope, LowerCutoffAttenuatesMore) {
+  const Oscilloscope scope{transparent_scope()};
+  std::mt19937_64 rng{8};
+  const std::vector<double> probe = tone(0.3, 512);
+  Environment soft, hard;
+  soft.device.decoupling_cutoff = 0.22;
+  hard.device.decoupling_cutoff = 0.09;
+  const double soft_rms = rms(scope.capture(probe, soft, rng, false), 64);
+  const double hard_rms = rms(scope.capture(probe, hard, rng, false), 64);
+  EXPECT_LT(hard_rms, soft_rms);
+}
+
+TEST(Oscilloscope, CaptureIsBitIdenticalForTheSameSeed) {
+  Oscilloscope scope;  // full chain: jitter, noise, quantization
+  Environment env;
+  env.device = DeviceModel::make(2);
+  env.session = SessionContext::make(1);
+  std::mt19937_64 rng_a{42}, rng_b{42};
+  const std::vector<double> ideal = tone(0.05, 315);
+  const std::vector<double> a = scope.capture(ideal, env, rng_a);
+  const std::vector<double> b = scope.capture(ideal, env, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sidis::sim
