@@ -12,6 +12,7 @@
 //
 // Results are printed as a table and written to BENCH_robustness.json
 // (override the path with SIDIS_BENCH_OUT) so the sweep is diffable in CI.
+#include <array>
 #include <cstdio>
 #include <random>
 #include <string>
@@ -88,7 +89,10 @@ CellResult evaluate(const core::HierarchicalDisassembler& model,
   const sim::AcquisitionCampaign& campaign = profile.empty() ? clean : faulted;
 
   CellResult out;
-  out.fault = profile.empty() ? "clean" : to_string(profile.faults.front().kind);
+  out.fault = profile.empty()
+                  ? "clean"
+                  : (profile.label.empty() ? to_string(profile.faults.front().kind)
+                                           : profile.label);
   out.severity = profile.empty() ? 0.0 : profile.severity;
   std::size_t hits = 0, rejected = 0, degraded = 0, misses = 0, miss_flagged = 0;
   for (std::size_t cls : eval_classes()) {
@@ -122,7 +126,75 @@ CellResult evaluate(const core::HierarchicalDisassembler& model,
   return out;
 }
 
-void write_json(const Sweep& sweep, const std::string& path, int per_class) {
+/// Severity-*schedule* sweep: one corpus whose fault severity ramps linearly
+/// from 0 to `max_severity` across the capture index (the drift scenario the
+/// runtime monitor is built for), re-arming the injector with scaled(s) per
+/// capture.  Results are aggregated per quartile of the ramp so the curve
+/// shows degradation tracking the schedule, not one pooled number.
+std::vector<CellResult> evaluate_schedule(const core::HierarchicalDisassembler& model,
+                                          const sim::FaultProfile& base,
+                                          int per_class, double max_severity) {
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0)};
+  const std::size_t total = eval_classes().size() * static_cast<std::size_t>(per_class);
+  struct Acc {
+    std::size_t windows = 0, hits = 0, rejected = 0, degraded = 0, misses = 0,
+                miss_flagged = 0;
+    double severity_sum = 0.0;
+  };
+  std::array<Acc, 4> quartiles;
+  std::size_t idx = 0;
+  for (std::size_t cls : eval_classes()) {
+    for (int i = 0; i < per_class; ++i, ++idx) {
+      const double s = max_severity * static_cast<double>(idx) /
+                       static_cast<double>(total - 1);
+      const sim::FaultProfile armed = base.scaled(s);
+      if (armed.empty()) {
+        campaign.clear_faults();
+      } else {
+        campaign.inject_faults(armed);
+      }
+      std::mt19937_64 rng{0xeba1u + cls * 977 + static_cast<std::size_t>(i)};
+      const avr::Instruction target = avr::random_instance(cls, rng);
+      const sim::Trace t =
+          campaign.capture_trace(target, sim::ProgramContext::make(80 + i % 4), rng);
+      const core::Disassembly d = model.classify(t);
+      Acc& q = quartiles[std::min<std::size_t>(3, idx * 4 / total)];
+      ++q.windows;
+      q.severity_sum += s;
+      if (d.verdict == core::Verdict::kRejected) ++q.rejected;
+      if (d.verdict == core::Verdict::kDegraded) ++q.degraded;
+      if (d.class_idx == cls) {
+        ++q.hits;
+      } else {
+        ++q.misses;
+        if (d.verdict != core::Verdict::kOk) ++q.miss_flagged;
+      }
+    }
+  }
+  std::vector<CellResult> out;
+  for (const Acc& q : quartiles) {
+    CellResult c;
+    c.fault = base.label.empty() ? "schedule" : base.label;
+    c.severity = q.windows == 0 ? 0.0 : q.severity_sum / static_cast<double>(q.windows);
+    c.windows = q.windows;
+    const auto frac = [&](std::size_t n) {
+      return q.windows == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(q.windows);
+    };
+    c.accuracy = frac(q.hits);
+    c.reject_rate = frac(q.rejected);
+    c.degraded_rate = frac(q.degraded);
+    c.flagged_miss_fraction = q.misses == 0 ? 1.0
+                                            : static_cast<double>(q.miss_flagged) /
+                                                  static_cast<double>(q.misses);
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(const Sweep& sweep, const std::vector<CellResult>& compounds,
+                const std::vector<std::vector<CellResult>>& schedules,
+                const std::string& path, int per_class) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -148,6 +220,34 @@ void write_json(const Sweep& sweep, const std::string& path, int per_class) {
                  c.fault.c_str(), c.severity, c.accuracy, c.reject_rate, c.degraded_rate,
                  c.flagged_miss_fraction, pass ? "true" : "false",
                  i + 1 < sweep.cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"compounds\": [\n");
+  for (std::size_t i = 0; i < compounds.size(); ++i) {
+    const CellResult& c = compounds[i];
+    // Compound criterion is stricter: silent wrong answers are unacceptable
+    // under co-occurring faults, so >= 90% of misses must carry a flag.
+    const bool pass = c.severity != 1.0 || c.flagged_miss_fraction >= 0.9;
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"severity\": %.2f, \"accuracy\": %.4f, "
+                 "\"reject_rate\": %.4f, \"degraded_rate\": %.4f, "
+                 "\"flagged_miss_fraction\": %.4f, \"criterion_pass\": %s}%s\n",
+                 c.fault.c_str(), c.severity, c.accuracy, c.reject_rate, c.degraded_rate,
+                 c.flagged_miss_fraction, pass ? "true" : "false",
+                 i + 1 < compounds.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"schedules\": [\n");
+  for (std::size_t s = 0; s < schedules.size(); ++s) {
+    std::fprintf(f, "    {\"scenario\": \"%s\", \"quartiles\": [\n",
+                 schedules[s].empty() ? "?" : schedules[s].front().fault.c_str());
+    for (std::size_t q = 0; q < schedules[s].size(); ++q) {
+      const CellResult& c = schedules[s][q];
+      std::fprintf(f,
+                   "      {\"mean_severity\": %.3f, \"accuracy\": %.4f, "
+                   "\"reject_rate\": %.4f, \"flagged_miss_fraction\": %.4f}%s\n",
+                   c.severity, c.accuracy, c.reject_rate, c.flagged_miss_fraction,
+                   q + 1 < schedules[s].size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", s + 1 < schedules.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -187,6 +287,35 @@ int main() {
     }
   }
 
+  // Compound ladder: the three named co-occurring failure clusters.
+  std::printf("\ncompound scenarios:\n");
+  std::printf("  %-20s %9s %9s %9s %9s %14s\n", "scenario", "severity", "accuracy",
+              "rejected", "degraded", "flagged-misses");
+  std::vector<CellResult> compounds;
+  for (double severity : severities) {
+    for (const sim::FaultProfile& profile : sim::FaultProfile::named_compounds(severity)) {
+      const CellResult c = evaluate(model, profile, per_class);
+      compounds.push_back(c);
+      std::printf("  %-20s %8.2fx %8.1f%% %8.1f%% %8.1f%% %13.1f%%\n", c.fault.c_str(),
+                  c.severity, 100.0 * c.accuracy, 100.0 * c.reject_rate,
+                  100.0 * c.degraded_rate, 100.0 * c.flagged_miss_fraction);
+    }
+  }
+
+  // Severity schedules: each compound ramped 0 -> 2x across one corpus.
+  std::printf("\nseverity schedules (0 -> 2.0 ramp, per-quartile):\n");
+  std::printf("  %-20s %12s %9s %9s %14s\n", "scenario", "mean-severity", "accuracy",
+              "rejected", "flagged-misses");
+  std::vector<std::vector<CellResult>> schedules;
+  for (const sim::FaultProfile& profile : sim::FaultProfile::named_compounds(1.0)) {
+    schedules.push_back(evaluate_schedule(model, profile, per_class, 2.0));
+    for (const CellResult& c : schedules.back()) {
+      std::printf("  %-20s %11.2fx %8.1f%% %8.1f%% %13.1f%%\n", c.fault.c_str(),
+                  c.severity, 100.0 * c.accuracy, 100.0 * c.reject_rate,
+                  100.0 * c.flagged_miss_fraction);
+    }
+  }
+
   // Acceptance-criterion summary at default severity.
   std::printf("\ncriterion at severity 1.0 (accuracy within 5 points of clean %.1f%% "
               "or >= 90%% of misses flagged):\n",
@@ -199,9 +328,16 @@ int main() {
                 pass ? "PASS" : "FAIL", 100.0 * c.accuracy,
                 100.0 * c.flagged_miss_fraction);
   }
+  std::printf("\ncompound criterion at severity 1.0 (>= 90%% of misses flagged):\n");
+  for (const CellResult& c : compounds) {
+    if (c.severity != 1.0) continue;
+    std::printf("  %-20s %s (flagged %.1f%%)\n", c.fault.c_str(),
+                c.flagged_miss_fraction >= 0.9 ? "PASS" : "FAIL",
+                100.0 * c.flagged_miss_fraction);
+  }
 
   const char* out = std::getenv("SIDIS_BENCH_OUT");
-  write_json(sweep, out != nullptr && *out != '\0' ? out : "BENCH_robustness.json",
-             per_class);
+  write_json(sweep, compounds, schedules,
+             out != nullptr && *out != '\0' ? out : "BENCH_robustness.json", per_class);
   return 0;
 }

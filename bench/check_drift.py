@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diff a bench_drift_recovery run against the checked-in baseline.
+
+Usage: check_drift.py CANDIDATE.json [BASELINE.json]
+
+Fails (exit 1) when any acceptance criterion flips to false, an accuracy
+metric regresses by more than two points, or detection latency grows by more
+than LATENCY_TOLERANCE windows against the baseline.  Improvements are
+reported but never fail the check; re-pin the baseline to lock them in.
+Stdlib only, so the CI job needs nothing beyond python3.
+"""
+import json
+import sys
+from pathlib import Path
+
+# Accuracy-point tolerance: 0.02 = 2 points.  The CI run is bit-deterministic
+# (fixed seeds, SIDIS_FAST=1), so any delta at all means the pipeline changed;
+# two points separates refactor-level noise from a real regression.
+TOLERANCE = 0.02
+# Detection-latency tolerance in stream windows.  The monitor's streak +
+# cooldown logic quantizes latency to a few windows per threshold crossing;
+# one extra consecutive-requirement cycle is fine, a doubled latency is not.
+LATENCY_TOLERANCE = 20
+
+CRITERIA = [
+    ("drift", "criterion_shift_at_least_2sigma"),
+    ("detection", "criterion_detected_within_budget"),
+    ("recovery", "criterion_recovered_within_2pts"),
+    ("recal", "criterion_budget_respected"),
+    ("recal", "criterion_hot_swapped"),
+]
+
+# (section, key, sense, tolerance)
+METRICS = [
+    ("drift", "feature_shift_sigma", "higher", 0.25),
+    ("detection", "latency_windows", "lower", LATENCY_TOLERANCE),
+    ("recovery", "clean_accuracy", "higher", TOLERANCE),
+    ("recovery", "recovered_final_accuracy", "higher", TOLERANCE),
+    # dip_depth growing means the stale model bled longer/harder before the
+    # scheduler caught it -- a latency or recal-quality regression in disguise.
+    ("recovery", "dip_depth", "lower", TOLERANCE + 0.05),
+]
+
+
+def lookup(doc, section, key):
+    node = doc if section is None else doc.get(section, {})
+    return node.get(key)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate = json.loads(Path(argv[1]).read_text())
+    baseline_path = argv[2] if len(argv) > 2 else str(Path(__file__).parent / "BENCH_drift.json")
+    baseline = json.loads(Path(baseline_path).read_text())
+
+    failures = []
+    rows = []
+
+    for section, key in CRITERIA:
+        got = lookup(candidate, section, key)
+        rows.append((key, lookup(baseline, section, key), got))
+        if got is not True:
+            failures.append(f"acceptance criterion '{key}' is {got}, expected true")
+
+    for section, key, sense, tol in METRICS:
+        base = lookup(baseline, section, key)
+        got = lookup(candidate, section, key)
+        rows.append((key, base, got))
+        if base is None or got is None:
+            failures.append(f"metric '{key}' missing (baseline={base}, candidate={got})")
+            continue
+        delta = got - base if sense == "higher" else base - got
+        if delta < -tol:
+            failures.append(f"'{key}' regressed: {base} -> {got} (tolerance {tol})")
+
+    # Structural invariants, independent of the baseline.
+    recal = candidate.get("recal", {})
+    if recal.get("traces_spent", 0) > recal.get("trace_budget", 0):
+        failures.append(
+            f"labeled-trace budget overrun: spent {recal.get('traces_spent')} of "
+            f"{recal.get('trace_budget')}")
+    if recal.get("model_swaps", 0) < 1:
+        failures.append("recovery happened without a hot swap (or not at all)")
+    if recal.get("registry_versions", 0) < 1:
+        failures.append("no recalibrated model was published to the registry")
+    timeline = candidate.get("timeline", [])
+    if len(timeline) < 10:
+        failures.append(f"timeline has {len(timeline)} batches, expected >= 10")
+    elif timeline[0].get("model_stamp") != 0:
+        failures.append("first timeline batch not served by the construction-time model")
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric'.ljust(width)}  baseline  candidate")
+    for key, base, got in rows:
+        fmt = lambda v: f"{v:.4f}" if isinstance(v, float) else str(v)
+        print(f"{key.ljust(width)}  {fmt(base):>8}  {fmt(got):>9}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: drift-recovery metrics within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -281,7 +281,53 @@ HierarchicalDisassembler HierarchicalDisassembler::train(const ProfilingData& da
   };
   d.rd_level_ = train_registers(data.rd_classes);
   d.rr_level_ = train_registers(data.rr_classes);
+
+  // Training moments for drift monitoring: pool every training trace through
+  // the monitor level's pipeline and keep per-feature mean/variance.  The
+  // batched transform is worker-count-invariant, and the row-order reduction
+  // below is sequential, so the moments are bit-identical for any
+  // PipelineConfig::workers setting.
+  if (const Level* watch = d.monitor_level(); watch != nullptr) {
+    const ml::Dataset projected =
+        watch->pipeline.transform(class_input, watch->components);
+    if (projected.size() > 0) {
+      const std::size_t dim = projected.dim();
+      const double n = static_cast<double>(projected.size());
+      linalg::Vector mean(dim, 0.0);
+      linalg::Vector sq(dim, 0.0);
+      for (std::size_t r = 0; r < projected.size(); ++r) {
+        for (std::size_t c = 0; c < dim; ++c) {
+          mean[c] += projected.x(r, c);
+          sq[c] += projected.x(r, c) * projected.x(r, c);
+        }
+      }
+      linalg::Vector variance(dim, 0.0);
+      for (std::size_t c = 0; c < dim; ++c) {
+        mean[c] /= n;
+        variance[c] = std::max(0.0, sq[c] / n - mean[c] * mean[c]);
+      }
+      d.training_moments_ = {std::move(mean), std::move(variance),
+                             static_cast<std::uint64_t>(projected.size())};
+    }
+  }
   return d;
+}
+
+const HierarchicalDisassembler::Level* HierarchicalDisassembler::monitor_level() const {
+  if (!group_level_.trivial) return &group_level_;
+  for (const auto& [group, level] : instruction_levels_) {
+    (void)group;
+    if (!level.trivial) return &level;
+  }
+  return nullptr;
+}
+
+linalg::Vector HierarchicalDisassembler::monitor_features(const sim::Trace& trace) const {
+  const Level* level = monitor_level();
+  if (level == nullptr) {
+    throw std::runtime_error("monitor_features: every level is trivial");
+  }
+  return level->pipeline.transform(trace, level->components);
 }
 
 int HierarchicalDisassembler::classify_group(const sim::Trace& trace,

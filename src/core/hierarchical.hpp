@@ -72,6 +72,19 @@ struct ProfilingData {
   std::map<std::uint8_t, sim::TraceSet> rr_classes;  ///< Rr value -> traces
 };
 
+/// Per-feature first and second moments of the training corpus in the
+/// *monitor feature space* (the post-pipeline vectors of the model's monitor
+/// level).  Persisted with the templates (serialize v3) so a deployed drift
+/// monitor can compare its streaming estimates against what the model was
+/// trained on without access to the profiling corpus.
+struct FeatureMoments {
+  linalg::Vector mean;      ///< per-feature mean over the training corpus
+  linalg::Vector variance;  ///< per-feature population variance
+  std::uint64_t count = 0;  ///< training vectors the moments were pooled from
+
+  bool empty() const { return mean.empty(); }
+};
+
 /// One recovered instruction.
 struct Disassembly {
   int group = 0;
@@ -176,9 +189,26 @@ class HierarchicalDisassembler {
   bool has_register_level() const { return rd_level_ != nullptr || rr_level_ != nullptr; }
   const HierarchicalConfig& config() const { return config_; }
 
+  /// Pooled training moments in the monitor feature space (see
+  /// FeatureMoments).  Empty when the model predates serialize v3 or every
+  /// level is trivial (single profiled class -- nothing to monitor).
+  const FeatureMoments& training_moments() const { return training_moments_; }
+  bool has_training_moments() const { return !training_moments_.empty(); }
+
+  /// Projects one trace into the monitor feature space: the post-pipeline
+  /// vector of the monitor level.  That level is the group level when it is
+  /// non-trivial, else the first trained instruction level -- the group
+  /// level degenerates to a label constant (no pipeline at all) whenever all
+  /// profiled classes share one instruction group, so drift must then be
+  /// watched where features still exist.  Thread-safe like classify().
+  /// Throws std::runtime_error when every level is trivial.
+  linalg::Vector monitor_features(const sim::Trace& trace) const;
+
   /// Template persistence (QDA levels only); see core/serialize.hpp.
   void save(std::ostream& os) const;
-  static HierarchicalDisassembler load(std::istream& is);
+  /// `version` is the archive format version being read (load_disassembler
+  /// passes it through); v2 archives carry no training-moments block.
+  static HierarchicalDisassembler load(std::istream& is, int version = 3);
 
  public:
   /// Calibrated reject thresholds of one level (public for serialization).
@@ -211,12 +241,16 @@ class HierarchicalDisassembler {
                                                    std::size_t components);
   static void calibrate_level(Level& level, const features::LabeledTraces& input,
                               const RejectConfig& config);
+  /// The level whose pipeline defines the monitor feature space (nullptr
+  /// when every level is trivial).
+  const Level* monitor_level() const;
 
   HierarchicalConfig config_;
   Level group_level_;
   std::map<int, Level> instruction_levels_;  ///< group -> level-2 model
   std::unique_ptr<Level> rd_level_;
   std::unique_ptr<Level> rr_level_;
+  FeatureMoments training_moments_;
 };
 
 }  // namespace sidis::core

@@ -12,7 +12,10 @@ namespace {
 
 constexpr const char* kMagic = "sidis-template";
 // v2: per-level reject-gate thresholds appended to each level record.
-constexpr int kVersion = 2;
+// v3: pooled training moments (drift-monitor reference) appended after the
+//     level records; v2 archives still load, with empty moments.
+constexpr int kVersion = 3;
+constexpr int kOldestSupported = 2;
 
 [[noreturn]] void corrupt(const std::string& what) {
   throw std::runtime_error("template archive corrupt: " + what);
@@ -208,8 +211,11 @@ void save_disassembler(std::ostream& os, const HierarchicalDisassembler& model) 
 HierarchicalDisassembler load_disassembler(std::istream& is) {
   expect_tag(is, kMagic);
   const std::size_t version = read_size(is);
-  if (version != static_cast<std::size_t>(kVersion)) corrupt("unsupported version");
-  return HierarchicalDisassembler::load(is);
+  if (version < static_cast<std::size_t>(kOldestSupported) ||
+      version > static_cast<std::size_t>(kVersion)) {
+    corrupt("unsupported version");
+  }
+  return HierarchicalDisassembler::load(is, static_cast<int>(version));
 }
 
 // -- hierarchical model ------------------------------------------------------
@@ -244,9 +250,14 @@ void HierarchicalDisassembler::save(std::ostream& os) const {
   if (rd_level_) save_level(*rd_level_);
   os << "rr_level " << (rr_level_ ? 1 : 0) << '\n';
   if (rr_level_) save_level(*rr_level_);
+  // v3 trailer: training moments (empty vectors when the model has none, so
+  // clone-through-serializer round-trips preserve "no moments" faithfully).
+  os << "training_moments " << training_moments_.count << '\n';
+  write_vector(os, training_moments_.mean);
+  write_vector(os, training_moments_.variance);
 }
 
-HierarchicalDisassembler HierarchicalDisassembler::load(std::istream& is) {
+HierarchicalDisassembler HierarchicalDisassembler::load(std::istream& is, int version) {
   const auto load_level = [&is]() {
     Level level;
     expect_tag(is, "level");
@@ -280,6 +291,15 @@ HierarchicalDisassembler HierarchicalDisassembler::load(std::istream& is) {
   if (read_size(is) != 0) d.rd_level_ = std::make_unique<Level>(load_level());
   expect_tag(is, "rr_level");
   if (read_size(is) != 0) d.rr_level_ = std::make_unique<Level>(load_level());
+  if (version >= 3) {
+    expect_tag(is, "training_moments");
+    d.training_moments_.count = static_cast<std::uint64_t>(read_size(is));
+    d.training_moments_.mean = read_vector(is);
+    d.training_moments_.variance = read_vector(is);
+    if (d.training_moments_.mean.size() != d.training_moments_.variance.size()) {
+      corrupt("training-moments size mismatch");
+    }
+  }
   return d;
 }
 

@@ -1,0 +1,151 @@
+// Self-scheduled recalibration: the policy half of the drift loop.
+//
+// DriftMonitor says *when* templates have rotted; this module decides *what
+// to do about it*: spend K labeled traces per class from a pluggable
+// CalibrationSource, run the existing CSA recalibration arms (renorm /
+// refit, the same paths core::TransferEvaluator evaluates offline), and
+// atomically publish the adapted model into the running engine via the
+// hot-swap path -- optionally through the ModelRegistry first, so the
+// artifact checksum becomes the published stage's stamp and every
+// StreamResult is attributable to an on-disk version.
+//
+// The loop a deployment runs (tests/benches drive exactly this):
+//
+//   engine.submit(...); r = engine.poll();
+//   monitor.observe(trace, r->value);
+//   if (auto e = monitor.poll_event()) scheduler.on_drift(*e, monitor);
+//
+// Budget discipline: labeled traces are the scarce resource (each one costs
+// a ground-truth execution on the monitored device), so the scheduler
+// enforces a lifetime trace budget and refuses events it can no longer
+// afford -- the event still counts in RuntimeStats::drift_events, the spend
+// does not happen.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/hierarchical.hpp"
+#include "core/transfer.hpp"
+#include "runtime/registry.hpp"
+#include "runtime/streaming.hpp"
+#include "sim/acquisition.hpp"
+
+namespace sidis::runtime {
+
+class DriftMonitor;
+struct DriftEvent;
+
+/// Supplies labeled recalibration traces on demand -- the abstraction over
+/// "go capture ground-truth windows on the deployed device right now".
+/// Labels ride in TraceMeta::class_idx, as everywhere else in the corpus
+/// plumbing.
+class CalibrationSource {
+ public:
+  virtual ~CalibrationSource() = default;
+  /// Captures `per_class` fresh traces of every class this source covers.
+  /// Successive calls must reflect the *current* device state (a drifting
+  /// device keeps drifting between events).
+  virtual sim::TraceSet capture(std::size_t per_class) = 0;
+};
+
+/// CalibrationSource backed by a sim::AcquisitionCampaign: captures at the
+/// source's current campaign progress (advance it as the stream progresses,
+/// so recal traces carry the same drift state as the live windows).  Every
+/// random draw comes from the source's own seeded RNG -- deterministic and
+/// independent of the streamed corpus.
+class CampaignCalibrationSource final : public CalibrationSource {
+ public:
+  /// The campaign must outlive the source.  `classes` lists the profiled
+  /// class indices to capture; programs round-robin over
+  /// [first_program, first_program + num_programs).
+  CampaignCalibrationSource(const sim::AcquisitionCampaign& campaign,
+                            std::vector<std::size_t> classes, int num_programs,
+                            std::uint64_t seed, int first_program = 0);
+
+  sim::TraceSet capture(std::size_t per_class) override;
+
+  /// Campaign progress in [0, 1] stamped on subsequent captures.
+  void set_progress(double progress) { progress_ = progress; }
+  double progress() const { return progress_; }
+  std::size_t traces_captured() const { return traces_captured_; }
+
+ private:
+  const sim::AcquisitionCampaign& campaign_;
+  std::vector<std::size_t> classes_;
+  int num_programs_;
+  int first_program_;
+  std::mt19937_64 rng_;
+  double progress_ = 0.0;
+  std::size_t traces_captured_ = 0;
+};
+
+struct RecalPolicy {
+  /// Labeled traces per class requested from the source per drift event.
+  std::size_t traces_per_class = 4;
+  /// Lifetime cap on labeled traces; events the remaining budget cannot
+  /// cover are declined (still counted as drift events).
+  std::size_t trace_budget = 64;
+  /// Which CSA arm to run (core::TransferEvaluator semantics): kRenorm
+  /// re-centres the column scalers only; kRefit additionally retrains the
+  /// per-level classifiers on refit_base + the fresh corpus.
+  core::RecalMode mode = core::RecalMode::kRenorm;
+  /// Renorm variant: also rescale column stddevs (see
+  /// FeaturePipeline::renormalized).
+  bool rescale = false;
+  /// Bundle name used when a registry is attached.
+  std::string registry_name = "drift-recal";
+};
+
+/// What one on_drift() call did.
+struct RecalOutcome {
+  bool performed = false;        ///< false: declined (budget) or failed
+  std::size_t traces_spent = 0;  ///< fresh labeled traces consumed
+  std::uint64_t stamp = 0;       ///< stage stamp published to the engine
+  int registry_version = 0;      ///< stored version (0 without a registry)
+  std::string reason;            ///< set when performed == false
+};
+
+class RecalibrationScheduler {
+ public:
+  /// `engine` and `source` must outlive the scheduler; `model` is the
+  /// currently served model (shared -- the scheduler keeps successors alive
+  /// for the engine's stage closures).  `registry`, when non-null, receives
+  /// every recalibrated model before it is swapped in, and the artifact
+  /// checksum stamps the published stage.  `refit_base`, when non-null, is
+  /// the profiling corpus mixed into kRefit retrains (a K-traces/class
+  /// corpus alone cannot estimate class covariances); required for kRefit.
+  RecalibrationScheduler(StreamingDisassembler& engine,
+                         std::shared_ptr<const core::HierarchicalDisassembler> model,
+                         CalibrationSource& source, RecalPolicy policy = {},
+                         ModelRegistry* registry = nullptr,
+                         const core::ProfilingData* refit_base = nullptr);
+
+  /// Consumes one drift event: spends budget, recalibrates, publishes via
+  /// hot-swap, rebinds + rebases `monitor` onto the successor model.
+  /// Records drift_events / recalibrations / recal_traces_spent on the
+  /// engine either way.
+  RecalOutcome on_drift(const DriftEvent& event, DriftMonitor& monitor);
+
+  const std::shared_ptr<const core::HierarchicalDisassembler>& active_model() const {
+    return model_;
+  }
+  std::size_t traces_spent() const { return traces_spent_; }
+  std::size_t budget_remaining() const {
+    return policy_.trace_budget - traces_spent_;
+  }
+  const RecalPolicy& policy() const { return policy_; }
+
+ private:
+  StreamingDisassembler& engine_;
+  std::shared_ptr<const core::HierarchicalDisassembler> model_;
+  CalibrationSource& source_;
+  RecalPolicy policy_;
+  ModelRegistry* registry_;
+  const core::ProfilingData* refit_base_;
+  std::size_t traces_spent_ = 0;
+  std::uint64_t local_stamp_ = 0;  ///< registry-less stamp sequence
+};
+
+}  // namespace sidis::runtime

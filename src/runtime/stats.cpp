@@ -68,6 +68,11 @@ std::string RuntimeStats::report() const {
   if (model_swaps != 0) {
     out += "  model swaps: " + std::to_string(model_swaps) + "\n";
   }
+  if (drift_events != 0 || recalibrations != 0) {
+    out += "  drift: events=" + std::to_string(drift_events) +
+           ", recalibrations=" + std::to_string(recalibrations) +
+           ", recal traces spent=" + std::to_string(recal_traces_spent) + "\n";
+  }
   out += "  queue high-water: " + std::to_string(queue_depth_high_water) +
          ", in-flight high-water: " + std::to_string(in_flight_high_water) + "\n";
   out += "  queue wait:  " + queue_wait.summary() + "\n";

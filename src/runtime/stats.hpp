@@ -79,6 +79,13 @@ struct RuntimeStats {
   /// Classifier hot-swaps performed (swap_model/swap_classifier) -- e.g. a
   /// monitor publishing a recalibrated template set mid-stream.
   std::uint64_t model_swaps = 0;
+  /// Drift/recalibration telemetry, recorded by the RecalibrationScheduler:
+  /// drift events consumed, recalibrations actually performed (an event with
+  /// an exhausted budget raises the former but not the latter), and labeled
+  /// recalibration traces spent across all of them.
+  std::uint64_t drift_events = 0;
+  std::uint64_t recalibrations = 0;
+  std::uint64_t recal_traces_spent = 0;
   std::size_t queue_depth_high_water = 0;     ///< work-queue backlog peak
   std::size_t in_flight_high_water = 0;       ///< accepted-not-yet-classified peak
   std::size_t workers = 0;

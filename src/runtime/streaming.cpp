@@ -25,7 +25,7 @@ StreamingDisassembler::StreamingDisassembler(
 StreamingDisassembler::StreamingDisassembler(ClassifyFn classify,
                                              StreamingConfig config,
                                              std::stop_token stop)
-    : classify_(std::make_shared<const ClassifyFn>(std::move(classify))),
+    : classify_(std::make_shared<const Stage>(Stage{std::move(classify), 0})),
       config_(config),
       queue_(config.queue_capacity),
       stop_callback_(std::move(stop), std::function<void()>([this] { request_stop(); })) {
@@ -52,19 +52,26 @@ void StreamingDisassembler::worker_loop() {
     const Clock::time_point picked_up = Clock::now();
     // Pin the current classification stage for this job; a concurrent
     // swap_classifier() publishes a new stage without pulling this one out
-    // from under us.
-    std::shared_ptr<const ClassifyFn> classify;
+    // from under us.  The stamp travels inside the same pinned record, so
+    // the result is always attributed to the stage that actually produced
+    // it (reading a registry checksum in a second critical section could
+    // name a stage published in between).
+    std::shared_ptr<const Stage> stage;
     {
       std::lock_guard lock(mutex_);
-      classify = classify_;
+      stage = classify_;
     }
     core::Disassembly result;
     bool failed = false;
     try {
-      result = (*classify)(job->trace);
+      result = (stage->fn)(job->trace);
     } catch (...) {
       // A serving layer must not lose a worker (drain() would hang); emit a
-      // default result and count the failure instead.
+      // default result and count the failure instead.  Assign the fallback
+      // *inside* the handler rather than relying on the pre-try value: the
+      // emitted placeholder must be deterministic even if the unwind left
+      // the return-slot machinery mid-flight.
+      result = core::Disassembly{};
       failed = true;
     }
     const Clock::time_point done = Clock::now();
@@ -82,7 +89,8 @@ void StreamingDisassembler::worker_loop() {
         fault_severity_sum_ += fault_severity;
         max_fault_severity_ = std::max(max_fault_severity_, fault_severity);
       }
-      reorder_.emplace(job->sequence, Pending{std::move(result), job->submitted_at});
+      reorder_.emplace(job->sequence,
+                       Pending{std::move(result), job->submitted_at, stage->stamp});
       ++completed_;
       if (failed) ++failed_;
     }
@@ -118,7 +126,8 @@ void StreamingDisassembler::collect_ready_locked(std::vector<StreamResult>& out)
   for (auto it = reorder_.find(next_emit_); it != reorder_.end();
        it = reorder_.find(next_emit_)) {
     end_to_end_.record(elapsed_nanos(it->second.submitted_at, now));
-    out.push_back(StreamResult{next_emit_, std::move(it->second.value)});
+    out.push_back(
+        StreamResult{next_emit_, std::move(it->second.value), it->second.model_stamp});
     reorder_.erase(it);
     ++next_emit_;
   }
@@ -131,7 +140,8 @@ std::optional<StreamResult> StreamingDisassembler::poll() {
     const auto it = reorder_.find(next_emit_);
     if (it == reorder_.end()) return std::nullopt;
     end_to_end_.record(elapsed_nanos(it->second.submitted_at, Clock::now()));
-    out.emplace(StreamResult{next_emit_, std::move(it->second.value)});
+    out.emplace(
+        StreamResult{next_emit_, std::move(it->second.value), it->second.model_stamp});
     reorder_.erase(it);
     ++next_emit_;
   }
@@ -153,8 +163,8 @@ std::vector<StreamResult> StreamingDisassembler::drain() {
   return out;
 }
 
-void StreamingDisassembler::swap_classifier(ClassifyFn classify) {
-  auto stage = std::make_shared<const ClassifyFn>(std::move(classify));
+void StreamingDisassembler::swap_classifier(ClassifyFn classify, std::uint64_t stamp) {
+  auto stage = std::make_shared<const Stage>(Stage{std::move(classify), stamp});
   {
     std::lock_guard lock(mutex_);
     classify_ = std::move(stage);
@@ -162,8 +172,20 @@ void StreamingDisassembler::swap_classifier(ClassifyFn classify) {
   }
 }
 
-void StreamingDisassembler::swap_model(const core::HierarchicalDisassembler& model) {
-  swap_classifier([&model](const sim::Trace& t) { return model.classify(t); });
+void StreamingDisassembler::swap_model(const core::HierarchicalDisassembler& model,
+                                       std::uint64_t stamp) {
+  swap_classifier([&model](const sim::Trace& t) { return model.classify(t); }, stamp);
+}
+
+void StreamingDisassembler::record_drift_event() {
+  std::lock_guard lock(mutex_);
+  ++drift_events_;
+}
+
+void StreamingDisassembler::record_recalibration(std::size_t traces_spent) {
+  std::lock_guard lock(mutex_);
+  ++recalibrations_;
+  recal_traces_spent_ += traces_spent;
 }
 
 void StreamingDisassembler::request_stop() {
@@ -187,6 +209,9 @@ RuntimeStats StreamingDisassembler::stats() const {
   s.traces_emitted = next_emit_;
   s.traces_failed = failed_;
   s.model_swaps = model_swaps_;
+  s.drift_events = drift_events_;
+  s.recalibrations = recalibrations_;
+  s.recal_traces_spent = recal_traces_spent_;
   s.traces_rejected = rejected_;
   s.traces_degraded = degraded_;
   s.traces_faulted = faulted_;

@@ -61,6 +61,12 @@ struct StreamingConfig {
 struct StreamResult {
   std::uint64_t sequence = 0;
   core::Disassembly value;
+  /// Stamp of the classification stage that produced this result (the stamp
+  /// passed to swap_classifier/swap_model; 0 for the construction-time stage
+  /// and unstamped swaps).  Pinned together with the stage function, so a
+  /// result's stamp always identifies the exact model that classified it --
+  /// never a concurrently published successor.
+  std::uint64_t model_stamp = 0;
 };
 
 class StreamingDisassembler {
@@ -111,10 +117,23 @@ class StreamingDisassembler {
   /// classifications already in progress finish with the stage they started
   /// with, so every result comes from exactly one coherent model.  Safe from
   /// any thread; counted in RuntimeStats::model_swaps.
-  void swap_classifier(ClassifyFn classify);
+  ///
+  /// `stamp` identifies the published stage (e.g. the registry artifact
+  /// checksum) and is reported back on every result it classifies
+  /// (StreamResult::model_stamp).  Function and stamp live in ONE shared
+  /// stage record that workers pin as a unit -- reading them separately
+  /// raced: a registry checksum snapshot taken after the stage pointer could
+  /// describe a concurrently published successor model.
+  void swap_classifier(ClassifyFn classify, std::uint64_t stamp = 0);
   /// Model overload: the new model must outlive the engine (or the next
   /// swap), like the constructor's.
-  void swap_model(const core::HierarchicalDisassembler& model);
+  void swap_model(const core::HierarchicalDisassembler& model,
+                  std::uint64_t stamp = 0);
+
+  /// Drift-loop telemetry, recorded by the RecalibrationScheduler (or any
+  /// external drift controller).  Safe from any thread.
+  void record_drift_event();
+  void record_recalibration(std::size_t traces_spent);
 
   /// Consistent snapshot of counters and latency histograms.
   RuntimeStats stats() const;
@@ -131,6 +150,13 @@ class StreamingDisassembler {
   struct Pending {
     core::Disassembly value;
     Clock::time_point submitted_at;
+    std::uint64_t model_stamp = 0;
+  };
+  /// Classification stage + its identity stamp, swapped and pinned as one
+  /// unit (see swap_classifier).
+  struct Stage {
+    ClassifyFn fn;
+    std::uint64_t stamp = 0;
   };
 
   void worker_loop();
@@ -138,8 +164,9 @@ class StreamingDisassembler {
   void collect_ready_locked(std::vector<StreamResult>& out);
 
   /// Shared with workers job-by-job: each pickup copies the pointer under
-  /// mutex_, so a swap never frees a stage mid-classification.
-  std::shared_ptr<const ClassifyFn> classify_;
+  /// mutex_, so a swap never frees a stage mid-classification and the
+  /// (function, stamp) pair stays coherent.
+  std::shared_ptr<const Stage> classify_;
   StreamingConfig config_;
   BoundedQueue<Job> queue_;
 
@@ -152,6 +179,9 @@ class StreamingDisassembler {
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t model_swaps_ = 0;
+  std::uint64_t drift_events_ = 0;
+  std::uint64_t recalibrations_ = 0;
+  std::uint64_t recal_traces_spent_ = 0;
   std::uint64_t rejected_ = 0;  ///< results with Verdict::kRejected
   std::uint64_t degraded_ = 0;  ///< results with Verdict::kDegraded
   std::uint64_t faulted_ = 0;   ///< submitted windows with fault_severity > 0

@@ -27,6 +27,16 @@ double DeviceModel::thermal_gain(double campaign_progress) const {
   return 1.0 + thermal_drift * warmup;
 }
 
+double DeviceModel::aging_gain(double campaign_progress) const {
+  if (aging_gain_drift == 0.0) return 1.0;
+  return 1.0 + aging_gain_drift * std::clamp(campaign_progress, 0.0, 1.0);
+}
+
+double DeviceModel::aging_offset(double campaign_progress) const {
+  if (aging_offset_drift == 0.0) return 0.0;
+  return aging_offset_drift * std::clamp(campaign_progress, 0.0, 1.0);
+}
+
 DeviceModel DeviceModel::make(int device_id, std::uint64_t base_seed) {
   DeviceModel d;
   d.id = device_id;

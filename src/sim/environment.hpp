@@ -49,6 +49,13 @@ struct DeviceModel {
   /// disables the stage -- the profiling device's decoupling is absorbed in
   /// the scope's own bandwidth limit, which defines "nominal").
   double decoupling_cutoff = 0.0;
+  /// Aging drift: slow, *linear* gain/offset trends across a deployment
+  /// (electromigration, shunt-solder creep, regulator reference sag).
+  /// Unlike thermal_drift's saturating warm-up these never level off, so a
+  /// long-running monitor keeps drifting until recalibrated.  Both default
+  /// to 0 -- DeviceModel::make never sets them; drift scenarios opt in.
+  double aging_gain_drift = 0.0;   ///< gain multiplier reaches 1 + drift at progress 1
+  double aging_offset_drift = 0.0; ///< additive offset reaches this value at progress 1
 
   /// Multiplicative process corner of one opcode's current signature.
   /// `opcode_key` is the power model's signature key (mnemonic << 8 | mode);
@@ -62,6 +69,11 @@ struct DeviceModel {
   /// trend from exactly 1.0 (campaign start) towards 1 + thermal_drift.
   /// Monotone in progress for either drift sign.
   double thermal_gain(double campaign_progress) const;
+  /// Aging gain at `campaign_progress` in [0, 1]: linear from exactly 1.0 to
+  /// 1 + aging_gain_drift (no saturation -- aging does not equilibrate).
+  double aging_gain(double campaign_progress) const;
+  /// Aging offset at `campaign_progress`: linear from 0 to aging_offset_drift.
+  double aging_offset(double campaign_progress) const;
 
   /// Device 0 is the training/profiling device with nominal parameters;
   /// devices 1..N are targets with hash-derived variation.
@@ -109,10 +121,13 @@ struct Environment {
   double campaign_progress = 0.0;
 
   double total_gain() const {
-    return device.gain * device.thermal_gain(campaign_progress) * session.gain *
-           program.gain;
+    return device.gain * device.thermal_gain(campaign_progress) *
+           device.aging_gain(campaign_progress) * session.gain * program.gain;
   }
-  double total_offset() const { return device.offset + session.offset + program.offset; }
+  double total_offset() const {
+    return device.offset + device.aging_offset(campaign_progress) +
+           session.offset + program.offset;
+  }
 };
 
 }  // namespace sidis::sim

@@ -231,10 +231,53 @@ FaultProfile FaultProfile::compound(double severity, std::uint64_t seed) {
   return p;
 }
 
+FaultProfile FaultProfile::drift_jitter_burst(double severity, std::uint64_t seed) {
+  FaultProfile p;
+  p.seed = seed;
+  p.severity = severity;
+  p.label = "drift_jitter_burst";
+  p.faults = {TraceFault::dc_drift(), TraceFault::amplitude_drift(),
+              TraceFault::clock_jitter(), TraceFault::burst_noise()};
+  return p;
+}
+
+FaultProfile FaultProfile::gain_noise_clip(double severity, std::uint64_t seed) {
+  FaultProfile p;
+  p.seed = seed;
+  p.severity = severity;
+  p.label = "gain_noise_clip";
+  p.faults = {TraceFault::amplitude_drift(), TraceFault::gaussian_noise(),
+              TraceFault::clipping()};
+  return p;
+}
+
+FaultProfile FaultProfile::dropout_misalign(double severity, std::uint64_t seed) {
+  FaultProfile p;
+  p.seed = seed;
+  p.severity = severity;
+  p.label = "dropout_misalign";
+  p.faults = {TraceFault::dropped_samples(), TraceFault::trigger_shift(),
+              TraceFault::dc_drift()};
+  return p;
+}
+
+std::vector<FaultProfile> FaultProfile::named_compounds(double severity,
+                                                        std::uint64_t seed) {
+  return {drift_jitter_burst(severity, seed), gain_noise_clip(severity, seed),
+          dropout_misalign(severity, seed)};
+}
+
+FaultProfile FaultProfile::scaled(double new_severity) const {
+  FaultProfile p = *this;
+  p.severity = new_severity;
+  return p;
+}
+
 std::string FaultProfile::name() const {
   if (empty()) return "clean";
   char sev[32];
   std::snprintf(sev, sizeof sev, "@%g", severity);
+  if (!label.empty()) return label + sev;
   if (faults.size() == 1) return to_string(faults.front().kind) + sev;
   return "compound(n=" + std::to_string(faults.size()) + ")" + sev;
 }

@@ -87,6 +87,9 @@ struct FaultProfile {
   /// knobs; 0 disables all faults, 1 is the kind's nominal strength.
   double severity = 1.0;
   std::vector<TraceFault> faults;
+  /// Optional scenario label (used by name() when set); the named compound
+  /// factories fill it so sweep tables stay readable.
+  std::string label;
 
   /// One default-strength fault of `kind` at the given severity.
   static FaultProfile single(FaultKind kind, double severity = 1.0,
@@ -95,8 +98,32 @@ struct FaultProfile {
   static FaultProfile compound(double severity = 1.0,
                                std::uint64_t seed = 0x5eedfa17ull);
 
+  /// Named compound scenarios, each a plausible co-occurring failure cluster
+  /// rather than the everything-at-once compound():
+  ///  * drift_jitter_burst: a warming bench -- baseline and gain drift plus
+  ///    clock wander plus intermittent interference bursts.
+  ///  * gain_noise_clip: a failing front-end -- amplitude drift into the rail
+  ///    (clipping) with a degraded noise floor.
+  ///  * dropout_misalign: a flaky digitizer -- acquisition gaps, trigger
+  ///    misalignment, and the baseline wander that loose probes bring.
+  static FaultProfile drift_jitter_burst(double severity = 1.0,
+                                         std::uint64_t seed = 0x5eedfa17ull);
+  static FaultProfile gain_noise_clip(double severity = 1.0,
+                                      std::uint64_t seed = 0x5eedfa17ull);
+  static FaultProfile dropout_misalign(double severity = 1.0,
+                                       std::uint64_t seed = 0x5eedfa17ull);
+  /// The three named compound scenarios above at the given severity, in the
+  /// order listed (sweeps iterate this).
+  static std::vector<FaultProfile> named_compounds(double severity = 1.0,
+                                                   std::uint64_t seed = 0x5eedfa17ull);
+
+  /// A copy of this profile with its severity rescaled -- severity-schedule
+  /// sweeps re-arm the injector with scaled(s) per capture step.
+  FaultProfile scaled(double new_severity) const;
+
   bool empty() const { return faults.empty() || severity <= 0.0; }
-  /// "clean", "gaussian_noise@1.0", or "compound(n=8)@0.5".
+  /// "clean", "gaussian_noise@1.0", "compound(n=8)@0.5", or, when `label`
+  /// is set, "drift_jitter_burst@1.5".
   std::string name() const;
 };
 

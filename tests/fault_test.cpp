@@ -255,6 +255,75 @@ TEST(FaultCampaign, ReferenceWindowStaysCleanUnderInjection) {
   EXPECT_EQ(faulty.injector(), nullptr);
 }
 
+TEST(FaultCompounds, NamedCompoundsAreLabeledClustersNotTheFullStack) {
+  const std::vector<FaultProfile> compounds = FaultProfile::named_compounds(1.5);
+  ASSERT_EQ(compounds.size(), 3u);
+  EXPECT_EQ(compounds[0].name(), "drift_jitter_burst@1.5");
+  EXPECT_EQ(compounds[1].name(), "gain_noise_clip@1.5");
+  EXPECT_EQ(compounds[2].name(), "dropout_misalign@1.5");
+  for (const FaultProfile& p : compounds) {
+    EXPECT_EQ(p.severity, 1.5);
+    EXPECT_GE(p.faults.size(), 3u);  // clusters, not single faults...
+    EXPECT_LT(p.faults.size(), all_fault_kinds().size());  // ...nor compound()
+  }
+}
+
+TEST(FaultCompounds, ScaledCopiesEverythingButSeverity) {
+  const FaultProfile base = FaultProfile::gain_noise_clip(1.0, 0xabcd);
+  const FaultProfile half = base.scaled(0.5);
+  EXPECT_EQ(half.severity, 0.5);
+  EXPECT_EQ(half.seed, base.seed);
+  EXPECT_EQ(half.label, base.label);
+  ASSERT_EQ(half.faults.size(), base.faults.size());
+  for (std::size_t i = 0; i < base.faults.size(); ++i) {
+    EXPECT_EQ(half.faults[i].kind, base.faults[i].kind);
+    EXPECT_EQ(half.faults[i].magnitude, base.faults[i].magnitude);
+  }
+  EXPECT_EQ(half.name(), "gain_noise_clip@0.5");
+  EXPECT_TRUE(base.scaled(0.0).empty());
+}
+
+TEST(FaultCampaign, SeverityScheduleReplaysBitIdentically) {
+  // A severity *schedule* re-arms the injector step by step (scaled(s) per
+  // capture); the whole swept corpus must still be a pure function of the
+  // seeds, and every capture must carry its step's severity stamp.
+  const std::vector<double> schedule = {0.0, 0.5, 1.0, 1.5, 2.0};
+  const std::size_t add = *avr::class_index(avr::Mnemonic::kAdd);
+  const auto sweep = [&] {
+    AcquisitionCampaign campaign{DeviceModel::make(0), SessionContext::make(0)};
+    TraceSet out;
+    for (std::size_t step = 0; step < schedule.size(); ++step) {
+      const FaultProfile armed =
+          FaultProfile::drift_jitter_burst(1.0).scaled(schedule[step]);
+      if (armed.empty()) {
+        campaign.clear_faults();
+      } else {
+        campaign.inject_faults(armed);
+      }
+      std::mt19937_64 rng{0x5c4ed01e + step};
+      out.push_back(campaign.capture_trace(avr::random_instance(add, rng),
+                                           ProgramContext::make(0), rng));
+    }
+    return out;
+  };
+  const TraceSet first = sweep();
+  const TraceSet second = sweep();
+  ASSERT_EQ(first.size(), schedule.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].meta.fault_severity, schedule[i]) << "step " << i;
+    EXPECT_EQ(first[i].samples, second[i].samples)
+        << "schedule step " << i << " did not replay bit-identically";
+  }
+  // Severity actually bites: the clean step equals an unfaulted capture, the
+  // hardest step does not.
+  AcquisitionCampaign clean{DeviceModel::make(0), SessionContext::make(0)};
+  std::mt19937_64 rng{0x5c4ed01e + 0};
+  const Trace baseline = clean.capture_trace(avr::random_instance(add, rng),
+                                             ProgramContext::make(0), rng);
+  EXPECT_EQ(first[0].samples, baseline.samples);
+  EXPECT_NE(first.back().samples, first[0].samples);
+}
+
 }  // namespace
 }  // namespace sidis::sim
 
@@ -413,6 +482,79 @@ TEST(RejectOption, SingleFaultAccuracyOrFlaggedCriterion) {
         << clean_acc << ", flagged fraction " << flagged << " (" << miss_flagged
         << "/" << misses << ")";
   }
+}
+
+/// Compound acceptance criterion: under each *named compound* scenario the
+/// reject gates must flag at least 90% of the misclassified windows --
+/// compounds are exactly the conditions where silent wrong answers are most
+/// dangerous, and their perturbations are far enough off-distribution that
+/// the gates have no excuse.
+TEST(RejectOption, CompoundFaultMissesAreOverwhelminglyFlagged) {
+  const RobustnessBundle& b = robustness_bundle();
+  const std::vector<std::size_t> classes = {
+      *avr::class_index(avr::Mnemonic::kAdd), *avr::class_index(avr::Mnemonic::kSub),
+      *avr::class_index(avr::Mnemonic::kLdi)};
+  const int kPerClass = 15;
+
+  for (const sim::FaultProfile& profile : sim::FaultProfile::named_compounds(1.0)) {
+    sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                      sim::SessionContext::make(0)};
+    campaign.inject_faults(profile);
+    std::size_t misses = 0, miss_flagged = 0;
+    for (std::size_t cls : classes) {
+      for (int i = 0; i < kPerClass; ++i) {
+        std::mt19937_64 rng{0xc03d0u + cls * 1000 + static_cast<std::size_t>(i)};
+        const Disassembly d = b.model.classify(campaign.capture_trace(
+            avr::random_instance(cls, rng), sim::ProgramContext::make(70 + i % 3),
+            rng));
+        if (d.class_idx != cls) {
+          ++misses;
+          if (d.verdict != Verdict::kOk) ++miss_flagged;
+        }
+      }
+    }
+    const double flagged = misses == 0 ? 1.0
+                                       : static_cast<double>(miss_flagged) /
+                                             static_cast<double>(misses);
+    EXPECT_GE(flagged, 0.9) << profile.name() << ": only " << miss_flagged << "/"
+                            << misses << " misses carried a non-ok verdict";
+  }
+}
+
+/// Ramping a compound's severity schedule from clean to 2x nominal must push
+/// the not-ok (flagged) fraction up: the gates track the degradation a drift
+/// schedule produces, they don't just fire at one magic severity.
+TEST(RejectOption, CompoundSeverityScheduleRaisesTheFlagRate) {
+  const RobustnessBundle& b = robustness_bundle();
+  const std::size_t add = *avr::class_index(avr::Mnemonic::kAdd);
+  const sim::FaultProfile base = sim::FaultProfile::gain_noise_clip(1.0);
+  const std::vector<double> schedule = {0.0, 1.0, 2.0};
+  std::vector<double> not_ok_fraction;
+  for (double severity : schedule) {
+    sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                      sim::SessionContext::make(0)};
+    const sim::FaultProfile armed = base.scaled(severity);
+    if (!armed.empty()) campaign.inject_faults(armed);
+    int not_ok = 0;
+    const int n = 25;
+    for (int i = 0; i < n; ++i) {
+      std::mt19937_64 rng{0x5e7e1u + static_cast<std::uint64_t>(i)};
+      // In-profile program contexts: the clean step must measure the gates'
+      // baseline, not program-transfer effects.
+      const Disassembly d = b.model.classify(campaign.capture_trace(
+          avr::random_instance(add, rng), sim::ProgramContext::make(i % 3), rng));
+      if (d.verdict != Verdict::kOk) ++not_ok;
+    }
+    not_ok_fraction.push_back(static_cast<double>(not_ok) / n);
+  }
+  // The bundle's monitoring-grade gates (10% margin + 6% score quantiles)
+  // flag a sizable clean fraction by design; the schedule contract is about
+  // *growth*, with a sanity ceiling on the clean step.
+  EXPECT_LE(not_ok_fraction.front(), 0.5) << "clean step already heavily flagged";
+  EXPECT_GE(not_ok_fraction.back(), not_ok_fraction.front() + 0.25)
+      << "flag rate did not rise across the severity schedule";
+  EXPECT_GE(not_ok_fraction.back(), 0.6)
+      << "2x-nominal gain_noise_clip should flag most windows";
 }
 
 }  // namespace

@@ -289,6 +289,66 @@ TEST(Streaming, VerdictAndFaultCountersAggregate) {
   EXPECT_NE(report.find("faulted: 4 windows"), std::string::npos);
 }
 
+TEST(Streaming, SwapStampStaysCoherentWithItsStageUnderConcurrentSwaps) {
+  // Regression test for a checksum/stage race: the result stamp used to be
+  // read separately from the stage function, so a result classified by
+  // version k could report the stamp of a concurrently published k+1.  The
+  // fix pins (function, stamp) as one shared stage record.  Here every stage
+  // k tags its results with class_idx = k and is published with stamp = k,
+  // so any tearing shows up as a stamp/class mismatch -- and TSan (this test
+  // runs in the TSan CI job too) would flag the unsynchronized read.
+  StreamingConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 8;
+  auto stage_fn = [](std::uint64_t k) {
+    return [k](const sim::Trace&) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      core::Disassembly d;
+      d.class_idx = static_cast<std::size_t>(k);
+      return d;
+    };
+  };
+  StreamingDisassembler engine(stage_fn(0), cfg);
+
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    for (std::uint64_t k = 1; !stop_swapping.load(); ++k) {
+      engine.swap_classifier(stage_fn(k), k);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  constexpr std::size_t kTraces = 300;
+  std::size_t checked = 0;
+  std::size_t distinct_stamps = 0;
+  std::uint64_t last_stamp = 0;
+  for (std::size_t i = 0; i < kTraces; ++i) {
+    ASSERT_TRUE(engine.submit(tagged_trace(i)).has_value());
+    while (auto r = engine.poll()) {
+      EXPECT_EQ(r->value.class_idx, r->model_stamp)
+          << "result " << r->sequence << " stamped with a different stage";
+      if (r->model_stamp != last_stamp) ++distinct_stamps;
+      last_stamp = r->model_stamp;
+      ++checked;
+    }
+  }
+  for (auto& r : engine.drain()) {
+    EXPECT_EQ(r.value.class_idx, r.model_stamp)
+        << "result " << r.sequence << " stamped with a different stage";
+    if (r.model_stamp != last_stamp) ++distinct_stamps;
+    last_stamp = r.model_stamp;
+    ++checked;
+  }
+  stop_swapping.store(true);
+  swapper.join();
+  EXPECT_EQ(checked, kTraces);
+  // The race window only exists when swaps actually interleave with work.
+  // (distinct_stamps counts emission-order stamp *changes*, which can exceed
+  // the swap count: neighboring jobs may pin stages in either order.)
+  EXPECT_GE(distinct_stamps, 2u) << "swaps never interleaved; test proved nothing";
+  EXPECT_GE(engine.stats().model_swaps, 2u);
+}
+
 // -- end-to-end against the real model --------------------------------------
 
 class RuntimeModelFixture : public ::testing::Test {
