@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Diff a bench_fleet run against the checked-in baseline.
+
+Usage: check_fleet.py CANDIDATE.json [BASELINE.json]
+
+Fails (exit 1) when an acceptance criterion flips to false, the fleet's
+throughput advantage over the engine-per-device deployment collapses, or the
+admission-control ledger stops closing.  Timing on shared CI machines is
+noisy, so throughput bands are deliberately wide (the criteria booleans,
+which the bench computes from its own run, carry the real signal);
+improvements never fail the check -- re-pin the baseline to lock them in.
+Stdlib only, so the CI job needs nothing beyond python3.
+"""
+import json
+import sys
+from pathlib import Path
+
+# The fleet must beat the dedicated-engine deployment by a real margin, but
+# CI boxes share cores: accept anything above 60% of the baseline's measured
+# speedup (e.g. baseline 1.6x -> candidate must exceed ~0.96x... clamped to
+# >= 1.0 because "faster at all" is the acceptance floor from the issue).
+SPEEDUP_FRACTION = 0.6
+# Aggregate throughput varies with machine load AND build flavor (the CI
+# coverage job runs this under -O1 + gcov instrumentation against a Release
+# baseline); a 10x collapse is a real regression, anything inside that band
+# is noise or instrumentation.
+THROUGHPUT_FRACTION = 0.1
+# Coalescing is scheduling, not timing: under a saturating driver the
+# dispatcher should keep batches near batch_max regardless of machine speed.
+COALESCING_FRACTION = 0.5
+
+CRITERIA = [
+    ("fleet", "criterion_delivery_accounting"),
+    ("comparison", "criterion_fleet_faster_than_independent"),
+    ("shedding", "criterion_shed_bounded_credit"),
+]
+
+
+def lookup(doc, section, key):
+    node = doc if section is None else doc.get(section, {})
+    return node.get(key)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate = json.loads(Path(argv[1]).read_text())
+    baseline_path = argv[2] if len(argv) > 2 else str(Path(__file__).parent / "BENCH_fleet.json")
+    baseline = json.loads(Path(baseline_path).read_text())
+
+    failures = []
+    rows = []
+
+    for section, key in CRITERIA:
+        got = lookup(candidate, section, key)
+        rows.append((key, lookup(baseline, section, key), got))
+        if got is not True:
+            failures.append(f"acceptance criterion '{key}' is {got}, expected true")
+
+    # Banded throughput metrics: candidate vs a fraction of the baseline.
+    banded = [
+        ("comparison", "speedup_vs_dedicated", SPEEDUP_FRACTION, 1.0),
+        ("fleet", "windows_per_sec", THROUGHPUT_FRACTION, 0.0),
+        ("fleet", "coalescing", COALESCING_FRACTION, 1.0),
+    ]
+    for section, key, fraction, floor in banded:
+        base = lookup(baseline, section, key)
+        got = lookup(candidate, section, key)
+        rows.append((key, base, got))
+        if base is None or got is None:
+            failures.append(f"metric '{key}' missing (baseline={base}, candidate={got})")
+            continue
+        need = max(base * fraction, floor)
+        if got < need:
+            failures.append(
+                f"'{key}' collapsed: {base} -> {got} (needs >= {need:.2f})")
+
+    # Structural invariants, independent of the baseline.
+    cfg = candidate.get("config", {})
+    fleet = candidate.get("fleet", {})
+    if cfg.get("streams", 0) * cfg.get("windows_per_stream", 0) != fleet.get("delivered"):
+        failures.append(
+            f"delivery ledger open: {cfg.get('streams')} x "
+            f"{cfg.get('windows_per_stream')} submitted, {fleet.get('delivered')} delivered")
+    shedding = candidate.get("shedding", {})
+    for policy in ("shed_oldest", "reject_new"):
+        row = shedding.get(policy, {})
+        if row.get("admitted", 0) != row.get("delivered", 0) + row.get("shed", 0):
+            failures.append(
+                f"{policy} ledger open: admitted {row.get('admitted')} != "
+                f"delivered {row.get('delivered')} + shed {row.get('shed')}")
+        if row.get("max_outstanding", 0) > shedding.get("stream_credit", 0):
+            failures.append(
+                f"{policy} exceeded stream credit: outstanding "
+                f"{row.get('max_outstanding')} > {shedding.get('stream_credit')}")
+    if shedding.get("reject_new", {}).get("shed", 0) != 0:
+        failures.append("reject-new policy shed windows; it must only refuse")
+    if candidate.get("fleet", {}).get("p99_us", 0) <= 0:
+        failures.append("p99 latency missing or zero -- histogram not recording")
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric'.ljust(width)}  baseline  candidate")
+    for key, base, got in rows:
+        fmt = lambda v: f"{v:.2f}" if isinstance(v, float) else str(v)
+        print(f"{key.ljust(width)}  {fmt(base):>8}  {fmt(got):>9}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: fleet serving metrics within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,10 +6,10 @@ namespace sidis::core {
 
 std::vector<Disassembly> disassemble(const HierarchicalDisassembler& model,
                                      const sim::TraceSet& windows) {
-  std::vector<Disassembly> out;
-  out.reserve(windows.size());
-  for (const sim::Trace& t : windows) out.push_back(model.classify(t));
-  return out;
+  // The batched path shares one CWT workspace and per-window normalization
+  // across the whole program; results are bit-identical to per-window
+  // classify() calls.
+  return model.classify_batch(windows);
 }
 
 std::string listing(const std::vector<Disassembly>& instructions) {

@@ -38,6 +38,29 @@ std::string to_string(Verdict v) {
   return "unknown";
 }
 
+std::string to_string(RejectOperatingPoint point) {
+  switch (point) {
+    case RejectOperatingPoint::kMonitoring: return "monitoring";
+    case RejectOperatingPoint::kBalanced: return "balanced";
+    case RejectOperatingPoint::kStrict: return "strict";
+    case RejectOperatingPoint::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+RejectConfig reject_config_for(RejectOperatingPoint point) {
+  // Quantiles are monotone across the presets (and balanced/strict shrink
+  // the slack), which makes the gate floors monotone and the rejection sets
+  // nested -- see the enum comment; the core_test battery pins this.
+  switch (point) {
+    case RejectOperatingPoint::kMonitoring: return RejectConfig{0.005, 0.005, 0.5};
+    case RejectOperatingPoint::kBalanced: return RejectConfig{0.02, 0.02, 0.25};
+    case RejectOperatingPoint::kStrict: return RejectConfig{0.05, 0.05, 0.0};
+    case RejectOperatingPoint::kCustom: break;
+  }
+  throw std::invalid_argument("reject_config_for: kCustom names no preset");
+}
+
 avr::Instruction Disassembly::to_instruction() const {
   const avr::ClassSpec& spec = avr::instruction_classes().at(class_idx);
   avr::Instruction in;
@@ -105,6 +128,31 @@ ml::ScoredPrediction HierarchicalDisassembler::predict_level_scored(
   return level.classifier->predict_scored(level.pipeline.transform(trace, k));
 }
 
+/// One window being classified through several levels: the per-trace
+/// normalization is computed at most once and shared by every level that
+/// wants it (all levels of one model share the per_trace_normalization
+/// setting, but the lazy split keeps mixed configurations correct too).
+struct HierarchicalDisassembler::PreparedWindow {
+  const sim::Trace* trace = nullptr;
+  std::optional<std::vector<double>> normalized;
+
+  const std::vector<double>& prepared_for(const features::FeaturePipeline& pipeline) {
+    if (!pipeline.config().per_trace_normalization) return trace->samples;
+    if (!normalized) {
+      normalized = features::FeaturePipeline::preprocess_window(*trace, true);
+    }
+    return *normalized;
+  }
+};
+
+ml::ScoredPrediction HierarchicalDisassembler::predict_level_prepared(
+    const Level& level, PreparedWindow& window, dsp::CwtWorkspace& ws) {
+  if (level.trivial) return {level.only_label, kInf, kInf};
+  if (level.classifier == nullptr) throw std::runtime_error("level not trained");
+  return level.classifier->predict_scored(level.pipeline.transform_prepared(
+      window.prepared_for(level.pipeline), level.components, ws));
+}
+
 void HierarchicalDisassembler::calibrate_level(Level& level,
                                                const features::LabeledTraces& input,
                                                const RejectConfig& config) {
@@ -129,7 +177,14 @@ void HierarchicalDisassembler::calibrate_level(Level& level,
 }
 
 void HierarchicalDisassembler::calibrate_reject(const ProfilingData& clean,
+                                                RejectOperatingPoint point) {
+  calibrate_reject(clean, reject_config_for(point));
+  reject_point_ = point;
+}
+
+void HierarchicalDisassembler::calibrate_reject(const ProfilingData& clean,
                                                 const RejectConfig& config) {
+  reject_point_ = RejectOperatingPoint::kCustom;
   features::LabeledTraces group_input;
   std::map<int, features::LabeledTraces> per_group;
   for (const auto& [class_idx, traces] : clean.classes) {
@@ -356,7 +411,8 @@ std::uint8_t HierarchicalDisassembler::classify_rr(const sim::Trace& trace,
   return static_cast<std::uint8_t>(predict_level(*rr_level_, trace, components));
 }
 
-Disassembly HierarchicalDisassembler::classify(const sim::Trace& trace) const {
+Disassembly HierarchicalDisassembler::classify_prepared(PreparedWindow& window,
+                                                        dsp::CwtWorkspace& ws) const {
   Disassembly out;
 
   // Walks every level through the scored path and folds each calibrated
@@ -376,8 +432,7 @@ Disassembly HierarchicalDisassembler::classify(const sim::Trace& trace) const {
     }
   };
 
-  const ml::ScoredPrediction g =
-      predict_level_scored(group_level_, trace, SIZE_MAX);
+  const ml::ScoredPrediction g = predict_level_prepared(group_level_, window, ws);
   out.group = g.label;
   gate(group_level_, g, /*fatal=*/true);
 
@@ -385,19 +440,37 @@ Disassembly HierarchicalDisassembler::classify(const sim::Trace& trace) const {
   if (it == instruction_levels_.end()) {
     throw std::invalid_argument("classify_within_group: group not trained");
   }
-  const ml::ScoredPrediction c = predict_level_scored(it->second, trace, SIZE_MAX);
+  const ml::ScoredPrediction c = predict_level_prepared(it->second, window, ws);
   out.class_idx = static_cast<std::size_t>(c.label);
   gate(it->second, c, /*fatal=*/true);
 
   if (avr::class_uses_rd(out.class_idx) && rd_level_ != nullptr) {
-    const ml::ScoredPrediction p = predict_level_scored(*rd_level_, trace, SIZE_MAX);
+    const ml::ScoredPrediction p = predict_level_prepared(*rd_level_, window, ws);
     out.rd = static_cast<std::uint8_t>(p.label);
     gate(*rd_level_, p, /*fatal=*/false);
   }
   if (avr::class_uses_rr(out.class_idx) && rr_level_ != nullptr) {
-    const ml::ScoredPrediction p = predict_level_scored(*rr_level_, trace, SIZE_MAX);
+    const ml::ScoredPrediction p = predict_level_prepared(*rr_level_, window, ws);
     out.rr = static_cast<std::uint8_t>(p.label);
     gate(*rr_level_, p, /*fatal=*/false);
+  }
+  return out;
+}
+
+Disassembly HierarchicalDisassembler::classify(const sim::Trace& trace) const {
+  dsp::CwtWorkspace ws;
+  PreparedWindow window{&trace, std::nullopt};
+  return classify_prepared(window, ws);
+}
+
+std::vector<Disassembly> HierarchicalDisassembler::classify_batch(
+    const sim::TraceSet& traces) const {
+  std::vector<Disassembly> out;
+  out.reserve(traces.size());
+  dsp::CwtWorkspace ws;  // grow-once scratch shared by every window and level
+  for (const sim::Trace& trace : traces) {
+    PreparedWindow window{&trace, std::nullopt};
+    out.push_back(classify_prepared(window, ws));
   }
   return out;
 }

@@ -64,6 +64,33 @@ struct RejectConfig {
   double score_slack = 0.5;
 };
 
+/// Named reject-gate operating points -- deployment-grade presets over the
+/// raw RejectConfig quantiles.  Calibrating at a stricter point places every
+/// gate floor at a higher clean-score quantile, so the rejection sets are
+/// *nested*: any window a looser point rejects, every stricter point rejects
+/// too.  The selected point is persisted with the templates (serialize v4)
+/// so a serving tier can tell how a loaded model was gated.
+enum class RejectOperatingPoint : std::uint8_t {
+  /// Passive monitoring: gates fire only on gross outliers (~0.5% clean
+  /// false-reject budget).  The pre-v4 default.
+  kMonitoring = 0,
+  /// Alerting deployments: ~2% clean false-reject budget, tighter outlier
+  /// slack -- trades a little coverage for earlier fault visibility.
+  kBalanced = 1,
+  /// Forensic / high-assurance: ~5% clean false-reject budget, no outlier
+  /// slack -- only windows deep inside the clean envelope are trusted.
+  kStrict = 2,
+  /// Gates were calibrated from an explicit RejectConfig (or the archive
+  /// predates v4, where the quantiles were not recorded).
+  kCustom = 3,
+};
+
+std::string to_string(RejectOperatingPoint point);
+
+/// The calibration quantiles a named operating point stands for.  Throws
+/// std::invalid_argument for kCustom (it names the absence of a preset).
+RejectConfig reject_config_for(RejectOperatingPoint point);
+
 /// Profiling corpus: traces per instruction class (any subset of the 112),
 /// plus optional per-register corpora for level 3.
 struct ProfilingData {
@@ -137,6 +164,15 @@ class HierarchicalDisassembler {
   /// model across its worker pool.
   Disassembly classify(const sim::Trace& trace) const;
 
+  /// Batched classification -- bit-identical to calling classify() per
+  /// window, but amortizing the per-window setup across the batch: one
+  /// grow-once CWT workspace serves every window and level, and the
+  /// per-trace normalization is computed once per window and shared by all
+  /// levels (they share one per_trace_normalization setting by
+  /// construction).  This is the engine-room of the fleet runtime's
+  /// submit_batch path.  Thread-safe like classify().
+  std::vector<Disassembly> classify_batch(const sim::TraceSet& traces) const;
+
   /// Level-wise entry points (the Fig.-5 benches evaluate levels in
   /// isolation); `components` overrides the PCA component count, SIZE_MAX
   /// keeps the configured default.
@@ -162,6 +198,17 @@ class HierarchicalDisassembler {
   ///
   /// Idempotent; recalibrating replaces the thresholds.
   void calibrate_reject(const ProfilingData& clean, const RejectConfig& config = {});
+
+  /// Named-operating-point overload: calibrates at the preset's quantiles
+  /// and records the point, so it survives serialization (v4) and a serving
+  /// tier can report how its models are gated.  The RejectConfig overload
+  /// records kCustom.
+  void calibrate_reject(const ProfilingData& clean, RejectOperatingPoint point);
+
+  /// The operating point of the last calibrate_reject() call (kCustom for
+  /// explicit RejectConfig calibrations and pre-v4 archives; meaningless
+  /// until reject_calibrated()).
+  RejectOperatingPoint reject_operating_point() const { return reject_point_; }
 
   /// True once calibrate_reject() has armed at least the group gate.
   bool reject_calibrated() const { return group_level_.gate.active; }
@@ -239,6 +286,15 @@ class HierarchicalDisassembler {
   static ml::ScoredPrediction predict_level_scored(const Level& level,
                                                    const sim::Trace& trace,
                                                    std::size_t components);
+  /// One window mid-batch: the raw trace plus its lazily computed per-trace
+  /// normalization, shared across the levels that need it.
+  struct PreparedWindow;
+  static ml::ScoredPrediction predict_level_prepared(const Level& level,
+                                                     PreparedWindow& window,
+                                                     dsp::CwtWorkspace& ws);
+  /// classify() on a prepared window with caller-owned scratch -- the shared
+  /// implementation of classify() and classify_batch().
+  Disassembly classify_prepared(PreparedWindow& window, dsp::CwtWorkspace& ws) const;
   static void calibrate_level(Level& level, const features::LabeledTraces& input,
                               const RejectConfig& config);
   /// The level whose pipeline defines the monitor feature space (nullptr
@@ -251,6 +307,7 @@ class HierarchicalDisassembler {
   std::unique_ptr<Level> rd_level_;
   std::unique_ptr<Level> rr_level_;
   FeatureMoments training_moments_;
+  RejectOperatingPoint reject_point_ = RejectOperatingPoint::kMonitoring;
 };
 
 }  // namespace sidis::core

@@ -14,7 +14,9 @@ constexpr const char* kMagic = "sidis-template";
 // v2: per-level reject-gate thresholds appended to each level record.
 // v3: pooled training moments (drift-monitor reference) appended after the
 //     level records; v2 archives still load, with empty moments.
-constexpr int kVersion = 3;
+// v4: reject operating point (the named preset calibrate_reject ran at)
+//     appended after the moments; older archives load as kCustom.
+constexpr int kVersion = 4;
 constexpr int kOldestSupported = 2;
 
 [[noreturn]] void corrupt(const std::string& what) {
@@ -255,6 +257,8 @@ void HierarchicalDisassembler::save(std::ostream& os) const {
   os << "training_moments " << training_moments_.count << '\n';
   write_vector(os, training_moments_.mean);
   write_vector(os, training_moments_.variance);
+  // v4 trailer: the reject operating point the gates were calibrated at.
+  os << "reject_point " << static_cast<int>(reject_point_) << '\n';
 }
 
 HierarchicalDisassembler HierarchicalDisassembler::load(std::istream& is, int version) {
@@ -299,6 +303,17 @@ HierarchicalDisassembler HierarchicalDisassembler::load(std::istream& is, int ve
     if (d.training_moments_.mean.size() != d.training_moments_.variance.size()) {
       corrupt("training-moments size mismatch");
     }
+  }
+  if (version >= 4) {
+    expect_tag(is, "reject_point");
+    const std::size_t point = read_size(is);
+    if (point > static_cast<std::size_t>(RejectOperatingPoint::kCustom)) {
+      corrupt("unknown reject operating point");
+    }
+    d.reject_point_ = static_cast<RejectOperatingPoint>(point);
+  } else {
+    // Pre-v4 archives never recorded how the gates were calibrated.
+    d.reject_point_ = RejectOperatingPoint::kCustom;
   }
   return d;
 }

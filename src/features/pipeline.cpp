@@ -201,17 +201,29 @@ FeaturePipeline FeaturePipeline::renormalized(const sim::TraceSet& recal,
   return out;
 }
 
+std::vector<double> FeaturePipeline::preprocess_window(const sim::Trace& trace,
+                                                       bool per_trace_normalization) {
+  if (!per_trace_normalization) return trace.samples;
+  return normalize_window(trace.samples, trace.meta.gain_estimate);
+}
+
+linalg::Vector FeaturePipeline::transform_prepared(const std::vector<double>& prepared,
+                                                   std::size_t components,
+                                                   dsp::CwtWorkspace& ws) const {
+  if (points_.empty()) throw std::runtime_error("FeaturePipeline: not fitted");
+  linalg::Vector v = extract_features(cwt_, prepared, points_, ws);
+  if (config_.column_standardization) v = scaler_.transform(v);
+  return pca_.transform(v, components);
+}
+
 linalg::Vector FeaturePipeline::transform_one(const sim::Trace& trace,
                                               std::size_t components,
                                               dsp::CwtWorkspace& ws) const {
-  if (points_.empty()) throw std::runtime_error("FeaturePipeline: not fitted");
-  const std::vector<double> prep =
-      config_.per_trace_normalization
-          ? normalize_window(trace.samples, trace.meta.gain_estimate)
-          : trace.samples;
-  linalg::Vector v = extract_features(cwt_, prep, points_, ws);
-  if (config_.column_standardization) v = scaler_.transform(v);
-  return pca_.transform(v, components);
+  if (!config_.per_trace_normalization) {
+    return transform_prepared(trace.samples, components, ws);
+  }
+  return transform_prepared(
+      normalize_window(trace.samples, trace.meta.gain_estimate), components, ws);
 }
 
 linalg::Vector FeaturePipeline::transform(const sim::Trace& trace,

@@ -107,6 +107,24 @@ class FeaturePipeline {
   linalg::Vector transform(const sim::Trace& trace,
                            std::size_t components = SIZE_MAX) const;
 
+  /// Scratch-reusing variant for batch callers: identical output to
+  /// transform(trace), but the spectral scratch comes from the caller, so one
+  /// grow-once workspace serves a whole batch instead of a fresh allocation
+  /// per window.  `prepared` must be the output of preprocess_window for this
+  /// pipeline's per_trace_normalization setting -- splitting the
+  /// preprocessing out lets a multi-level caller (the hierarchical
+  /// disassembler classifies each window through up to four pipelines that
+  /// share one normalization flag) pay the per-trace normalization once.
+  linalg::Vector transform_prepared(const std::vector<double>& prepared,
+                                    std::size_t components,
+                                    dsp::CwtWorkspace& ws) const;
+
+  /// The per-trace preprocessing transform_prepared expects: mean removal +
+  /// gain division when `per_trace_normalization`, the raw samples verbatim
+  /// otherwise.
+  static std::vector<double> preprocess_window(const sim::Trace& trace,
+                                               bool per_trace_normalization);
+
   /// Raw-window variant: assumes unit capture gain (gain_estimate = 1).
   linalg::Vector transform(const std::vector<double>& samples,
                            std::size_t components = SIZE_MAX) const;

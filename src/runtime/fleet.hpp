@@ -1,0 +1,325 @@
+// Fleet-scale multi-tenant serving frontend: many logical device streams
+// multiplexed onto a few shared StreamingDisassembler worker shards.
+//
+// The paper watches ONE device; the production problem is a fleet.  A
+// thousand monitored devices each emit a few windows per second -- far too
+// little to justify a dedicated engine (and its worker threads) per device,
+// far too much aggregate for one serial consumer.  The frontend gives every
+// device a cheap logical stream handle and shares the expensive part (worker
+// threads, feature-extraction passes, model instances) across all of them:
+//
+//   open_stream(opts) -> StreamId            per-stream model + drift monitor
+//        |
+//   submit(stream, window)                   admission control (credit,
+//        |                                   shed-oldest / reject-new)
+//   [per-shard pending queues]
+//        |
+//   shard scheduler                          coalesces windows of many
+//        |                                   streams with the SAME model
+//   StreamingDisassembler::submit_batch      into one batched classify pass
+//        |
+//   route table -> per-stream ready queues   per-stream in-order delivery
+//        |
+//   poll(stream) / close_stream(stream)
+//
+// Routing and shards.  Streams are assigned round-robin to `shards`
+// StreamingDisassembler engines (stream id modulo shard count); each shard
+// owns its engine exclusively (the shard lock serializes submits and polls,
+// satisfying the engine's single-consumer contract) while the engine's own
+// worker pool provides the parallelism.  All shard state -- per-stream
+// queues, the route table mapping engine sequences back to streams, the
+// dispatch round-robin -- lives under one mutex per shard, so streams on
+// different shards never contend.
+//
+// Batching.  The dispatcher drains pending windows round-robin across the
+// shard's streams -- every queued stream contributes one window before any
+// stream contributes a second (fairness) -- packing up to batch_max windows
+// that share a model stage into one submit_batch call; when fewer streams
+// are queued than the batch has room, the round-robin keeps cycling so deep
+// per-stream backlogs still fill batches.
+// Streams serving different models are never mixed into one batch -- a batch
+// is classified by exactly one model -- but they interleave batch-by-batch
+// on the same shard.  Batch grouping depends on arrival timing and is NOT
+// deterministic; per-window results are, because classify_batch is
+// bit-identical to per-window classify for any grouping (the fleet_test
+// battery pins this across 1/2/8 workers).
+//
+// Admission control.  Each stream holds at most `stream_credit` undelivered
+// windows (pending + in flight + ready).  Over-credit submissions either
+// shed the oldest reclaimable window (kShedOldest: oldest pending, else
+// oldest ready; windows already inside the engine cannot be reclaimed) or
+// are refused (kRejectNew).  Shedding is per-stream: one device flooding its
+// credit never steals another stream's capacity, because shard engine depth
+// is only consumed by dispatch, which is fair.  Counts surface per stream
+// (StreamStats), per fleet (FleetStats), and mirrored into
+// RuntimeStats::windows_shed / windows_rejected.
+//
+// Drift isolation.  A stream opened with monitor_drift gets its OWN
+// DriftMonitor bound to its own model; observations are fed in delivery
+// order during result pump-back, so one drifting device raises its own
+// events (poll_drift_event) and never contaminates a neighbor's statistics.
+//
+// Thread-safety contract: every public method is safe from any thread; the
+// shard mutex serializes internally.  Calls for ONE stream should come from
+// one thread at a time (submit/submit races on a single stream would make
+// its admission order, and hence its sequence numbers, unspecified --
+// nothing breaks, but per-stream FIFO only means what the caller's own
+// ordering means).  close_stream blocks until the stream's in-flight windows
+// complete; it must not be called under a lock the classify path needs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/drift.hpp"
+#include "runtime/registry_view.hpp"
+#include "runtime/streaming.hpp"
+
+namespace sidis::runtime {
+
+/// What to do with a submission that would exceed the stream's credit.
+enum class AdmissionPolicy : std::uint8_t {
+  kRejectNew = 0,   ///< refuse the new window; the backlog is preserved
+  kShedOldest = 1,  ///< shed the oldest reclaimable window to admit the new
+};
+
+std::string to_string(AdmissionPolicy policy);
+
+struct FleetConfig {
+  /// Worker shards (independent engines); streams spread round-robin.
+  std::size_t shards = 2;
+  /// Worker threads per shard engine.
+  std::size_t workers_per_shard = 2;
+  /// Max windows coalesced into one submit_batch call.
+  std::size_t batch_max = 16;
+  /// Per-stream cap on admitted-but-undelivered windows (pending + in
+  /// flight + ready).
+  std::size_t stream_credit = 32;
+  AdmissionPolicy admission = AdmissionPolicy::kRejectNew;
+  /// Shard engine in-flight credit (0 = max(4 * batch_max, 64)).  The engine
+  /// queue capacity is set equal, which makes try_submit_batch hard
+  /// non-blocking (see StreamingDisassembler::try_submit_batch).
+  std::size_t shard_depth = 0;
+};
+
+/// How open_stream resolves the stream's model.
+struct StreamOptions {
+  /// Registry bundle to serve ("" = the fleet's default model).  Requires
+  /// the fleet to have been built with a registry.
+  std::string model_name;
+  /// Bundle version (0 = latest at first resolution, see RegistryView).
+  int model_version = 0;
+  /// Arm a per-stream DriftMonitor (needs a model with training moments).
+  bool monitor_drift = false;
+  DriftConfig drift;
+};
+
+enum class AdmitStatus : std::uint8_t {
+  kAccepted = 0,          ///< admitted within credit
+  kAcceptedShedOldest = 1,///< admitted; the stream's oldest window was shed
+  kRejected = 2,          ///< refused (kRejectNew, or nothing reclaimable)
+  kClosed = 3,            ///< unknown or closing stream
+};
+
+/// Outcome of one submit(): status plus the admitted window's per-stream
+/// sequence number (valid only when accepted()).
+struct AdmitResult {
+  AdmitStatus status = AdmitStatus::kRejected;
+  std::uint64_t stream_sequence = 0;
+
+  bool accepted() const {
+    return status == AdmitStatus::kAccepted ||
+           status == AdmitStatus::kAcceptedShedOldest;
+  }
+};
+
+/// One in-order result of one stream.  stream_sequence is the submit()
+/// ticket; gaps mark shed windows (delivery order is still strictly
+/// ascending per stream).
+struct FleetResult {
+  std::uint64_t stream_sequence = 0;
+  core::Disassembly value;
+  std::uint64_t model_stamp = 0;  ///< registry checksum of the serving model
+};
+
+/// Telemetry of one live stream.
+struct StreamStats {
+  std::uint64_t windows_admitted = 0;
+  std::uint64_t windows_delivered = 0;
+  std::uint64_t windows_shed = 0;
+  std::uint64_t windows_rejected = 0;
+  std::uint64_t drift_events = 0;
+  std::uint64_t outstanding = 0;  ///< admitted - delivered - shed
+};
+
+/// Fleet-wide snapshot: frontend counters plus the merged shard engines.
+struct FleetStats {
+  std::uint64_t streams_opened = 0;
+  std::uint64_t streams_closed = 0;
+  std::uint64_t streams_live = 0;
+  std::uint64_t windows_admitted = 0;
+  std::uint64_t windows_delivered = 0;
+  std::uint64_t windows_shed = 0;
+  std::uint64_t windows_rejected = 0;
+  std::uint64_t drift_events = 0;
+  std::size_t models_cached = 0;  ///< distinct artifacts in the registry view
+  /// Merged shard-engine stats; windows_shed / windows_rejected above are
+  /// mirrored into the corresponding RuntimeStats fields.
+  RuntimeStats runtime;
+  /// submit() admission -> poll() delivery, per window.
+  LatencyHistogram admit_to_deliver;
+
+  std::string report() const;
+};
+
+class FleetFrontend {
+ public:
+  using StreamId = std::uint64_t;
+
+  /// Model-backed fleet: `default_model` serves streams opened without a
+  /// model_name.  `registry`, when non-null, must outlive the frontend and
+  /// enables per-stream model resolution by name/version.
+  FleetFrontend(std::shared_ptr<const core::HierarchicalDisassembler> default_model,
+                FleetConfig config = {}, const ModelRegistry* registry = nullptr);
+  /// Stage-backed fleet (tests, alternative backends): streams opened
+  /// without a model_name run `default_stage`; monitor_drift requires a
+  /// model-backed stream, so it only works with a registry here.
+  FleetFrontend(StreamingDisassembler::StageRef default_stage,
+                FleetConfig config = {}, const ModelRegistry* registry = nullptr);
+
+  /// Stops the shard engines; undelivered results of still-open streams are
+  /// discarded (close_stream first when every window must come back).
+  ~FleetFrontend();
+
+  FleetFrontend(const FleetFrontend&) = delete;
+  FleetFrontend& operator=(const FleetFrontend&) = delete;
+
+  /// Opens a logical device stream and returns its handle.  Cheap: no
+  /// threads are created; a registry-resolved model is loaded at most once
+  /// fleet-wide.  Throws std::invalid_argument on unresolvable options and
+  /// like DriftMonitor's constructor when monitor_drift is set on a model
+  /// without training moments.
+  StreamId open_stream(StreamOptions options = {});
+
+  /// Admission-controlled, non-blocking submit of one window.  Never waits:
+  /// over-credit submissions shed or reject per the configured policy.
+  AdmitResult submit(StreamId stream, sim::Trace trace);
+
+  /// Next in-order result of `stream`, if ready; non-blocking.  Also pumps
+  /// completed shard results and dispatches pending windows, so a
+  /// submit/poll loop makes progress without a dedicated scheduler thread.
+  std::optional<FleetResult> poll(StreamId stream);
+
+  /// Pending drift event of `stream`, if its monitor raised one (FIFO; at
+  /// most one per DriftMonitor cooldown by construction).
+  std::optional<DriftEvent> poll_drift_event(StreamId stream);
+
+  /// Graceful close: stops admitting, waits for the stream's in-flight
+  /// windows to classify, and returns every undelivered result in order.
+  /// Idempotent (an unknown/closed stream returns empty).  Blocks.
+  std::vector<FleetResult> close_stream(StreamId stream);
+
+  /// Telemetry of one stream (zeros for unknown streams).
+  StreamStats stream_stats(StreamId stream) const;
+
+  /// Fleet-wide snapshot (merges every shard engine; see FleetStats).
+  FleetStats stats() const;
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Admitted window awaiting dispatch.
+  struct PendingWindow {
+    std::uint64_t stream_sequence = 0;
+    sim::Trace trace;
+    Clock::time_point admitted_at;
+  };
+  /// Classified window awaiting delivery.
+  struct ReadyEntry {
+    FleetResult result;
+    Clock::time_point admitted_at;
+  };
+  /// Maps one dispatched engine sequence back to its stream.  Routes are
+  /// consumed strictly in engine-sequence order (the shard lock makes the
+  /// fleet the engine's only producer, so engine sequences are contiguous).
+  struct Route {
+    StreamId stream = 0;
+    std::uint64_t stream_sequence = 0;
+    Clock::time_point admitted_at;
+    /// Kept only for monitored streams (the monitor needs the raw window).
+    std::optional<sim::Trace> trace;
+  };
+  struct StreamState {
+    StreamingDisassembler::StageRef stage;  ///< always non-null
+    std::unique_ptr<DriftMonitor> monitor;
+    std::deque<PendingWindow> pending;
+    std::deque<ReadyEntry> ready;
+    std::deque<DriftEvent> events;
+    std::uint64_t next_sequence = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t drift_events = 0;
+    std::uint64_t dispatched = 0;  ///< handed to the engine
+    std::uint64_t arrived = 0;     ///< pumped back from the engine
+    bool queued_for_dispatch = false;
+    bool closing = false;
+
+    std::uint64_t outstanding() const { return admitted - delivered - shed; }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unique_ptr<StreamingDisassembler> engine;
+    std::map<StreamId, StreamState> streams;
+    std::deque<Route> routes;             ///< engine-sequence order
+    std::deque<StreamId> dispatch_queue;  ///< streams with pending windows
+    std::size_t pending_windows = 0;      ///< total windows awaiting dispatch
+    // Shard-lifetime aggregates (survive stream close).
+    std::uint64_t opened = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t drift_events = 0;
+    LatencyHistogram admit_to_deliver;
+  };
+
+  void init_shards();
+  Shard& shard_of(StreamId stream) { return *shards_[stream % shards_.size()]; }
+  const Shard& shard_of(StreamId stream) const {
+    return *shards_[stream % shards_.size()];
+  }
+  /// Drains completed engine results into per-stream ready queues, feeding
+  /// drift monitors along the way.  Caller holds the shard mutex.
+  void pump_locked(Shard& shard);
+  /// Coalesces pending windows into model-homogeneous batches while the
+  /// engine has credit.  Caller holds the shard mutex.
+  void dispatch_locked(Shard& shard);
+  /// Per-(bundle, version) stage cache so streams serving the same artifact
+  /// share one StageRef -- stage identity is what lets the dispatcher batch
+  /// them together.
+  StreamingDisassembler::StageRef stage_for(const ResolvedModel& resolved);
+
+  FleetConfig config_;
+  std::shared_ptr<const core::HierarchicalDisassembler> default_model_;
+  StreamingDisassembler::StageRef default_stage_;
+  std::unique_ptr<RegistryView> view_;  ///< null without a registry
+  std::mutex stage_cache_mutex_;
+  std::map<std::pair<std::string, int>, StreamingDisassembler::StageRef> stage_cache_;
+  std::atomic<StreamId> next_stream_id_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sidis::runtime

@@ -58,7 +58,8 @@ RecalibrationScheduler::RecalibrationScheduler(
   if (model_ == nullptr) {
     throw std::invalid_argument("RecalibrationScheduler: null model");
   }
-  if (policy_.mode == core::RecalMode::kRefit && refit_base_ == nullptr) {
+  if ((policy_.mode == core::RecalMode::kRefit || policy_.escalate_to_refit) &&
+      refit_base_ == nullptr) {
     throw std::invalid_argument(
         "RecalibrationScheduler: kRefit needs a refit_base profiling corpus");
   }
@@ -66,9 +67,24 @@ RecalibrationScheduler::RecalibrationScheduler(
 
 RecalOutcome RecalibrationScheduler::on_drift(const DriftEvent& event,
                                               DriftMonitor& monitor) {
-  (void)event;  // fully described by the stats the caller already has
   engine_.record_drift_event();
   RecalOutcome outcome;
+  outcome.mode = policy_.mode;
+
+  // Escalation: a re-fire hot on the heels of the previous publish means the
+  // renorm arm did not remove the shift -- run the refit arm this round.
+  if (policy_.escalate_to_refit && policy_.mode == core::RecalMode::kRenorm &&
+      has_published_ && event.observation >= last_publish_observation_) {
+    std::uint64_t window = policy_.escalation_window;
+    if (window == 0) {
+      const DriftConfig& dc = monitor.config();
+      window = dc.warmup + dc.consecutive + dc.cooldown;
+    }
+    if (event.observation - last_publish_observation_ <= window) {
+      outcome.mode = core::RecalMode::kRefit;
+      outcome.escalated = true;
+    }
+  }
 
   if (policy_.traces_per_class == 0) {
     outcome.reason = "policy requests zero traces per event";
@@ -99,7 +115,7 @@ RecalOutcome RecalibrationScheduler::on_drift(const DriftEvent& event,
     return core::HierarchicalDisassembler::load(ss);
   }());
   clone->recalibrate(fresh, policy_.rescale);
-  if (policy_.mode == core::RecalMode::kRefit) {
+  if (outcome.mode == core::RecalMode::kRefit) {
     core::ProfilingData aug;
     aug.classes = refit_base_->classes;
     for (const sim::Trace& t : fresh) aug.classes[t.meta.class_idx].push_back(t);
@@ -114,14 +130,17 @@ RecalOutcome RecalibrationScheduler::on_drift(const DriftEvent& event,
     stamp = ++local_stamp_;
   }
 
-  // Publish: the stage closure owns the clone, so the model lives exactly as
-  // long as some worker can still pin its stage.
+  // Publish: the stage closures co-own the clone, so the model lives exactly
+  // as long as some worker can still pin its stage.  The shared_ptr
+  // swap_model overload installs classify AND classify_batch, keeping the
+  // batched serving path hot across the swap.
   std::shared_ptr<const core::HierarchicalDisassembler> published = clone;
-  engine_.swap_classifier(
-      [published](const sim::Trace& t) { return published->classify(t); }, stamp);
+  engine_.swap_model(published, stamp);
   engine_.record_recalibration(fresh.size());
   traces_spent_ += fresh.size();
   model_ = published;
+  last_publish_observation_ = event.observation;
+  has_published_ = true;
   monitor.rebind(published);
 
   outcome.performed = true;

@@ -96,6 +96,21 @@ struct RecalPolicy {
   bool rescale = false;
   /// Bundle name used when a registry is attached.
   std::string registry_name = "drift-recal";
+  /// Escalation: when a kRenorm publish failed to quiet the monitor -- the
+  /// monitor re-fires within `escalation_window` observations of the
+  /// previous successful publish, i.e. as soon as its own cooldown allows --
+  /// run the kRefit arm for this event instead.  A renorm only moves the
+  /// column scalers; a shift it cannot express (boundary rotation, spread
+  /// change) keeps the statistics raised, and repeating the same cheap arm
+  /// would burn the trace budget without fixing anything.  Requires
+  /// refit_base, like mode == kRefit.
+  bool escalate_to_refit = false;
+  /// Observation span after a publish within which a re-fire counts as "the
+  /// renorm did not take".  0 derives warmup + consecutive + cooldown from
+  /// the monitor's config at event time -- one observation more than the
+  /// earliest moment the rebased monitor can honestly re-fire, so only
+  /// back-to-back alarms escalate.
+  std::uint64_t escalation_window = 0;
 };
 
 /// What one on_drift() call did.
@@ -104,6 +119,8 @@ struct RecalOutcome {
   std::size_t traces_spent = 0;  ///< fresh labeled traces consumed
   std::uint64_t stamp = 0;       ///< stage stamp published to the engine
   int registry_version = 0;      ///< stored version (0 without a registry)
+  core::RecalMode mode = core::RecalMode::kRenorm;  ///< arm actually run
+  bool escalated = false;        ///< mode was escalated beyond the policy's
   std::string reason;            ///< set when performed == false
 };
 
@@ -146,6 +163,10 @@ class RecalibrationScheduler {
   const core::ProfilingData* refit_base_;
   std::size_t traces_spent_ = 0;
   std::uint64_t local_stamp_ = 0;  ///< registry-less stamp sequence
+  /// Monitor observation count at the last successful publish; drives the
+  /// renorm -> refit escalation (see RecalPolicy::escalate_to_refit).
+  std::uint64_t last_publish_observation_ = 0;
+  bool has_published_ = false;
 };
 
 }  // namespace sidis::runtime

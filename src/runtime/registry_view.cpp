@@ -1,0 +1,67 @@
+#include "runtime/registry_view.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace sidis::runtime {
+
+RegistryView::RegistryView(const ModelRegistry& registry, std::size_t shards)
+    : registry_(registry) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+RegistryView::Shard& RegistryView::shard_for(const std::string& name) {
+  return *shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+const RegistryView::Shard& RegistryView::shard_for(const std::string& name) const {
+  return *shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+ResolvedModel RegistryView::resolve(const std::string& name, int version) {
+  Shard& shard = shard_for(name);
+  std::lock_guard lock(shard.mutex);
+  if (version == 0) {
+    // Pin "latest" on first resolution; later saves do not retarget it.
+    const auto pinned = shard.pinned_latest.find(name);
+    if (pinned != shard.pinned_latest.end()) {
+      version = pinned->second;
+    } else {
+      version = registry_.latest_version(name);
+      if (version == 0) {
+        throw std::runtime_error("RegistryView: no versions of bundle '" + name + "'");
+      }
+      shard.pinned_latest.emplace(name, version);
+    }
+  }
+  const auto key = std::make_pair(name, version);
+  const auto it = shard.cache.find(key);
+  if (it != shard.cache.end()) return it->second;
+
+  // info() checksums the payload before we pay for deserialization, and its
+  // checksum is the stamp every stream serving this artifact reports.
+  const ArtifactInfo info = registry_.info(name, version);
+  ResolvedModel resolved;
+  resolved.model = std::make_shared<const core::HierarchicalDisassembler>(
+      registry_.load(name, version));
+  resolved.name = name;
+  resolved.version = version;
+  resolved.checksum = info.checksum;
+  shard.cache.emplace(key, resolved);
+  return resolved;
+}
+
+std::size_t RegistryView::models_cached() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    n += shard->cache.size();
+  }
+  return n;
+}
+
+}  // namespace sidis::runtime

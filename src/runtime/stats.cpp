@@ -1,5 +1,6 @@
 #include "runtime/stats.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace sidis::runtime {
@@ -44,6 +45,32 @@ std::string LatencyHistogram::summary() const {
   return out;
 }
 
+void RuntimeStats::merge(const RuntimeStats& other) {
+  traces_submitted += other.traces_submitted;
+  traces_completed += other.traces_completed;
+  traces_emitted += other.traces_emitted;
+  traces_failed += other.traces_failed;
+  traces_rejected += other.traces_rejected;
+  traces_degraded += other.traces_degraded;
+  traces_faulted += other.traces_faulted;
+  fault_severity_sum += other.fault_severity_sum;
+  max_fault_severity = std::max(max_fault_severity, other.max_fault_severity);
+  model_swaps += other.model_swaps;
+  drift_events += other.drift_events;
+  recalibrations += other.recalibrations;
+  recal_traces_spent += other.recal_traces_spent;
+  batches_submitted += other.batches_submitted;
+  batch_windows += other.batch_windows;
+  windows_shed += other.windows_shed;
+  windows_rejected += other.windows_rejected;
+  queue_depth_high_water = std::max(queue_depth_high_water, other.queue_depth_high_water);
+  in_flight_high_water = std::max(in_flight_high_water, other.in_flight_high_water);
+  workers += other.workers;
+  queue_wait.merge(other.queue_wait);
+  classify.merge(other.classify);
+  end_to_end.merge(other.end_to_end);
+}
+
 std::string RuntimeStats::report() const {
   std::string out;
   out += "runtime: workers=" + std::to_string(workers);
@@ -64,6 +91,19 @@ std::string RuntimeStats::report() const {
                   fault_severity_sum / static_cast<double>(traces_faulted),
                   max_fault_severity);
     out += buf;
+  }
+  if (batches_submitted != 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "  batches: %llu carrying %llu windows (%.1f/batch)\n",
+                  static_cast<unsigned long long>(batches_submitted),
+                  static_cast<unsigned long long>(batch_windows),
+                  static_cast<double>(batch_windows) /
+                      static_cast<double>(batches_submitted));
+    out += buf;
+  }
+  if (windows_shed != 0 || windows_rejected != 0) {
+    out += "  admission: shed=" + std::to_string(windows_shed) +
+           ", rejected=" + std::to_string(windows_rejected) + "\n";
   }
   if (model_swaps != 0) {
     out += "  model swaps: " + std::to_string(model_swaps) + "\n";

@@ -1,5 +1,7 @@
 #include "runtime/streaming.hpp"
 
+#include <stdexcept>
+
 #include "runtime/thread_pool.hpp"
 
 namespace sidis::runtime {
@@ -15,17 +17,36 @@ std::uint64_t elapsed_nanos(Clock::time_point from, Clock::time_point to) {
 
 }  // namespace
 
+StreamingDisassembler::StageRef StreamingDisassembler::make_stage(
+    std::shared_ptr<const core::HierarchicalDisassembler> model,
+    std::uint64_t stamp) {
+  if (model == nullptr) {
+    throw std::invalid_argument("StreamingDisassembler::make_stage: null model");
+  }
+  // Both closures co-own the model: a stage outlives every job pinned to it.
+  return std::make_shared<const Stage>(Stage{
+      [model](const sim::Trace& t) { return model->classify(t); },
+      [model](const sim::TraceSet& ts) { return model->classify_batch(ts); },
+      stamp});
+}
+
 StreamingDisassembler::StreamingDisassembler(
     const core::HierarchicalDisassembler& model, StreamingConfig config,
     std::stop_token stop)
     : StreamingDisassembler(
           [&model](const sim::Trace& t) { return model.classify(t); }, config,
-          std::move(stop)) {}
+          std::move(stop)) {
+  // Upgrade the delegate-installed stage with the model's batched entry
+  // point; no job can have pinned the plain stage yet (nothing submitted).
+  classify_ = std::make_shared<const Stage>(Stage{
+      [&model](const sim::Trace& t) { return model.classify(t); },
+      [&model](const sim::TraceSet& ts) { return model.classify_batch(ts); }, 0});
+}
 
 StreamingDisassembler::StreamingDisassembler(ClassifyFn classify,
                                              StreamingConfig config,
                                              std::stop_token stop)
-    : classify_(std::make_shared<const Stage>(Stage{std::move(classify), 0})),
+    : classify_(std::make_shared<const Stage>(Stage{std::move(classify), nullptr, 0})),
       config_(config),
       queue_(config.queue_capacity),
       stop_callback_(std::move(stop), std::function<void()>([this] { request_stop(); })) {
@@ -50,68 +71,113 @@ StreamingDisassembler::~StreamingDisassembler() {
 void StreamingDisassembler::worker_loop() {
   while (std::optional<Job> job = queue_.pop()) {
     const Clock::time_point picked_up = Clock::now();
-    // Pin the current classification stage for this job; a concurrent
-    // swap_classifier() publishes a new stage without pulling this one out
-    // from under us.  The stamp travels inside the same pinned record, so
-    // the result is always attributed to the stage that actually produced
-    // it (reading a registry checksum in a second critical section could
-    // name a stage published in between).
-    std::shared_ptr<const Stage> stage;
-    {
+    // Pin the classification stage for this job: the job's own pinned stage
+    // when it carries one (a multi-tenant batch), else the engine's current
+    // stage.  A concurrent swap_classifier() publishes a new stage without
+    // pulling the pinned one out from under us, and the stamp travels inside
+    // the same pinned record, so the result is always attributed to the
+    // stage that actually produced it (reading a registry checksum in a
+    // second critical section could name a stage published in between).
+    StageRef stage = job->stage;
+    if (stage == nullptr) {
       std::lock_guard lock(mutex_);
       stage = classify_;
     }
-    core::Disassembly result;
-    bool failed = false;
-    try {
-      result = (stage->fn)(job->trace);
-    } catch (...) {
-      // A serving layer must not lose a worker (drain() would hang); emit a
-      // default result and count the failure instead.  Assign the fallback
-      // *inside* the handler rather than relying on the pre-try value: the
-      // emitted placeholder must be deterministic even if the unwind left
-      // the return-slot machinery mid-flight.
-      result = core::Disassembly{};
-      failed = true;
+    const std::size_t n = job->traces.size();
+    // A serving layer must not lose a worker (drain() would hang); on any
+    // throw, emit deterministic default results and count the failures.
+    std::vector<core::Disassembly> results;
+    std::vector<unsigned char> window_failed(n, 0);
+    std::uint64_t failures = 0;
+    if (n > 1 && stage->batch != nullptr) {
+      try {
+        results = (stage->batch)(job->traces);
+        if (results.size() != n) throw std::runtime_error("batch size mismatch");
+      } catch (...) {
+        results.assign(n, core::Disassembly{});
+        window_failed.assign(n, 1);
+        failures = n;
+      }
+    } else {
+      results.reserve(n);
+      for (const sim::Trace& t : job->traces) {
+        try {
+          results.push_back((stage->fn)(t));
+        } catch (...) {
+          results.push_back(core::Disassembly{});
+          window_failed[results.size() - 1] = 1;
+          ++failures;
+        }
+      }
     }
     const Clock::time_point done = Clock::now();
-    const double fault_severity = job->trace.meta.fault_severity;
+    // Batch cost is amortized: each window is charged 1/n of the pass, so
+    // the classify histogram reports effective per-window service time and
+    // single vs batched paths share one perf record.
+    const std::uint64_t per_window =
+        elapsed_nanos(picked_up, done) / static_cast<std::uint64_t>(n);
+    const std::uint64_t waited = elapsed_nanos(job->submitted_at, picked_up);
     {
       std::lock_guard lock(mutex_);
-      queue_wait_.record(elapsed_nanos(job->submitted_at, picked_up));
-      classify_hist_.record(elapsed_nanos(picked_up, done));
-      if (!failed) {
-        if (result.verdict == core::Verdict::kRejected) ++rejected_;
-        if (result.verdict == core::Verdict::kDegraded) ++degraded_;
+      for (std::size_t i = 0; i < n; ++i) {
+        queue_wait_.record(waited);
+        classify_hist_.record(per_window);
+        if (window_failed[i] == 0) {
+          if (results[i].verdict == core::Verdict::kRejected) ++rejected_;
+          if (results[i].verdict == core::Verdict::kDegraded) ++degraded_;
+        }
+        const double fault_severity = job->traces[i].meta.fault_severity;
+        if (fault_severity > 0.0) {
+          ++faulted_;
+          fault_severity_sum_ += fault_severity;
+          max_fault_severity_ = std::max(max_fault_severity_, fault_severity);
+        }
+        reorder_.emplace(
+            job->sequence + i,
+            Pending{std::move(results[i]), job->submitted_at, stage->stamp});
       }
-      if (fault_severity > 0.0) {
-        ++faulted_;
-        fault_severity_sum_ += fault_severity;
-        max_fault_severity_ = std::max(max_fault_severity_, fault_severity);
-      }
-      reorder_.emplace(job->sequence,
-                       Pending{std::move(result), job->submitted_at, stage->stamp});
-      ++completed_;
-      if (failed) ++failed_;
+      completed_ += n;
+      failed_ += failures;
     }
     results_cv_.notify_all();
-    space_cv_.notify_all();  // classification frees an in-flight credit
+    space_cv_.notify_all();  // classification frees in-flight credit
   }
 }
 
-std::optional<std::uint64_t> StreamingDisassembler::submit(sim::Trace trace) {
+std::optional<std::uint64_t> StreamingDisassembler::enqueue(sim::TraceSet traces,
+                                                            StageRef stage,
+                                                            bool blocking,
+                                                            bool batched) {
+  if (traces.empty()) {
+    throw std::invalid_argument("StreamingDisassembler: empty batch");
+  }
+  const std::uint64_t n = traces.size();
   Job job;
   {
     std::unique_lock lock(mutex_);
-    space_cv_.wait(lock, [&] {
-      return !accepting_ || next_submit_ - completed_ < config_.max_in_flight;
-    });
-    if (!accepting_) return std::nullopt;
-    job.sequence = next_submit_++;
+    // A batch must fit the in-flight credit whole; one wider than the whole
+    // credit is admitted only against an empty engine (it could never fit).
+    const auto admissible = [&] {
+      const std::uint64_t used = next_submit_ - completed_;
+      return used + n <= config_.max_in_flight || used == 0;
+    };
+    if (blocking) {
+      space_cv_.wait(lock, [&] { return !accepting_ || admissible(); });
+      if (!accepting_) return std::nullopt;
+    } else if (!accepting_ || !admissible()) {
+      return std::nullopt;
+    }
+    job.sequence = next_submit_;
+    next_submit_ += n;
+    if (batched) {
+      ++batches_submitted_;
+      batch_windows_ += n;
+    }
     const std::size_t in_flight = static_cast<std::size_t>(next_submit_ - completed_);
     in_flight_high_water_ = std::max(in_flight_high_water_, in_flight);
   }
-  job.trace = std::move(trace);
+  job.traces = std::move(traces);
+  job.stage = std::move(stage);
   job.submitted_at = Clock::now();
   const std::uint64_t seq = job.sequence;
   // The queue is only closed after drain()/destruction has already observed
@@ -119,6 +185,24 @@ std::optional<std::uint64_t> StreamingDisassembler::submit(sim::Trace trace) {
   // every reserved sequence number (no gaps in the reorder stream).
   queue_.push(std::move(job));
   return seq;
+}
+
+std::optional<std::uint64_t> StreamingDisassembler::submit(sim::Trace trace) {
+  sim::TraceSet one;
+  one.push_back(std::move(trace));
+  return enqueue(std::move(one), nullptr, /*blocking=*/true, /*batched=*/false);
+}
+
+std::optional<std::uint64_t> StreamingDisassembler::submit_batch(sim::TraceSet traces,
+                                                                 StageRef stage) {
+  return enqueue(std::move(traces), std::move(stage), /*blocking=*/true,
+                 /*batched=*/true);
+}
+
+std::optional<std::uint64_t> StreamingDisassembler::try_submit_batch(
+    sim::TraceSet traces, StageRef stage) {
+  return enqueue(std::move(traces), std::move(stage), /*blocking=*/false,
+                 /*batched=*/true);
 }
 
 void StreamingDisassembler::collect_ready_locked(std::vector<StreamResult>& out) {
@@ -164,7 +248,7 @@ std::vector<StreamResult> StreamingDisassembler::drain() {
 }
 
 void StreamingDisassembler::swap_classifier(ClassifyFn classify, std::uint64_t stamp) {
-  auto stage = std::make_shared<const Stage>(Stage{std::move(classify), stamp});
+  auto stage = std::make_shared<const Stage>(Stage{std::move(classify), nullptr, stamp});
   {
     std::lock_guard lock(mutex_);
     classify_ = std::move(stage);
@@ -174,7 +258,25 @@ void StreamingDisassembler::swap_classifier(ClassifyFn classify, std::uint64_t s
 
 void StreamingDisassembler::swap_model(const core::HierarchicalDisassembler& model,
                                        std::uint64_t stamp) {
-  swap_classifier([&model](const sim::Trace& t) { return model.classify(t); }, stamp);
+  auto stage = std::make_shared<const Stage>(Stage{
+      [&model](const sim::Trace& t) { return model.classify(t); },
+      [&model](const sim::TraceSet& ts) { return model.classify_batch(ts); }, stamp});
+  {
+    std::lock_guard lock(mutex_);
+    classify_ = std::move(stage);
+    ++model_swaps_;
+  }
+}
+
+void StreamingDisassembler::swap_model(
+    std::shared_ptr<const core::HierarchicalDisassembler> model,
+    std::uint64_t stamp) {
+  auto stage = make_stage(std::move(model), stamp);
+  {
+    std::lock_guard lock(mutex_);
+    classify_ = std::move(stage);
+    ++model_swaps_;
+  }
 }
 
 void StreamingDisassembler::record_drift_event() {
@@ -201,6 +303,11 @@ bool StreamingDisassembler::stopped() const {
   return !accepting_;
 }
 
+std::size_t StreamingDisassembler::in_flight() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(next_submit_ - completed_);
+}
+
 RuntimeStats StreamingDisassembler::stats() const {
   RuntimeStats s;
   std::lock_guard lock(mutex_);
@@ -214,6 +321,8 @@ RuntimeStats StreamingDisassembler::stats() const {
   s.recal_traces_spent = recal_traces_spent_;
   s.traces_rejected = rejected_;
   s.traces_degraded = degraded_;
+  s.batches_submitted = batches_submitted_;
+  s.batch_windows = batch_windows_;
   s.traces_faulted = faulted_;
   s.fault_severity_sum = fault_severity_sum_;
   s.max_fault_severity = max_fault_severity_;

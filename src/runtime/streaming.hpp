@@ -74,6 +74,30 @@ class StreamingDisassembler {
   /// Classification stage, pluggable for tests (adversarial delays) and for
   /// alternative backends; the model overload wraps model.classify.
   using ClassifyFn = std::function<core::Disassembly(const sim::Trace&)>;
+  /// Batched stage: classifies N windows in one call, returning exactly N
+  /// results in input order (core::HierarchicalDisassembler::classify_batch
+  /// amortizes workspace setup and per-trace normalization this way).
+  using BatchClassifyFn =
+      std::function<std::vector<core::Disassembly>(const sim::TraceSet&)>;
+
+  /// Classification stage + its identity stamp, swapped and pinned as one
+  /// unit (see swap_classifier).  `fn` is required; `batch`, when absent,
+  /// falls back to looping `fn` per window.  Public so multi-tenant callers
+  /// (FleetFrontend) can pin per-batch stages for many models on one engine.
+  struct Stage {
+    ClassifyFn fn;
+    BatchClassifyFn batch;
+    std::uint64_t stamp = 0;
+  };
+  /// Stages are immutable once published and shared between the publisher,
+  /// the engine, and every in-flight job.
+  using StageRef = std::shared_ptr<const Stage>;
+
+  /// Builds a model-backed stage (classify + classify_batch closures).  The
+  /// shared_ptr keeps the model alive as long as any job can still run it.
+  static StageRef make_stage(
+      std::shared_ptr<const core::HierarchicalDisassembler> model,
+      std::uint64_t stamp = 0);
 
   /// The model must outlive the engine and is shared read-only by all
   /// workers.  An already-stopped `stop` token starts the engine stopped.
@@ -94,6 +118,30 @@ class StreamingDisassembler {
   /// capacity (backpressure).  Returns the trace's sequence number, or
   /// std::nullopt once the engine is stopped -- the trace was NOT accepted.
   std::optional<std::uint64_t> submit(sim::Trace trace);
+
+  /// Hands a coalesced batch to the pool as ONE job: a single worker runs
+  /// the whole batch through the stage's batched entry point (one
+  /// feature-extraction + classify pass amortized over N windows), and the
+  /// windows occupy sequences [ret, ret + n) in the ordinary in-order
+  /// delivery stream -- poll()/drain() interleave batched and single
+  /// submissions transparently.  `stage`, when non-null, overrides the
+  /// engine's current stage for this batch only; this is how a multi-tenant
+  /// frontend serves many models on one shared worker pool.  Blocks on the
+  /// in-flight credit like submit(); a batch larger than the whole credit is
+  /// admitted only once the engine is empty (it can never fit "partially").
+  /// Throws std::invalid_argument on an empty batch.
+  std::optional<std::uint64_t> submit_batch(sim::TraceSet traces,
+                                            StageRef stage = nullptr);
+
+  /// Non-blocking admission variant: refuses (nullopt) instead of waiting
+  /// when the batch exceeds the available in-flight credit or the engine is
+  /// stopped.  Note: with queue_capacity < max_in_flight the subsequent
+  /// queue push can still block briefly; configure queue_capacity >=
+  /// max_in_flight (the FleetFrontend shard configuration) for a hard
+  /// non-blocking guarantee -- batches then always fit the queue, because
+  /// queued jobs never hold more windows than the in-flight credit admitted.
+  std::optional<std::uint64_t> try_submit_batch(sim::TraceSet traces,
+                                                StageRef stage = nullptr);
 
   /// Next in-order result if it is ready; non-blocking.  Results complete
   /// out of order internally but are only ever emitted in submission order.
@@ -129,6 +177,13 @@ class StreamingDisassembler {
   /// swap), like the constructor's.
   void swap_model(const core::HierarchicalDisassembler& model,
                   std::uint64_t stamp = 0);
+  /// Shared-ownership overload: publishes classify AND classify_batch
+  /// closures that co-own the model, so batched submissions keep their fast
+  /// path across hot-swaps and the model lives exactly as long as some job
+  /// can still pin its stage.  The RecalibrationScheduler publishes through
+  /// this.
+  void swap_model(std::shared_ptr<const core::HierarchicalDisassembler> model,
+                  std::uint64_t stamp = 0);
 
   /// Drift-loop telemetry, recorded by the RecalibrationScheduler (or any
   /// external drift controller).  Safe from any thread.
@@ -139,12 +194,21 @@ class StreamingDisassembler {
   RuntimeStats stats() const;
 
   std::size_t workers() const { return threads_.size(); }
+  /// Accepted-but-not-yet-classified windows right now (in-flight credit in
+  /// use).  A single-producer caller (FleetFrontend owns its shard engines
+  /// exclusively) can treat `max_in_flight() - in_flight()` as guaranteed
+  /// admission room.
+  std::size_t in_flight() const;
+  std::size_t max_in_flight() const { return config_.max_in_flight; }
 
  private:
   using Clock = std::chrono::steady_clock;
+  /// One unit of worker work: a single window or a coalesced batch.  The
+  /// batch spans sequences [sequence, sequence + traces.size()).
   struct Job {
     std::uint64_t sequence = 0;
-    sim::Trace trace;
+    sim::TraceSet traces;
+    StageRef stage;  ///< batch-pinned stage; null = engine stage at pickup
     Clock::time_point submitted_at;
   };
   struct Pending {
@@ -152,21 +216,18 @@ class StreamingDisassembler {
     Clock::time_point submitted_at;
     std::uint64_t model_stamp = 0;
   };
-  /// Classification stage + its identity stamp, swapped and pinned as one
-  /// unit (see swap_classifier).
-  struct Stage {
-    ClassifyFn fn;
-    std::uint64_t stamp = 0;
-  };
 
   void worker_loop();
+  /// Shared admission path of submit/submit_batch/try_submit_batch.
+  std::optional<std::uint64_t> enqueue(sim::TraceSet traces, StageRef stage,
+                                       bool blocking, bool batched);
   /// Pops ready in-order results into `out`; caller holds mutex_.
   void collect_ready_locked(std::vector<StreamResult>& out);
 
   /// Shared with workers job-by-job: each pickup copies the pointer under
   /// mutex_, so a swap never frees a stage mid-classification and the
   /// (function, stamp) pair stays coherent.
-  std::shared_ptr<const Stage> classify_;
+  StageRef classify_;
   StreamingConfig config_;
   BoundedQueue<Job> queue_;
 
@@ -184,6 +245,8 @@ class StreamingDisassembler {
   std::uint64_t recal_traces_spent_ = 0;
   std::uint64_t rejected_ = 0;  ///< results with Verdict::kRejected
   std::uint64_t degraded_ = 0;  ///< results with Verdict::kDegraded
+  std::uint64_t batches_submitted_ = 0;  ///< submit_batch calls accepted
+  std::uint64_t batch_windows_ = 0;      ///< windows they carried
   std::uint64_t faulted_ = 0;   ///< submitted windows with fault_severity > 0
   double fault_severity_sum_ = 0.0;
   double max_fault_severity_ = 0.0;

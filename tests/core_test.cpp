@@ -111,6 +111,106 @@ TEST_F(CoreFixture, RegisterLevelRecoversOperands) {
   EXPECT_GE(rr_hits, n * 7 / 10);
 }
 
+TEST_F(CoreFixture, BatchClassifyIsBitIdenticalToPerWindowClassify) {
+  ProfilingData data;
+  for (avr::Mnemonic m :
+       {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi, avr::Mnemonic::kCom}) {
+    data.classes[*avr::class_index(m)] = capture(m, 60);
+  }
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 10;
+  cfg.group_components = 8;
+  cfg.instruction_components = 8;
+  auto model = HierarchicalDisassembler::train(data, cfg);
+  model.calibrate_reject(data, RejectOperatingPoint::kBalanced);
+
+  sim::TraceSet eval;
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t cls =
+        *avr::class_index(i % 2 == 0 ? avr::Mnemonic::kAdd : avr::Mnemonic::kLdi);
+    eval.push_back(campaign.capture_trace(avr::random_instance(cls, rng),
+                                          sim::ProgramContext::make(i % 4), rng));
+  }
+  // The batched entry point shares one workspace and one normalization pass
+  // per window across levels -- but runs the identical arithmetic, so every
+  // field down to the gate headrooms must be bit-equal to the per-window
+  // path.  This is what makes batch *grouping* (a scheduling accident in the
+  // fleet runtime) invisible in the results.
+  const std::vector<Disassembly> batched = model.classify_batch(eval);
+  ASSERT_EQ(batched.size(), eval.size());
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    const Disassembly single = model.classify(eval[i]);
+    EXPECT_EQ(batched[i].group, single.group) << "window " << i;
+    EXPECT_EQ(batched[i].class_idx, single.class_idx) << "window " << i;
+    EXPECT_EQ(batched[i].rd, single.rd) << "window " << i;
+    EXPECT_EQ(batched[i].rr, single.rr) << "window " << i;
+    EXPECT_EQ(batched[i].verdict, single.verdict) << "window " << i;
+    EXPECT_EQ(batched[i].margin_headroom, single.margin_headroom) << "window " << i;
+    EXPECT_EQ(batched[i].score_headroom, single.score_headroom) << "window " << i;
+  }
+  EXPECT_TRUE(model.classify_batch({}).empty());
+}
+
+TEST_F(CoreFixture, NamedRejectOperatingPointsNestMonotonically) {
+  ProfilingData data;
+  for (avr::Mnemonic m :
+       {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi, avr::Mnemonic::kCom}) {
+    data.classes[*avr::class_index(m)] = capture(m, 60);
+  }
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 10;
+  cfg.group_components = 8;
+  cfg.instruction_components = 8;
+  auto model = HierarchicalDisassembler::train(data, cfg);
+
+  // Eval mixes clean windows with off-distribution ones (a different process
+  // corner and session) so the gates have something to trip on.
+  sim::AcquisitionCampaign corner{sim::DeviceModel::make(7),
+                                  sim::SessionContext::make(3)};
+  sim::TraceSet eval;
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t cls =
+        *avr::class_index(i % 2 == 0 ? avr::Mnemonic::kAdd : avr::Mnemonic::kCom);
+    eval.push_back(campaign.capture_trace(avr::random_instance(cls, rng),
+                                          sim::ProgramContext::make(i % 4), rng));
+    eval.push_back(corner.capture_trace(avr::random_instance(cls, rng),
+                                        sim::ProgramContext::make(i % 4), rng));
+  }
+
+  // A stricter point places every gate floor at a higher clean quantile with
+  // less slack, so its rejection set must CONTAIN every looser point's --
+  // rejecting a window at "monitoring" but accepting it at "strict" would
+  // make the presets incoherent as an escalation ladder.
+  const RejectOperatingPoint ladder[] = {RejectOperatingPoint::kMonitoring,
+                                         RejectOperatingPoint::kBalanced,
+                                         RejectOperatingPoint::kStrict};
+  std::vector<std::vector<bool>> flagged;
+  for (const RejectOperatingPoint point : ladder) {
+    model.calibrate_reject(data, point);
+    EXPECT_EQ(model.reject_operating_point(), point);
+    std::vector<bool> f;
+    f.reserve(eval.size());
+    for (const sim::Trace& t : eval) {
+      f.push_back(model.classify(t).verdict != Verdict::kOk);
+    }
+    flagged.push_back(std::move(f));
+  }
+  for (std::size_t p = 1; p < flagged.size(); ++p) {
+    for (std::size_t i = 0; i < eval.size(); ++i) {
+      if (flagged[p - 1][i]) {
+        EXPECT_TRUE(flagged[p][i])
+            << "window " << i << " flagged at ladder step " << p - 1
+            << " but clean at stricter step " << p;
+      }
+    }
+  }
+  // kCustom names the absence of a preset -- it has no quantiles to hand out.
+  EXPECT_THROW(reject_config_for(RejectOperatingPoint::kCustom),
+               std::invalid_argument);
+}
+
 TEST_F(CoreFixture, TrainRejectsEmptyCorpus) {
   ProfilingData data;
   EXPECT_THROW(HierarchicalDisassembler::train(data), std::invalid_argument);

@@ -139,9 +139,9 @@ TEST_F(DriftFixture, V2ArchiveLoadsWithEmptyMoments) {
   std::string archive = ss.str();
   // Rewrite the header version; the v2 reader stops before the moments
   // trailer, which then simply goes unread.
-  const std::string v3_header = "sidis-template 3";
-  ASSERT_EQ(archive.rfind(v3_header, 0), 0u);
-  archive.replace(0, v3_header.size(), "sidis-template 2");
+  const std::string current_header = "sidis-template 4";
+  ASSERT_EQ(archive.rfind(current_header, 0), 0u);
+  archive.replace(0, current_header.size(), "sidis-template 2");
   std::stringstream old(archive);
   const core::HierarchicalDisassembler loaded = core::load_disassembler(old);
   EXPECT_FALSE(loaded.has_training_moments());
@@ -538,6 +538,33 @@ class DriftLoopFixture : public DriftFixture {
     p.trace_budget = 72;  // four rounds of 6 x 3 classes
     return p;
   }
+
+  /// Drives a persistent synthetic mean shift through monitor + scheduler
+  /// until `events` alarms have been consumed; returns the outcomes in
+  /// order.  The shift survives every renorm publish (the fed vectors stay
+  /// displaced from the training moments no matter what the pipeline scalers
+  /// do), so the monitor re-fires as soon as its own cooldown allows -- the
+  /// exact situation the escalation policy exists for.
+  static std::vector<RecalOutcome> run_escalation_loop(
+      RecalPolicy policy, const core::ProfilingData& base, std::size_t events) {
+    sim::AcquisitionCampaign clean{sim::DeviceModel::make(0),
+                                   sim::SessionContext::make(0)};
+    StreamingDisassembler engine(
+        [m = model()](const sim::Trace& t) { return m->classify(t); });
+    CampaignCalibrationSource source(clean, drift_classes(), 3, 0xe5ca1a7e);
+    RecalibrationScheduler scheduler(engine, model(), source, policy, nullptr,
+                                     &base);
+    DriftMonitor monitor(model());
+    std::mt19937_64 rng{0x5ca1e};
+    std::vector<RecalOutcome> outcomes;
+    for (std::size_t fed = 0; outcomes.size() < events && fed < 4000; ++fed) {
+      monitor.observe_features(synthetic_vector(rng, 1.5, 1.0), false);
+      if (const auto event = monitor.poll_event()) {
+        outcomes.push_back(scheduler.on_drift(*event, monitor));
+      }
+    }
+    return outcomes;
+  }
 };
 
 TEST_F(DriftLoopFixture, CleanStreamRaisesNoEventsAndSpendsNothing) {
@@ -746,6 +773,55 @@ TEST_F(DriftLoopFixture, RefitModeNeedsABaseCorpusAndThenWorks) {
   // onto it without throwing).
   EXPECT_TRUE(scheduler.active_model()->has_training_moments());
   EXPECT_EQ(monitor.observations(), 0u);  // rebased
+}
+
+TEST_F(DriftLoopFixture, RenormEscalatesToRefitWhenTheAlarmRefiresBackToBack) {
+  const core::ProfilingData base = profile_clean(20);
+  RecalPolicy policy = default_policy();
+  policy.escalate_to_refit = true;
+
+  // The escalation arm runs refit_classifiers, so the base corpus is as
+  // mandatory as for mode == kRefit.
+  {
+    sim::AcquisitionCampaign clean{sim::DeviceModel::make(0),
+                                   sim::SessionContext::make(0)};
+    StreamingDisassembler engine(
+        [m = model()](const sim::Trace& t) { return m->classify(t); });
+    CampaignCalibrationSource source(clean, drift_classes(), 3, 0xe5);
+    EXPECT_THROW(RecalibrationScheduler(engine, model(), source, policy),
+                 std::invalid_argument);
+  }
+
+  const std::vector<RecalOutcome> outcomes = run_escalation_loop(policy, base, 2);
+  ASSERT_EQ(outcomes.size(), 2u) << "persistent shift re-alarmed fewer than twice";
+  // First event: the cheap arm, as configured.
+  EXPECT_TRUE(outcomes[0].performed) << outcomes[0].reason;
+  EXPECT_EQ(outcomes[0].mode, core::RecalMode::kRenorm);
+  EXPECT_FALSE(outcomes[0].escalated);
+  // Second event fires at the rebased monitor's earliest honest moment --
+  // inside the default escalation window -- so the scheduler concludes the
+  // renorm did not take and runs the refit arm instead.
+  EXPECT_TRUE(outcomes[1].performed) << outcomes[1].reason;
+  EXPECT_EQ(outcomes[1].mode, core::RecalMode::kRefit);
+  EXPECT_TRUE(outcomes[1].escalated);
+}
+
+TEST_F(DriftLoopFixture, EscalationWindowBoundsWhatCountsAsBackToBack) {
+  const core::ProfilingData base = profile_clean(20);
+  RecalPolicy policy = default_policy();
+  policy.escalate_to_refit = true;
+  // Earliest honest re-fire after a rebase is cooldown (64) observations
+  // away; a 10-observation window therefore never classifies it as
+  // back-to-back, and the policy's configured arm keeps running.
+  policy.escalation_window = 10;
+
+  const std::vector<RecalOutcome> outcomes = run_escalation_loop(policy, base, 2);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].performed) << outcomes[i].reason;
+    EXPECT_EQ(outcomes[i].mode, core::RecalMode::kRenorm) << "event " << i;
+    EXPECT_FALSE(outcomes[i].escalated) << "event " << i;
+  }
 }
 
 }  // namespace

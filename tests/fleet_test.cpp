@@ -1,0 +1,529 @@
+// Fleet frontend battery: multi-tenant stream routing over shared shards.
+//
+// Contracts pinned here: per-stream in-order delivery under adversarial
+// completion order, bit-identical results at any shard worker count (batch
+// grouping is a scheduling accident, classification is not), admission
+// control accounting (delivered + shed == admitted, both policies),
+// per-stream drift-monitor isolation, registry-resolved model sharing with
+// coherent result stamps, and actual coalescing through the batched engine
+// entry point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <random>
+#include <thread>
+
+#include "avr/grouping.hpp"
+#include "core/csa.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/registry.hpp"
+#include "sim/acquisition.hpp"
+
+namespace sidis::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+// -- stub-stage helpers ------------------------------------------------------
+
+sim::Trace tagged_trace(int tag) {
+  sim::Trace t;
+  t.samples = {0.0};
+  t.meta.program_id = tag;
+  return t;
+}
+
+/// Stage that echoes the window's tag into class_idx after an adversarial,
+/// order-inverting delay -- late submissions finish first.
+StreamingDisassembler::StageRef echo_stage() {
+  StreamingDisassembler::ClassifyFn fn = [](const sim::Trace& t) {
+    const auto tag = static_cast<std::size_t>(t.meta.program_id);
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * (7 - tag % 7)));
+    core::Disassembly d;
+    d.class_idx = tag;
+    return d;
+  };
+  return std::make_shared<const StreamingDisassembler::Stage>(
+      StreamingDisassembler::Stage{std::move(fn), nullptr, 0});
+}
+
+/// Stage that blocks every classification until `release` flips -- lets a
+/// test wedge the shard engine and exercise admission control on a backlog
+/// that cannot drain.
+StreamingDisassembler::StageRef gated_stage(std::atomic<bool>* release) {
+  StreamingDisassembler::ClassifyFn fn = [release](const sim::Trace& t) {
+    while (!release->load()) std::this_thread::sleep_for(1ms);
+    core::Disassembly d;
+    d.class_idx = static_cast<std::size_t>(t.meta.program_id);
+    return d;
+  };
+  return std::make_shared<const StreamingDisassembler::Stage>(
+      StreamingDisassembler::Stage{std::move(fn), nullptr, 0});
+}
+
+// -- model fixture -----------------------------------------------------------
+
+class FleetModelFixture : public ::testing::Test {
+ protected:
+  /// One trained 3-class model with training moments and armed reject
+  /// gates, shared across the suite.
+  static std::shared_ptr<const core::HierarchicalDisassembler> model() {
+    static const std::shared_ptr<const core::HierarchicalDisassembler> m = [] {
+      sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                        sim::SessionContext::make(0)};
+      std::mt19937_64 rng{41};
+      core::ProfilingData data;
+      for (avr::Mnemonic mn :
+           {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi, avr::Mnemonic::kCom}) {
+        data.classes[*avr::class_index(mn)] =
+            campaign.capture_class(*avr::class_index(mn), 50, 5, rng);
+      }
+      core::HierarchicalConfig cfg;
+      cfg.pipeline = core::csa_config();
+      cfg.pipeline.pca_components = 10;
+      cfg.group_components = 8;
+      cfg.instruction_components = 8;
+      auto trained = std::make_shared<core::HierarchicalDisassembler>(
+          core::HierarchicalDisassembler::train(data, cfg));
+      trained->calibrate_reject(data, core::RejectOperatingPoint::kMonitoring);
+      return std::static_pointer_cast<const core::HierarchicalDisassembler>(trained);
+    }();
+    return m;
+  }
+
+  /// `n` windows with classes rotating over the profiled set, captured on
+  /// `campaign` at fixed drift `progress`.
+  static sim::TraceSet windows_on(const sim::AcquisitionCampaign& campaign,
+                                  std::size_t n, std::uint64_t seed,
+                                  double progress) {
+    static const std::vector<std::size_t> classes = {
+        *avr::class_index(avr::Mnemonic::kAdd),
+        *avr::class_index(avr::Mnemonic::kLdi),
+        *avr::class_index(avr::Mnemonic::kCom)};
+    std::mt19937_64 rng{seed};
+    sim::TraceSet out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(campaign.capture_trace(
+          avr::random_instance(classes[i % classes.size()], rng, {}),
+          sim::ProgramContext::make(static_cast<int>(i % 4)), rng, progress));
+    }
+    return out;
+  }
+
+  static sim::TraceSet clean_windows(std::size_t n, std::uint64_t seed) {
+    sim::AcquisitionCampaign clean{sim::DeviceModel::make(0),
+                                   sim::SessionContext::make(0)};
+    return windows_on(clean, n, seed, 0.0);
+  }
+
+  /// Admits `trace`, polling the stream's ready queue to free credit when
+  /// the submit is refused -- the well-behaved tenant loop.
+  static void submit_pumping(FleetFrontend& fleet, FleetFrontend::StreamId id,
+                             const sim::Trace& trace,
+                             std::vector<FleetResult>* delivered) {
+    for (;;) {
+      const AdmitResult r = fleet.submit(id, trace);
+      if (r.accepted()) return;
+      ASSERT_EQ(r.status, AdmitStatus::kRejected);
+      bool drained = false;
+      while (auto polled = fleet.poll(id)) {
+        if (delivered != nullptr) delivered->push_back(std::move(*polled));
+        drained = true;
+      }
+      if (!drained) std::this_thread::yield();
+    }
+  }
+};
+
+// -- multi-stream ordering ---------------------------------------------------
+
+TEST(Fleet, PerStreamDeliveryIsInOrderUnderAdversarialCompletion) {
+  FleetConfig cfg;
+  cfg.shards = 2;
+  cfg.workers_per_shard = 2;
+  cfg.batch_max = 4;
+  cfg.stream_credit = 16;
+  FleetFrontend fleet(echo_stage(), cfg);
+
+  constexpr std::size_t kStreams = 6;
+  constexpr int kWindows = 12;
+  std::vector<FleetFrontend::StreamId> ids;
+  for (std::size_t s = 0; s < kStreams; ++s) ids.push_back(fleet.open_stream());
+
+  // Interleave submissions across streams so shard queues genuinely mix
+  // tenants; every admit must hand out this stream's next sequence.
+  for (int i = 0; i < kWindows; ++i) {
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      const AdmitResult r =
+          fleet.submit(ids[s], tagged_trace(static_cast<int>(s) * 100 + i));
+      ASSERT_TRUE(r.accepted());
+      EXPECT_EQ(r.stream_sequence, static_cast<std::uint64_t>(i));
+    }
+  }
+
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    std::vector<FleetResult> got;
+    while (auto r = fleet.poll(ids[s])) got.push_back(std::move(*r));
+    for (FleetResult& r : fleet.close_stream(ids[s])) got.push_back(std::move(r));
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kWindows)) << "stream " << s;
+    for (int i = 0; i < kWindows; ++i) {
+      EXPECT_EQ(got[i].stream_sequence, static_cast<std::uint64_t>(i))
+          << "stream " << s << " delivered out of order";
+      EXPECT_EQ(got[i].value.class_idx, s * 100 + static_cast<std::size_t>(i))
+          << "stream " << s << " got another stream's result";
+    }
+  }
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.streams_opened, kStreams);
+  EXPECT_EQ(stats.streams_closed, kStreams);
+  EXPECT_EQ(stats.streams_live, 0u);
+  EXPECT_EQ(stats.windows_admitted, kStreams * kWindows);
+  EXPECT_EQ(stats.windows_delivered, kStreams * kWindows);
+  EXPECT_EQ(stats.windows_shed, 0u);
+  EXPECT_EQ(stats.windows_rejected, 0u);
+  EXPECT_EQ(stats.admit_to_deliver.count(), kStreams * kWindows);
+
+  // Closed handles are dead: submits refuse, close is idempotent.
+  EXPECT_EQ(fleet.submit(ids[0], tagged_trace(0)).status, AdmitStatus::kClosed);
+  EXPECT_TRUE(fleet.close_stream(ids[0]).empty());
+  EXPECT_FALSE(fleet.poll(ids[0]).has_value());
+}
+
+// -- worker-count invariance -------------------------------------------------
+
+TEST_F(FleetModelFixture, ResultsAreBitIdenticalAcrossShardWorkerCounts) {
+  constexpr std::size_t kStreams = 6;
+  constexpr std::size_t kWindows = 10;
+  std::vector<sim::TraceSet> per_stream;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    per_stream.push_back(clean_windows(kWindows, 0x1000 + s));
+  }
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    SCOPED_TRACE("workers_per_shard=" + std::to_string(workers));
+    FleetConfig cfg;
+    cfg.shards = 2;
+    cfg.workers_per_shard = workers;
+    cfg.batch_max = 4;
+    cfg.stream_credit = 16;
+    FleetFrontend fleet(model(), cfg);
+
+    std::vector<FleetFrontend::StreamId> ids;
+    for (std::size_t s = 0; s < kStreams; ++s) ids.push_back(fleet.open_stream());
+    for (std::size_t i = 0; i < kWindows; ++i) {
+      for (std::size_t s = 0; s < kStreams; ++s) {
+        ASSERT_TRUE(fleet.submit(ids[s], per_stream[s][i]).accepted());
+      }
+    }
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      std::vector<FleetResult> got;
+      while (auto r = fleet.poll(ids[s])) got.push_back(std::move(*r));
+      for (FleetResult& r : fleet.close_stream(ids[s])) got.push_back(std::move(r));
+      ASSERT_EQ(got.size(), kWindows);
+      // Batch grouping depends on worker timing; the results must not.  The
+      // reference is the serial per-window classify -- agreeing with it at
+      // every worker count proves both correctness and invariance.
+      for (std::size_t i = 0; i < kWindows; ++i) {
+        const core::Disassembly serial = model()->classify(per_stream[s][i]);
+        ASSERT_EQ(got[i].stream_sequence, i);
+        EXPECT_EQ(got[i].value.group, serial.group);
+        EXPECT_EQ(got[i].value.class_idx, serial.class_idx);
+        EXPECT_EQ(got[i].value.verdict, serial.verdict);
+        EXPECT_EQ(got[i].value.margin_headroom, serial.margin_headroom);
+        EXPECT_EQ(got[i].value.score_headroom, serial.score_headroom);
+        EXPECT_EQ(got[i].model_stamp, 0u);  // default stage is unstamped
+      }
+    }
+  }
+}
+
+// -- admission control -------------------------------------------------------
+
+TEST(Fleet, ShedOldestReclaimsCreditAndTheLedgerCloses) {
+  std::atomic<bool> release{false};
+  FleetConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 1;
+  cfg.batch_max = 1;
+  cfg.shard_depth = 1;  // one window in the engine, the rest stays pending
+  cfg.stream_credit = 4;
+  cfg.admission = AdmissionPolicy::kShedOldest;
+  FleetFrontend fleet(gated_stage(&release), cfg);
+  const auto id = fleet.open_stream();
+
+  constexpr int kSubmits = 20;
+  std::size_t accepted = 0, shed_admits = 0;
+  for (int i = 0; i < kSubmits; ++i) {
+    const AdmitResult r = fleet.submit(id, tagged_trace(i));
+    ASSERT_TRUE(r.accepted()) << "shed-oldest refused window " << i;
+    ++accepted;
+    if (r.status == AdmitStatus::kAcceptedShedOldest) ++shed_admits;
+  }
+  // Credit 4: the first 4 admits are clean, every later one sheds an older
+  // window to make room.
+  EXPECT_EQ(accepted, static_cast<std::size_t>(kSubmits));
+  EXPECT_EQ(shed_admits, static_cast<std::size_t>(kSubmits) - cfg.stream_credit);
+
+  StreamStats mid = fleet.stream_stats(id);
+  EXPECT_EQ(mid.windows_admitted, static_cast<std::uint64_t>(kSubmits));
+  EXPECT_EQ(mid.windows_shed, static_cast<std::uint64_t>(kSubmits) - cfg.stream_credit);
+  EXPECT_EQ(mid.outstanding, cfg.stream_credit);
+
+  release.store(true);
+  std::vector<FleetResult> got;
+  while (got.size() < cfg.stream_credit) {
+    if (auto r = fleet.poll(id)) {
+      got.push_back(std::move(*r));
+    } else {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  // Ledger: every admitted window is exactly one of delivered / shed, and
+  // the survivors arrive in (gappy but ascending) sequence order.  The
+  // window inside the engine was never sheddable, so sequence 0 survived.
+  EXPECT_EQ(got.front().stream_sequence, 0u);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GT(got[i].stream_sequence, got[i - 1].stream_sequence);
+  }
+  const StreamStats fin = fleet.stream_stats(id);
+  EXPECT_EQ(fin.windows_delivered + fin.windows_shed, fin.windows_admitted);
+  EXPECT_EQ(fin.outstanding, 0u);
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.windows_shed, fin.windows_shed);
+  EXPECT_EQ(stats.runtime.windows_shed, fin.windows_shed)
+      << "frontend shed count not mirrored into the runtime record";
+}
+
+TEST(Fleet, RejectNewRefusesOverCreditAndPreservesTheBacklog) {
+  std::atomic<bool> release{false};
+  FleetConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 1;
+  cfg.batch_max = 1;
+  cfg.shard_depth = 1;
+  cfg.stream_credit = 4;
+  cfg.admission = AdmissionPolicy::kRejectNew;
+  FleetFrontend fleet(gated_stage(&release), cfg);
+  const auto id = fleet.open_stream();
+
+  std::size_t accepted = 0, rejected = 0;
+  for (int i = 0; i < 20; ++i) {
+    const AdmitResult r = fleet.submit(id, tagged_trace(i));
+    if (r.accepted()) {
+      ++accepted;
+      EXPECT_EQ(r.status, AdmitStatus::kAccepted) << "reject-new must never shed";
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted, cfg.stream_credit);
+  EXPECT_EQ(rejected, 20u - cfg.stream_credit);
+
+  release.store(true);
+  const std::vector<FleetResult> tail = fleet.close_stream(id);
+  std::size_t delivered = tail.size();
+  // The accepted backlog survives intact and in order: sequences 0..3.
+  ASSERT_EQ(delivered, accepted);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].stream_sequence, i);
+  }
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.windows_rejected, 20u - cfg.stream_credit);
+  EXPECT_EQ(stats.runtime.windows_rejected, stats.windows_rejected);
+  EXPECT_EQ(stats.windows_shed, 0u);
+}
+
+// -- coalescing --------------------------------------------------------------
+
+TEST(Fleet, BackloggedStreamsCoalesceIntoMultiWindowBatches) {
+  std::atomic<bool> release{false};
+  FleetConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 1;
+  cfg.batch_max = 8;
+  cfg.shard_depth = 8;
+  cfg.stream_credit = 32;
+  FleetFrontend fleet(gated_stage(&release), cfg);
+
+  constexpr std::size_t kStreams = 8;
+  constexpr int kWindows = 20;
+  std::vector<FleetFrontend::StreamId> ids;
+  for (std::size_t s = 0; s < kStreams; ++s) ids.push_back(fleet.open_stream());
+  // Wedge the worker so pending windows pile up behind the first dispatches,
+  // then release: the dispatcher must drain the backlog through coalesced
+  // submit_batch calls, one window per stream per batch (fairness).
+  for (int i = 0; i < kWindows; ++i) {
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      ASSERT_TRUE(
+          fleet.submit(ids[s], tagged_trace(static_cast<int>(s) * 1000 + i))
+              .accepted());
+    }
+  }
+  release.store(true);
+
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    std::vector<FleetResult> got;
+    while (auto r = fleet.poll(ids[s])) got.push_back(std::move(*r));
+    for (FleetResult& r : fleet.close_stream(ids[s])) got.push_back(std::move(r));
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kWindows));
+    for (int i = 0; i < kWindows; ++i) {
+      EXPECT_EQ(got[i].value.class_idx, s * 1000 + static_cast<std::size_t>(i));
+    }
+    total += got.size();
+  }
+  EXPECT_EQ(total, kStreams * kWindows);
+
+  const RuntimeStats rt = fleet.stats().runtime;
+  EXPECT_EQ(rt.batch_windows, kStreams * kWindows);
+  ASSERT_GT(rt.batches_submitted, 0u);
+  const double coalescing = static_cast<double>(rt.batch_windows) /
+                            static_cast<double>(rt.batches_submitted);
+  EXPECT_GT(coalescing, 1.5)
+      << "a wedged shard with 8 backlogged streams should produce "
+         "multi-window batches, got factor "
+      << coalescing;
+}
+
+// -- drift isolation ---------------------------------------------------------
+
+TEST_F(FleetModelFixture, DriftMonitorsAreIsolatedPerStream) {
+  FleetConfig cfg;
+  cfg.shards = 1;
+  cfg.workers_per_shard = 2;
+  cfg.batch_max = 4;
+  cfg.stream_credit = 16;
+  FleetFrontend fleet(model(), cfg);
+
+  StreamOptions monitored;
+  monitored.monitor_drift = true;
+  const auto drifted_id = fleet.open_stream(monitored);
+  const auto clean_id = fleet.open_stream(monitored);
+
+  // One tenant's acquisition chain has aged hard; its neighbor is healthy.
+  sim::DeviceModel aged = sim::DeviceModel::make(0);
+  aged.aging_gain_drift = 0.35;
+  sim::AcquisitionCampaign drifting{aged, sim::SessionContext::make(0)};
+  constexpr std::size_t kWindows = 140;
+  const sim::TraceSet drifted_windows = windows_on(drifting, kWindows, 0xd1f7, 1.0);
+  const sim::TraceSet clean = clean_windows(kWindows, 0xc1ea);
+
+  std::vector<FleetResult> sink;
+  std::size_t drifted_events = 0, clean_events = 0;
+  for (std::size_t i = 0; i < kWindows; ++i) {
+    submit_pumping(fleet, drifted_id, drifted_windows[i], &sink);
+    submit_pumping(fleet, clean_id, clean[i], &sink);
+    while (fleet.poll(drifted_id)) {
+    }
+    while (fleet.poll(clean_id)) {
+    }
+    while (fleet.poll_drift_event(drifted_id)) ++drifted_events;
+    while (fleet.poll_drift_event(clean_id)) ++clean_events;
+  }
+  // Wait out the in-flight tail so every window has passed its monitor, then
+  // take the final per-stream event counts.
+  const auto drain = [&](FleetFrontend::StreamId id) {
+    for (;;) {
+      while (fleet.poll(id)) {
+      }
+      const StreamStats ss = fleet.stream_stats(id);
+      if (ss.windows_delivered == ss.windows_admitted) return;
+      std::this_thread::sleep_for(1ms);
+    }
+  };
+  drain(drifted_id);
+  drain(clean_id);
+  while (fleet.poll_drift_event(drifted_id)) ++drifted_events;
+  while (fleet.poll_drift_event(clean_id)) ++clean_events;
+  EXPECT_EQ(fleet.stream_stats(drifted_id).drift_events, drifted_events);
+  EXPECT_EQ(fleet.stream_stats(clean_id).drift_events, clean_events);
+  fleet.close_stream(drifted_id);
+  fleet.close_stream(clean_id);
+  const FleetStats stats = fleet.stats();
+
+  EXPECT_GE(drifted_events, 1u)
+      << "fully drifted stream never raised a drift event";
+  EXPECT_EQ(clean_events, 0u)
+      << "clean stream caught its neighbor's drift -- monitors not isolated";
+  EXPECT_EQ(stats.drift_events, drifted_events + clean_events);
+}
+
+// -- registry resolution -----------------------------------------------------
+
+class FleetRegistryFixture : public FleetModelFixture {
+ protected:
+  static std::filesystem::path fresh_root(const std::string& tag) {
+    const auto root =
+        std::filesystem::path(::testing::TempDir()) / ("sidis_fleet_" + tag);
+    std::filesystem::remove_all(root);
+    return root;
+  }
+};
+
+TEST_F(FleetRegistryFixture, StreamsShareOneModelPerArtifactAndStampResults) {
+  ModelRegistry registry(fresh_root("share"));
+  registry.save("tenant-model", *model());  // v1
+  registry.save("tenant-model", *model());  // v2 (same content, distinct artifact)
+  const std::uint64_t v1_checksum = registry.info("tenant-model", 1).checksum;
+  const std::uint64_t v2_checksum = registry.info("tenant-model", 2).checksum;
+
+  FleetConfig cfg;
+  cfg.shards = 2;
+  cfg.workers_per_shard = 1;
+  FleetFrontend fleet(model(), cfg, &registry);
+
+  StreamOptions latest;
+  latest.model_name = "tenant-model";
+  StreamOptions pinned_v1;
+  pinned_v1.model_name = "tenant-model";
+  pinned_v1.model_version = 1;
+
+  const auto a = fleet.open_stream(latest);    // resolves latest -> v2
+  const auto b = fleet.open_stream(latest);    // shares v2, no second load
+  const auto c = fleet.open_stream(pinned_v1); // distinct artifact
+  EXPECT_EQ(fleet.stats().models_cached, 2u);
+
+  const sim::TraceSet probes = clean_windows(4, 0x9e9);
+  for (const sim::Trace& t : probes) {
+    ASSERT_TRUE(fleet.submit(a, t).accepted());
+    ASSERT_TRUE(fleet.submit(b, t).accepted());
+    ASSERT_TRUE(fleet.submit(c, t).accepted());
+  }
+  const auto check_stamps = [&](FleetFrontend::StreamId id, std::uint64_t want) {
+    const std::vector<FleetResult> got = fleet.close_stream(id);
+    ASSERT_EQ(got.size(), probes.size());
+    for (const FleetResult& r : got) {
+      EXPECT_EQ(r.model_stamp, want)
+          << "result not stamped with its serving artifact's checksum";
+    }
+  };
+  check_stamps(a, v2_checksum);
+  check_stamps(b, v2_checksum);
+  check_stamps(c, v1_checksum);
+
+  // Unresolvable options fail loudly at open time, not at classify time.
+  StreamOptions unknown;
+  unknown.model_name = "no-such-bundle";
+  EXPECT_THROW(fleet.open_stream(unknown), std::runtime_error);
+}
+
+TEST(Fleet, OpenStreamRejectsUnresolvableOptions) {
+  FleetFrontend fleet(echo_stage(), {});
+  // Named model without a registry: nothing to resolve against.
+  StreamOptions named;
+  named.model_name = "anything";
+  EXPECT_THROW(fleet.open_stream(named), std::invalid_argument);
+  // Drift monitoring on a stage-backed default stream: no model to project
+  // monitor features through.
+  StreamOptions monitored;
+  monitored.monitor_drift = true;
+  EXPECT_THROW(fleet.open_stream(monitored), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sidis::runtime

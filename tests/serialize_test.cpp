@@ -132,6 +132,49 @@ TEST_F(SerializeFixture, DisassemblerRoundTripClassifiesIdentically) {
   }
 }
 
+TEST_F(SerializeFixture, RejectOperatingPointRoundTripsAndDowngradesToCustom) {
+  ProfilingData data;
+  for (avr::Mnemonic m : {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi, avr::Mnemonic::kCom}) {
+    data.classes[*avr::class_index(m)] =
+        campaign.capture_class(*avr::class_index(m), 60, 5, rng);
+  }
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 10;
+  cfg.group_components = 8;
+  cfg.instruction_components = 8;
+  auto original = HierarchicalDisassembler::train(data, cfg);
+  original.calibrate_reject(data, RejectOperatingPoint::kBalanced);
+  ASSERT_TRUE(original.reject_calibrated());
+  ASSERT_EQ(original.reject_operating_point(), RejectOperatingPoint::kBalanced);
+
+  std::stringstream ss;
+  save_disassembler(ss, original);
+  const auto restored = load_disassembler(ss);
+  EXPECT_EQ(restored.reject_operating_point(), RejectOperatingPoint::kBalanced);
+
+  // An explicit RejectConfig is a custom point, and stays one across the trip.
+  auto custom = HierarchicalDisassembler::train(data, cfg);
+  custom.calibrate_reject(data, RejectConfig{});
+  EXPECT_EQ(custom.reject_operating_point(), RejectOperatingPoint::kCustom);
+  std::stringstream cs;
+  save_disassembler(cs, custom);
+  EXPECT_EQ(load_disassembler(cs).reject_operating_point(),
+            RejectOperatingPoint::kCustom);
+
+  // A pre-v4 archive has no operating-point trailer: the gates still arm,
+  // the point downgrades to kCustom (we cannot know which preset, if any,
+  // produced the stored floors).
+  std::string archive = ss.str();
+  const std::string current_header = "sidis-template 4";
+  ASSERT_EQ(archive.rfind(current_header, 0), 0u);
+  archive.replace(0, current_header.size(), "sidis-template 3");
+  std::stringstream old(archive);
+  const auto legacy = load_disassembler(old);
+  EXPECT_TRUE(legacy.reject_calibrated());
+  EXPECT_EQ(legacy.reject_operating_point(), RejectOperatingPoint::kCustom);
+}
+
 TEST_F(SerializeFixture, NonQdaModelRefusesToPersist) {
   ProfilingData data;
   for (avr::Mnemonic m : {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi}) {
