@@ -1,0 +1,237 @@
+// Scalar-vs-batch classification throughput -- the acceptance gate of the
+// batch-vectorized hot path.  The same eval windows run through classify()
+// one at a time and through classify_batch() at batch sizes 1/16/64; before
+// any timing is trusted, every batched result is checked bit-identical to
+// the scalar path (labels, operands, verdicts, and both gate headrooms).
+//
+// The batch path wins three ways, all of which this bench exercises: the
+// FFT plan / kernel taps / Cholesky rows / PCA axes load once per batch
+// instead of once per window, the struct-of-arrays inner loops vectorize
+// across lanes, and per-window allocations disappear into grow-once
+// workspaces.  Batch 1 measures the bucketing overhead (it takes the scalar
+// fallback inside classify_batch, so it should track the scalar path).
+//
+// Results go to BENCH_batch.json (override with SIDIS_BENCH_OUT); CI diffs
+// a SIDIS_FAST run against the checked-in baseline via check_batch.py.
+// Record baselines from an optimized build only -- the 2x criterion is a
+// statement about the Release hot path, not about -O1 coverage builds.
+#include "bench/common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/csa.hpp"
+#include "core/hierarchical.hpp"
+#include "sim/acquisition.hpp"
+
+namespace {
+
+using namespace sidis;
+using Clock = std::chrono::steady_clock;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct SizeRun {
+  std::size_t batch = 0;
+  double windows_per_sec = 0.0;
+  double speedup = 0.0;  ///< vs the scalar classify() loop
+};
+
+bool identical(const core::Disassembly& a, const core::Disassembly& b) {
+  return a.group == b.group && a.class_idx == b.class_idx && a.rd == b.rd &&
+         a.rr == b.rr && a.verdict == b.verdict &&
+         a.margin_headroom == b.margin_headroom &&
+         a.score_headroom == b.score_headroom;
+}
+
+void write_json(const std::string& path, std::size_t n_classes, std::size_t pool,
+                std::size_t passes, double scalar_wps,
+                const std::vector<SizeRun>& runs, std::size_t checked,
+                bool all_identical) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  double speedup16 = 0.0;
+  for (const SizeRun& r : runs) {
+    if (r.batch == 16) speedup16 = r.speedup;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"batch\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"classes\": %zu, \"pool\": %zu, \"passes\": %zu},\n",
+               n_classes, pool, passes);
+  std::fprintf(f, "  \"scalar\": {\"windows_per_sec\": %.1f},\n", scalar_wps);
+  std::fprintf(f, "  \"batch\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"batch\": %zu, \"windows_per_sec\": %.1f, "
+                 "\"speedup_vs_scalar\": %.2f}%s\n",
+                 runs[i].batch, runs[i].windows_per_sec, runs[i].speedup,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"identity\": {\"windows_checked\": %zu, "
+               "\"criterion_identical\": %s},\n",
+               checked, all_identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"comparison\": {\"speedup_batch16\": %.2f, "
+               "\"criterion_batch16_2x\": %s}\n}\n",
+               speedup16, speedup16 >= 2.0 ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Batch-vectorized hot path -- classify_batch vs classify");
+  std::mt19937_64 rng(static_cast<std::uint64_t>(bench::env_int("SIDIS_SEED", 61)));
+  const sim::AcquisitionCampaign campaign(sim::DeviceModel::make(0),
+                                          sim::SessionContext::make(0));
+
+  // Model scale mirrors bench_fleet / bench_runtime_throughput: realistic
+  // per-window cost, armed reject gates so the identity check covers the
+  // verdict machinery, and a register level so the level-3 sub-batching runs.
+  const auto g1 = avr::classes_in_group(1);
+  const std::size_t n_classes = bench::fast_mode() ? 3 : 6;
+  core::ProfilingData data;
+  for (std::size_t i = 0; i < n_classes; ++i) {
+    data.classes[g1[i]] =
+        campaign.capture_class(g1[i], bench::fast_mode() ? 40 : 80, 10, rng);
+  }
+  for (std::uint8_t r : {4, 20}) {
+    data.rd_classes[r] =
+        campaign.capture_register(true, r, bench::fast_mode() ? 80 : 150, 5, rng);
+    data.rr_classes[r] =
+        campaign.capture_register(false, r, bench::fast_mode() ? 80 : 150, 5, rng);
+  }
+  core::HierarchicalConfig cfg;
+  cfg.pipeline = core::csa_config();
+  cfg.pipeline.pca_components = 40;
+  cfg.group_components = 20;
+  cfg.instruction_components = 40;
+  cfg.register_components = 20;
+  cfg.factory.discriminant.shrinkage = 0.15;
+  std::printf("  training a %zu-class hierarchical model (with rd/rr levels)...\n",
+              n_classes);
+  auto model = core::HierarchicalDisassembler::train(data, cfg);
+  model.calibrate_reject(data, core::RejectOperatingPoint::kBalanced);
+
+  // Eval pool: mixed classes and programs, captured once and reused.
+  const std::size_t pool_size = 64;
+  sim::TraceSet pool;
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(campaign.capture_trace(
+        avr::random_instance(g1[i % n_classes], rng),
+        sim::ProgramContext::make(static_cast<int>(i % 10)), rng));
+  }
+
+  // Bit-identity first; a fast wrong answer is not a speedup.
+  std::printf("  verifying batch results are bit-identical to classify()...\n");
+  std::vector<core::Disassembly> reference;
+  reference.reserve(pool.size());
+  for (const sim::Trace& t : pool) reference.push_back(model.classify(t));
+  const std::size_t sizes[] = {1, 16, 64};
+  std::size_t checked = 0;
+  bool all_identical = true;
+  for (const std::size_t k : sizes) {
+    for (std::size_t base = 0; base + k <= pool.size(); base += k) {
+      const sim::TraceSet chunk(pool.begin() + static_cast<long>(base),
+                                pool.begin() + static_cast<long>(base + k));
+      const std::vector<core::Disassembly> got = model.classify_batch(chunk);
+      for (std::size_t i = 0; i < k; ++i, ++checked) {
+        if (!identical(got[i], reference[base + i])) {
+          all_identical = false;
+          std::printf("  MISMATCH at window %zu, batch %zu\n", base + i, k);
+        }
+      }
+    }
+  }
+  std::printf("  %zu batched windows checked: %s\n", checked,
+              all_identical ? "all bit-identical" : "MISMATCHES FOUND");
+
+  // Throughput.  Each round times every configuration back to back over the
+  // same passes * pool_size windows, and each configuration keeps its best
+  // round: a background-load spike then dents one round of one
+  // configuration, not the whole scalar-vs-batch ratio (timing the scalar
+  // loop start-to-finish and the batch loops minutes later bakes machine
+  // drift straight into the speedup).
+  const std::size_t passes = static_cast<std::size_t>(
+      bench::env_int("SIDIS_BATCH_PASSES", bench::fast_mode() ? 8 : 60));
+  const std::size_t rounds = static_cast<std::size_t>(
+      bench::env_int("SIDIS_BATCH_ROUNDS", bench::fast_mode() ? 3 : 7));
+  const std::size_t total = passes * pool_size;
+
+  std::vector<std::vector<sim::TraceSet>> chunked;  // pre-chunk, untimed
+  for (const std::size_t k : sizes) {
+    std::vector<sim::TraceSet> chunks;
+    for (std::size_t base = 0; base + k <= pool.size(); base += k) {
+      chunks.emplace_back(pool.begin() + static_cast<long>(base),
+                          pool.begin() + static_cast<long>(base + k));
+    }
+    chunked.push_back(std::move(chunks));
+  }
+
+  double scalar_best = kInf;
+  std::vector<double> batch_best(std::size(sizes), kInf);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const Clock::time_point s0 = Clock::now();
+    for (std::size_t p = 0; p < passes; ++p) {
+      for (const sim::Trace& t : pool) {
+        const core::Disassembly d = model.classify(t);
+        if (d.group < 0) std::abort();  // keep the result observable
+      }
+    }
+    scalar_best = std::min(scalar_best, seconds_since(s0));
+    for (std::size_t s = 0; s < std::size(sizes); ++s) {
+      const Clock::time_point t0 = Clock::now();
+      for (std::size_t p = 0; p < passes; ++p) {
+        for (const sim::TraceSet& chunk : chunked[s]) {
+          const std::vector<core::Disassembly> got = model.classify_batch(chunk);
+          if (got.empty()) std::abort();
+        }
+      }
+      batch_best[s] = std::min(batch_best[s], seconds_since(t0));
+    }
+  }
+
+  const double scalar_wps = static_cast<double>(total) / scalar_best;
+  std::printf("\n  scalar classify():    %10.1f windows/sec  (best of %zu "
+              "rounds, %.2fs each)\n",
+              scalar_wps, rounds, scalar_best);
+  std::vector<SizeRun> runs;
+  for (std::size_t s = 0; s < std::size(sizes); ++s) {
+    SizeRun run;
+    run.batch = sizes[s];
+    run.windows_per_sec = static_cast<double>(total) / batch_best[s];
+    run.speedup = run.windows_per_sec / scalar_wps;
+    runs.push_back(run);
+    std::printf("  classify_batch(%2zu):   %10.1f windows/sec  (%.2fx vs "
+                "scalar)\n",
+                run.batch, run.windows_per_sec, run.speedup);
+  }
+
+  double speedup16 = 0.0;
+  for (const SizeRun& r : runs) {
+    if (r.batch == 16) speedup16 = r.speedup;
+  }
+  std::printf("\n  acceptance: batch-16 speedup %.2fx (gate: >= 2x), "
+              "identity %s\n",
+              speedup16, all_identical ? "PASS" : "FAIL");
+
+  const char* out = std::getenv("SIDIS_BENCH_OUT");
+  write_json(out != nullptr && *out != '\0' ? out : "BENCH_batch.json", n_classes,
+             pool_size, passes, scalar_wps, runs, checked, all_identical);
+  return all_identical ? 0 : 1;
+}

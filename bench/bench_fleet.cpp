@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,6 +47,14 @@ struct FleetRun {
   std::uint64_t batches = 0;
   std::uint64_t delivered = 0;
   bool in_order = true;
+  /// Batch-amortization counters from RuntimeStats: realized windows/batch
+  /// histogram plus the classify wall-time split between the lane-vectorized
+  /// batch path and the scalar path.
+  std::string windows_per_batch;
+  std::uint64_t batch_win = 0;
+  std::uint64_t scalar_win = 0;
+  double batch_ns_per_win = 0.0;
+  double scalar_ns_per_win = 0.0;
 };
 
 struct BaselineRun {
@@ -112,6 +121,17 @@ FleetRun run_fleet(const std::shared_ptr<const core::HierarchicalDisassembler>& 
                        : static_cast<double>(stats.runtime.batch_windows) /
                              static_cast<double>(run.batches);
   if (stats.windows_shed != 0 || stats.windows_rejected != 0) run.in_order = false;
+  run.windows_per_batch = stats.runtime.windows_per_batch.summary_counts();
+  run.batch_win = stats.runtime.batch_classified_windows;
+  run.scalar_win = stats.runtime.scalar_classified_windows;
+  run.batch_ns_per_win =
+      run.batch_win == 0 ? 0.0
+                         : static_cast<double>(stats.runtime.batch_classify_nanos) /
+                               static_cast<double>(run.batch_win);
+  run.scalar_ns_per_win =
+      run.scalar_win == 0 ? 0.0
+                          : static_cast<double>(stats.runtime.scalar_classify_nanos) /
+                                static_cast<double>(run.scalar_win);
   return run;
 }
 
@@ -245,10 +265,17 @@ void write_json(const std::string& path, std::size_t streams,
                "  \"fleet\": {\"windows_per_sec\": %.1f, \"wall_secs\": %.3f, "
                "\"p50_us\": %.1f, \"p99_us\": %.1f,\n            \"batches\": %llu, "
                "\"coalescing\": %.2f, \"delivered\": %llu,\n            "
+               "\"batch_windows_classified\": %llu, \"batch_ns_per_window\": %.0f,\n"
+               "            \"scalar_windows_classified\": %llu, "
+               "\"scalar_ns_per_window\": %.0f,\n            "
                "\"criterion_delivery_accounting\": %s},\n",
                fleet.windows_per_sec, fleet.wall_secs, fleet.p50_us, fleet.p99_us,
                static_cast<unsigned long long>(fleet.batches), fleet.coalescing,
                static_cast<unsigned long long>(fleet.delivered),
+               static_cast<unsigned long long>(fleet.batch_win),
+               fleet.batch_ns_per_win,
+               static_cast<unsigned long long>(fleet.scalar_win),
+               fleet.scalar_ns_per_win,
                accounting ? "true" : "false");
   std::fprintf(f,
                "  \"dedicated\": {\"windows_per_sec\": %.1f, \"wall_secs\": %.3f},\n",
@@ -349,6 +376,13 @@ int main() {
               "delivery %s\n",
               static_cast<unsigned long long>(fleet.batches), fleet.coalescing,
               fleet.in_order ? "complete and in order" : "BROKEN");
+  std::printf("    amortization: batch path %llu windows @ %.0fns/win, "
+              "scalar path %llu windows @ %.0fns/win\n",
+              static_cast<unsigned long long>(fleet.batch_win),
+              fleet.batch_ns_per_win,
+              static_cast<unsigned long long>(fleet.scalar_win),
+              fleet.scalar_ns_per_win);
+  std::printf("    windows/batch: %s\n", fleet.windows_per_batch.c_str());
 
   const BaselineRun dedicated =
       run_dedicated(*model, pool, streams, windows_per_stream);

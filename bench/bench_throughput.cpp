@@ -148,4 +148,19 @@ BENCHMARK(BM_EndToEndClassifyTrace);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef SIDIS_BUILD_TYPE
+#define SIDIS_BUILD_TYPE "unknown"
+#endif
+
+// Expanded BENCHMARK_MAIN so the JSON context carries OUR build type: the
+// system-packaged libbenchmark stamps `build_type` with how IT was compiled,
+// which says nothing about the optimization level of this binary.
+// run_benchmarks.sh keys its refuse-to-record guard on this field.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("sidis_build_type", SIDIS_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -33,8 +33,23 @@ trap 'rm -f "$OUT"' EXIT
        --benchmark_out_format=json >/dev/null
 
 if [[ "${1:-}" == "--update" ]]; then
+  # Refuse to record a baseline from an unoptimized binary: a debug-build
+  # baseline makes every later optimized run look like a huge win and hides
+  # real regressions.  bench_throughput stamps its own compile-time build
+  # type into the JSON context (the libbenchmark `build_type` field reports
+  # how the LIBRARY was built, which is useless here).
+  BUILD_TYPE="$(python3 -c 'import json,sys
+print(json.load(open(sys.argv[1])).get("context", {}).get("sidis_build_type", "unknown"))' "$OUT")"
+  case "$BUILD_TYPE" in
+    Release|RelWithDebInfo|MinSizeRel) ;;
+    *)
+      echo "error: refusing --update from a '$BUILD_TYPE' build." >&2
+      echo "  rebuild with -DCMAKE_BUILD_TYPE=Release and re-run." >&2
+      exit 1
+      ;;
+  esac
   cp "$OUT" "$BASELINE"
-  echo "baseline updated: $BASELINE"
+  echo "baseline updated: $BASELINE (build type: $BUILD_TYPE)"
   exit 0
 fi
 

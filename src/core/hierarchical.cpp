@@ -1,6 +1,7 @@
 #include "core/hierarchical.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "avr/isa.hpp"
@@ -465,12 +466,158 @@ Disassembly HierarchicalDisassembler::classify(const sim::Trace& trace) const {
 
 std::vector<Disassembly> HierarchicalDisassembler::classify_batch(
     const sim::TraceSet& traces) const {
-  std::vector<Disassembly> out;
-  out.reserve(traces.size());
-  dsp::CwtWorkspace ws;  // grow-once scratch shared by every window and level
-  for (const sim::Trace& trace : traces) {
-    PreparedWindow window{&trace, std::nullopt};
-    out.push_back(classify_prepared(window, ws));
+  std::vector<Disassembly> out(traces.size());
+  if (traces.empty()) return out;
+
+  // The SoA batch primitives want equal-length lanes, so windows bucket by
+  // trace length first (one CWT/FFT geometry per bucket).  Singleton and
+  // degenerate buckets take the scalar path -- a one-lane SoA pass would be
+  // pure marshalling overhead.  Every multi-lane bucket then flows through
+  // the lane-vectorized pipeline: batch CWT + fused feature transform +
+  // blocked QDA scoring, all of which keep the scalar per-window accumulation
+  // order, so each Disassembly (label, headrooms, verdict) is bit-identical
+  // to classify() on that window.
+  std::map<std::size_t, std::vector<std::size_t>> by_length;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    by_length[traces[i].samples.size()].push_back(i);
+  }
+
+  dsp::CwtWorkspace scalar_ws;   // grow-once scratch for scalar fallbacks
+  dsp::CwtBatchWorkspace batch_ws;  // grow-once scratch for every bucket
+
+  // The exact gate fold of classify_prepared, applied per window.
+  const auto gate = [](Disassembly& o, const Level& level,
+                       const ml::ScoredPrediction& p, bool fatal) {
+    if (!level.gate.active) return;
+    const double margin_headroom = p.margin - level.gate.margin_floor;
+    const double score_headroom = p.top_score - level.gate.score_floor;
+    o.margin_headroom = std::min(o.margin_headroom, margin_headroom);
+    o.score_headroom = std::min(o.score_headroom, score_headroom);
+    if (margin_headroom < 0.0 || score_headroom < 0.0) {
+      o.verdict = fatal ? Verdict::kRejected
+                        : std::max(o.verdict, Verdict::kDegraded);
+    }
+  };
+
+  for (const auto& [length, idx] : by_length) {
+    if (idx.size() < 2 || length == 0) {
+      for (const std::size_t i : idx) {
+        PreparedWindow window{&traces[i], std::nullopt};
+        out[i] = classify_prepared(window, scalar_ws);
+      }
+      continue;
+    }
+
+    const std::size_t n = idx.size();
+
+    // Per-window preprocessing, computed once per bucket and shared by every
+    // level that wants it -- the batch counterpart of PreparedWindow's lazy
+    // normalization split (all levels of one model share the
+    // per_trace_normalization flag, but the lazy form keeps mixed
+    // configurations correct too).  The whole bucket marshals into ONE
+    // struct-of-arrays block per view kind; the up-to-four level pipelines
+    // read it in place, and sub-bucket levels gather just their lanes from
+    // it (row-contiguous copies) instead of re-marshalling from the
+    // scattered per-window vectors.
+    std::vector<double> soa_raw, soa_norm;  // full-bucket SoA, lazy per kind
+    std::vector<double> soa_subset;         // per-call lane gather, grow-once
+    const auto bucket_soa = [&](bool normalize) -> const std::vector<double>& {
+      std::vector<double>& soa = normalize ? soa_norm : soa_raw;
+      if (soa.empty()) {
+        std::vector<const std::vector<double>*> ptrs(n);
+        std::vector<std::vector<double>> normalized;
+        if (normalize) {
+          normalized.resize(n);
+          for (std::size_t p = 0; p < n; ++p) {
+            normalized[p] =
+                features::FeaturePipeline::preprocess_window(traces[idx[p]], true);
+            ptrs[p] = &normalized[p];
+          }
+        } else {
+          for (std::size_t p = 0; p < n; ++p) ptrs[p] = &traces[idx[p]].samples;
+        }
+        dsp::Cwt::marshal({ptrs.data(), ptrs.size()}, soa);
+      }
+      return soa;
+    };
+
+    // predict_level_prepared over a subset of the bucket, lane-vectorized.
+    const auto predict_batch = [&](const Level& level,
+                                   std::span<const std::size_t> subset) {
+      if (level.trivial) {
+        return std::vector<ml::ScoredPrediction>(
+            subset.size(), ml::ScoredPrediction{level.only_label, kInf, kInf});
+      }
+      if (level.classifier == nullptr) throw std::runtime_error("level not trained");
+      const std::vector<double>& full =
+          bucket_soa(level.pipeline.config().per_trace_normalization);
+      const std::size_t m = subset.size();
+      std::span<const double> soa(full);
+      if (m != n) {
+        soa_subset.resize(length * m);
+        for (std::size_t t = 0; t < length; ++t) {
+          const double* __restrict src = full.data() + t * n;
+          double* __restrict dst = soa_subset.data() + t * m;
+          for (std::size_t i = 0; i < m; ++i) dst[i] = src[subset[i]];
+        }
+        soa = soa_subset;
+      }
+      const linalg::Matrix feats = level.pipeline.transform_soa_batch(
+          soa, length, m, level.components, batch_ws);
+      return level.classifier->predict_scored_batch(feats);
+    };
+
+    std::vector<std::size_t> all(n);
+    for (std::size_t p = 0; p < n; ++p) all[p] = p;
+
+    // Level 1: one batch over the whole bucket.
+    const std::vector<ml::ScoredPrediction> g = predict_batch(group_level_, all);
+    for (std::size_t p = 0; p < n; ++p) {
+      Disassembly& o = out[idx[p]];
+      o.group = g[p].label;
+      gate(o, group_level_, g[p], /*fatal=*/true);
+    }
+
+    // Level 2: partition the bucket by predicted group, one batch per group.
+    std::map<int, std::vector<std::size_t>> by_group;
+    for (std::size_t p = 0; p < n; ++p) by_group[out[idx[p]].group].push_back(p);
+    for (const auto& [group, subset] : by_group) {
+      const auto it = instruction_levels_.find(group);
+      if (it == instruction_levels_.end()) {
+        throw std::invalid_argument("classify_within_group: group not trained");
+      }
+      const std::vector<ml::ScoredPrediction> c = predict_batch(it->second, subset);
+      for (std::size_t i = 0; i < subset.size(); ++i) {
+        Disassembly& o = out[idx[subset[i]]];
+        o.class_idx = static_cast<std::size_t>(c[i].label);
+        gate(o, it->second, c[i], /*fatal=*/true);
+      }
+    }
+
+    // Level 3: operand recovery over the windows whose class uses each one.
+    const auto predict_registers = [&](const Level* level, bool rd) {
+      if (level == nullptr) return;
+      std::vector<std::size_t> subset;
+      for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t class_idx = out[idx[p]].class_idx;
+        if (rd ? avr::class_uses_rd(class_idx) : avr::class_uses_rr(class_idx)) {
+          subset.push_back(p);
+        }
+      }
+      if (subset.empty()) return;
+      const std::vector<ml::ScoredPrediction> r = predict_batch(*level, subset);
+      for (std::size_t i = 0; i < subset.size(); ++i) {
+        Disassembly& o = out[idx[subset[i]]];
+        if (rd) {
+          o.rd = static_cast<std::uint8_t>(r[i].label);
+        } else {
+          o.rr = static_cast<std::uint8_t>(r[i].label);
+        }
+        gate(o, *level, r[i], /*fatal=*/false);
+      }
+    };
+    predict_registers(rd_level_.get(), /*rd=*/true);
+    predict_registers(rr_level_.get(), /*rd=*/false);
   }
   return out;
 }

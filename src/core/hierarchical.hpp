@@ -165,11 +165,17 @@ class HierarchicalDisassembler {
   Disassembly classify(const sim::Trace& trace) const;
 
   /// Batched classification -- bit-identical to calling classify() per
-  /// window, but amortizing the per-window setup across the batch: one
-  /// grow-once CWT workspace serves every window and level, and the
-  /// per-trace normalization is computed once per window and shared by all
-  /// levels (they share one per_trace_normalization setting by
-  /// construction).  This is the engine-room of the fleet runtime's
+  /// window (labels, operands, verdicts, and headrooms match to the last
+  /// bit), but lane-vectorized: windows bucket by trace length, and each
+  /// multi-window bucket runs the whole hot path in struct-of-arrays form --
+  /// batch CWT (Cwt::transform_batch / coefficients_batch over a shared FFT
+  /// plan), fused feature transform (FeaturePipeline::transform_prepared_
+  /// batch), and blocked QDA scoring (Qda::predict_scored_batch) -- with the
+  /// window dimension innermost so every inner loop vectorizes across the
+  /// batch while each window keeps the scalar accumulation order.  Level 2
+  /// re-batches by predicted group and level 3 by operand usage, so every
+  /// classifier invocation stays a dense sub-batch.  Singleton buckets take
+  /// the scalar path.  This is the engine-room of the fleet runtime's
   /// submit_batch path.  Thread-safe like classify().
   std::vector<Disassembly> classify_batch(const sim::TraceSet& traces) const;
 

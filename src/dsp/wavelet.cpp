@@ -1,5 +1,7 @@
 #include "dsp/wavelet.hpp"
 
+#include "linalg/lanes.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <mutex>
@@ -256,6 +258,269 @@ Scalogram Cwt::transform(const std::vector<double>& trace, CwtWorkspace& ws) con
   }
   for (std::size_t j = 0; j < scales_.size(); ++j) {
     if (bank.pair_index[j] == SIZE_MAX) direct_row(trace, j, out.row(j));
+  }
+  return out;
+}
+
+std::size_t Cwt::marshal(TraceBatch traces, std::vector<double>& soa) {
+  if (traces.empty()) {
+    throw std::invalid_argument("Cwt: empty trace batch");
+  }
+  const std::size_t n = traces.front()->size();
+  const std::size_t lanes = traces.size();
+  for (const std::vector<double>* t : traces) {
+    if (t == nullptr || t->size() != n) {
+      throw std::invalid_argument("Cwt: batch traces must share one length");
+    }
+  }
+  soa.resize(n * lanes);
+  // Lane innermost: the writes stream through soa once while the reads fan
+  // out over `lanes` sequential sources -- the prefetcher tracks all of them,
+  // where the transposed order (one read stream, lane-strided writes) touched
+  // a fresh cache line per element.
+  double* __restrict dst = soa.data();
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t l = 0; l < lanes; ++l) *dst++ = (*traces[l])[t];
+  }
+  return n;
+}
+
+namespace {
+
+/// Batched multiply_spectra: every lane's spectrum times one shared packed
+/// kernel spectrum, identical per-lane arithmetic to the scalar routine.
+void multiply_spectra_batch(const BatchComplex& a, const ComplexVector& b,
+                            BatchComplex& out) {
+  const std::size_t lanes = a.lanes;
+  const std::size_t n = b.size();
+  const double* bd = reinterpret_cast<const double*>(b.data());
+  const double* __restrict are = a.re.data();
+  const double* __restrict aim = a.im.data();
+  double* __restrict ore = out.re.data();
+  double* __restrict oim = out.im.data();
+  for (std::size_t f = 0; f < n; ++f) {
+    const double br = bd[2 * f], bi = bd[2 * f + 1];
+    const std::size_t base = f * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const double ar = are[base + l], ai = aim[base + l];
+      ore[base + l] = ar * br - ai * bi;
+      oim[base + l] = ar * bi + ai * br;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Scalogram> Cwt::transform_batch(TraceBatch traces,
+                                            CwtBatchWorkspace& ws) const {
+  const std::size_t lanes = traces.size();
+  const std::size_t n = marshal(traces, ws.soa_);
+  std::vector<Scalogram> out;
+  out.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) out.emplace_back(scales_.size(), n, 0.0);
+  if (n == 0) return out;
+
+  const double* __restrict soa = ws.soa_.data();
+
+  // Lane-parallel direct correlation of scale j: the kernel tap streams once
+  // per batch and each tap broadcasts over a block of lanes, accumulating in
+  // the same tap order as the scalar direct_row.  Full linalg::kLaneTile
+  // blocks keep their accumulators in registers across the tap loop (see
+  // lanes.hpp); the sub-tile remainder keeps the plain lane-innermost form.
+  const auto direct_row_batch = [&](std::size_t j) {
+    const std::vector<double>& k = kernels_[j];
+    const auto radius = static_cast<std::ptrdiff_t>(k.size() / 2);
+    ws.row_.resize(n * lanes);
+    double* __restrict row = ws.row_.data();
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto tt = static_cast<std::ptrdiff_t>(t);
+      const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(-radius, -tt);
+      const std::ptrdiff_t hi =
+          std::min<std::ptrdiff_t>(radius, static_cast<std::ptrdiff_t>(n) - 1 - tt);
+      const std::size_t taps = static_cast<std::size_t>(hi - lo + 1);
+      double* __restrict acc = row + t * lanes;
+      const double* kern_lo = k.data() + (lo + radius);
+      const double* soa_lo = soa + static_cast<std::size_t>(tt + lo) * lanes;
+      std::size_t l0 = 0;
+      for (; l0 + linalg::kLaneTile <= lanes; l0 += linalg::kLaneTile) {
+        linalg::LaneTile tile;
+        const double* xp = soa_lo + l0;
+        for (std::size_t d = 0; d < taps; ++d) {
+          tile.mul_add(kern_lo[d], xp);
+          xp += lanes;
+        }
+        tile.store(acc + l0);
+      }
+      if (l0 < lanes) {
+        for (std::size_t l = l0; l < lanes; ++l) acc[l] = 0.0;
+        const double* xp = soa_lo;
+        for (std::size_t d = 0; d < taps; ++d) {
+          const double kv = kern_lo[d];
+          for (std::size_t l = l0; l < lanes; ++l) acc[l] += kv * xp[l];
+          xp += lanes;
+        }
+      }
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      auto dst = out[l].row(j);
+      for (std::size_t t = 0; t < n; ++t) dst[t] = row[t * lanes + l];
+    }
+  };
+
+  if (config_.backend == CwtBackend::kDirect) {
+    for (std::size_t j = 0; j < scales_.size(); ++j) direct_row_batch(j);
+    return out;
+  }
+
+  const SpectralBank& bank = bank_for(n);
+  if (bank.any_spectral) {
+    const std::size_t L = bank.fft_size;
+    ws.freq_.assign(L, lanes);
+    for (std::size_t i = 0; i < n; ++i) {
+      double* dst = ws.freq_.re.data() + i * lanes;
+      const double* src = soa + i * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) dst[l] = src[l];
+    }
+    bank.plan.forward_batch(ws.freq_);
+    ws.work_.assign(L, lanes);
+    for (const PackedPair& pair : bank.pairs) {
+      multiply_spectra_batch(ws.freq_, pair.spec, ws.work_);
+      bank.plan.inverse_batch(ws.work_);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        auto row_a = out[l].row(pair.scale_a);
+        for (std::size_t t = 0; t < n; ++t) row_a[t] = ws.work_.re[t * lanes + l];
+        if (pair.has_b) {
+          auto row_b = out[l].row(pair.scale_b);
+          for (std::size_t t = 0; t < n; ++t) row_b[t] = ws.work_.im[t * lanes + l];
+        }
+      }
+    }
+  }
+  for (std::size_t j = 0; j < scales_.size(); ++j) {
+    if (bank.pair_index[j] == SIZE_MAX) direct_row_batch(j);
+  }
+  return out;
+}
+
+linalg::Matrix Cwt::coefficients_batch(TraceBatch traces,
+                                       std::span<const std::size_t> js,
+                                       std::span<const std::size_t> ks,
+                                       CwtBatchWorkspace& ws) const {
+  const std::size_t n = marshal(traces, ws.soa_);
+  // ws.soa_ is only read below coefficients_soa (freq_/work_/acc_ are the
+  // scratch it writes), so handing it in as the "external" block is safe.
+  return coefficients_soa(ws.soa_, n, traces.size(), js, ks, ws);
+}
+
+linalg::Matrix Cwt::coefficients_soa(std::span<const double> soa_block,
+                                     std::size_t n, std::size_t lanes,
+                                     std::span<const std::size_t> js,
+                                     std::span<const std::size_t> ks,
+                                     CwtBatchWorkspace& ws) const {
+  if (js.size() != ks.size()) {
+    throw std::invalid_argument("Cwt::coefficients_batch: js/ks length mismatch");
+  }
+  if (soa_block.size() != n * lanes) {
+    throw std::invalid_argument("Cwt::coefficients_soa: block size mismatch");
+  }
+  linalg::Matrix out(js.size(), lanes, 0.0);
+  const double* __restrict soa = soa_block.data();
+
+  // Identical per-scale direct/spectral decision to the scalar path: the
+  // predicate only consumes per-window point counts and the trace length,
+  // both shared across the batch, so every lane takes the same route (and
+  // the amortized FFT must NOT move the crossover -- bit-identity pins each
+  // lane to the exact arithmetic the scalar path would run).
+  std::vector<std::size_t> counts(scales_.size(), 0);
+  for (std::size_t j : js) counts.at(j)++;
+
+  std::vector<std::uint8_t> row_done;
+  if (config_.backend != CwtBackend::kDirect && n > 0) {
+    const SpectralBank* bank = &bank_for(n);
+    std::vector<std::uint8_t> want_pair(bank->pairs.size(), 0);
+    const bool force = config_.backend == CwtBackend::kSpectral;
+    bool any = false;
+    for (std::size_t j = 0; j < scales_.size(); ++j) {
+      if (counts[j] == 0 || bank->pair_index[j] == SIZE_MAX) continue;
+      const std::size_t L = bank->fft_size;
+      if (force || static_cast<double>(counts[j]) *
+                           static_cast<double>(kernels_[j].size()) >
+                       kSparseCrossover * static_cast<double>(L) * log2d(L)) {
+        want_pair[bank->pair_index[j]] = 1;
+        any = true;
+      }
+    }
+    if (any) {
+      const std::size_t L = bank->fft_size;
+      ws.freq_.assign(L, lanes);
+      for (std::size_t i = 0; i < n; ++i) {
+        double* dst = ws.freq_.re.data() + i * lanes;
+        const double* src = soa + i * lanes;
+        for (std::size_t l = 0; l < lanes; ++l) dst[l] = src[l];
+      }
+      bank->plan.forward_batch(ws.freq_);
+      ws.work_.assign(L, lanes);
+      row_done.assign(scales_.size(), 0);
+      for (std::size_t p = 0; p < bank->pairs.size(); ++p) {
+        if (!want_pair[p]) continue;
+        const PackedPair& pair = bank->pairs[p];
+        multiply_spectra_batch(ws.freq_, pair.spec, ws.work_);
+        bank->plan.inverse_batch(ws.work_);
+        row_done[pair.scale_a] = 1;
+        if (pair.has_b) row_done[pair.scale_b] = 2;
+        for (std::size_t i = 0; i < js.size(); ++i) {
+          if (js[i] == pair.scale_a && ks[i] < n) {
+            const double* src = ws.work_.re.data() + ks[i] * lanes;
+            double* dst = out.row(i).data();
+            for (std::size_t l = 0; l < lanes; ++l) dst[l] = src[l];
+          } else if (pair.has_b && js[i] == pair.scale_b && ks[i] < n) {
+            const double* src = ws.work_.im.data() + ks[i] * lanes;
+            double* dst = out.row(i).data();
+            for (std::size_t l = 0; l < lanes; ++l) dst[l] = src[l];
+          }
+        }
+      }
+    }
+  }
+
+  // Remaining points: one lane-parallel correlation per point, each lane
+  // accumulating its own sum in scalar tap order (bit-identical to
+  // Cwt::coefficient on that lane).  Full linalg::kLaneTile blocks of lanes
+  // ride in registers across the whole tap loop (see lanes.hpp for why that
+  // beats memory accumulators); the sub-tile remainder keeps the plain
+  // lane-innermost form -- at under one tile of lanes the store traffic is
+  // bounded and a partial tile would not pay for itself.
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    if (!row_done.empty() && row_done[js[i]] != 0) continue;
+    const std::vector<double>& kern = kernels_.at(js[i]);
+    const auto radius = static_cast<std::ptrdiff_t>(kern.size() / 2);
+    const auto nn = static_cast<std::ptrdiff_t>(n);
+    const auto t = static_cast<std::ptrdiff_t>(ks[i]);
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(-radius, -t);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(radius, nn - 1 - t);
+    const std::size_t taps = static_cast<std::size_t>(hi - lo + 1);
+    const double* kern_lo = kern.data() + (lo + radius);
+    const double* soa_lo = soa + static_cast<std::size_t>(t + lo) * lanes;
+    double* __restrict dst = out.row(i).data();
+    std::size_t l0 = 0;
+    for (; l0 + linalg::kLaneTile <= lanes; l0 += linalg::kLaneTile) {
+      linalg::LaneTile acc;
+      const double* x = soa_lo + l0;
+      for (std::size_t d = 0; d < taps; ++d) {
+        acc.mul_add(kern_lo[d], x);
+        x += lanes;
+      }
+      acc.store(dst + l0);
+    }
+    if (l0 < lanes) {
+      for (std::size_t l = l0; l < lanes; ++l) dst[l] = 0.0;
+      const double* x = soa_lo;
+      for (std::size_t d = 0; d < taps; ++d) {
+        const double kv = kern_lo[d];
+        for (std::size_t l = l0; l < lanes; ++l) dst[l] += kv * x[l];
+        x += lanes;
+      }
+    }
   }
   return out;
 }

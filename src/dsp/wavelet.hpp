@@ -74,6 +74,29 @@ class CwtWorkspace {
   ComplexVector work_;   ///< per-pair multiply / inverse-FFT scratch
 };
 
+/// Scratch for the batch (struct-of-arrays) paths: the lane-contiguous trace
+/// block, the batched spectra, and the per-point accumulators.  Grow-once
+/// like CwtWorkspace; one instance serves any batch width/length sequence.
+/// Not thread-safe: use one per worker.
+class CwtBatchWorkspace {
+ public:
+  CwtBatchWorkspace() = default;
+
+  /// The marshalling buffer, exposed for callers that drive Cwt::marshal +
+  /// coefficients_soa themselves (grow-once reuse instead of a fresh
+  /// allocation per batch).  Safe to hand back to coefficients_soa: the
+  /// batch routines only write freq_/work_/acc_ after marshalling.
+  std::vector<double>& soa_scratch() { return soa_; }
+
+ private:
+  friend class Cwt;
+  std::vector<double> soa_;   ///< traces, lane-contiguous: [sample][lane]
+  std::vector<double> row_;   ///< one batched output row: [sample][lane]
+  std::vector<double> acc_;   ///< per-lane correlation accumulators
+  BatchComplex freq_;         ///< forward spectra of the padded batch
+  BatchComplex work_;         ///< per-pair multiply / inverse scratch
+};
+
 /// Precomputed CWT filter bank.
 class Cwt {
  public:
@@ -104,6 +127,53 @@ class Cwt {
                               std::span<const std::size_t> js,
                               std::span<const std::size_t> ks,
                               CwtWorkspace& ws) const;
+
+  /// Batch of same-length traces, addressed by pointer (struct-of-arrays
+  /// marshalling happens inside, against the workspace's grow-once buffers).
+  using TraceBatch = std::span<const std::vector<double>* const>;
+
+  /// Batched full transform: scalogram i is bit-identical to
+  /// transform(*traces[i]), but the whole batch moves through the spectral
+  /// machinery struct-of-arrays -- one interleaved FFT pass over all lanes,
+  /// one vectorized spectral multiply + inverse per packed scale pair, and
+  /// lane-vectorized direct correlation for the sub-crossover scales.
+  /// Throws std::invalid_argument on an empty batch or mixed trace lengths.
+  std::vector<Scalogram> transform_batch(TraceBatch traces,
+                                         CwtBatchWorkspace& ws) const;
+
+  /// Batched sparse extraction, struct-of-arrays result: the matrix is
+  /// (js.size() x traces.size()) with *columns* as windows, so column w is
+  /// bit-identical to coefficients(*traces[w], js, ks, ws) -- same per-scale
+  /// direct/spectral decision, same arithmetic per lane -- while the kernel
+  /// taps, packed spectra, and FFT twiddles load once per batch instead of
+  /// once per window, and every inner loop runs lane-contiguous.  The
+  /// point-major layout feeds FeaturePipeline::transform_prepared_batch
+  /// without a transpose.
+  linalg::Matrix coefficients_batch(TraceBatch traces,
+                                    std::span<const std::size_t> js,
+                                    std::span<const std::size_t> ks,
+                                    CwtBatchWorkspace& ws) const;
+
+  /// Marshals a batch of same-length traces into the lane-contiguous SoA
+  /// block soa[t * lanes + l] = traces[l][t] (write-contiguous: the lane
+  /// loop is innermost, so the reads are `lanes` sequential streams and the
+  /// writes one).  Returns the common trace length.  Throws
+  /// std::invalid_argument on an empty batch or mixed trace lengths.
+  /// Callers that run several feature pipelines over one batch marshal once
+  /// through this and feed the block to coefficients_soa /
+  /// FeaturePipeline::transform_soa_batch, instead of paying the marshal per
+  /// pipeline.
+  static std::size_t marshal(TraceBatch traces, std::vector<double>& soa);
+
+  /// coefficients_batch on a pre-marshalled SoA block (layout and guarantees
+  /// as documented on marshal/coefficients_batch): `soa` holds `n * lanes`
+  /// doubles and is NOT aliased by the workspace's own buffers.  Column w is
+  /// bit-identical to coefficients(trace w, js, ks, ws).
+  linalg::Matrix coefficients_soa(std::span<const double> soa, std::size_t n,
+                                  std::size_t lanes,
+                                  std::span<const std::size_t> js,
+                                  std::span<const std::size_t> ks,
+                                  CwtBatchWorkspace& ws) const;
 
   /// Scale value (in samples) for scale index j in [0, num_scales).
   double scale(std::size_t j) const { return scales_.at(j); }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsp/signal.hpp"
+#include "linalg/lanes.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace sidis::features {
@@ -140,7 +141,17 @@ FeaturePipeline FeaturePipeline::fit(const std::vector<const ClassData*>& classe
     x = p.scaler_.transform(x);
   }
   p.pca_ = stats::Pca::fit(x, config.pca_components);
+  p.index_points();
   return p;
+}
+
+void FeaturePipeline::index_points() {
+  point_js_.resize(points_.size());
+  point_ks_.resize(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    point_js_[i] = points_[i].j;
+    point_ks_[i] = points_[i].k;
+  }
 }
 
 FeaturePipeline FeaturePipeline::from_parts(PipelineConfig config,
@@ -157,6 +168,7 @@ FeaturePipeline FeaturePipeline::from_parts(PipelineConfig config,
   p.scaler_ = std::move(scaler);
   p.pca_ = std::move(pca);
   p.grid_size_ = grid_size;
+  p.index_points();
   return p;
 }
 
@@ -214,6 +226,85 @@ linalg::Vector FeaturePipeline::transform_prepared(const std::vector<double>& pr
   linalg::Vector v = extract_features(cwt_, prepared, points_, ws);
   if (config_.column_standardization) v = scaler_.transform(v);
   return pca_.transform(v, components);
+}
+
+linalg::Matrix FeaturePipeline::transform_prepared_batch(
+    std::span<const std::vector<double>* const> prepared, std::size_t components,
+    dsp::CwtBatchWorkspace& ws) const {
+  const std::size_t n = dsp::Cwt::marshal(prepared, ws.soa_scratch());
+  return transform_soa_batch(ws.soa_scratch(), n, prepared.size(), components,
+                             ws);
+}
+
+linalg::Matrix FeaturePipeline::transform_soa_batch(
+    std::span<const double> soa, std::size_t n, std::size_t lanes,
+    std::size_t components, dsp::CwtBatchWorkspace& ws) const {
+  if (points_.empty()) throw std::runtime_error("FeaturePipeline: not fitted");
+
+  // Stage 1: sparse feature-point gathers for the whole batch in one pass
+  // over each scale row.  F is point-major SoA: F(p, w) = point p of window w.
+  linalg::Matrix f = cwt_.coefficients_soa(soa, n, lanes, point_js_, point_ks_, ws);
+
+  // Stage 2: column standardization in place -- the exact (x - m) / s of
+  // ColumnScaler::transform, lane-parallel.  Folding the PCA mean in here
+  // too would change (f - m)/s - pm into one expression the compiler may
+  // re-associate, so it stays a separate subtraction below.
+  const std::size_t k = std::min(components, pca_.num_components());
+  if (f.rows() != pca_.input_dim()) {
+    throw std::invalid_argument("Pca::transform: dim mismatch");
+  }
+  if (config_.column_standardization) {
+    const linalg::Vector& smean = scaler_.mean();
+    const linalg::Vector& sstd = scaler_.stddev();
+    for (std::size_t p = 0; p < f.rows(); ++p) {
+      double* __restrict frow = f.row(p).data();
+      const double m = smean[p], s = sstd[p];
+      for (std::size_t l = 0; l < lanes; ++l) frow[l] = (frow[l] - m) / s;
+    }
+  }
+
+  // Centering: the scalar Pca::transform subtracts pca_mean[p] inside its
+  // reduction, once per (point, component).  Subtracting it here is the same
+  // IEEE operation performed once per (point, lane) and reused by every
+  // component row, so projections stay bit-identical while the inner loop
+  // below becomes a pure multiply-add.
+  const linalg::Vector& pmean = pca_.mean();
+  const std::size_t np = f.rows();
+  for (std::size_t p = 0; p < np; ++p) {
+    double* __restrict frow = f.row(p).data();
+    const double pm = pmean[p];
+    for (std::size_t l = 0; l < lanes; ++l) frow[l] -= pm;
+  }
+
+  // Stage 3: PCA projection, component-outer with register-tiled lanes.
+  // Each output row c accumulates centered-f * axis over points in ascending
+  // order -- the scalar Pca::transform reduction -- but a linalg::LaneTile
+  // of lanes rides in registers across the whole point loop, so the row
+  // costs zero stores per point instead of one per (point, lane).  Tiling
+  // picks which lane runs when; each lane's sum order is untouched, so
+  // columns stay bit-identical to the scalar pipeline.
+  const linalg::Matrix& axes = pca_.components();
+  const double* __restrict fbase = f.row(0).data();
+  linalg::Matrix z(k, lanes, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    double* __restrict zrow = z.row(c).data();
+    std::size_t l0 = 0;
+    for (; l0 + linalg::kLaneTile <= lanes; l0 += linalg::kLaneTile) {
+      linalg::LaneTile acc;
+      for (std::size_t p = 0; p < np; ++p) {
+        acc.mul_add(axes(p, c), fbase + p * lanes + l0);
+      }
+      acc.store(zrow + l0);
+    }
+    for (; l0 < lanes; ++l0) {
+      double a = 0.0;
+      for (std::size_t p = 0; p < np; ++p) {
+        a += fbase[p * lanes + l0] * axes(p, c);
+      }
+      zrow[l0] = a;
+    }
+  }
+  return z;
 }
 
 linalg::Vector FeaturePipeline::transform_one(const sim::Trace& trace,

@@ -125,6 +125,29 @@ class FeaturePipeline {
   static std::vector<double> preprocess_window(const sim::Trace& trace,
                                                bool per_trace_normalization);
 
+  /// Batched, struct-of-arrays variant of transform_prepared: the K windows
+  /// (same length, already preprocessed for this pipeline's
+  /// per_trace_normalization setting) move through sparse feature-point
+  /// extraction, column standardization, and the PCA projection in one fused
+  /// pass per stage, with the window dimension innermost so every loop
+  /// vectorizes across the batch.  Returns (components x K) with *columns*
+  /// as windows; column w is bit-identical to
+  /// transform_prepared(*prepared[w], components, ws) -- per-window
+  /// reductions keep the scalar accumulation order, only the batch dimension
+  /// is vectorized.
+  linalg::Matrix transform_prepared_batch(
+      std::span<const std::vector<double>* const> prepared,
+      std::size_t components, dsp::CwtBatchWorkspace& ws) const;
+
+  /// transform_prepared_batch on a pre-marshalled SoA block (layout of
+  /// dsp::Cwt::marshal: soa[t * lanes + l] = window l, sample t; `soa` must
+  /// hold n * lanes doubles).  Lets a caller running several pipelines over
+  /// the same batch -- the hierarchical classifier runs up to four -- pay the
+  /// marshal once instead of once per pipeline.  Identical output guarantees.
+  linalg::Matrix transform_soa_batch(std::span<const double> soa, std::size_t n,
+                                     std::size_t lanes, std::size_t components,
+                                     dsp::CwtBatchWorkspace& ws) const;
+
   /// Raw-window variant: assumes unit capture gain (gain_estimate = 1).
   linalg::Vector transform(const std::vector<double>& samples,
                            std::size_t components = SIZE_MAX) const;
@@ -161,9 +184,16 @@ class FeaturePipeline {
   linalg::Vector transform_one(const sim::Trace& trace, std::size_t components,
                                dsp::CwtWorkspace& ws) const;
 
+  /// Splits points_ into the (js, ks) index arrays the Cwt batch entry
+  /// points take, so the batch hot path reads them instead of rebuilding
+  /// two vectors per call.  Both factory functions call this after setting
+  /// points_.
+  void index_points();
+
   PipelineConfig config_;
   dsp::Cwt cwt_{dsp::CwtConfig{}};
   std::vector<stats::GridPoint> points_;
+  std::vector<std::size_t> point_js_, point_ks_;  ///< points_, split (cache)
   stats::ColumnScaler scaler_;
   stats::Pca pca_;
   std::size_t grid_size_ = 0;

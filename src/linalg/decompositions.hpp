@@ -30,6 +30,16 @@ struct Cholesky {
 
   /// Squared Mahalanobis distance x^T A^{-1} x for A = L L^T.
   double mahalanobis_squared(const Vector& x) const;
+
+  /// Lane-blocked Mahalanobis over a struct-of-arrays batch: `x_cols` is
+  /// (n x lanes) with columns as vectors, out[l] = mahalanobis_squared of
+  /// column l.  One forward substitution sweeps all lanes -- each row of L
+  /// loads once per batch instead of once per vector and the inner loops
+  /// vectorize across lanes -- while every lane keeps the scalar
+  /// accumulation order, so the results are bit-identical.  `y` is grow-once
+  /// caller scratch (resized to n x lanes).
+  void mahalanobis_squared_batch(const Matrix& x_cols, std::span<double> out,
+                                 Matrix& y) const;
 };
 
 /// LU factorization with partial pivoting: P A = L U.

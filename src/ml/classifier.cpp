@@ -9,6 +9,17 @@ ScoredPrediction Classifier::predict_scored(const linalg::Vector& x) const {
           std::numeric_limits<double>::infinity()};
 }
 
+std::vector<ScoredPrediction> Classifier::predict_scored_batch(
+    const linalg::Matrix& x_cols) const {
+  std::vector<ScoredPrediction> out(x_cols.cols());
+  linalg::Vector x(x_cols.rows());
+  for (std::size_t l = 0; l < x_cols.cols(); ++l) {
+    for (std::size_t i = 0; i < x_cols.rows(); ++i) x[i] = x_cols(i, l);
+    out[l] = predict_scored(x);
+  }
+  return out;
+}
+
 ScoredPrediction scored_from_scores(const linalg::Vector& s,
                                     const std::vector<int>& labels) {
   ScoredPrediction out;

@@ -44,6 +44,14 @@ class Classifier {
   /// overrides it with real scores.
   virtual ScoredPrediction predict_scored(const linalg::Vector& x) const;
 
+  /// Scored predictions for a struct-of-arrays batch: `x_cols` is
+  /// (dim x lanes) with *columns* as samples; out[l] must be bit-identical
+  /// to predict_scored(column l).  The base implementation loops
+  /// predict_scored per column; classifiers with a lane-vectorized scoring
+  /// path (QDA) override it.
+  virtual std::vector<ScoredPrediction> predict_scored_batch(
+      const linalg::Matrix& x_cols) const;
+
   /// Display name ("QDA", "SVM-RBF", ...).
   virtual std::string name() const = 0;
 

@@ -86,6 +86,32 @@ linalg::Vector Qda::scores(const linalg::Vector& x) const {
   return s;
 }
 
+linalg::Matrix Qda::scores_batch(const linalg::Matrix& x_cols) const {
+  if (models_.empty()) throw std::runtime_error("Qda: not fitted");
+  const std::size_t lanes = x_cols.cols();
+  linalg::Matrix s(models_.size(), lanes);
+  linalg::Matrix centered, solve;  // grow-once scratch shared across classes
+  for (std::size_t c = 0; c < models_.size(); ++c) {
+    double* __restrict srow = s.row(c).data();
+    models_[c].log_pdf_batch(x_cols, {srow, lanes}, centered, solve);
+    const double lp = log_priors_[c];
+    for (std::size_t l = 0; l < lanes; ++l) srow[l] += lp;
+  }
+  return s;
+}
+
+std::vector<ScoredPrediction> Qda::predict_scored_batch(
+    const linalg::Matrix& x_cols) const {
+  const linalg::Matrix s = scores_batch(x_cols);
+  std::vector<ScoredPrediction> out(x_cols.cols());
+  linalg::Vector col(s.rows());
+  for (std::size_t l = 0; l < x_cols.cols(); ++l) {
+    for (std::size_t c = 0; c < s.rows(); ++c) col[c] = s(c, l);
+    out[l] = scored_from_scores(col, labels_);
+  }
+  return out;
+}
+
 int Qda::predict(const linalg::Vector& x) const {
   const linalg::Vector s = scores(x);
   const auto best = std::max_element(s.begin(), s.end());

@@ -27,11 +27,23 @@ class Qda : public Classifier {
   void fit(const Dataset& train) override;
   int predict(const linalg::Vector& x) const override;
   ScoredPrediction predict_scored(const linalg::Vector& x) const override;
+
+  /// Lane-vectorized override: per class, one blocked triangular solve sweeps
+  /// the whole batch (each row of the Cholesky factor loads once per batch),
+  /// then the argmax/runner-up scan runs per column.  Bit-identical to
+  /// predict_scored per column.
+  std::vector<ScoredPrediction> predict_scored_batch(
+      const linalg::Matrix& x_cols) const override;
+
   std::string name() const override { return "QDA"; }
 
   /// Per-class posterior log-likelihoods (unnormalized), label order matches
   /// `labels()`.
   linalg::Vector scores(const linalg::Vector& x) const;
+
+  /// Batched scores: `x_cols` is (dim x lanes), columns as samples; returns
+  /// (classes x lanes), column l bit-identical to scores(column l).
+  linalg::Matrix scores_batch(const linalg::Matrix& x_cols) const;
   const std::vector<int>& labels() const { return labels_; }
   const std::vector<stats::MultivariateGaussian>& models() const { return models_; }
   const std::vector<double>& log_priors() const { return log_priors_; }

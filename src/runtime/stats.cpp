@@ -45,6 +45,18 @@ std::string LatencyHistogram::summary() const {
   return out;
 }
 
+std::string LatencyHistogram::summary_counts() const {
+  if (count_ == 0) return "n=0";
+  char buf[32];
+  std::string out = "n=" + std::to_string(count_);
+  std::snprintf(buf, sizeof buf, " mean=%.1f", mean_nanos());
+  out += buf;
+  out += " p50<" + std::to_string(quantile_upper_nanos(0.50));
+  out += " p99<" + std::to_string(quantile_upper_nanos(0.99));
+  out += " max=" + std::to_string(max_nanos_);
+  return out;
+}
+
 void RuntimeStats::merge(const RuntimeStats& other) {
   traces_submitted += other.traces_submitted;
   traces_completed += other.traces_completed;
@@ -61,6 +73,11 @@ void RuntimeStats::merge(const RuntimeStats& other) {
   recal_traces_spent += other.recal_traces_spent;
   batches_submitted += other.batches_submitted;
   batch_windows += other.batch_windows;
+  windows_per_batch.merge(other.windows_per_batch);
+  batch_classify_nanos += other.batch_classify_nanos;
+  scalar_classify_nanos += other.scalar_classify_nanos;
+  batch_classified_windows += other.batch_classified_windows;
+  scalar_classified_windows += other.scalar_classified_windows;
   windows_shed += other.windows_shed;
   windows_rejected += other.windows_rejected;
   queue_depth_high_water = std::max(queue_depth_high_water, other.queue_depth_high_water);
@@ -100,6 +117,23 @@ std::string RuntimeStats::report() const {
                   static_cast<double>(batch_windows) /
                       static_cast<double>(batches_submitted));
     out += buf;
+  }
+  if (batch_classified_windows != 0 || scalar_classified_windows != 0) {
+    char buf[160];
+    const auto per_window = [](std::uint64_t nanos, std::uint64_t windows) {
+      return windows == 0 ? std::string("-")
+                          : human_nanos(static_cast<double>(nanos) /
+                                        static_cast<double>(windows));
+    };
+    std::snprintf(buf, sizeof buf,
+                  "  classify split: batch %llu windows @ %s/win, "
+                  "scalar %llu windows @ %s/win\n",
+                  static_cast<unsigned long long>(batch_classified_windows),
+                  per_window(batch_classify_nanos, batch_classified_windows).c_str(),
+                  static_cast<unsigned long long>(scalar_classified_windows),
+                  per_window(scalar_classify_nanos, scalar_classified_windows).c_str());
+    out += buf;
+    out += "  windows/batch: " + windows_per_batch.summary_counts() + "\n";
   }
   if (windows_shed != 0 || windows_rejected != 0) {
     out += "  admission: shed=" + std::to_string(windows_shed) +

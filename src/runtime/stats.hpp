@@ -53,6 +53,10 @@ class LatencyHistogram {
   /// One-line rendering, e.g. "n=1000 mean=1.2us p50<2us p99<8us max=7.4us".
   std::string summary() const;
 
+  /// summary() for histograms recording plain counts instead of nanoseconds
+  /// (e.g. windows per batch): same shape, unitless numbers.
+  std::string summary_counts() const;
+
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
@@ -91,6 +95,18 @@ struct RuntimeStats {
   /// coalescing factor of a fleet shard.
   std::uint64_t batches_submitted = 0;
   std::uint64_t batch_windows = 0;
+  /// Batch-amortization telemetry of the worker pool: how many windows each
+  /// classification pass actually carried (the realized lane count of the
+  /// SoA hot path -- one sample per worker pass, value = windows), and how
+  /// classify wall-time splits between the lane-vectorized batch path and
+  /// the scalar per-window path.  batch_classify_nanos /
+  /// batch_classified_windows vs the scalar ratio is the in-situ
+  /// amortization factor a deployment actually realizes.
+  LatencyHistogram windows_per_batch;       ///< counts, not nanos
+  std::uint64_t batch_classify_nanos = 0;   ///< wall time inside batch passes
+  std::uint64_t scalar_classify_nanos = 0;  ///< wall time inside scalar passes
+  std::uint64_t batch_classified_windows = 0;
+  std::uint64_t scalar_classified_windows = 0;
   /// Admission-control outcomes, filled by the multi-tenant frontend when it
   /// aggregates shard stats (a bare engine never sheds -- it blocks):
   /// windows shed after admission (kShedOldest reclaiming credit) and

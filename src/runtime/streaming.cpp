@@ -89,7 +89,8 @@ void StreamingDisassembler::worker_loop() {
     std::vector<core::Disassembly> results;
     std::vector<unsigned char> window_failed(n, 0);
     std::uint64_t failures = 0;
-    if (n > 1 && stage->batch != nullptr) {
+    const bool used_batch = n > 1 && stage->batch != nullptr;
+    if (used_batch) {
       try {
         results = (stage->batch)(job->traces);
         if (results.size() != n) throw std::runtime_error("batch size mismatch");
@@ -114,11 +115,21 @@ void StreamingDisassembler::worker_loop() {
     // Batch cost is amortized: each window is charged 1/n of the pass, so
     // the classify histogram reports effective per-window service time and
     // single vs batched paths share one perf record.
-    const std::uint64_t per_window =
-        elapsed_nanos(picked_up, done) / static_cast<std::uint64_t>(n);
+    const std::uint64_t pass_nanos = elapsed_nanos(picked_up, done);
+    const std::uint64_t per_window = pass_nanos / static_cast<std::uint64_t>(n);
     const std::uint64_t waited = elapsed_nanos(job->submitted_at, picked_up);
     {
       std::lock_guard lock(mutex_);
+      // Amortization telemetry: realized lane count of this pass and the
+      // batch-vs-scalar wall-time split.
+      if (used_batch) {
+        windows_per_batch_.record(n);
+        batch_classify_nanos_ += pass_nanos;
+        batch_classified_windows_ += n;
+      } else {
+        scalar_classify_nanos_ += pass_nanos;
+        scalar_classified_windows_ += n;
+      }
       for (std::size_t i = 0; i < n; ++i) {
         queue_wait_.record(waited);
         classify_hist_.record(per_window);
@@ -323,6 +334,11 @@ RuntimeStats StreamingDisassembler::stats() const {
   s.traces_degraded = degraded_;
   s.batches_submitted = batches_submitted_;
   s.batch_windows = batch_windows_;
+  s.windows_per_batch = windows_per_batch_;
+  s.batch_classify_nanos = batch_classify_nanos_;
+  s.scalar_classify_nanos = scalar_classify_nanos_;
+  s.batch_classified_windows = batch_classified_windows_;
+  s.scalar_classified_windows = scalar_classified_windows_;
   s.traces_faulted = faulted_;
   s.fault_severity_sum = fault_severity_sum_;
   s.max_fault_severity = max_fault_severity_;

@@ -247,6 +247,11 @@ class StreamingDisassembler {
   std::uint64_t degraded_ = 0;  ///< results with Verdict::kDegraded
   std::uint64_t batches_submitted_ = 0;  ///< submit_batch calls accepted
   std::uint64_t batch_windows_ = 0;      ///< windows they carried
+  LatencyHistogram windows_per_batch_;   ///< realized lanes per batched pass
+  std::uint64_t batch_classify_nanos_ = 0;   ///< wall time in batched passes
+  std::uint64_t scalar_classify_nanos_ = 0;  ///< wall time in scalar passes
+  std::uint64_t batch_classified_windows_ = 0;
+  std::uint64_t scalar_classified_windows_ = 0;
   std::uint64_t faulted_ = 0;   ///< submitted windows with fault_severity > 0
   double fault_severity_sum_ = 0.0;
   double max_fault_severity_ = 0.0;

@@ -67,4 +67,31 @@ double MultivariateGaussian::mahalanobis_squared(const linalg::Vector& x) const 
   return chol_.mahalanobis_squared(linalg::sub(x, mean_));
 }
 
+void MultivariateGaussian::log_pdf_batch(const linalg::Matrix& x_cols,
+                                         std::span<double> out,
+                                         linalg::Matrix& centered,
+                                         linalg::Matrix& solve) const {
+  const std::size_t n = mean_.size();
+  const std::size_t lanes = x_cols.cols();
+  if (x_cols.rows() != n) {
+    throw std::invalid_argument("MultivariateGaussian: dimension mismatch");
+  }
+  if (centered.rows() != n || centered.cols() != lanes) {
+    centered = linalg::Matrix(n, lanes);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double m = mean_[i];
+    const double* __restrict xrow = x_cols.row(i).data();
+    double* __restrict crow = centered.row(i).data();
+    for (std::size_t l = 0; l < lanes; ++l) crow[l] = xrow[l] - m;
+  }
+  chol_.mahalanobis_squared_batch(centered, out, solve);
+  // Same normalizer expression as the scalar log_pdf; computing the constant
+  // once per batch is safe because it was already a single subexpression
+  // there (k*log(2pi) + log_det groups left-to-right before d2 joins).
+  const double k = static_cast<double>(dim());
+  const double norm = k * std::log(2.0 * std::numbers::pi) + log_det();
+  for (std::size_t l = 0; l < lanes; ++l) out[l] = -0.5 * (norm + out[l]);
+}
+
 }  // namespace sidis::stats

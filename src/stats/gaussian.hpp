@@ -47,6 +47,15 @@ class MultivariateGaussian {
 
   double log_pdf(const linalg::Vector& x) const;
   double mahalanobis_squared(const linalg::Vector& x) const;
+
+  /// Batched log-density over a struct-of-arrays sample block: `x_cols` is
+  /// (dim x lanes) with columns as samples; out[l] is bit-identical to
+  /// log_pdf(column l).  The mean subtraction, triangular solve, and
+  /// log-normalizer all sweep the whole batch lane-contiguous; `centered`
+  /// and `solve` are grow-once caller scratch.
+  void log_pdf_batch(const linalg::Matrix& x_cols, std::span<double> out,
+                     linalg::Matrix& centered, linalg::Matrix& solve) const;
+
   const linalg::Cholesky& cholesky() const { return chol_; }
 
  private:

@@ -1,0 +1,476 @@
+// Bit-identity battery for the lane-vectorized (struct-of-arrays) batch hot
+// path.  Every batch primitive vectorizes ONLY across the window/lane
+// dimension and keeps the scalar per-window accumulation order, so its
+// output must equal the scalar path's to the last bit -- at every layer:
+// FFT, CWT (full transform and sparse extraction), fused feature transform,
+// blocked Mahalanobis/QDA scoring, and the full hierarchical classify_batch
+// across batch sizes, mixed content, mixed trace lengths, and streaming
+// worker counts.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "core/csa.hpp"
+#include "core/hierarchical.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/wavelet.hpp"
+#include "features/pipeline.hpp"
+#include "ml/discriminant.hpp"
+#include "runtime/streaming.hpp"
+#include "sim/acquisition.hpp"
+#include "stats/gaussian.hpp"
+
+namespace sidis {
+namespace {
+
+std::vector<double> random_signal(std::size_t n, std::mt19937_64& rng) {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> out(n);
+  for (double& v : out) v = dist(rng);
+  return out;
+}
+
+// -- FFT ---------------------------------------------------------------------
+
+TEST(FftBatch, ForwardAndInverseMatchScalarLaneForLane) {
+  std::mt19937_64 rng(7);
+  for (const std::size_t n : {std::size_t{8}, std::size_t{64}, std::size_t{512}}) {
+    const dsp::FftPlan plan(n);
+    for (const std::size_t lanes :
+         {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{16}}) {
+      // Independent random complex content per lane.
+      std::vector<dsp::ComplexVector> scalar(lanes, dsp::ComplexVector(n));
+      dsp::BatchComplex batch;
+      batch.assign(n, lanes);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto v = dsp::Complex(random_signal(1, rng)[0], random_signal(1, rng)[0]);
+          scalar[l][i] = v;
+          batch.re[i * lanes + l] = v.real();
+          batch.im[i * lanes + l] = v.imag();
+        }
+      }
+      plan.forward_batch(batch);
+      for (std::size_t l = 0; l < lanes; ++l) plan.forward(scalar[l]);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(batch.re[i * lanes + l], scalar[l][i].real())
+              << "fwd n=" << n << " lane " << l << " bin " << i;
+          ASSERT_EQ(batch.im[i * lanes + l], scalar[l][i].imag())
+              << "fwd n=" << n << " lane " << l << " bin " << i;
+        }
+      }
+      plan.inverse_batch(batch);
+      for (std::size_t l = 0; l < lanes; ++l) plan.inverse(scalar[l]);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(batch.re[i * lanes + l], scalar[l][i].real())
+              << "inv n=" << n << " lane " << l << " bin " << i;
+          ASSERT_EQ(batch.im[i * lanes + l], scalar[l][i].imag())
+              << "inv n=" << n << " lane " << l << " bin " << i;
+        }
+      }
+    }
+  }
+}
+
+// -- CWT ---------------------------------------------------------------------
+
+class CwtBatchTest : public ::testing::TestWithParam<dsp::CwtBackend> {};
+
+TEST_P(CwtBatchTest, TransformBatchMatchesScalarTransforms) {
+  std::mt19937_64 rng(11);
+  dsp::CwtConfig cfg;
+  cfg.num_scales = 12;  // spans both sides of the direct/spectral crossover
+  cfg.backend = GetParam();
+  const dsp::Cwt cwt(cfg);
+  dsp::CwtBatchWorkspace bws;
+  for (const std::size_t n : {std::size_t{315}, std::size_t{200}}) {
+    for (const std::size_t lanes : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+      std::vector<std::vector<double>> traces;
+      for (std::size_t l = 0; l < lanes; ++l) traces.push_back(random_signal(n, rng));
+      std::vector<const std::vector<double>*> ptrs;
+      for (const auto& t : traces) ptrs.push_back(&t);
+
+      const std::vector<dsp::Scalogram> batch =
+          cwt.transform_batch({ptrs.data(), ptrs.size()}, bws);
+      ASSERT_EQ(batch.size(), lanes);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const dsp::Scalogram ref = cwt.transform(traces[l]);
+        ASSERT_EQ(batch[l].rows(), ref.rows());
+        ASSERT_EQ(batch[l].cols(), ref.cols());
+        for (std::size_t j = 0; j < ref.rows(); ++j) {
+          for (std::size_t k = 0; k < ref.cols(); ++k) {
+            ASSERT_EQ(batch[l](j, k), ref(j, k))
+                << "n=" << n << " lane " << l << " scale " << j << " t " << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CwtBatchTest, CoefficientsBatchMatchesScalarColumns) {
+  std::mt19937_64 rng(13);
+  dsp::CwtConfig cfg;
+  cfg.num_scales = 12;
+  cfg.backend = GetParam();
+  const dsp::Cwt cwt(cfg);
+  dsp::CwtWorkspace sws;
+  dsp::CwtBatchWorkspace bws;
+  const std::size_t n = 315;
+
+  // Point pattern mixing a dense scale (enough points to cross into the
+  // spectral row path), sparse scales, duplicates, and out-of-order indices.
+  std::vector<std::size_t> js, ks;
+  for (std::size_t k = 0; k < 40; ++k) {
+    js.push_back(3);
+    ks.push_back((k * 7) % n);
+  }
+  for (std::size_t j = 0; j < cfg.num_scales; ++j) {
+    js.push_back(j);
+    ks.push_back((j * 31) % n);
+  }
+  js.push_back(3);  // duplicate of a dense-scale point
+  ks.push_back(7);
+
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+    std::vector<std::vector<double>> traces;
+    for (std::size_t l = 0; l < lanes; ++l) traces.push_back(random_signal(n, rng));
+    std::vector<const std::vector<double>*> ptrs;
+    for (const auto& t : traces) ptrs.push_back(&t);
+
+    const linalg::Matrix batch = cwt.coefficients_batch(
+        {ptrs.data(), ptrs.size()}, js, ks, bws);
+    ASSERT_EQ(batch.rows(), js.size());
+    ASSERT_EQ(batch.cols(), lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const linalg::Vector ref = cwt.coefficients(traces[l], js, ks, sws);
+      for (std::size_t i = 0; i < js.size(); ++i) {
+        ASSERT_EQ(batch(i, l), ref[i]) << "lane " << l << " point " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, CwtBatchTest,
+                         ::testing::Values(dsp::CwtBackend::kAuto,
+                                           dsp::CwtBackend::kDirect,
+                                           dsp::CwtBackend::kSpectral));
+
+TEST(CwtBatch, RejectsEmptyAndMixedLengthBatches) {
+  const dsp::Cwt cwt;
+  dsp::CwtBatchWorkspace ws;
+  EXPECT_THROW(cwt.transform_batch({}, ws), std::invalid_argument);
+  const std::vector<double> a(100, 0.0), b(101, 0.0);
+  const std::vector<const std::vector<double>*> mixed{&a, &b};
+  EXPECT_THROW(cwt.transform_batch({mixed.data(), mixed.size()}, ws),
+               std::invalid_argument);
+}
+
+// -- linalg / stats / ml ------------------------------------------------------
+
+TEST(LinalgBatch, MahalanobisBatchMatchesScalar) {
+  std::mt19937_64 rng(17);
+  const std::size_t dim = 12;
+  // SPD matrix: A^T A + I.
+  linalg::Matrix a(dim, dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) a(r, c) = random_signal(1, rng)[0];
+  }
+  linalg::Matrix spd(dim, dim, 0.0);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      for (std::size_t k = 0; k < dim; ++k) spd(r, c) += a(k, r) * a(k, c);
+    }
+    spd(r, r) += 1.0;
+  }
+  const linalg::Cholesky chol = linalg::Cholesky::compute(spd);
+  ASSERT_TRUE(chol.valid);
+
+  const std::size_t lanes = 9;
+  linalg::Matrix x_cols(dim, lanes);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t l = 0; l < lanes; ++l) x_cols(r, l) = random_signal(1, rng)[0];
+  }
+  std::vector<double> out(lanes);
+  linalg::Matrix scratch;
+  chol.mahalanobis_squared_batch(x_cols, out, scratch);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    linalg::Vector x(dim);
+    for (std::size_t r = 0; r < dim; ++r) x[r] = x_cols(r, l);
+    EXPECT_EQ(out[l], chol.mahalanobis_squared(x)) << "lane " << l;
+  }
+}
+
+TEST(StatsBatch, GaussianLogPdfBatchMatchesScalar) {
+  std::mt19937_64 rng(19);
+  const std::size_t dim = 8, samples = 40;
+  linalg::Matrix data(samples, dim);
+  for (std::size_t r = 0; r < samples; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) data(r, c) = random_signal(1, rng)[0];
+  }
+  const auto g = stats::MultivariateGaussian::fit(data);
+
+  const std::size_t lanes = 6;
+  linalg::Matrix x_cols(dim, lanes);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t l = 0; l < lanes; ++l) x_cols(r, l) = random_signal(1, rng)[0];
+  }
+  std::vector<double> out(lanes);
+  linalg::Matrix centered, solve;
+  g.log_pdf_batch(x_cols, out, centered, solve);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    linalg::Vector x(dim);
+    for (std::size_t r = 0; r < dim; ++r) x[r] = x_cols(r, l);
+    EXPECT_EQ(out[l], g.log_pdf(x)) << "lane " << l;
+  }
+}
+
+TEST(MlBatch, QdaPredictScoredBatchMatchesScalar) {
+  std::mt19937_64 rng(23);
+  const std::size_t dim = 6, per_class = 30;
+  ml::Dataset train;
+  train.x = linalg::Matrix(3 * per_class, dim);
+  for (int cls = 0; cls < 3; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t r = static_cast<std::size_t>(cls) * per_class + i;
+      for (std::size_t c = 0; c < dim; ++c) {
+        train.x(r, c) = random_signal(1, rng)[0] + 2.0 * cls;
+      }
+      train.y.push_back(cls);
+    }
+  }
+  ml::Qda qda;
+  qda.fit(train);
+
+  const std::size_t lanes = 11;
+  linalg::Matrix x_cols(dim, lanes);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      x_cols(r, l) = random_signal(1, rng)[0] + 2.0 * (l % 3);
+    }
+  }
+  const std::vector<ml::ScoredPrediction> batch = qda.predict_scored_batch(x_cols);
+  const linalg::Matrix scores = qda.scores_batch(x_cols);
+  ASSERT_EQ(batch.size(), lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    linalg::Vector x(dim);
+    for (std::size_t r = 0; r < dim; ++r) x[r] = x_cols(r, l);
+    const ml::ScoredPrediction ref = qda.predict_scored(x);
+    EXPECT_EQ(batch[l].label, ref.label) << "lane " << l;
+    EXPECT_EQ(batch[l].top_score, ref.top_score) << "lane " << l;
+    EXPECT_EQ(batch[l].margin, ref.margin) << "lane " << l;
+    const linalg::Vector sref = qda.scores(x);
+    for (std::size_t c = 0; c < sref.size(); ++c) {
+      EXPECT_EQ(scores(c, l), sref[c]) << "lane " << l << " class " << c;
+    }
+  }
+
+  // The base-class fallback (classifiers without a vectorized override) must
+  // satisfy the same contract.
+  ml::Lda lda;
+  lda.fit(train);
+  const ml::Classifier& base = lda;
+  const std::vector<ml::ScoredPrediction> fallback = base.predict_scored_batch(x_cols);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    linalg::Vector x(dim);
+    for (std::size_t r = 0; r < dim; ++r) x[r] = x_cols(r, l);
+    const ml::ScoredPrediction ref = lda.predict_scored(x);
+    EXPECT_EQ(fallback[l].label, ref.label);
+    EXPECT_EQ(fallback[l].top_score, ref.top_score);
+    EXPECT_EQ(fallback[l].margin, ref.margin);
+  }
+}
+
+// -- feature pipeline ---------------------------------------------------------
+
+TEST(FeaturesBatch, TransformPreparedBatchMatchesScalarColumns) {
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0)};
+  std::mt19937_64 rng(29);
+  features::LabeledTraces input;
+  std::vector<sim::TraceSet> sets;
+  for (avr::Mnemonic m : {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi}) {
+    sets.push_back(campaign.capture_class(*avr::class_index(m), 40, 5, rng));
+  }
+  input.labels = {0, 1};
+  for (const auto& s : sets) input.sets.push_back(&s);
+  features::PipelineConfig cfg = core::csa_config();
+  cfg.pca_components = 12;
+  const auto pipeline = features::FeaturePipeline::fit(input, cfg);
+
+  std::vector<std::vector<double>> prepared;
+  for (int i = 0; i < 9; ++i) {
+    const sim::Trace t = campaign.capture_trace(
+        avr::random_instance(*avr::class_index(avr::Mnemonic::kAdd), rng),
+        sim::ProgramContext::make(i % 3), rng);
+    prepared.push_back(features::FeaturePipeline::preprocess_window(
+        t, cfg.per_trace_normalization));
+  }
+  std::vector<const std::vector<double>*> ptrs;
+  for (const auto& p : prepared) ptrs.push_back(&p);
+
+  dsp::CwtWorkspace sws;
+  dsp::CwtBatchWorkspace bws;
+  const std::size_t fitted = pipeline.max_components();
+  ASSERT_GE(fitted, 2u);
+  for (const std::size_t components : {fitted, fitted - 1}) {
+    const linalg::Matrix batch = pipeline.transform_prepared_batch(
+        {ptrs.data(), ptrs.size()}, components, bws);
+    ASSERT_EQ(batch.rows(), components);
+    ASSERT_EQ(batch.cols(), prepared.size());
+    for (std::size_t w = 0; w < prepared.size(); ++w) {
+      const linalg::Vector ref =
+          pipeline.transform_prepared(prepared[w], components, sws);
+      ASSERT_EQ(ref.size(), components);
+      for (std::size_t c = 0; c < components; ++c) {
+        ASSERT_EQ(batch(c, w), ref[c]) << "window " << w << " component " << c;
+      }
+    }
+  }
+}
+
+// -- hierarchical classify_batch ----------------------------------------------
+
+class BatchModelFixture : public ::testing::Test {
+ protected:
+  static const core::HierarchicalDisassembler& model() {
+    static const core::HierarchicalDisassembler m = [] {
+      sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                        sim::SessionContext::make(0)};
+      std::mt19937_64 rng{31};
+      core::ProfilingData data;
+      for (avr::Mnemonic mn : {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi,
+                               avr::Mnemonic::kCom, avr::Mnemonic::kRjmp}) {
+        data.classes[*avr::class_index(mn)] =
+            campaign.capture_class(*avr::class_index(mn), 50, 5, rng);
+      }
+      for (std::uint8_t r : {4, 20}) {
+        data.rd_classes[r] = campaign.capture_register(true, r, 120, 5, rng);
+        data.rr_classes[r] = campaign.capture_register(false, r, 120, 5, rng);
+      }
+      core::HierarchicalConfig cfg;
+      cfg.pipeline = core::csa_config();
+      cfg.pipeline.pca_components = 10;
+      cfg.group_components = 8;
+      cfg.instruction_components = 8;
+      cfg.register_components = 10;
+      cfg.factory.discriminant.shrinkage = 0.15;
+      auto model = core::HierarchicalDisassembler::train(data, cfg);
+      // Armed gates make verdict/headroom equality a real statement.
+      model.calibrate_reject(data, core::RejectOperatingPoint::kBalanced);
+      return model;
+    }();
+    return m;
+  }
+
+  /// Mixed-content eval pool: several classes, several programs, plus
+  /// off-distribution windows from a different process corner and session so
+  /// the reject gates actually trip on some windows.
+  static sim::TraceSet mixed_windows(std::size_t n) {
+    sim::AcquisitionCampaign clean{sim::DeviceModel::make(0),
+                                   sim::SessionContext::make(0)};
+    sim::AcquisitionCampaign corner{sim::DeviceModel::make(7),
+                                    sim::SessionContext::make(3)};
+    std::mt19937_64 rng{37};
+    const std::size_t classes[] = {*avr::class_index(avr::Mnemonic::kAdd),
+                                   *avr::class_index(avr::Mnemonic::kLdi),
+                                   *avr::class_index(avr::Mnemonic::kCom),
+                                   *avr::class_index(avr::Mnemonic::kRjmp)};
+    sim::TraceSet out;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim::AcquisitionCampaign& campaign = i % 5 == 4 ? corner : clean;
+      out.push_back(campaign.capture_trace(
+          avr::random_instance(classes[i % 4], rng),
+          sim::ProgramContext::make(static_cast<int>(i % 6)), rng));
+    }
+    return out;
+  }
+
+  static void expect_identical(const core::Disassembly& batch,
+                               const core::Disassembly& single,
+                               std::size_t window) {
+    EXPECT_EQ(batch.group, single.group) << "window " << window;
+    EXPECT_EQ(batch.class_idx, single.class_idx) << "window " << window;
+    EXPECT_EQ(batch.rd, single.rd) << "window " << window;
+    EXPECT_EQ(batch.rr, single.rr) << "window " << window;
+    EXPECT_EQ(batch.verdict, single.verdict) << "window " << window;
+    EXPECT_EQ(batch.margin_headroom, single.margin_headroom) << "window " << window;
+    EXPECT_EQ(batch.score_headroom, single.score_headroom) << "window " << window;
+  }
+};
+
+TEST_F(BatchModelFixture, BitIdenticalAcrossBatchSizes) {
+  const sim::TraceSet pool = mixed_windows(64);
+  std::vector<core::Disassembly> reference;
+  for (const sim::Trace& t : pool) reference.push_back(model().classify(t));
+  // Some mixed-content windows must actually exercise the gates and the
+  // operand levels, or the equality checks are vacuous.
+  std::size_t gated = 0, with_rd = 0;
+  for (const auto& d : reference) {
+    if (d.verdict != core::Verdict::kOk) ++gated;
+    if (d.rd.has_value()) ++with_rd;
+  }
+  EXPECT_GT(with_rd, 0u) << "eval pool never reached the register level";
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                              std::size_t{16}, std::size_t{64}}) {
+    const sim::TraceSet windows(pool.begin(), pool.begin() + static_cast<long>(k));
+    const std::vector<core::Disassembly> batch = model().classify_batch(windows);
+    ASSERT_EQ(batch.size(), k);
+    for (std::size_t i = 0; i < k; ++i) expect_identical(batch[i], reference[i], i);
+  }
+}
+
+TEST_F(BatchModelFixture, BitIdenticalWithMixedTraceLengths) {
+  sim::TraceSet pool = mixed_windows(12);
+  // Three length buckets: the native window length (>= 2 windows), a
+  // truncated length (>= 2 windows), and a singleton that must take the
+  // scalar path.
+  for (std::size_t i = 0; i < 5; ++i) pool[i].samples.resize(250);
+  pool[5].samples.resize(120);
+
+  const std::vector<core::Disassembly> batch = model().classify_batch(pool);
+  ASSERT_EQ(batch.size(), pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    expect_identical(batch[i], model().classify(pool[i]), i);
+  }
+}
+
+TEST_F(BatchModelFixture, StreamingBatchesAreWorkerCountInvariant) {
+  const sim::TraceSet pool = mixed_windows(48);
+  const std::vector<core::Disassembly> reference = model().classify_batch(pool);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    runtime::StreamingConfig cfg;
+    cfg.workers = workers;
+    cfg.queue_capacity = 8;
+    runtime::StreamingDisassembler engine(model(), cfg);
+    // Submit as batches of 16 so the worker pool takes the batched path.
+    for (std::size_t base = 0; base < pool.size(); base += 16) {
+      sim::TraceSet chunk(pool.begin() + static_cast<long>(base),
+                          pool.begin() + static_cast<long>(base + 16));
+      ASSERT_TRUE(engine.submit_batch(std::move(chunk)).has_value());
+    }
+    const std::vector<runtime::StreamResult> got = engine.drain();
+    ASSERT_EQ(got.size(), pool.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].sequence, i) << "workers=" << workers;
+      expect_identical(got[i].value, reference[i], i);
+    }
+
+    // The amortization telemetry must reflect the batched passes.
+    const runtime::RuntimeStats stats = engine.stats();
+    EXPECT_EQ(stats.batch_classified_windows, pool.size()) << "workers=" << workers;
+    EXPECT_EQ(stats.scalar_classified_windows, 0u) << "workers=" << workers;
+    EXPECT_EQ(stats.windows_per_batch.count(), pool.size() / 16)
+        << "workers=" << workers;
+    EXPECT_GT(stats.batch_classify_nanos, 0u) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace sidis
