@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diff a bench_sequence run against the checked-in baseline.
+
+Usage: check_sequence.py CANDIDATE.json [BASELINE.json]
+
+Fails (exit 1) when an acceptance criterion flips or the decode stops paying
+for itself.  The hard gates are build-flavor independent: sequence-decoded
+accuracy must beat per-window argmax and block recovery must not fall below
+it -- these hold on any build or the decoder is wrong, full stop.  Accuracy
+and block-recovery levels are banded against the baseline with a small
+absolute tolerance (the SIDIS_FAST stream is shorter, so per-window rates
+quantize coarser).  Decode latency, a pure-CPU lattice cost, is checked as a
+wide band because the coverage job runs -O1 + gcov.  Stdlib only, so the CI
+job needs nothing beyond python3.
+"""
+import json
+import sys
+from pathlib import Path
+
+# Candidate accuracy / block recovery may sit this far below baseline before
+# it counts as a regression (short SIDIS_FAST streams quantize coarsely).
+LEVEL_TOLERANCE = 0.05
+# Decoded-minus-argmax lift must retain this fraction of the baseline lift.
+LIFT_FRACTION = 0.3
+# Latency band: candidate ns/window may be this many times the baseline
+# (instrumented -O1 vs Release; the lattice is scalar code either way).
+LATENCY_FACTOR = 20.0
+
+
+def lookup(doc, section, key):
+    node = doc if section is None else doc.get(section, {})
+    return node.get(key)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate = json.loads(Path(argv[1]).read_text())
+    baseline_path = argv[2] if len(argv) > 2 else str(
+        Path(__file__).parent / "BENCH_sequence.json")
+    baseline = json.loads(Path(baseline_path).read_text())
+
+    failures = []
+    rows = []
+
+    # Hard gates: the decode must beat argmax wherever it runs, and the
+    # baseline must have been pinned from a run where it did.
+    for doc, who in ((baseline, "baseline"), (candidate, "candidate")):
+        for crit in ("criterion_decoded_above_argmax", "criterion_blocks_recovered"):
+            got = lookup(doc, "primary", crit)
+            if who == "candidate":
+                rows.append((crit, lookup(baseline, "primary", crit), got))
+            if got is not True:
+                failures.append(f"{who} {crit} is {got}")
+
+    # Banded levels: argmax context plus decoded accuracy / block recovery.
+    for section, key in (("argmax", "accuracy"), ("argmax", "block_recovery"),
+                         ("primary", "accuracy"), ("primary", "block_recovery")):
+        name = f"{section}_{key}"
+        base, got = lookup(baseline, section, key), lookup(candidate, section, key)
+        rows.append((name, base, got))
+        if base is None or got is None:
+            failures.append(f"metric '{name}' missing (baseline={base}, candidate={got})")
+        elif section == "primary" and got < base - LEVEL_TOLERANCE:
+            failures.append(f"'{name}' regressed: {base} -> {got} "
+                            f"(tolerance {LEVEL_TOLERANCE})")
+
+    # The lift itself: decoded - argmax accuracy, as a fraction of baseline.
+    base_lift = (lookup(baseline, "primary", "accuracy") or 0) - \
+                (lookup(baseline, "argmax", "accuracy") or 0)
+    got_lift = (lookup(candidate, "primary", "accuracy") or 0) - \
+               (lookup(candidate, "argmax", "accuracy") or 0)
+    rows.append(("accuracy_lift", base_lift, got_lift))
+    if got_lift < base_lift * LIFT_FRACTION:
+        failures.append(f"decode lift collapsed: {base_lift:.4f} -> {got_lift:.4f} "
+                        f"(needs >= {base_lift * LIFT_FRACTION:.4f})")
+
+    # Latency band.
+    base_ns = lookup(baseline, "primary", "decode_ns_per_window")
+    got_ns = lookup(candidate, "primary", "decode_ns_per_window")
+    rows.append(("decode_ns_per_window", base_ns, got_ns))
+    if base_ns is None or got_ns is None or got_ns > base_ns * LATENCY_FACTOR:
+        failures.append(
+            f"decode latency blew up: {base_ns} -> {got_ns} ns/window "
+            f"(band {0 if base_ns is None else base_ns * LATENCY_FACTOR:.0f})")
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric'.ljust(width)}  baseline  candidate")
+    for key, base, got in rows:
+        fmt = lambda v: f"{v:.4f}" if isinstance(v, float) else str(v)
+        print(f"{key.ljust(width)}  {fmt(base):>8}  {fmt(got):>9}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: sequence-decoding metrics within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,20 +1,24 @@
 // Combining the side channel with static code analysis (the paper's Sec.-6
 // future-work direction): when the monitor knows the golden firmware, a
-// bigram prior over its instruction classes lets Viterbi decoding repair
+// transition prior over its instruction classes lets sequence decoding repair
 // isolated single-trace misclassifications.
 //
 // To make errors visible, classification runs in a deliberately hostile
 // regime: a gain-shifted field session and the *naive* (no-CSA) pipeline.
-// The same per-window QDA log-likelihoods are decoded twice -- without and
-// with the sequence prior -- and both recoveries are scored.
+// The per-window posteriors come from the hierarchical model's
+// classify_scored path; the same posteriors are decoded twice -- once as
+// plain per-window argmax, once through the runtime's bounded-lag
+// SequenceDecoder under an IsaPrior blended with the firmware's bigram
+// statistics -- and both recoveries are scored.
 #include <cstdio>
+#include <memory>
 #include <random>
 
 #include "avr/assembler.hpp"
 #include "core/csa.hpp"
+#include "core/hierarchical.hpp"
 #include "core/sequence.hpp"
-#include "features/pipeline.hpp"
-#include "ml/discriminant.hpp"
+#include "runtime/decoder.hpp"
 #include "sim/acquisition.hpp"
 
 using namespace sidis;
@@ -29,7 +33,7 @@ int main() {
   const sim::AcquisitionCampaign field(sim::DeviceModel::make(0), field_session);
 
   // The monitored firmware: an unrolled accumulate-and-store loop whose
-  // structure (LDI -> ADD -> ADD -> ST) repeats -- exactly what a bigram
+  // structure (LDI -> ADD -> ADD -> ST) repeats -- exactly what a transition
   // prior can exploit.
   avr::Program firmware = avr::assemble("SBI 5, 5\nNOP\n").program;
   for (int i = 0; i < 8; ++i) {
@@ -48,53 +52,59 @@ int main() {
   dict_classes.push_back(*avr::class_index(avr::Mnemonic::kSt, avr::AddrMode::kXPostInc));
 
   std::printf("profiling %zu-class dictionary...\n", dict_classes.size());
-  std::vector<sim::TraceSet> sets;
-  features::LabeledTraces train;
-  for (std::size_t cls : dict_classes) sets.push_back(profiling.capture_class(cls, 200, 10, rng));
-  for (std::size_t i = 0; i < dict_classes.size(); ++i) {
-    train.labels.push_back(static_cast<int>(dict_classes[i]));
-    train.sets.push_back(&sets[i]);
+  core::ProfilingData data;
+  for (std::size_t cls : dict_classes) {
+    data.classes[cls] = profiling.capture_class(cls, 200, 10, rng);
   }
-  features::PipelineConfig cfg = core::without_csa_config();  // naive on purpose
-  cfg.pca_components = 10;
-  const auto pipe = features::FeaturePipeline::fit(train, cfg);
-  ml::DiscriminantConfig dc;
-  dc.shrinkage = 0.15;
-  ml::Qda qda(dc);
-  qda.fit(pipe.transform(train));
+  core::HierarchicalConfig cfg;
+  cfg.pipeline = core::without_csa_config();  // naive on purpose
+  cfg.pipeline.pca_components = 10;
+  cfg.group_components = 8;
+  cfg.instruction_components = 8;
+  cfg.factory.discriminant.shrinkage = 0.15;
+  const auto model = std::make_shared<const core::HierarchicalDisassembler>(
+      core::HierarchicalDisassembler::train(data, cfg));
 
-  // The prior comes from *static analysis* of the golden firmware.
-  core::BigramPrior prior(avr::num_instruction_classes(), 0.05);
-  prior.add_program(firmware);
+  // The prior comes from *static analysis* of the golden firmware: its
+  // bigram counts, blended with the ISA's structural rules (a carry consumer
+  // needs a carry producer, a branch needs its flags written, ...).
+  core::BigramPrior evidence(avr::num_instruction_classes(), 0.05);
+  evidence.add_program(firmware);
+  const auto prior = std::make_shared<const core::IsaPrior>(evidence);
 
   std::printf("capturing the firmware in the hostile field session...\n\n");
-  int raw_hits = 0, smooth_hits = 0, scored = 0;
+  int raw_hits = 0, smooth_hits = 0, scored_count = 0;
+  std::uint64_t smoothed_windows = 0;
   for (int run = 0; run < 10; ++run) {
     const sim::TraceSet windows =
         field.capture_program(firmware, sim::ProgramContext::make(700 + run), rng);
-    // Emission matrix over the dictionary labels.
-    linalg::Matrix emissions(windows.size(), avr::num_instruction_classes(), -50.0);
-    for (std::size_t t = 0; t < windows.size(); ++t) {
-      const linalg::Vector s = qda.scores(pipe.transform(windows[t]));
-      for (std::size_t c = 0; c < qda.labels().size(); ++c) {
-        emissions(t, static_cast<std::size_t>(qda.labels()[c])) = s[c];
-      }
+
+    // One bounded-lag decoder per captured run (each is its own stream).
+    runtime::SequenceDecoderConfig dcfg;
+    dcfg.lag = 8;
+    runtime::SequenceDecoder decoder(model->posterior_classes(), prior, dcfg);
+    std::vector<runtime::SmoothedWindow> out;
+    for (const sim::Trace& t : windows) {
+      decoder.push(model->classify_scored(t));
+      while (auto w = decoder.poll()) out.push_back(std::move(*w));
     }
-    const auto raw = core::viterbi_decode(emissions, prior, 0.0);
-    const auto smooth = core::viterbi_decode(emissions, prior, 1.0);
-    for (std::size_t t = 0; t < windows.size(); ++t) {
+    for (auto& w : decoder.flush()) out.push_back(std::move(w));
+    smoothed_windows += decoder.smoothed_count();
+
+    for (std::size_t t = 0; t < out.size(); ++t) {
       const auto truth = avr::class_of(windows[t].meta.instr);
-      if (!truth) continue;
-      ++scored;
-      raw_hits += raw[t] == *truth ? 1 : 0;
-      smooth_hits += smooth[t] == *truth ? 1 : 0;
+      if (!truth) continue;  // trigger/NOP scaffolding
+      ++scored_count;
+      raw_hits += out[t].raw_class == *truth ? 1 : 0;
+      smooth_hits += out[t].value.class_idx == *truth ? 1 : 0;
     }
   }
-  std::printf("per-instruction recovery over %d instructions:\n", scored);
+  std::printf("per-instruction recovery over %d instructions:\n", scored_count);
   std::printf("  independent classification: %5.1f%%\n",
-              100.0 * raw_hits / static_cast<double>(scored));
-  std::printf("  with bigram Viterbi prior:  %5.1f%%\n",
-              100.0 * smooth_hits / static_cast<double>(scored));
+              100.0 * raw_hits / static_cast<double>(scored_count));
+  std::printf("  with ISA+bigram decoding:   %5.1f%%  (%llu windows rewritten)\n",
+              100.0 * smooth_hits / static_cast<double>(scored_count),
+              static_cast<unsigned long long>(smoothed_windows));
   std::printf("\nknowing what the code *should* look like repairs isolated\n"
               "side-channel misreads -- the paper's proposed static-analysis synergy.\n");
   return 0;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "avr/isa.hpp"
+#include "core/sequence.hpp"
 
 namespace sidis::core {
 
@@ -338,6 +339,13 @@ HierarchicalDisassembler HierarchicalDisassembler::train(const ProfilingData& da
   d.rd_level_ = train_registers(data.rd_classes);
   d.rr_level_ = train_registers(data.rr_classes);
 
+  // Posterior support: exactly the profiled classes (data.classes is an
+  // ordered map, so the support comes out ascending).
+  for (const auto& [class_idx, traces] : data.classes) {
+    (void)traces;
+    d.posterior_classes_.push_back(class_idx);
+  }
+
   // Training moments for drift monitoring: pool every training trace through
   // the monitor level's pipeline and keep per-feature mean/variance.  The
   // batched transform is worker-count-invariant, and the row-order reduction
@@ -595,6 +603,376 @@ std::vector<Disassembly> HierarchicalDisassembler::classify_batch(
     }
 
     // Level 3: operand recovery over the windows whose class uses each one.
+    const auto predict_registers = [&](const Level* level, bool rd) {
+      if (level == nullptr) return;
+      std::vector<std::size_t> subset;
+      for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t class_idx = out[idx[p]].class_idx;
+        if (rd ? avr::class_uses_rd(class_idx) : avr::class_uses_rr(class_idx)) {
+          subset.push_back(p);
+        }
+      }
+      if (subset.empty()) return;
+      const std::vector<ml::ScoredPrediction> r = predict_batch(*level, subset);
+      for (std::size_t i = 0; i < subset.size(); ++i) {
+        Disassembly& o = out[idx[subset[i]]];
+        if (rd) {
+          o.rd = static_cast<std::uint8_t>(r[i].label);
+        } else {
+          o.rr = static_cast<std::uint8_t>(r[i].label);
+        }
+        gate(o, *level, r[i], /*fatal=*/false);
+      }
+    };
+    predict_registers(rd_level_.get(), /*rd=*/true);
+    predict_registers(rr_level_.get(), /*rd=*/false);
+  }
+  return out;
+}
+
+void HierarchicalDisassembler::finalize_posterior_support() {
+  posterior_classes_.clear();
+  for (const auto& [group, level] : instruction_levels_) {
+    (void)group;
+    if (level.trivial) {
+      posterior_classes_.push_back(static_cast<std::size_t>(level.only_label));
+      continue;
+    }
+    if (level.classifier == nullptr) continue;
+    for (const int label : level.classifier->score_labels()) {
+      posterior_classes_.push_back(static_cast<std::size_t>(label));
+    }
+  }
+  std::sort(posterior_classes_.begin(), posterior_classes_.end());
+  posterior_classes_.erase(
+      std::unique(posterior_classes_.begin(), posterior_classes_.end()),
+      posterior_classes_.end());
+}
+
+Disassembly HierarchicalDisassembler::classify_prepared_scored(
+    PreparedWindow& window, dsp::CwtWorkspace& ws) const {
+  Disassembly out;
+
+  // The exact gate fold of classify_prepared: the scored path feeds the
+  // gates the same level scores, so verdicts and headrooms stay
+  // bit-identical to classify().
+  const auto gate = [&out](const Level& level, const ml::ScoredPrediction& p,
+                           bool fatal) {
+    if (!level.gate.active) return;
+    const double margin_headroom = p.margin - level.gate.margin_floor;
+    const double score_headroom = p.top_score - level.gate.score_floor;
+    out.margin_headroom = std::min(out.margin_headroom, margin_headroom);
+    out.score_headroom = std::min(out.score_headroom, score_headroom);
+    if (margin_headroom < 0.0 || score_headroom < 0.0) {
+      out.verdict = fatal ? Verdict::kRejected
+                          : std::max(out.verdict, Verdict::kDegraded);
+    }
+  };
+
+  const auto level_scores = [&](const Level& level) {
+    return level.classifier->class_scores(level.pipeline.transform_prepared(
+        window.prepared_for(level.pipeline), level.components, ws));
+  };
+
+  // Level 1: log P(group | x), one entry per group label the classifier can
+  // emit.  A hard-decision group classifier (no score surface) degrades to a
+  // one-hot factor at its prediction.
+  std::vector<int> group_labels;
+  linalg::Vector group_logp;
+  if (group_level_.trivial) {
+    out.group = group_level_.only_label;
+    group_labels = {group_level_.only_label};
+    group_logp = linalg::Vector{0.0};
+  } else {
+    const linalg::Vector s = level_scores(group_level_);
+    ml::ScoredPrediction g;
+    if (s.empty()) {
+      g = predict_level_prepared(group_level_, window, ws);
+      group_labels = {g.label};
+      group_logp = linalg::Vector{0.0};
+    } else {
+      group_labels = group_level_.classifier->score_labels();
+      g = ml::scored_from_scores(s, group_labels);
+      group_logp = log_softmax(s);
+    }
+    out.group = g.label;
+    gate(group_level_, g, /*fatal=*/true);
+  }
+  if (instruction_levels_.find(out.group) == instruction_levels_.end()) {
+    throw std::invalid_argument("classify_within_group: group not trained");
+  }
+  const auto group_log = [&](int group) {
+    for (std::size_t i = 0; i < group_labels.size(); ++i) {
+      if (group_labels[i] == group) return group_logp[i];
+    }
+    return -kInf;
+  };
+
+  out.log_posterior.assign(posterior_classes_.size(), -kInf);
+  const auto post_at = [&](std::size_t cls) -> double& {
+    const auto it = std::lower_bound(posterior_classes_.begin(),
+                                     posterior_classes_.end(), cls);
+    if (it == posterior_classes_.end() || *it != cls) {
+      throw std::logic_error("classify_scored: class outside posterior support");
+    }
+    return out.log_posterior[static_cast<std::size_t>(
+        it - posterior_classes_.begin())];
+  };
+
+  // Level 2: every trained group runs, so the posterior keeps honest mass
+  // outside the predicted group; only the predicted group's prediction
+  // drives the verdict, exactly as in classify_prepared.
+  for (const auto& [group, level] : instruction_levels_) {
+    const double g_lp = group_log(group);
+    if (level.trivial) {
+      const auto cls = static_cast<std::size_t>(level.only_label);
+      if (group == out.group) out.class_idx = cls;
+      post_at(cls) = g_lp;  // + log 1
+      continue;
+    }
+    const linalg::Vector s = level_scores(level);
+    if (s.empty()) {
+      const ml::ScoredPrediction c = predict_level_prepared(level, window, ws);
+      if (group == out.group) {
+        out.class_idx = static_cast<std::size_t>(c.label);
+        gate(level, c, /*fatal=*/true);
+      }
+      post_at(static_cast<std::size_t>(c.label)) = g_lp;
+      continue;
+    }
+    const std::vector<int>& labels = level.classifier->score_labels();
+    if (group == out.group) {
+      const ml::ScoredPrediction c = ml::scored_from_scores(s, labels);
+      out.class_idx = static_cast<std::size_t>(c.label);
+      gate(level, c, /*fatal=*/true);
+    }
+    const linalg::Vector lp = log_softmax(s);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      post_at(static_cast<std::size_t>(labels[i])) = g_lp + lp[i];
+    }
+  }
+
+  if (avr::class_uses_rd(out.class_idx) && rd_level_ != nullptr) {
+    const ml::ScoredPrediction p = predict_level_prepared(*rd_level_, window, ws);
+    out.rd = static_cast<std::uint8_t>(p.label);
+    gate(*rd_level_, p, /*fatal=*/false);
+  }
+  if (avr::class_uses_rr(out.class_idx) && rr_level_ != nullptr) {
+    const ml::ScoredPrediction p = predict_level_prepared(*rr_level_, window, ws);
+    out.rr = static_cast<std::uint8_t>(p.label);
+    gate(*rr_level_, p, /*fatal=*/false);
+  }
+  return out;
+}
+
+Disassembly HierarchicalDisassembler::classify_scored(const sim::Trace& trace) const {
+  dsp::CwtWorkspace ws;
+  PreparedWindow window{&trace, std::nullopt};
+  return classify_prepared_scored(window, ws);
+}
+
+std::vector<Disassembly> HierarchicalDisassembler::classify_batch_scored(
+    const sim::TraceSet& traces) const {
+  std::vector<Disassembly> out(traces.size());
+  if (traces.empty()) return out;
+
+  // The lane-vectorized path needs a score surface at the group level and in
+  // every non-trivial level-2 model; hard-decision classifiers fall back to
+  // the scalar scored path window by window.
+  const auto has_scores = [](const Level& level) {
+    return level.trivial || (level.classifier != nullptr &&
+                             !level.classifier->score_labels().empty());
+  };
+  bool all_scored = has_scores(group_level_);
+  for (const auto& [group, level] : instruction_levels_) {
+    (void)group;
+    all_scored = all_scored && has_scores(level);
+  }
+  if (!all_scored) {
+    dsp::CwtWorkspace ws;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      PreparedWindow window{&traces[i], std::nullopt};
+      out[i] = classify_prepared_scored(window, ws);
+    }
+    return out;
+  }
+
+  std::map<std::size_t, std::vector<std::size_t>> by_length;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    by_length[traces[i].samples.size()].push_back(i);
+  }
+
+  dsp::CwtWorkspace scalar_ws;
+  dsp::CwtBatchWorkspace batch_ws;
+
+  const auto gate = [](Disassembly& o, const Level& level,
+                       const ml::ScoredPrediction& p, bool fatal) {
+    if (!level.gate.active) return;
+    const double margin_headroom = p.margin - level.gate.margin_floor;
+    const double score_headroom = p.top_score - level.gate.score_floor;
+    o.margin_headroom = std::min(o.margin_headroom, margin_headroom);
+    o.score_headroom = std::min(o.score_headroom, score_headroom);
+    if (margin_headroom < 0.0 || score_headroom < 0.0) {
+      o.verdict = fatal ? Verdict::kRejected
+                        : std::max(o.verdict, Verdict::kDegraded);
+    }
+  };
+
+  const auto post_index = [&](std::size_t cls) {
+    const auto it = std::lower_bound(posterior_classes_.begin(),
+                                     posterior_classes_.end(), cls);
+    if (it == posterior_classes_.end() || *it != cls) {
+      throw std::logic_error("classify_scored: class outside posterior support");
+    }
+    return static_cast<std::size_t>(it - posterior_classes_.begin());
+  };
+
+  for (const auto& [length, idx] : by_length) {
+    if (idx.size() < 2 || length == 0) {
+      for (const std::size_t i : idx) {
+        PreparedWindow window{&traces[i], std::nullopt};
+        out[i] = classify_prepared_scored(window, scalar_ws);
+      }
+      continue;
+    }
+
+    const std::size_t n = idx.size();
+    for (const std::size_t i : idx) {
+      out[i].log_posterior.assign(posterior_classes_.size(), -kInf);
+    }
+
+    // Full-bucket SoA marshal shared across levels -- identical to
+    // classify_batch (see the comment there).
+    std::vector<double> soa_raw, soa_norm;
+    std::vector<double> soa_subset;
+    const auto bucket_soa = [&](bool normalize) -> const std::vector<double>& {
+      std::vector<double>& soa = normalize ? soa_norm : soa_raw;
+      if (soa.empty()) {
+        std::vector<const std::vector<double>*> ptrs(n);
+        std::vector<std::vector<double>> normalized;
+        if (normalize) {
+          normalized.resize(n);
+          for (std::size_t p = 0; p < n; ++p) {
+            normalized[p] =
+                features::FeaturePipeline::preprocess_window(traces[idx[p]], true);
+            ptrs[p] = &normalized[p];
+          }
+        } else {
+          for (std::size_t p = 0; p < n; ++p) ptrs[p] = &traces[idx[p]].samples;
+        }
+        dsp::Cwt::marshal({ptrs.data(), ptrs.size()}, soa);
+      }
+      return soa;
+    };
+
+    const auto level_feats = [&](const Level& level,
+                                 std::span<const std::size_t> subset) {
+      const std::vector<double>& full =
+          bucket_soa(level.pipeline.config().per_trace_normalization);
+      const std::size_t m = subset.size();
+      std::span<const double> soa(full);
+      if (m != n) {
+        soa_subset.resize(length * m);
+        for (std::size_t t = 0; t < length; ++t) {
+          const double* __restrict src = full.data() + t * n;
+          double* __restrict dst = soa_subset.data() + t * m;
+          for (std::size_t i = 0; i < m; ++i) dst[i] = src[subset[i]];
+        }
+        soa = soa_subset;
+      }
+      return level.pipeline.transform_soa_batch(soa, length, m,
+                                                level.components, batch_ws);
+    };
+
+    std::vector<std::size_t> all(n);
+    for (std::size_t p = 0; p < n; ++p) all[p] = p;
+
+    // Level 1 over the whole bucket, score surfaces kept.  Each lane's
+    // column replays the exact scalar scored path: scored_from_scores for
+    // the gate, log_softmax for the posterior factor.
+    std::vector<int> group_labels;
+    linalg::Matrix group_logp;  // (#group labels x lanes)
+    if (group_level_.trivial) {
+      group_labels = {group_level_.only_label};
+      group_logp = linalg::Matrix(1, n, 0.0);
+      for (std::size_t p = 0; p < n; ++p) out[idx[p]].group = group_level_.only_label;
+    } else {
+      const linalg::Matrix s =
+          group_level_.classifier->class_scores_batch(level_feats(group_level_, all));
+      group_labels = group_level_.classifier->score_labels();
+      group_logp = linalg::Matrix(s.rows(), n);
+      linalg::Vector col(s.rows());
+      for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t c = 0; c < s.rows(); ++c) col[c] = s(c, p);
+        Disassembly& o = out[idx[p]];
+        const ml::ScoredPrediction g = ml::scored_from_scores(col, group_labels);
+        o.group = g.label;
+        gate(o, group_level_, g, /*fatal=*/true);
+        const linalg::Vector lp = log_softmax(col);
+        for (std::size_t c = 0; c < s.rows(); ++c) group_logp(c, p) = lp[c];
+      }
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      if (instruction_levels_.find(out[idx[p]].group) == instruction_levels_.end()) {
+        throw std::invalid_argument("classify_within_group: group not trained");
+      }
+    }
+    const auto group_row = [&](int group) -> std::ptrdiff_t {
+      for (std::size_t i = 0; i < group_labels.size(); ++i) {
+        if (group_labels[i] == group) return static_cast<std::ptrdiff_t>(i);
+      }
+      return -1;
+    };
+
+    // Level 2: every trained level over the whole bucket (matching the
+    // scalar scored path); the predicted group's column drives the verdict.
+    for (const auto& [group, level] : instruction_levels_) {
+      const std::ptrdiff_t grow = group_row(group);
+      if (level.trivial) {
+        const auto cls = static_cast<std::size_t>(level.only_label);
+        const std::size_t pi = post_index(cls);
+        for (std::size_t p = 0; p < n; ++p) {
+          Disassembly& o = out[idx[p]];
+          o.log_posterior[pi] = grow < 0 ? -kInf : group_logp(grow, p);
+          if (o.group == group) o.class_idx = cls;
+        }
+        continue;
+      }
+      const linalg::Matrix s =
+          level.classifier->class_scores_batch(level_feats(level, all));
+      const std::vector<int>& labels = level.classifier->score_labels();
+      std::vector<std::size_t> post_idx(labels.size());
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        post_idx[i] = post_index(static_cast<std::size_t>(labels[i]));
+      }
+      linalg::Vector col(s.rows());
+      for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t c = 0; c < s.rows(); ++c) col[c] = s(c, p);
+        Disassembly& o = out[idx[p]];
+        if (o.group == group) {
+          const ml::ScoredPrediction c = ml::scored_from_scores(col, labels);
+          o.class_idx = static_cast<std::size_t>(c.label);
+          gate(o, level, c, /*fatal=*/true);
+        }
+        const double g_lp = grow < 0 ? -kInf : group_logp(grow, p);
+        const linalg::Vector lp = log_softmax(col);
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          o.log_posterior[post_idx[i]] = g_lp + lp[i];
+        }
+      }
+    }
+
+    // Level 3: identical to classify_batch -- operand posteriors are out of
+    // scope, so the plain scored-prediction batch suffices.
+    const auto predict_batch = [&](const Level& level,
+                                   std::span<const std::size_t> subset) {
+      if (level.trivial) {
+        return std::vector<ml::ScoredPrediction>(
+            subset.size(), ml::ScoredPrediction{level.only_label, kInf, kInf});
+      }
+      if (level.classifier == nullptr) throw std::runtime_error("level not trained");
+      return level.classifier->predict_scored_batch(level_feats(level, subset));
+    };
     const auto predict_registers = [&](const Level* level, bool rd) {
       if (level == nullptr) return;
       std::vector<std::size_t> subset;

@@ -129,6 +129,15 @@ struct Disassembly {
   /// Worst top-score headroom over all gated levels (outlier gate).
   double score_headroom = std::numeric_limits<double>::infinity();
 
+  /// Normalized per-class log-posterior over the model's posterior_classes()
+  /// support, composed across the hierarchy: log P(class | x) =
+  /// log P(group | x) + log P(class | group, x), each factor a log-softmax
+  /// over its level's score surface.  Empty on the plain classify() path --
+  /// only classify_scored()/classify_batch_scored() pay for it.  exp() of the
+  /// entries sums to 1 up to rounding; this is the emission row sequence
+  /// decoding consumes.
+  linalg::Vector log_posterior;
+
   bool accepted() const { return verdict != Verdict::kRejected; }
 
   /// Best-effort instruction reconstruction (unrecoverable operand fields --
@@ -178,6 +187,32 @@ class HierarchicalDisassembler {
   /// the scalar path.  This is the engine-room of the fleet runtime's
   /// submit_batch path.  Thread-safe like classify().
   std::vector<Disassembly> classify_batch(const sim::TraceSet& traces) const;
+
+  /// classify() plus the full per-class log-posterior (see
+  /// Disassembly::log_posterior).  Labels, operands, verdicts and headrooms
+  /// are bit-identical to classify() -- the reject gates consume the exact
+  /// same level scores; the posterior is composed from them, not the other
+  /// way round.  Every trained level-2 model runs on every window (an honest
+  /// joint posterior needs mass outside the predicted group), so this path
+  /// costs roughly one level-2 evaluation per trained group.  Levels whose
+  /// classifier exposes no score surface (SVM votes, kNN) contribute a
+  /// one-hot factor at their prediction.  Thread-safe like classify().
+  Disassembly classify_scored(const sim::Trace& trace) const;
+
+  /// Batched scored classification: classify_batch's lane-vectorized hot
+  /// path (SoA marshal, fused feature transform, blocked QDA scoring) with
+  /// the score surfaces kept, so out[i] is bit-identical to
+  /// classify_scored(traces[i]) including the posterior.  Falls back to the
+  /// scalar scored path per window when any class-level classifier lacks a
+  /// score surface.  Thread-safe like classify().
+  std::vector<Disassembly> classify_batch_scored(const sim::TraceSet& traces) const;
+
+  /// Ascending class indices spanned by Disassembly::log_posterior -- the
+  /// classes the model was profiled on.  Sequence decoders index their
+  /// transition priors through this support.
+  const std::vector<std::size_t>& posterior_classes() const {
+    return posterior_classes_;
+  }
 
   /// Level-wise entry points (the Fig.-5 benches evaluate levels in
   /// isolation); `components` overrides the PCA component count, SIZE_MAX
@@ -301,6 +336,13 @@ class HierarchicalDisassembler {
   /// classify() on a prepared window with caller-owned scratch -- the shared
   /// implementation of classify() and classify_batch().
   Disassembly classify_prepared(PreparedWindow& window, dsp::CwtWorkspace& ws) const;
+  /// classify_scored() on a prepared window -- the scalar scored path shared
+  /// by classify_scored() and classify_batch_scored()'s fallbacks.
+  Disassembly classify_prepared_scored(PreparedWindow& window,
+                                       dsp::CwtWorkspace& ws) const;
+  /// Rebuilds posterior_classes_ from the trained levels (load path; train()
+  /// takes the support straight from the profiling corpus).
+  void finalize_posterior_support();
   static void calibrate_level(Level& level, const features::LabeledTraces& input,
                               const RejectConfig& config);
   /// The level whose pipeline defines the monitor feature space (nullptr
@@ -314,6 +356,7 @@ class HierarchicalDisassembler {
   std::unique_ptr<Level> rr_level_;
   FeatureMoments training_moments_;
   RejectOperatingPoint reject_point_ = RejectOperatingPoint::kMonitoring;
+  std::vector<std::size_t> posterior_classes_;  ///< ascending, see accessor
 };
 
 }  // namespace sidis::core

@@ -315,6 +315,9 @@ HierarchicalDisassembler HierarchicalDisassembler::load(std::istream& is, int ve
     // Pre-v4 archives never recorded how the gates were calibrated.
     d.reject_point_ = RejectOperatingPoint::kCustom;
   }
+  // Archives carry QDA levels, whose label lists recover the posterior
+  // support exactly; no format change needed for classify_scored.
+  d.finalize_posterior_support();
   return d;
 }
 

@@ -9,6 +9,29 @@ ScoredPrediction Classifier::predict_scored(const linalg::Vector& x) const {
           std::numeric_limits<double>::infinity()};
 }
 
+linalg::Vector Classifier::class_scores(const linalg::Vector&) const {
+  return {};
+}
+
+const std::vector<int>& Classifier::score_labels() const {
+  static const std::vector<int> kEmpty;
+  return kEmpty;
+}
+
+linalg::Matrix Classifier::class_scores_batch(
+    const linalg::Matrix& x_cols) const {
+  linalg::Matrix out;
+  linalg::Vector x(x_cols.rows());
+  for (std::size_t l = 0; l < x_cols.cols(); ++l) {
+    for (std::size_t i = 0; i < x_cols.rows(); ++i) x[i] = x_cols(i, l);
+    const linalg::Vector s = class_scores(x);
+    if (s.empty()) return {};  // hard-decision classifier: no score surface
+    if (out.rows() == 0) out = linalg::Matrix(s.size(), x_cols.cols());
+    for (std::size_t c = 0; c < s.size(); ++c) out(c, l) = s[c];
+  }
+  return out;
+}
+
 std::vector<ScoredPrediction> Classifier::predict_scored_batch(
     const linalg::Matrix& x_cols) const {
   std::vector<ScoredPrediction> out(x_cols.cols());

@@ -52,6 +52,26 @@ class Classifier {
   virtual std::vector<ScoredPrediction> predict_scored_batch(
       const linalg::Matrix& x_cols) const;
 
+  /// Full per-class decision-score surface of one sample, aligned with
+  /// score_labels().  This is the raw material of probabilistic sequence
+  /// decoding: the hierarchical disassembler log-softmaxes these into
+  /// per-window posteriors.  Returns an empty vector when the classifier
+  /// exposes only hard decisions (SVM one-vs-one votes, kNN neighbour
+  /// counts have no calibratable score surface); callers fall back to a
+  /// one-hot posterior at the predicted label.
+  virtual linalg::Vector class_scores(const linalg::Vector& x) const;
+
+  /// Labels aligned with class_scores(); empty when class_scores() is
+  /// unsupported.
+  virtual const std::vector<int>& score_labels() const;
+
+  /// Batched score surface for a struct-of-arrays batch: `x_cols` is
+  /// (dim x lanes) with columns as samples; returns (classes x lanes) where
+  /// column l is bit-identical to class_scores(column l).  Empty matrix when
+  /// class_scores() is unsupported.  The base implementation loops
+  /// class_scores per column; QDA overrides with its blocked kernel.
+  virtual linalg::Matrix class_scores_batch(const linalg::Matrix& x_cols) const;
+
   /// Display name ("QDA", "SVM-RBF", ...).
   virtual std::string name() const = 0;
 

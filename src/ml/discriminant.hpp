@@ -37,6 +37,16 @@ class Qda : public Classifier {
 
   std::string name() const override { return "QDA"; }
 
+  /// Score surface for sequence decoding: log p(x|c) + log prior per class,
+  /// so a log-softmax over class_scores IS the per-window log-posterior.
+  linalg::Vector class_scores(const linalg::Vector& x) const override {
+    return scores(x);
+  }
+  const std::vector<int>& score_labels() const override { return labels_; }
+  linalg::Matrix class_scores_batch(const linalg::Matrix& x_cols) const override {
+    return scores_batch(x_cols);
+  }
+
   /// Per-class posterior log-likelihoods (unnormalized), label order matches
   /// `labels()`.
   linalg::Vector scores(const linalg::Vector& x) const;
@@ -69,6 +79,13 @@ class Lda : public Classifier {
   int predict(const linalg::Vector& x) const override;
   ScoredPrediction predict_scored(const linalg::Vector& x) const override;
   std::string name() const override { return "LDA"; }
+
+  /// Discriminant scores share one pooled-covariance constant across classes,
+  /// so the log-softmax posterior is exact up to that cancelled constant.
+  linalg::Vector class_scores(const linalg::Vector& x) const override {
+    return scores(x);
+  }
+  const std::vector<int>& score_labels() const override { return labels_; }
 
   linalg::Vector scores(const linalg::Vector& x) const;
   const std::vector<int>& labels() const { return labels_; }

@@ -1,0 +1,315 @@
+#include "runtime/decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "avr/grouping.hpp"
+
+namespace sidis::runtime {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// First index of the maximum (ties break low, matching scored_from_scores).
+std::size_t argmax_first(const linalg::Vector& v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+void normalize_shift(linalg::Vector& v) {
+  const double m = v[argmax_first(v)];
+  if (!std::isfinite(m)) return;  // degenerate row; keep as-is
+  for (double& x : v) x -= m;
+}
+
+}  // namespace
+
+SequenceDecoder::SequenceDecoder(std::vector<std::size_t> classes,
+                                 std::shared_ptr<const core::TransitionPrior> prior,
+                                 SequenceDecoderConfig config)
+    : classes_(std::move(classes)), config_(config) {
+  if (classes_.empty()) {
+    throw std::invalid_argument("SequenceDecoder: empty class support");
+  }
+  if (prior == nullptr) {
+    throw std::invalid_argument("SequenceDecoder: null transition prior");
+  }
+  const std::size_t n = classes_.size();
+  for (const std::size_t cls : classes_) {
+    if (cls >= prior->num_classes()) {
+      throw std::invalid_argument(
+          "SequenceDecoder: prior does not cover the class support");
+    }
+  }
+  // The transition matrix restricted to the support, weighted once.  Rows are
+  // intentionally NOT renormalized over the support: the prior's relative
+  // preferences among the profiled classes are what matters, and a constant
+  // per-row offset never changes a Viterbi path.
+  log_trans_ = linalg::Matrix(n, n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      log_trans_(a, b) =
+          config_.prior_weight * prior->log_prob(classes_[a], classes_[b]);
+    }
+  }
+}
+
+void SequenceDecoder::advance(Node& node, const Node* prev) const {
+  const std::size_t n = classes_.size();
+  node.delta.resize(n);
+  if (prev == nullptr) {
+    node.backptr.clear();
+    if (last_committed_.has_value()) {
+      // The lattice emptied right after a commit (lag 0 does this on every
+      // push): the stream continues, so condition on the committed state.
+      for (std::size_t c = 0; c < n; ++c) {
+        node.delta[c] = log_trans_(*last_committed_, c) + node.emissions[c];
+      }
+    } else {
+      node.delta = node.emissions;
+    }
+    normalize_shift(node.delta);
+    return;
+  }
+  node.backptr.assign(n, 0);
+  std::vector<std::size_t> beam;
+  const bool pruned = config_.beam > 0 && config_.beam < n;
+  if (pruned) {
+    beam.resize(n);
+    std::iota(beam.begin(), beam.end(), std::size_t{0});
+    // Highest predecessor score first, index-ascending on ties, so pruning
+    // is deterministic.
+    std::stable_sort(beam.begin(), beam.end(), [&](std::size_t a, std::size_t b) {
+      return prev->delta[a] > prev->delta[b];
+    });
+    beam.resize(config_.beam);
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    double best = -kInf;
+    std::size_t bp = pruned ? beam[0] : 0;
+    if (pruned) {
+      for (const std::size_t p : beam) {
+        const double v = prev->delta[p] + log_trans_(p, c);
+        if (v > best) {
+          best = v;
+          bp = p;
+        }
+      }
+    } else {
+      for (std::size_t p = 0; p < n; ++p) {
+        const double v = prev->delta[p] + log_trans_(p, c);
+        if (v > best) {
+          best = v;
+          bp = p;
+        }
+      }
+    }
+    node.delta[c] = best + node.emissions[c];
+    node.backptr[c] = bp;
+  }
+  // Keep scores bounded over unbounded streams; a uniform shift changes no
+  // path decision and no confidence margin.
+  normalize_shift(node.delta);
+}
+
+SmoothedWindow SequenceDecoder::emit(const Node& node, std::size_t state,
+                                     double confidence, bool converged) {
+  SmoothedWindow w;
+  w.value = node.window;
+  w.raw_class = w.value.class_idx;
+  w.confidence = confidence;
+  w.converged = converged;
+  const std::size_t cls = classes_[state];
+  if (cls != w.value.class_idx) {
+    w.smoothed = true;
+    ++smoothed_count_;
+    w.value.class_idx = cls;
+    w.value.group = avr::group_of_class(cls);
+    // Operand recoveries belong to the raw class; drop the ones the smoothed
+    // class has no slot for (a recovery for a slot it does have is kept --
+    // the register-level classifier never saw the class anyway).
+    if (!avr::class_uses_rd(cls)) w.value.rd.reset();
+    if (!avr::class_uses_rr(cls)) w.value.rr.reset();
+  }
+  if (w.value.verdict == core::Verdict::kOk &&
+      confidence < config_.min_confidence) {
+    w.value.verdict = core::Verdict::kDegraded;
+  }
+  if (w.value.verdict == core::Verdict::kRejected &&
+      confidence >= config_.repair_confidence) {
+    w.value.verdict = core::Verdict::kDegraded;
+  }
+  return w;
+}
+
+void SequenceDecoder::commit_front() {
+  const std::size_t n = classes_.size();
+  const std::size_t depth = lattice_.size();
+
+  // Backtrace from the frontier argmax down to the front.
+  std::size_t s = argmax_first(lattice_.back().delta);
+  for (std::size_t t = depth - 1; t > 0; --t) s = lattice_[t].backptr[s];
+  const std::size_t s0 = s;
+
+  // Max-marginal confidence of the front decision: best full-lattice path
+  // through each front state (delta is trivial at the front; beta carries
+  // the suffix).
+  double confidence = kInf;
+  if (n > 1) {
+    linalg::Vector beta(n, 0.0);
+    linalg::Vector prev_beta(n);
+    for (std::size_t t = depth - 1; t > 0; --t) {
+      const Node& next = lattice_[t];
+      for (std::size_t c = 0; c < n; ++c) {
+        double best = -kInf;
+        for (std::size_t c2 = 0; c2 < n; ++c2) {
+          const double v = log_trans_(c, c2) + next.emissions[c2] + beta[c2];
+          if (v > best) best = v;
+        }
+        prev_beta[c] = best;
+      }
+      beta.swap(prev_beta);
+    }
+    const linalg::Vector& delta = lattice_.front().delta;
+    double committed = -kInf, runner = -kInf;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double mm = delta[c] + beta[c];
+      if (c == s0) {
+        committed = mm;
+      } else {
+        runner = std::max(runner, mm);
+      }
+    }
+    confidence = runner == -kInf ? kInf : committed - runner;
+  }
+
+  // Converged exactly when every state one step ahead already descends from
+  // s0 -- then every extension of the stream must route through s0 here, so
+  // the commit is what offline Viterbi conditioned on the emitted prefix
+  // would pick no matter what arrives later.
+  const bool fused =
+      depth > 1 && std::all_of(lattice_[1].backptr.begin(),
+                               lattice_[1].backptr.end(),
+                               [&](std::size_t p) { return p == s0; });
+  const bool converged = fused || n == 1;
+
+  const double base = lattice_.front().delta[s0];
+  out_.push_back(emit(lattice_.front(), s0, confidence, converged));
+  lattice_.pop_front();
+  if (lattice_.empty()) {
+    last_committed_ = s0;  // the next push chains from here
+    return;
+  }
+
+  // Rebase: condition the new front on the committed state, so emitted
+  // decisions always chain into a connected path.  When the lattice already
+  // fused through s0 the reconditioned scores are what advance() computed,
+  // so nothing needs recomputing.
+  Node& front = lattice_.front();
+  if (!fused) {
+    for (std::size_t c = 0; c < n; ++c) {
+      front.delta[c] = base + log_trans_(s0, c) + front.emissions[c];
+    }
+    normalize_shift(front.delta);
+    for (std::size_t t = 1; t < lattice_.size(); ++t) {
+      Node& cur = lattice_[t];
+      const linalg::Vector old_delta = cur.delta;
+      const std::vector<std::size_t> old_backptr = cur.backptr;
+      advance(cur, &lattice_[t - 1]);
+      // Downstream of the first unchanged node nothing can differ.
+      if (cur.delta == old_delta && cur.backptr == old_backptr) break;
+    }
+  }
+  front.backptr.clear();
+}
+
+void SequenceDecoder::push(core::Disassembly window) {
+  const std::size_t n = classes_.size();
+  if (window.log_posterior.size() != n) {
+    // No posterior to decode on: finish the lattice and pass the window
+    // through untouched (plain classify() results, foreign supports).  The
+    // chain is broken -- whatever follows starts a fresh segment.
+    for (SmoothedWindow& w : flush()) out_.push_back(std::move(w));
+    last_committed_.reset();
+    SmoothedWindow w;
+    w.value = std::move(window);
+    w.raw_class = w.value.class_idx;
+    out_.push_back(std::move(w));
+    return;
+  }
+  Node node;
+  node.emissions = window.log_posterior;
+  node.window = std::move(window);
+  advance(node, lattice_.empty() ? nullptr : &lattice_.back());
+  lattice_.push_back(std::move(node));
+  if (lattice_.size() > config_.lag) commit_front();
+}
+
+std::optional<SmoothedWindow> SequenceDecoder::poll() {
+  if (out_.empty()) return std::nullopt;
+  SmoothedWindow w = std::move(out_.front());
+  out_.pop_front();
+  return w;
+}
+
+std::vector<SmoothedWindow> SequenceDecoder::flush() {
+  const std::size_t n = classes_.size();
+  if (!lattice_.empty()) {
+    const std::size_t depth = lattice_.size();
+    // Offline decode of the tail: exact Viterbi over what remains (already
+    // conditioned on the last committed state via the rebase).
+    std::vector<std::size_t> path(depth);
+    std::size_t s = argmax_first(lattice_.back().delta);
+    path[depth - 1] = s;
+    for (std::size_t t = depth - 1; t > 0; --t) {
+      s = lattice_[t].backptr[s];
+      path[t - 1] = s;
+    }
+    // Suffix scores for per-window max-marginal confidence.
+    std::vector<linalg::Vector> beta(depth);
+    beta[depth - 1].assign(n, 0.0);
+    for (std::size_t t = depth - 1; t > 0; --t) {
+      const Node& next = lattice_[t];
+      beta[t - 1].assign(n, -kInf);
+      for (std::size_t c = 0; c < n; ++c) {
+        double best = -kInf;
+        for (std::size_t c2 = 0; c2 < n; ++c2) {
+          const double v = log_trans_(c, c2) + next.emissions[c2] + beta[t][c2];
+          if (v > best) best = v;
+        }
+        beta[t - 1][c] = best;
+      }
+    }
+    for (std::size_t t = 0; t < depth; ++t) {
+      double confidence = kInf;
+      if (n > 1) {
+        double committed = -kInf, runner = -kInf;
+        for (std::size_t c = 0; c < n; ++c) {
+          const double mm = lattice_[t].delta[c] + beta[t][c];
+          if (c == path[t]) {
+            committed = mm;
+          } else {
+            runner = std::max(runner, mm);
+          }
+        }
+        confidence = runner == -kInf ? kInf : committed - runner;
+      }
+      out_.push_back(emit(lattice_[t], path[t], confidence, /*converged=*/true));
+    }
+    lattice_.clear();
+  }
+  last_committed_.reset();  // flush ends the stream; reuse starts fresh
+  std::vector<SmoothedWindow> result;
+  result.reserve(out_.size());
+  for (SmoothedWindow& w : out_) result.push_back(std::move(w));
+  out_.clear();
+  return result;
+}
+
+}  // namespace sidis::runtime

@@ -1,0 +1,149 @@
+// Bounded-lag Viterbi smoothing over one stream's in-order delivery -- the
+// runtime half of probabilistic sequence decoding.
+//
+// core::viterbi_decode needs the whole sequence before it can emit anything;
+// a serving tier cannot wait for a stream to end.  The SequenceDecoder keeps
+// a sliding lattice of the last `lag + 1` windows: every push() extends the
+// Viterbi recursion one step (optionally beam-pruned), and once the lattice
+// exceeds the lag the oldest window is *committed* -- its state taken from
+// the backtrace of the current frontier argmax -- and emitted with a
+// max-marginal sequence confidence.  After a commit the lattice is rebased by
+// conditioning on the committed state, so consecutive emissions always form a
+// connected path under the transition prior.
+//
+// Latency is bounded by construction (a window waits at most `lag` successor
+// windows), and every commit on which the frontier paths already agree is
+// flagged SmoothedWindow::converged: while all commits so far carry the flag,
+// the emitted prefix is *exactly* what offline Viterbi would emit (after a
+// forced commit the decoder solves the problem conditioned on that prefix,
+// which is the right objective for a stream that must keep its word).  The
+// decode-equivalence battery in sequence_test pins this, and flush() finishes
+// any tail with a full offline pass.
+//
+// Windows without a posterior (plain classify() results, or windows outside
+// the decoder's class support) flush the lattice and pass through unsmoothed,
+// so a mixed stream degrades gracefully instead of faulting.
+//
+// Thread-safety: none.  One decoder belongs to one stream's single consumer
+// (StreamingDisassembler::poll/drain, or a FleetFrontend shard under its
+// lock), mirroring DriftMonitor's per-stream isolation.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/hierarchical.hpp"
+#include "core/sequence.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sidis::runtime {
+
+struct SequenceDecoderConfig {
+  /// Commit horizon: a window is decided after `lag` successors have been
+  /// seen.  0 decodes greedily (commit on push, conditioned on the previous
+  /// commit); a lag >= the stream length reproduces offline Viterbi exactly.
+  std::size_t lag = 8;
+  /// Beam width: predecessors considered per recursion step (0 = all states,
+  /// exact).  Pruning bounds the per-window cost at beam * classes.
+  std::size_t beam = 0;
+  /// Weight on the transition prior (0 = per-window argmax of the posterior).
+  double prior_weight = 1.0;
+  /// kOk windows whose sequence confidence falls below this are downgraded
+  /// to kDegraded -- the lattice's ambiguity feeds the existing reject
+  /// vocabulary.  0 never fires (confidences are >= 0).
+  double min_confidence = 0.0;
+  /// kRejected windows whose sequence confidence reaches this are upgraded
+  /// to kDegraded: the lattice is near-certain about a window the per-window
+  /// gates threw away.  +inf (default) never repairs.
+  double repair_confidence = std::numeric_limits<double>::infinity();
+};
+
+/// One smoothed emission of the decoder.
+struct SmoothedWindow {
+  core::Disassembly value;
+  /// The per-window class before smoothing (== value.class_idx when the
+  /// decoder agreed with the classifier).
+  std::size_t raw_class = 0;
+  /// True when the decoder rewrote the class.
+  bool smoothed = false;
+  /// True when every frontier path already passed through the committed
+  /// state at commit time -- the decision is provably what offline Viterbi,
+  /// conditioned on the previously emitted prefix, would pick no matter what
+  /// arrives later (so an all-converged prefix equals the unconditioned
+  /// offline decode).  Pass-throughs and flush() tails (which see the whole
+  /// remaining stream) are always converged.
+  bool converged = true;
+  /// Max-marginal margin of the committed state at this position: best path
+  /// score through it minus the best through any other state.  +inf for
+  /// pass-throughs and single-class supports.
+  double confidence = std::numeric_limits<double>::infinity();
+};
+
+class SequenceDecoder {
+ public:
+  /// `classes` is the ascending posterior support the emissions are indexed
+  /// by (core::HierarchicalDisassembler::posterior_classes()); `prior` must
+  /// cover every class in it.  Throws std::invalid_argument on an empty
+  /// support, a null prior, or a support the prior does not cover.
+  SequenceDecoder(std::vector<std::size_t> classes,
+                  std::shared_ptr<const core::TransitionPrior> prior,
+                  SequenceDecoderConfig config = {});
+
+  /// Feeds the next in-order window.  Emissions become available on poll()
+  /// once decided (a pass-through or a commit beyond the lag horizon).
+  void push(core::Disassembly window);
+
+  /// Next decided window, FIFO in push order; nullopt when everything is
+  /// still inside the lag horizon.
+  std::optional<SmoothedWindow> poll();
+
+  /// Decides the remaining lattice with a full offline pass (stream end) and
+  /// returns every not-yet-polled emission in order.  Resets the lattice; the
+  /// decoder can be reused for a fresh stream afterwards.
+  std::vector<SmoothedWindow> flush();
+
+  /// Windows pushed but not yet emitted through poll().
+  std::size_t pending() const { return lattice_.size() + out_.size(); }
+
+  const std::vector<std::size_t>& classes() const { return classes_; }
+  const SequenceDecoderConfig& config() const { return config_; }
+
+  /// Windows whose class the decoder has rewritten so far.
+  std::uint64_t smoothed_count() const { return smoothed_count_; }
+
+ private:
+  struct Node {
+    core::Disassembly window;
+    linalg::Vector emissions;  ///< log-posterior over classes_, support order
+    linalg::Vector delta;      ///< Viterbi scores, max-normalized per step
+    std::vector<std::size_t> backptr;  ///< empty at the lattice front
+  };
+
+  /// Extends the recursion: fills node.delta/backptr from `prev` (nullptr at
+  /// the lattice front).
+  void advance(Node& node, const Node* prev) const;
+  /// Commits the front window off a full backtrace and rebases the rest of
+  /// the lattice on the committed state.
+  void commit_front();
+  /// Builds the emission record for the front node given its committed
+  /// state index and max-marginal confidence.
+  SmoothedWindow emit(const Node& node, std::size_t state, double confidence,
+                      bool converged);
+
+  std::vector<std::size_t> classes_;
+  SequenceDecoderConfig config_;
+  linalg::Matrix log_trans_;  ///< prior_weight * log P(b|a) over the support
+  std::deque<Node> lattice_;
+  std::deque<SmoothedWindow> out_;
+  /// State committed just before the lattice emptied (lag 0 commits every
+  /// push), so the next window still chains from it.  Reset at stream breaks
+  /// (flush, pass-through) -- a fresh stream starts unconditioned.
+  std::optional<std::size_t> last_committed_;
+  std::uint64_t smoothed_count_ = 0;
+};
+
+}  // namespace sidis::runtime

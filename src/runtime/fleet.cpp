@@ -67,16 +67,31 @@ void FleetFrontend::init_shards() {
   }
 }
 
-StreamingDisassembler::StageRef FleetFrontend::stage_for(const ResolvedModel& resolved) {
+StreamingDisassembler::StageRef FleetFrontend::stage_for(const ResolvedModel& resolved,
+                                                         bool scored) {
   std::lock_guard lock(stage_cache_mutex_);
-  const auto key = std::make_pair(resolved.name, resolved.version);
+  const auto key = std::make_tuple(resolved.name, resolved.version, scored);
   const auto it = stage_cache_.find(key);
   if (it != stage_cache_.end()) return it->second;
   // One StageRef per artifact fleet-wide: stage identity is what lets the
-  // dispatcher coalesce windows of different streams into one batch.
-  auto stage = StreamingDisassembler::make_stage(resolved.model, resolved.checksum);
+  // dispatcher coalesce windows of different streams into one batch.  The
+  // scored twin is a distinct stage (decode streams batch with decode
+  // streams of the same artifact, never with plain ones -- emissions must be
+  // all-or-nothing per batch).
+  auto stage =
+      scored
+          ? StreamingDisassembler::make_scored_stage(resolved.model, resolved.checksum)
+          : StreamingDisassembler::make_stage(resolved.model, resolved.checksum);
   stage_cache_.emplace(key, stage);
   return stage;
+}
+
+StreamingDisassembler::StageRef FleetFrontend::default_scored_stage() {
+  std::lock_guard lock(stage_cache_mutex_);
+  if (default_scored_stage_ == nullptr) {
+    default_scored_stage_ = StreamingDisassembler::make_scored_stage(default_model_, 0);
+  }
+  return default_scored_stage_;
 }
 
 FleetFrontend::StreamId FleetFrontend::open_stream(StreamOptions options) {
@@ -91,7 +106,15 @@ FleetFrontend::StreamId FleetFrontend::open_stream(StreamOptions options) {
     const ResolvedModel resolved =
         view_->resolve(options.model_name, options.model_version);
     model = resolved.model;
-    stage = stage_for(resolved);
+    stage = stage_for(resolved, options.decode_sequence);
+  } else if (options.decode_sequence) {
+    if (default_model_ == nullptr) {
+      throw std::invalid_argument(
+          "FleetFrontend: decode_sequence requires a model-backed stream "
+          "(the lattice needs the model's posterior support and emissions)");
+    }
+    stage = default_scored_stage();
+    model = default_model_;
   } else {
     stage = default_stage_;
     model = default_model_;
@@ -107,12 +130,23 @@ FleetFrontend::StreamId FleetFrontend::open_stream(StreamOptions options) {
     monitor = std::make_unique<DriftMonitor>(model, options.drift);
   }
 
+  std::unique_ptr<SequenceDecoder> decoder;
+  if (options.decode_sequence) {
+    if (options.decode_prior == nullptr) {
+      throw std::invalid_argument(
+          "FleetFrontend: decode_sequence needs a transition prior");
+    }
+    decoder = std::make_unique<SequenceDecoder>(
+        model->posterior_classes(), options.decode_prior, options.decode);
+  }
+
   const StreamId id = next_stream_id_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_of(id);
   std::lock_guard lock(shard.mutex);
   StreamState state;
   state.stage = std::move(stage);
   state.monitor = std::move(monitor);
+  state.decoder = std::move(decoder);
   shard.streams.emplace(id, std::move(state));
   ++shard.opened;
   return id;
@@ -282,6 +316,28 @@ void FleetFrontend::dispatch_locked(Shard& shard) {
   }
 }
 
+void FleetFrontend::append_decoded_locked(Shard& shard, StreamState& s,
+                                          SmoothedWindow&& w) {
+  DecodePending meta = s.decode_meta.front();
+  s.decode_meta.pop_front();
+  ReadyEntry entry;
+  entry.result.stream_sequence = meta.stream_sequence;
+  entry.result.value = std::move(w.value);
+  entry.result.model_stamp = meta.model_stamp;
+  entry.result.sequence_confidence = w.confidence;
+  entry.result.smoothed = w.smoothed;
+  entry.admitted_at = meta.admitted_at;
+  ++shard.decoded;
+  if (w.smoothed) ++shard.smoothed;
+  s.ready.push_back(std::move(entry));
+}
+
+void FleetFrontend::drain_decoder_locked(Shard& shard, StreamState& s) {
+  while (std::optional<SmoothedWindow> w = s.decoder->poll()) {
+    append_decoded_locked(shard, s, std::move(*w));
+  }
+}
+
 void FleetFrontend::pump_locked(Shard& shard) {
   while (auto polled = shard.engine->poll()) {
     Route route = std::move(shard.routes.front());
@@ -292,13 +348,25 @@ void FleetFrontend::pump_locked(Shard& shard) {
     ++s.arrived;
     if (s.monitor != nullptr && route.trace.has_value()) {
       // Per-stream isolation: this stream's monitor sees only this stream's
-      // windows, in this stream's delivery order.
+      // windows, in this stream's delivery order.  The monitor observes the
+      // RAW classification, before any lattice smoothing -- drift statistics
+      // must reflect what the model actually said.
       s.monitor->observe(*route.trace, polled->value);
       if (auto event = s.monitor->poll_event()) {
         s.events.push_back(*event);
         ++s.drift_events;
         ++shard.drift_events;
       }
+    }
+    if (s.decoder != nullptr) {
+      // Per-stream lattice, fed in this stream's delivery order; whatever it
+      // has committed moves on to the ready queue.
+      s.decode_meta.push_back(DecodePending{route.stream_sequence,
+                                            polled->model_stamp,
+                                            route.admitted_at});
+      s.decoder->push(std::move(polled->value));
+      drain_decoder_locked(shard, s);
+      continue;
     }
     ReadyEntry entry;
     entry.result.stream_sequence = route.stream_sequence;
@@ -351,6 +419,13 @@ std::vector<FleetResult> FleetFrontend::close_stream(StreamId stream) {
       dispatch_locked(shard);
       StreamState& s = it->second;
       if (s.pending.empty() && s.dispatched == s.arrived) {
+        if (s.decoder != nullptr) {
+          // The stream is over: finish the lattice with the decoder's
+          // offline tail pass so every admitted window is delivered.
+          for (SmoothedWindow& w : s.decoder->flush()) {
+            append_decoded_locked(shard, s, std::move(w));
+          }
+        }
         const auto now = Clock::now();
         std::vector<FleetResult> tail;
         tail.reserve(s.ready.size());
@@ -407,9 +482,17 @@ FleetStats FleetFrontend::stats() const {
   }
   // The shard engines never shed (the frontend does, before they see the
   // window) -- mirror the frontend's admission outcomes into the merged
-  // runtime record so one snapshot tells the whole story.
+  // runtime record so one snapshot tells the whole story.  Sequence decoding
+  // likewise happens frontend-side (per-stream lattices), so those counters
+  // are mirrored too.
   out.runtime.windows_shed = out.windows_shed;
   out.runtime.windows_rejected = out.windows_rejected;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard lock(shard.mutex);
+    out.runtime.windows_decoded += shard.decoded;
+    out.runtime.windows_smoothed += shard.smoothed;
+  }
   if (view_ != nullptr) out.models_cached = view_->models_cached();
   return out;
 }

@@ -72,11 +72,13 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "runtime/drift.hpp"
@@ -120,6 +122,16 @@ struct StreamOptions {
   /// Arm a per-stream DriftMonitor (needs a model with training moments).
   bool monitor_drift = false;
   DriftConfig drift;
+  /// Route this stream's results through a per-stream SequenceDecoder fed in
+  /// delivery order (the same isolation as the drift monitor: one device's
+  /// lattice never sees a neighbor's windows).  The stream is served by the
+  /// posterior-scoring stage of its model, so every window carries the
+  /// emissions the lattice needs; results gain sequence_confidence/smoothed.
+  /// Requires a model-backed stream and a non-null decode_prior covering the
+  /// model's posterior support (else open_stream throws).
+  bool decode_sequence = false;
+  SequenceDecoderConfig decode;
+  std::shared_ptr<const core::TransitionPrior> decode_prior;
 };
 
 enum class AdmitStatus : std::uint8_t {
@@ -148,6 +160,11 @@ struct FleetResult {
   std::uint64_t stream_sequence = 0;
   core::Disassembly value;
   std::uint64_t model_stamp = 0;  ///< registry checksum of the serving model
+  /// Max-marginal sequence confidence for decode_sequence streams; +inf
+  /// otherwise (see StreamResult::sequence_confidence).
+  double sequence_confidence = std::numeric_limits<double>::infinity();
+  /// True when the stream's sequence decoder rewrote this window's class.
+  bool smoothed = false;
 };
 
 /// Telemetry of one live stream.
@@ -259,9 +276,20 @@ class FleetFrontend {
     /// Kept only for monitored streams (the monitor needs the raw window).
     std::optional<sim::Trace> trace;
   };
+  /// Delivery metadata for a window inside a stream's sequence decoder
+  /// (emission order is push order, so a FIFO stays aligned).
+  struct DecodePending {
+    std::uint64_t stream_sequence = 0;
+    std::uint64_t model_stamp = 0;
+    Clock::time_point admitted_at;
+  };
   struct StreamState {
     StreamingDisassembler::StageRef stage;  ///< always non-null
     std::unique_ptr<DriftMonitor> monitor;
+    /// Per-stream lattice smoother (decode_sequence streams only), fed in
+    /// delivery order between the drift monitor and the ready queue.
+    std::unique_ptr<SequenceDecoder> decoder;
+    std::deque<DecodePending> decode_meta;
     std::deque<PendingWindow> pending;
     std::deque<ReadyEntry> ready;
     std::deque<DriftEvent> events;
@@ -293,6 +321,8 @@ class FleetFrontend {
     std::uint64_t shed = 0;
     std::uint64_t rejected = 0;
     std::uint64_t drift_events = 0;
+    std::uint64_t decoded = 0;   ///< windows emitted through stream decoders
+    std::uint64_t smoothed = 0;  ///< of those, class rewritten
     LatencyHistogram admit_to_deliver;
   };
 
@@ -307,17 +337,30 @@ class FleetFrontend {
   /// Coalesces pending windows into model-homogeneous batches while the
   /// engine has credit.  Caller holds the shard mutex.
   void dispatch_locked(Shard& shard);
-  /// Per-(bundle, version) stage cache so streams serving the same artifact
-  /// share one StageRef -- stage identity is what lets the dispatcher batch
-  /// them together.
-  StreamingDisassembler::StageRef stage_for(const ResolvedModel& resolved);
+  /// Converts the decoder's next emission + the aligned DecodePending into a
+  /// ReadyEntry on the stream's queue.  Caller holds the shard mutex.
+  void append_decoded_locked(Shard& shard, StreamState& s, SmoothedWindow&& w);
+  /// Drains everything the stream's decoder has decided.  Caller holds the
+  /// shard mutex.
+  void drain_decoder_locked(Shard& shard, StreamState& s);
+  /// Per-(bundle, version, scored) stage cache so streams serving the same
+  /// artifact share one StageRef -- stage identity is what lets the
+  /// dispatcher batch them together.  `scored` selects the posterior-scoring
+  /// entry points (decode_sequence streams).
+  StreamingDisassembler::StageRef stage_for(const ResolvedModel& resolved,
+                                            bool scored);
+  /// Scored twin of the fleet's default stage, built lazily (model-backed
+  /// fleets only).
+  StreamingDisassembler::StageRef default_scored_stage();
 
   FleetConfig config_;
   std::shared_ptr<const core::HierarchicalDisassembler> default_model_;
   StreamingDisassembler::StageRef default_stage_;
   std::unique_ptr<RegistryView> view_;  ///< null without a registry
   std::mutex stage_cache_mutex_;
-  std::map<std::pair<std::string, int>, StreamingDisassembler::StageRef> stage_cache_;
+  std::map<std::tuple<std::string, int, bool>, StreamingDisassembler::StageRef>
+      stage_cache_;
+  StreamingDisassembler::StageRef default_scored_stage_;  ///< lazy, under cache mutex
   std::atomic<StreamId> next_stream_id_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -78,6 +78,8 @@ void RuntimeStats::merge(const RuntimeStats& other) {
   scalar_classify_nanos += other.scalar_classify_nanos;
   batch_classified_windows += other.batch_classified_windows;
   scalar_classified_windows += other.scalar_classified_windows;
+  windows_decoded += other.windows_decoded;
+  windows_smoothed += other.windows_smoothed;
   windows_shed += other.windows_shed;
   windows_rejected += other.windows_rejected;
   queue_depth_high_water = std::max(queue_depth_high_water, other.queue_depth_high_water);
@@ -134,6 +136,10 @@ std::string RuntimeStats::report() const {
                   per_window(scalar_classify_nanos, scalar_classified_windows).c_str());
     out += buf;
     out += "  windows/batch: " + windows_per_batch.summary_counts() + "\n";
+  }
+  if (windows_decoded != 0) {
+    out += "  sequence decode: " + std::to_string(windows_decoded) +
+           " windows, smoothed=" + std::to_string(windows_smoothed) + "\n";
   }
   if (windows_shed != 0 || windows_rejected != 0) {
     out += "  admission: shed=" + std::to_string(windows_shed) +

@@ -107,6 +107,11 @@ struct RuntimeStats {
   std::uint64_t scalar_classify_nanos = 0;  ///< wall time inside scalar passes
   std::uint64_t batch_classified_windows = 0;
   std::uint64_t scalar_classified_windows = 0;
+  /// Sequence-decoding telemetry (enable_sequence_decoding / per-stream fleet
+  /// decoders): windows emitted through a lattice decoder, and how many of
+  /// them had their class rewritten by the transition prior.
+  std::uint64_t windows_decoded = 0;
+  std::uint64_t windows_smoothed = 0;
   /// Admission-control outcomes, filled by the multi-tenant frontend when it
   /// aggregates shard stats (a bare engine never sheds -- it blocks):
   /// windows shed after admission (kShedOldest reclaiming credit) and

@@ -30,6 +30,19 @@ StreamingDisassembler::StageRef StreamingDisassembler::make_stage(
       stamp});
 }
 
+StreamingDisassembler::StageRef StreamingDisassembler::make_scored_stage(
+    std::shared_ptr<const core::HierarchicalDisassembler> model,
+    std::uint64_t stamp) {
+  if (model == nullptr) {
+    throw std::invalid_argument(
+        "StreamingDisassembler::make_scored_stage: null model");
+  }
+  return std::make_shared<const Stage>(Stage{
+      [model](const sim::Trace& t) { return model->classify_scored(t); },
+      [model](const sim::TraceSet& ts) { return model->classify_batch_scored(ts); },
+      stamp});
+}
+
 StreamingDisassembler::StreamingDisassembler(
     const core::HierarchicalDisassembler& model, StreamingConfig config,
     std::stop_token stop)
@@ -58,6 +71,24 @@ StreamingDisassembler::StreamingDisassembler(ClassifyFn classify,
   for (std::size_t i = 0; i < config_.workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+}
+
+StreamingDisassembler::StreamingDisassembler(StageRef stage, StreamingConfig config,
+                                             std::stop_token stop)
+    // Validate before delegating: a throw after the worker threads exist
+    // would tear down jthreads blocked on a never-closed queue.
+    : StreamingDisassembler(
+          [&stage]() -> ClassifyFn {
+            if (stage == nullptr || !stage->fn) {
+              throw std::invalid_argument(
+                  "StreamingDisassembler: null or scalar-less stage");
+            }
+            return stage->fn;
+          }(),
+          config, std::move(stop)) {
+  // Install the full stage (batch entry + stamp); nothing submitted yet, so
+  // no job can have pinned the delegate-installed plain stage.
+  classify_ = std::move(stage);
 }
 
 StreamingDisassembler::~StreamingDisassembler() {
@@ -216,7 +247,40 @@ std::optional<std::uint64_t> StreamingDisassembler::try_submit_batch(
                  /*batched=*/true);
 }
 
+void StreamingDisassembler::feed_decoder_locked() {
+  for (auto it = reorder_.find(next_emit_); it != reorder_.end();
+       it = reorder_.find(next_emit_)) {
+    decode_meta_.push_back(
+        DecodeMeta{next_emit_, it->second.model_stamp, it->second.submitted_at});
+    decoder_->push(std::move(it->second.value));
+    reorder_.erase(it);
+    ++next_emit_;
+  }
+}
+
+StreamResult StreamingDisassembler::finish_decoded_locked(SmoothedWindow&& w) {
+  DecodeMeta meta = decode_meta_.front();
+  decode_meta_.pop_front();
+  end_to_end_.record(elapsed_nanos(meta.submitted_at, Clock::now()));
+  ++windows_decoded_;
+  if (w.smoothed) ++windows_smoothed_;
+  StreamResult r;
+  r.sequence = meta.sequence;
+  r.value = std::move(w.value);
+  r.model_stamp = meta.model_stamp;
+  r.sequence_confidence = w.confidence;
+  r.smoothed = w.smoothed;
+  return r;
+}
+
 void StreamingDisassembler::collect_ready_locked(std::vector<StreamResult>& out) {
+  if (decoder_ != nullptr) {
+    feed_decoder_locked();
+    while (std::optional<SmoothedWindow> w = decoder_->poll()) {
+      out.push_back(finish_decoded_locked(std::move(*w)));
+    }
+    return;
+  }
   const Clock::time_point now = Clock::now();
   for (auto it = reorder_.find(next_emit_); it != reorder_.end();
        it = reorder_.find(next_emit_)) {
@@ -232,6 +296,12 @@ std::optional<StreamResult> StreamingDisassembler::poll() {
   std::optional<StreamResult> out;
   {
     std::lock_guard lock(mutex_);
+    if (decoder_ != nullptr) {
+      feed_decoder_locked();
+      std::optional<SmoothedWindow> w = decoder_->poll();
+      if (!w.has_value()) return std::nullopt;
+      return finish_decoded_locked(std::move(*w));
+    }
     const auto it = reorder_.find(next_emit_);
     if (it == reorder_.end()) return std::nullopt;
     end_to_end_.record(elapsed_nanos(it->second.submitted_at, Clock::now()));
@@ -253,9 +323,35 @@ std::vector<StreamResult> StreamingDisassembler::drain() {
       if (next_emit_ >= next_submit_) break;
       results_cv_.wait(lock, [&] { return reorder_.count(next_emit_) != 0; });
     }
+    if (decoder_ != nullptr) {
+      // Everything accepted has been fed; the stream is over, so finish the
+      // lattice with the decoder's offline tail pass.
+      feed_decoder_locked();
+      for (SmoothedWindow& w : decoder_->flush()) {
+        out.push_back(finish_decoded_locked(std::move(w)));
+      }
+    }
   }
   queue_.close();  // backlog is empty by now; lets the workers exit
   return out;
+}
+
+void StreamingDisassembler::enable_sequence_decoding(
+    std::vector<std::size_t> classes,
+    std::shared_ptr<const core::TransitionPrior> prior,
+    SequenceDecoderConfig config) {
+  std::lock_guard lock(mutex_);
+  if (next_submit_ != 0) {
+    throw std::logic_error(
+        "enable_sequence_decoding: engine already has accepted windows");
+  }
+  decoder_ = std::make_unique<SequenceDecoder>(std::move(classes),
+                                               std::move(prior), config);
+}
+
+bool StreamingDisassembler::sequence_decoding() const {
+  std::lock_guard lock(mutex_);
+  return decoder_ != nullptr;
 }
 
 void StreamingDisassembler::swap_classifier(ClassifyFn classify, std::uint64_t stamp) {
@@ -334,6 +430,8 @@ RuntimeStats StreamingDisassembler::stats() const {
   s.traces_degraded = degraded_;
   s.batches_submitted = batches_submitted_;
   s.batch_windows = batch_windows_;
+  s.windows_decoded = windows_decoded_;
+  s.windows_smoothed = windows_smoothed_;
   s.windows_per_batch = windows_per_batch_;
   s.batch_classify_nanos = batch_classify_nanos_;
   s.scalar_classify_nanos = scalar_classify_nanos_;

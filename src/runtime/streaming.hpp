@@ -25,7 +25,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,7 +37,9 @@
 #include <vector>
 
 #include "core/hierarchical.hpp"
+#include "core/sequence.hpp"
 #include "runtime/bounded_queue.hpp"
+#include "runtime/decoder.hpp"
 #include "runtime/stats.hpp"
 #include "sim/trace.hpp"
 
@@ -67,6 +71,12 @@ struct StreamResult {
   /// result's stamp always identifies the exact model that classified it --
   /// never a concurrently published successor.
   std::uint64_t model_stamp = 0;
+  /// Max-marginal sequence confidence when sequence decoding is enabled
+  /// (SmoothedWindow::confidence); +inf otherwise, and for pass-through
+  /// windows that carried no posterior.
+  double sequence_confidence = std::numeric_limits<double>::infinity();
+  /// True when the sequence decoder rewrote this window's class.
+  bool smoothed = false;
 };
 
 class StreamingDisassembler {
@@ -99,11 +109,22 @@ class StreamingDisassembler {
       std::shared_ptr<const core::HierarchicalDisassembler> model,
       std::uint64_t stamp = 0);
 
+  /// Posterior-scoring stage: classify_scored / classify_batch_scored, so
+  /// every result carries the per-class log-posterior a SequenceDecoder
+  /// needs.  Drop-in for make_stage everywhere a StageRef is accepted.
+  static StageRef make_scored_stage(
+      std::shared_ptr<const core::HierarchicalDisassembler> model,
+      std::uint64_t stamp = 0);
+
   /// The model must outlive the engine and is shared read-only by all
   /// workers.  An already-stopped `stop` token starts the engine stopped.
   StreamingDisassembler(const core::HierarchicalDisassembler& model,
                         StreamingConfig config = {}, std::stop_token stop = {});
   StreamingDisassembler(ClassifyFn classify, StreamingConfig config = {},
+                        std::stop_token stop = {});
+  /// Stage-backed engine (make_stage / make_scored_stage result).  Throws
+  /// std::invalid_argument on a null stage or one without a scalar entry.
+  StreamingDisassembler(StageRef stage, StreamingConfig config = {},
                         std::stop_token stop = {});
 
   /// Stops accepting, lets workers finish the accepted backlog, joins.
@@ -143,8 +164,25 @@ class StreamingDisassembler {
   std::optional<std::uint64_t> try_submit_batch(sim::TraceSet traces,
                                                 StageRef stage = nullptr);
 
+  /// Turns on lattice smoothing: in-order results flow through a bounded-lag
+  /// SequenceDecoder before poll()/drain() emit them, so each verdict is
+  /// conditioned on its neighbours under the transition prior.  Results gain
+  /// sequence_confidence / smoothed; windows without a posterior (a plain
+  /// make_stage stage) pass through unsmoothed.  Adds up to `config.lag`
+  /// windows of delivery latency by construction.  Must be called before the
+  /// first submit (throws std::logic_error afterwards); the decoder is
+  /// consumer-side state, exempt from swap_classifier.
+  void enable_sequence_decoding(std::vector<std::size_t> classes,
+                                std::shared_ptr<const core::TransitionPrior> prior,
+                                SequenceDecoderConfig config = {});
+
+  /// True when enable_sequence_decoding has installed a decoder.
+  bool sequence_decoding() const;
+
   /// Next in-order result if it is ready; non-blocking.  Results complete
   /// out of order internally but are only ever emitted in submission order.
+  /// With sequence decoding enabled, a result is emitted once the decoder
+  /// commits it (at most `lag` windows after its successors arrive).
   std::optional<StreamResult> poll();
 
   /// Stops accepting new traces, waits for every *accepted* trace to be
@@ -216,13 +254,27 @@ class StreamingDisassembler {
     Clock::time_point submitted_at;
     std::uint64_t model_stamp = 0;
   };
+  /// Delivery metadata travelling alongside a window inside the sequence
+  /// decoder (the decoder only sees Disassembly).  Decoder emission order is
+  /// push order, so a FIFO stays aligned with the lattice.
+  struct DecodeMeta {
+    std::uint64_t sequence = 0;
+    std::uint64_t model_stamp = 0;
+    Clock::time_point submitted_at;
+  };
 
   void worker_loop();
   /// Shared admission path of submit/submit_batch/try_submit_batch.
   std::optional<std::uint64_t> enqueue(sim::TraceSet traces, StageRef stage,
                                        bool blocking, bool batched);
-  /// Pops ready in-order results into `out`; caller holds mutex_.
+  /// Pops ready in-order results into `out`; caller holds mutex_.  With a
+  /// decoder installed, feeds them through it and pops what it has decided.
   void collect_ready_locked(std::vector<StreamResult>& out);
+  /// Moves every ready in-order result into the decoder; caller holds mutex_.
+  void feed_decoder_locked();
+  /// Converts the decoder's next emission + the aligned DecodeMeta into a
+  /// StreamResult, recording latency and smoothing counters.
+  StreamResult finish_decoded_locked(SmoothedWindow&& w);
 
   /// Shared with workers job-by-job: each pickup copies the pointer under
   /// mutex_, so a swap never frees a stage mid-classification and the
@@ -247,6 +299,12 @@ class StreamingDisassembler {
   std::uint64_t degraded_ = 0;  ///< results with Verdict::kDegraded
   std::uint64_t batches_submitted_ = 0;  ///< submit_batch calls accepted
   std::uint64_t batch_windows_ = 0;      ///< windows they carried
+  /// Consumer-side sequence decoder (null = no smoothing).  Guarded by
+  /// mutex_; only the single consumer (poll/drain) touches it.
+  std::unique_ptr<SequenceDecoder> decoder_;
+  std::deque<DecodeMeta> decode_meta_;
+  std::uint64_t windows_decoded_ = 0;   ///< emissions that went through it
+  std::uint64_t windows_smoothed_ = 0;  ///< of those, class rewritten
   LatencyHistogram windows_per_batch_;   ///< realized lanes per batched pass
   std::uint64_t batch_classify_nanos_ = 0;   ///< wall time in batched passes
   std::uint64_t scalar_classify_nanos_ = 0;  ///< wall time in scalar passes

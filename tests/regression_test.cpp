@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <iostream>
 #include <random>
 
@@ -13,7 +14,9 @@
 #include "core/csa.hpp"
 #include "core/disassembler.hpp"
 #include "core/profiler.hpp"
+#include "core/sequence.hpp"
 #include "core/transfer.hpp"
+#include "runtime/decoder.hpp"
 #include "runtime/drift.hpp"
 #include "runtime/recal.hpp"
 #include "runtime/streaming.hpp"
@@ -371,6 +374,115 @@ TEST(GoldenRegression, DriftGoldenRunIsReproducible) {
   EXPECT_EQ(a.clean_accuracy, b.clean_accuracy);
   EXPECT_EQ(a.stale_accuracy, b.stale_accuracy);
   EXPECT_EQ(a.recal_accuracy, b.recal_accuracy);
+}
+
+// -- sequence-decoding golden ------------------------------------------------
+//
+// The probabilistic-decoding canary: a seeded same-group ALU model serves a
+// firmware-shaped stream (a repeating ADD -> ADC -> SUB cadence, the kind of
+// multi-byte arithmetic cadence the IsaPrior's idioms encode) through the
+// bounded-lag SequenceDecoder under an ISA prior blended with the stream's
+// own bigram statistics.  The band pins three facts: per-window argmax
+// still makes mistakes (else the scenario is vacuous), sequence decoding
+// recovers a real fraction of them, and the whole decode is bit-for-bit
+// reproducible.  Recorded run: argmax 0.758, decoded 0.942, smoothed 22.
+constexpr std::size_t kSequenceGoldenSeed = 20260806;
+constexpr std::size_t kSequenceWindows = 120;
+constexpr double kMaxArgmaxAccuracy = 0.95;  ///< errors must exist at all
+constexpr double kMinDecodeLift = 0.03;      ///< decoded - argmax floor
+
+struct SequenceGoldenRun {
+  double argmax_accuracy = 0.0;
+  double decoded_accuracy = 0.0;
+  std::uint64_t smoothed = 0;
+  double confidence_sum = 0.0;  ///< finite confidences, reproducibility probe
+};
+
+SequenceGoldenRun run_sequence_golden() {
+  const std::vector<std::size_t> classes = {
+      *avr::class_index(avr::Mnemonic::kAdd), *avr::class_index(avr::Mnemonic::kAdc),
+      *avr::class_index(avr::Mnemonic::kSub)};
+
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0)};
+  std::mt19937_64 rng{kSequenceGoldenSeed};
+  core::ProfilingData data;
+  for (std::size_t cls : classes) {
+    data.classes[cls] = campaign.capture_class(cls, 40, 3, rng);
+  }
+  core::HierarchicalConfig cfg;
+  cfg.pipeline = core::csa_config();
+  cfg.pipeline.pca_components = 10;
+  cfg.group_components = 8;
+  cfg.instruction_components = 8;
+  const auto model = std::make_shared<const core::HierarchicalDisassembler>(
+      core::HierarchicalDisassembler::train(data, cfg));
+
+  // The served stream and its ground truth, plus the bigram evidence the
+  // deployed prior would be estimated from (the firmware image is known in
+  // the paper's threat model; its transition counts are free).
+  std::vector<std::size_t> truth;
+  sim::TraceSet windows;
+  core::BigramPrior evidence(avr::num_instruction_classes());
+  std::mt19937_64 stream_rng{kSequenceGoldenSeed + 1};
+  for (std::size_t i = 0; i < kSequenceWindows; ++i) {
+    truth.push_back(classes[i % classes.size()]);
+    if (i > 0) evidence.add_transition(truth[i - 1], truth[i]);
+    windows.push_back(campaign.capture_trace(
+        avr::random_instance(truth.back(), stream_rng, {}),
+        sim::ProgramContext::make(static_cast<int>(i % 3)), stream_rng, 0.0));
+  }
+  const auto prior = std::make_shared<const core::IsaPrior>(evidence);
+
+  SequenceDecoderConfig dcfg;
+  dcfg.lag = 6;
+  SequenceDecoder decoder(model->posterior_classes(), prior, dcfg);
+
+  SequenceGoldenRun out;
+  std::size_t argmax_hits = 0, decoded_hits = 0;
+  std::vector<SmoothedWindow> smoothed;
+  for (const sim::Trace& t : windows) {
+    const core::Disassembly scored = model->classify_scored(t);
+    decoder.push(scored);
+    while (auto w = decoder.poll()) smoothed.push_back(std::move(*w));
+  }
+  for (auto& w : decoder.flush()) smoothed.push_back(std::move(w));
+  EXPECT_EQ(smoothed.size(), windows.size());
+  for (std::size_t i = 0; i < smoothed.size(); ++i) {
+    if (smoothed[i].raw_class == truth[i]) ++argmax_hits;
+    if (smoothed[i].value.class_idx == truth[i]) ++decoded_hits;
+    if (std::isfinite(smoothed[i].confidence)) {
+      out.confidence_sum += smoothed[i].confidence;
+    }
+  }
+  out.argmax_accuracy =
+      static_cast<double>(argmax_hits) / static_cast<double>(windows.size());
+  out.decoded_accuracy =
+      static_cast<double>(decoded_hits) / static_cast<double>(windows.size());
+  out.smoothed = decoder.smoothed_count();
+  return out;
+}
+
+TEST(GoldenRegression, SequenceDecodingStaysAboveArgmax) {
+  const SequenceGoldenRun run = run_sequence_golden();
+  std::cout << "[sequence golden] argmax=" << run.argmax_accuracy
+            << " decoded=" << run.decoded_accuracy << " smoothed="
+            << run.smoothed << " confsum=" << run.confidence_sum << '\n';
+  EXPECT_LE(run.argmax_accuracy, kMaxArgmaxAccuracy)
+      << "per-window classification no longer errs -- the band is vacuous";
+  EXPECT_GE(run.decoded_accuracy, run.argmax_accuracy + kMinDecodeLift)
+      << "sequence decoding stopped paying for itself: argmax "
+      << run.argmax_accuracy << " vs decoded " << run.decoded_accuracy;
+  EXPECT_GE(run.smoothed, 1u) << "the decoder never overrode a window";
+}
+
+TEST(GoldenRegression, SequenceGoldenRunIsReproducible) {
+  const SequenceGoldenRun a = run_sequence_golden();
+  const SequenceGoldenRun b = run_sequence_golden();
+  EXPECT_EQ(a.argmax_accuracy, b.argmax_accuracy);
+  EXPECT_EQ(a.decoded_accuracy, b.decoded_accuracy);
+  EXPECT_EQ(a.smoothed, b.smoothed);
+  EXPECT_EQ(a.confidence_sum, b.confidence_sum);
 }
 
 }  // namespace

@@ -1,10 +1,25 @@
-// Tests for the bigram prior and Viterbi sequence smoothing extension.
+// Tests for the bigram prior and Viterbi sequence smoothing extension, the
+// ISA-derived transition prior, and the streaming sequence-decoding battery:
+// Viterbi vs brute force, bounded-lag vs offline, and bit-identical smoothed
+// verdicts across worker and shard counts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <random>
 
 #include "avr/assembler.hpp"
+#include "avr/grouping.hpp"
+#include "core/csa.hpp"
+#include "core/hierarchical.hpp"
+#include "core/profiler.hpp"
 #include "core/sequence.hpp"
+#include "runtime/decoder.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/streaming.hpp"
+#include "sim/acquisition.hpp"
 
 namespace sidis::core {
 namespace {
@@ -86,5 +101,652 @@ TEST(Viterbi, EmptyAndMismatchedInputs) {
   EXPECT_THROW(viterbi_decode(wrong, prior), std::invalid_argument);
 }
 
+// -- decode equivalence: dynamic programming vs exhaustive search ------------
+
+double path_score(const linalg::Matrix& emissions, const TransitionPrior& prior,
+                  const std::vector<std::size_t>& path) {
+  double score = 0.0;
+  for (std::size_t t = 0; t < path.size(); ++t) {
+    score += emissions(t, path[t]);
+    if (t > 0) score += prior.log_prob(path[t - 1], path[t]);
+  }
+  return score;
+}
+
+TEST(DecodeEquivalence, ViterbiMatchesBruteForceEnumeration) {
+  // Continuous random emissions make ties measure-zero, so the optimum is
+  // unique and the paths must agree exactly, trial after trial.
+  std::mt19937_64 rng{20260806};
+  std::uniform_real_distribution<double> em(-6.0, 0.0);
+  std::uniform_int_distribution<int> cnt(0, 6);
+  for (int trial = 0; trial < 48; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial) % 4;          // 2..5
+    const std::size_t len = 2 + (static_cast<std::size_t>(trial) / 4) % 5;  // 2..6
+    linalg::Matrix emissions(len, n);
+    for (std::size_t t = 0; t < len; ++t) {
+      for (std::size_t c = 0; c < n; ++c) emissions(t, c) = em(rng);
+    }
+    BigramPrior prior(n, 0.5);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        const int reps = cnt(rng);
+        for (int k = 0; k < reps; ++k) prior.add_transition(a, b);
+      }
+    }
+
+    const std::vector<std::size_t> fast = viterbi_decode(emissions, prior, 1.0);
+
+    std::vector<std::size_t> best;
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t total = 1;
+    for (std::size_t t = 0; t < len; ++t) total *= n;
+    for (std::size_t code = 0; code < total; ++code) {
+      std::size_t x = code;
+      std::vector<std::size_t> path(len);
+      for (std::size_t t = 0; t < len; ++t) {
+        path[t] = x % n;
+        x /= n;
+      }
+      const double score = path_score(emissions, prior, path);
+      if (score > best_score) {
+        best_score = score;
+        best = path;
+      }
+    }
+    EXPECT_EQ(fast, best) << "trial " << trial;
+    EXPECT_NEAR(path_score(emissions, prior, fast), best_score, 1e-9);
+  }
+}
+
+// -- IsaPrior properties -----------------------------------------------------
+
+TEST(IsaPriorProps, RowsAreProperDistributions) {
+  const std::size_t n = avr::num_instruction_classes();
+  BigramPrior evidence(n);
+  const avr::Program p =
+      avr::assemble("LDI r16, 1\nADD r0, r16\nADC r1, r16\nCP r0, r16").program;
+  evidence.add_program(p);
+  const IsaPrior structural;
+  const IsaPrior blended(evidence);
+  for (const IsaPrior* prior : {&structural, &blended}) {
+    for (std::size_t from = 0; from < n; ++from) {
+      double sum = 0.0;
+      for (std::size_t to = 0; to < n; ++to) {
+        const double lp = prior->log_prob(from, to);
+        ASSERT_TRUE(std::isfinite(lp)) << from << "->" << to;
+        sum += std::exp(lp);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << from;
+    }
+  }
+  // BigramPrior rows are proper too (the TransitionPrior contract).
+  BigramPrior bare(5);
+  bare.add_transition(0, 1);
+  for (std::size_t from = 0; from < 5; ++from) {
+    double sum = 0.0;
+    for (std::size_t to = 0; to < 5; ++to) sum += std::exp(bare.log_prob(from, to));
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(IsaPriorProps, PureIsaTierOrdersPlausibleAboveImplausible) {
+  // The global strict ordering is an ISA-tier property; silence the evidence
+  // and group tiers so it is testable across every row at once.
+  IsaPriorConfig cfg;
+  cfg.observed_weight = 0.0;
+  cfg.group_weight = 0.0;
+  cfg.isa_weight = 1.0;
+  const IsaPrior prior(cfg);
+  const std::size_t n = prior.num_classes();
+  for (std::size_t from = 0; from < n; ++from) {
+    double min_plausible = std::numeric_limits<double>::infinity();
+    double max_implausible = -std::numeric_limits<double>::infinity();
+    bool any_plausible = false, any_implausible = false;
+    for (std::size_t to = 0; to < n; ++to) {
+      const double lp = prior.log_prob(from, to);
+      if (prior.structurally_plausible(from, to)) {
+        any_plausible = true;
+        min_plausible = std::min(min_plausible, lp);
+      } else {
+        any_implausible = true;
+        max_implausible = std::max(max_implausible, lp);
+      }
+    }
+    ASSERT_TRUE(any_plausible) << "row " << from << " has no plausible successor";
+    if (any_implausible) {
+      EXPECT_GT(min_plausible, max_implausible) << "row " << from;
+    }
+  }
+}
+
+TEST(IsaPriorProps, StructuralJudgmentsMatchTheIsa) {
+  const IsaPrior prior;
+  const auto cls = [](avr::Mnemonic m) { return *avr::class_index(m); };
+  // Carry cascade: ADD writes C, so ADC may follow; AND never writes C.
+  EXPECT_TRUE(prior.structurally_plausible(cls(avr::Mnemonic::kAdd),
+                                           cls(avr::Mnemonic::kAdc)));
+  EXPECT_FALSE(prior.structurally_plausible(cls(avr::Mnemonic::kAnd),
+                                            cls(avr::Mnemonic::kAdc)));
+  // Branches need a predecessor writing the flag they read: CP writes Z for
+  // BREQ; LDI writes no flags at all.
+  EXPECT_TRUE(prior.structurally_plausible(cls(avr::Mnemonic::kCp),
+                                           cls(avr::Mnemonic::kBreq)));
+  EXPECT_FALSE(prior.structurally_plausible(cls(avr::Mnemonic::kLdi),
+                                            cls(avr::Mnemonic::kBreq)));
+  // BST writes T, BRTS reads it.
+  EXPECT_TRUE(prior.structurally_plausible(cls(avr::Mnemonic::kBst),
+                                           cls(avr::Mnemonic::kBrts)));
+  // Control flow imposes nothing on its successor (the next window may be
+  // any branch target) -- even a carry consumer is fine after RJMP.
+  EXPECT_TRUE(prior.structurally_plausible(cls(avr::Mnemonic::kRjmp),
+                                           cls(avr::Mnemonic::kAdc)));
+  EXPECT_TRUE(prior.structurally_plausible(cls(avr::Mnemonic::kSbrc),
+                                           cls(avr::Mnemonic::kBreq)));
+  // SEC explicitly sets carry.
+  EXPECT_TRUE(prior.structurally_plausible(cls(avr::Mnemonic::kSec),
+                                           cls(avr::Mnemonic::kAdc)));
+}
+
+TEST(IsaPriorProps, EvidenceBoostsObservedTransitions) {
+  const auto add = *avr::class_index(avr::Mnemonic::kAdd);
+  const auto adc = *avr::class_index(avr::Mnemonic::kAdc);
+  BigramPrior evidence(avr::num_instruction_classes());
+  for (int i = 0; i < 50; ++i) evidence.add_transition(add, adc);
+  const IsaPrior structural;
+  const IsaPrior blended(evidence);
+  EXPECT_GT(blended.log_prob(add, adc), structural.log_prob(add, adc));
+}
+
+TEST(IsaPriorProps, GroupBackoffLendsMassWithinTheTargetGroup) {
+  // Only CP -> BRNE is ever observed, but the group tier aggregates it as
+  // (group 1, group 4) evidence, so the unobserved CP -> BREQ still ends up
+  // far above an unobserved cross-group successor like CP -> LDS.
+  const auto cp = *avr::class_index(avr::Mnemonic::kCp);
+  const auto brne = *avr::class_index(avr::Mnemonic::kBrne);
+  const auto breq = *avr::class_index(avr::Mnemonic::kBreq);
+  const auto lds = *avr::class_index(avr::Mnemonic::kLds, avr::AddrMode::kAbs);
+  BigramPrior evidence(avr::num_instruction_classes());
+  for (int i = 0; i < 50; ++i) evidence.add_transition(cp, brne);
+  const IsaPrior blended(evidence);
+  EXPECT_GT(blended.log_prob(cp, breq), blended.log_prob(cp, lds));
+  EXPECT_GT(blended.log_prob(cp, brne), blended.log_prob(cp, breq));
+}
+
+TEST(IsaPriorProps, InvalidConfigurations) {
+  EXPECT_THROW(IsaPrior(BigramPrior(3)), std::invalid_argument);  // wrong size
+  IsaPriorConfig bad_mass;
+  bad_mass.illegal_mass = 1.0;
+  EXPECT_THROW(IsaPrior{bad_mass}, std::invalid_argument);
+  IsaPriorConfig no_isa;
+  no_isa.isa_weight = 0.0;
+  EXPECT_THROW(IsaPrior{no_isa}, std::invalid_argument);
+}
+
+// -- basic-block recovery ----------------------------------------------------
+
+TEST(BasicBlocks, TerminatorsFollowControlFlowClasses) {
+  const auto cls = [](avr::Mnemonic m) { return *avr::class_index(m); };
+  EXPECT_TRUE(ends_basic_block(cls(avr::Mnemonic::kRjmp)));
+  EXPECT_TRUE(ends_basic_block(cls(avr::Mnemonic::kBreq)));
+  EXPECT_TRUE(ends_basic_block(cls(avr::Mnemonic::kBrbs)));
+  EXPECT_TRUE(ends_basic_block(cls(avr::Mnemonic::kSbrc)));
+  EXPECT_TRUE(ends_basic_block(cls(avr::Mnemonic::kCpse)));
+  EXPECT_FALSE(ends_basic_block(cls(avr::Mnemonic::kAdd)));
+  EXPECT_FALSE(ends_basic_block(cls(avr::Mnemonic::kLdi)));
+  EXPECT_THROW(ends_basic_block(avr::num_instruction_classes()), std::out_of_range);
+}
+
+TEST(BasicBlocks, SegmentsAfterEveryTerminator) {
+  const auto cls = [](avr::Mnemonic m) { return *avr::class_index(m); };
+  const std::vector<std::size_t> stream = {
+      cls(avr::Mnemonic::kAdd),  cls(avr::Mnemonic::kRjmp),
+      cls(avr::Mnemonic::kLdi),  cls(avr::Mnemonic::kSub),
+      cls(avr::Mnemonic::kBreq), cls(avr::Mnemonic::kCom)};
+  const std::vector<BasicBlock> blocks = segment_blocks(stream);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].begin, 0u);
+  EXPECT_EQ(blocks[0].classes.size(), 2u);
+  EXPECT_EQ(blocks[1].begin, 2u);
+  EXPECT_EQ(blocks[1].classes.size(), 3u);
+  EXPECT_EQ(blocks[2].begin, 5u);  // terminator-less tail block
+  EXPECT_EQ(blocks[2].classes.size(), 1u);
+  EXPECT_TRUE(segment_blocks({}).empty());
+}
+
+TEST(BasicBlocks, RecoveryRateCountsExactBlockMatches) {
+  const auto cls = [](avr::Mnemonic m) { return *avr::class_index(m); };
+  const std::vector<std::size_t> truth = {
+      cls(avr::Mnemonic::kAdd),  cls(avr::Mnemonic::kRjmp),
+      cls(avr::Mnemonic::kLdi),  cls(avr::Mnemonic::kSub),
+      cls(avr::Mnemonic::kBreq), cls(avr::Mnemonic::kCom)};
+  EXPECT_EQ(block_recovery_rate(truth, truth), 1.0);
+  // One wrong window inside the middle block kills exactly that block.
+  std::vector<std::size_t> decoded = truth;
+  decoded[3] = cls(avr::Mnemonic::kAdc);
+  EXPECT_NEAR(block_recovery_rate(decoded, truth), 2.0 / 3.0, 1e-12);
+  // A terminator misread as a non-terminator merges two blocks: both lost.
+  decoded = truth;
+  decoded[1] = cls(avr::Mnemonic::kAdd);
+  EXPECT_NEAR(block_recovery_rate(decoded, truth), 1.0 / 3.0, 1e-12);
+  EXPECT_THROW(block_recovery_rate({0}, truth), std::invalid_argument);
+  EXPECT_EQ(block_recovery_rate({}, {}), 1.0);
+}
+
 }  // namespace
 }  // namespace sidis::core
+
+// -- runtime battery: bounded-lag decoder, scored paths, invariance ----------
+
+namespace sidis::runtime {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Synthetic posterior-carrying window over a class support.
+core::Disassembly make_window(const linalg::Vector& log_posterior,
+                              const std::vector<std::size_t>& support) {
+  core::Disassembly w;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < log_posterior.size(); ++i) {
+    if (log_posterior[i] > log_posterior[best]) best = i;
+  }
+  w.class_idx = support[best];
+  w.group = avr::group_of_class(w.class_idx);
+  w.log_posterior = log_posterior;
+  return w;
+}
+
+TEST(SequenceDecoderTest, InvalidConstruction) {
+  auto prior = std::make_shared<core::BigramPrior>(4);
+  EXPECT_THROW(SequenceDecoder({}, prior), std::invalid_argument);
+  EXPECT_THROW(SequenceDecoder({0, 1}, nullptr), std::invalid_argument);
+  EXPECT_THROW(SequenceDecoder({0, 4}, prior), std::invalid_argument);
+}
+
+TEST(SequenceDecoderTest, PassThroughWithoutPosterior) {
+  auto prior = std::make_shared<core::BigramPrior>(4);
+  SequenceDecoder dec({0, 1, 2, 3}, prior);
+  core::Disassembly plain;
+  plain.class_idx = 2;
+  dec.push(plain);  // no log_posterior: immediate unsmoothed delivery
+  const auto w = dec.poll();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->value.class_idx, 2u);
+  EXPECT_FALSE(w->smoothed);
+  EXPECT_TRUE(w->converged);
+  EXPECT_EQ(w->confidence, kInf);
+  EXPECT_EQ(dec.pending(), 0u);
+}
+
+TEST(SequenceDecoderTest, PriorWeightZeroReproducesPerWindowArgmax) {
+  const std::vector<std::size_t> support = {0, 1, 2};
+  auto prior = std::make_shared<core::BigramPrior>(3);
+  SequenceDecoderConfig cfg;
+  cfg.lag = 3;
+  cfg.prior_weight = 0.0;
+  SequenceDecoder dec(support, prior, cfg);
+  std::mt19937_64 rng{11};
+  std::uniform_real_distribution<double> em(-5.0, 0.0);
+  std::vector<SmoothedWindow> out;
+  for (int t = 0; t < 20; ++t) {
+    linalg::Vector row(3);
+    for (double& x : row) x = em(rng);
+    dec.push(make_window(core::log_softmax(row), support));
+    while (auto w = dec.poll()) out.push_back(std::move(*w));
+  }
+  for (auto& w : dec.flush()) out.push_back(std::move(w));
+  ASSERT_EQ(out.size(), 20u);
+  for (const SmoothedWindow& w : out) {
+    EXPECT_EQ(w.value.class_idx, w.raw_class);  // argmax was already the input
+    EXPECT_FALSE(w.smoothed);
+    EXPECT_GT(w.confidence, 0.0);
+  }
+  EXPECT_EQ(dec.smoothed_count(), 0u);
+}
+
+TEST(SequenceDecoderTest, ConfidenceFeedsTheRejectVocabulary) {
+  const std::vector<std::size_t> support = {0, 1};
+  auto prior = std::make_shared<core::BigramPrior>(2);
+  // An impossible bar: every confident kOk window degrades.
+  SequenceDecoderConfig strict;
+  strict.lag = 1;
+  strict.min_confidence = 1e9;
+  SequenceDecoder gate(support, prior, strict);
+  linalg::Vector emphatic{-0.01, -6.0};
+  gate.push(make_window(emphatic, support));
+  gate.push(make_window(emphatic, support));
+  auto flushed = gate.flush();
+  ASSERT_EQ(flushed.size(), 2u);
+  for (const SmoothedWindow& w : flushed) {
+    EXPECT_EQ(w.value.verdict, core::Verdict::kDegraded);
+  }
+  // Repair: a kRejected window the lattice is near-certain about upgrades to
+  // kDegraded (never straight to kOk).
+  SequenceDecoderConfig repair;
+  repair.lag = 1;
+  repair.repair_confidence = 0.5;
+  SequenceDecoder healer(support, prior, repair);
+  core::Disassembly rejected = make_window(emphatic, support);
+  rejected.verdict = core::Verdict::kRejected;
+  healer.push(rejected);
+  healer.push(make_window(emphatic, support));
+  flushed = healer.flush();
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[0].value.verdict, core::Verdict::kDegraded);
+  EXPECT_EQ(flushed[1].value.verdict, core::Verdict::kOk);
+}
+
+TEST(DecodeEquivalence, BoundedLagAgreesWithOfflineViterbi) {
+  const std::size_t n = 4;
+  const std::size_t len = 32;
+  const std::vector<std::size_t> support = {0, 1, 2, 3};
+  std::mt19937_64 rng{20260806};
+  std::uniform_real_distribution<double> em(-5.0, 0.0);
+  std::uniform_int_distribution<int> cnt(0, 5);
+  linalg::Matrix emissions(len, n);
+  for (std::size_t t = 0; t < len; ++t) {
+    for (std::size_t c = 0; c < n; ++c) emissions(t, c) = em(rng);
+  }
+  auto prior = std::make_shared<core::BigramPrior>(n, 0.5);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const int reps = cnt(rng);
+      for (int k = 0; k < reps; ++k) prior->add_transition(a, b);
+    }
+  }
+  const std::vector<std::size_t> offline =
+      core::viterbi_decode(emissions, *prior, 1.0);
+
+  for (const std::size_t lag : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                                std::size_t{8}, len}) {
+    SequenceDecoderConfig cfg;
+    cfg.lag = lag;
+    SequenceDecoder dec(support, prior, cfg);
+    std::vector<SmoothedWindow> out;
+    for (std::size_t t = 0; t < len; ++t) {
+      linalg::Vector row(n);
+      for (std::size_t c = 0; c < n; ++c) row[c] = emissions(t, c);
+      dec.push(make_window(row, support));
+      while (auto w = dec.poll()) out.push_back(std::move(*w));
+    }
+    for (auto& w : dec.flush()) out.push_back(std::move(w));
+    ASSERT_EQ(out.size(), len) << "lag " << lag;
+
+    // Convergence is a certificate *given the emitted prefix*: while every
+    // commit so far converged, the emitted prefix provably equals offline
+    // Viterbi's.  (After the first forced commit the decoder solves the
+    // conditioned problem, so later windows may legitimately differ.)
+    std::size_t converged = 0;
+    bool prefix_converged = true;
+    for (std::size_t t = 0; t < len; ++t) {
+      if (!out[t].converged) prefix_converged = false;
+      if (out[t].converged) ++converged;
+      if (prefix_converged) {
+        EXPECT_EQ(out[t].value.class_idx, support[offline[t]])
+            << "lag " << lag << " window " << t;
+      }
+    }
+    if (lag >= len) {
+      // The whole stream fit inside the lattice: flush() IS offline Viterbi.
+      for (std::size_t t = 0; t < len; ++t) {
+        EXPECT_EQ(out[t].value.class_idx, support[offline[t]]) << "window " << t;
+        EXPECT_TRUE(out[t].converged);
+      }
+    }
+    if (lag >= 3) {
+      EXPECT_GT(converged, 0u) << "lag " << lag;
+    }
+  }
+}
+
+TEST(DecodeEquivalence, BeamedDecoderStaysExactWhenBeamCoversTheStates) {
+  const std::size_t n = 4;
+  const std::vector<std::size_t> support = {0, 1, 2, 3};
+  std::mt19937_64 rng{5};
+  std::uniform_real_distribution<double> em(-5.0, 0.0);
+  auto prior = std::make_shared<core::BigramPrior>(n);
+  const auto run = [&](std::size_t beam, const linalg::Matrix& emissions) {
+    SequenceDecoderConfig cfg;
+    cfg.lag = 4;
+    cfg.beam = beam;
+    SequenceDecoder dec(support, prior, cfg);
+    std::vector<std::size_t> classes;
+    std::vector<SmoothedWindow> out;
+    for (std::size_t t = 0; t < emissions.rows(); ++t) {
+      linalg::Vector row(n);
+      for (std::size_t c = 0; c < n; ++c) row[c] = emissions(t, c);
+      dec.push(make_window(row, support));
+      while (auto w = dec.poll()) out.push_back(std::move(*w));
+    }
+    for (auto& w : dec.flush()) out.push_back(std::move(w));
+    for (const SmoothedWindow& w : out) classes.push_back(w.value.class_idx);
+    return classes;
+  };
+  linalg::Matrix emissions(24, n);
+  for (std::size_t t = 0; t < 24; ++t) {
+    for (std::size_t c = 0; c < n; ++c) emissions(t, c) = em(rng);
+  }
+  // beam == n is exhaustive by definition; beam 0 means "all".
+  EXPECT_EQ(run(0, emissions), run(n, emissions));
+}
+
+// -- model-backed battery ----------------------------------------------------
+
+constexpr std::size_t kSeqSeed = 20260806;
+
+struct DecodeFixture {
+  std::shared_ptr<const core::HierarchicalDisassembler> model;
+  std::shared_ptr<const core::IsaPrior> prior;
+  sim::TraceSet stream;
+  std::vector<std::size_t> truth;
+};
+
+/// One seeded profile->train + captured stream shared by every model-backed
+/// test below (training dominates the battery's runtime).  Same-group ALU
+/// classes on purpose: level-2 confusions are what sequence decoding exists
+/// to repair.
+const DecodeFixture& fixture() {
+  static const DecodeFixture f = [] {
+    DecodeFixture out;
+    const std::vector<std::size_t> classes = {
+        *avr::class_index(avr::Mnemonic::kAdd),
+        *avr::class_index(avr::Mnemonic::kAdc),
+        *avr::class_index(avr::Mnemonic::kSub)};
+    sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                      sim::SessionContext::make(0)};
+    std::mt19937_64 rng{kSeqSeed};
+    core::ProfilingData data;
+    for (const std::size_t cls : classes) {
+      data.classes[cls] = campaign.capture_class(cls, 40, 3, rng);
+    }
+    core::HierarchicalConfig cfg;
+    cfg.pipeline = core::csa_config();
+    cfg.pipeline.pca_components = 10;
+    cfg.group_components = 8;
+    cfg.instruction_components = 8;
+    auto model = core::HierarchicalDisassembler::train(data, cfg);
+    model.calibrate_reject(data);
+    out.model = std::make_shared<const core::HierarchicalDisassembler>(
+        std::move(model));
+
+    // Firmware-shaped truth: a wide-arithmetic cadence (ADD -> ADC, SUB
+    // self-runs) with the bigram evidence estimated from that same cadence.
+    core::BigramPrior evidence(avr::num_instruction_classes());
+    std::mt19937_64 srng{kSeqSeed + 1};
+    for (std::size_t i = 0; i < 60; ++i) {
+      out.truth.push_back(classes[i % classes.size()]);
+      if (i > 0) evidence.add_transition(out.truth[i - 1], out.truth[i]);
+      out.stream.push_back(campaign.capture_trace(
+          avr::random_instance(out.truth.back(), srng, {}),
+          sim::ProgramContext::make(static_cast<int>(i % 3)), srng, 0.0));
+    }
+    out.prior = std::make_shared<const core::IsaPrior>(evidence);
+    return out;
+  }();
+  return f;
+}
+
+TEST(ScoredClassify, MatchesPlainClassifyDecisions) {
+  const DecodeFixture& f = fixture();
+  const auto& support = f.model->posterior_classes();
+  ASSERT_EQ(support.size(), 3u);
+  ASSERT_TRUE(std::is_sorted(support.begin(), support.end()));
+  for (const sim::Trace& t : f.stream) {
+    const core::Disassembly plain = f.model->classify(t);
+    const core::Disassembly scored = f.model->classify_scored(t);
+    EXPECT_EQ(scored.class_idx, plain.class_idx);
+    EXPECT_EQ(scored.group, plain.group);
+    EXPECT_EQ(scored.verdict, plain.verdict);
+    EXPECT_EQ(scored.rd, plain.rd);
+    EXPECT_EQ(scored.rr, plain.rr);
+    EXPECT_EQ(scored.margin_headroom, plain.margin_headroom);
+    EXPECT_EQ(scored.score_headroom, plain.score_headroom);
+    EXPECT_TRUE(plain.log_posterior.empty());
+    ASSERT_EQ(scored.log_posterior.size(), support.size());
+    double sum = 0.0;
+    for (const double lp : scored.log_posterior) sum += std::exp(lp);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ScoredClassify, BatchIsBitIdenticalToScalar) {
+  const DecodeFixture& f = fixture();
+  const std::vector<core::Disassembly> batch =
+      f.model->classify_batch_scored(f.stream);
+  ASSERT_EQ(batch.size(), f.stream.size());
+  for (std::size_t i = 0; i < f.stream.size(); ++i) {
+    const core::Disassembly scalar = f.model->classify_scored(f.stream[i]);
+    EXPECT_EQ(batch[i].class_idx, scalar.class_idx) << "window " << i;
+    EXPECT_EQ(batch[i].verdict, scalar.verdict) << "window " << i;
+    ASSERT_EQ(batch[i].log_posterior.size(), scalar.log_posterior.size());
+    for (std::size_t c = 0; c < scalar.log_posterior.size(); ++c) {
+      EXPECT_EQ(batch[i].log_posterior[c], scalar.log_posterior[c])
+          << "window " << i << " class " << c;
+    }
+  }
+}
+
+/// Reference smoothing: classify_scored per window, in order, through a bare
+/// SequenceDecoder -- what any runtime route must reproduce bit-for-bit.
+std::vector<SmoothedWindow> reference_smoothed(const DecodeFixture& f,
+                                               const SequenceDecoderConfig& cfg) {
+  SequenceDecoder dec(f.model->posterior_classes(), f.prior, cfg);
+  std::vector<SmoothedWindow> out;
+  for (const sim::Trace& t : f.stream) {
+    dec.push(f.model->classify_scored(t));
+    while (auto w = dec.poll()) out.push_back(std::move(*w));
+  }
+  for (auto& w : dec.flush()) out.push_back(std::move(w));
+  return out;
+}
+
+TEST(DecodeEquivalence, StreamingEngineIsWorkerCountInvariant) {
+  const DecodeFixture& f = fixture();
+  SequenceDecoderConfig cfg;
+  cfg.lag = 4;
+  const std::vector<SmoothedWindow> reference = reference_smoothed(f, cfg);
+  ASSERT_EQ(reference.size(), f.stream.size());
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    StreamingConfig sc;
+    sc.workers = workers;
+    StreamingDisassembler engine(StreamingDisassembler::make_scored_stage(f.model),
+                                 sc);
+    engine.enable_sequence_decoding(f.model->posterior_classes(), f.prior, cfg);
+    for (const sim::Trace& t : f.stream) {
+      ASSERT_TRUE(engine.submit(t).has_value());
+    }
+    const std::vector<StreamResult> out = engine.drain();
+    ASSERT_EQ(out.size(), f.stream.size()) << "workers " << workers;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].sequence, i);
+      EXPECT_EQ(out[i].value.class_idx, reference[i].value.class_idx)
+          << "workers " << workers << " window " << i;
+      EXPECT_EQ(out[i].value.verdict, reference[i].value.verdict);
+      EXPECT_EQ(out[i].smoothed, reference[i].smoothed);
+      EXPECT_EQ(out[i].sequence_confidence, reference[i].confidence);
+    }
+    const RuntimeStats stats = engine.stats();
+    EXPECT_EQ(stats.windows_decoded, f.stream.size());
+    EXPECT_EQ(stats.windows_smoothed,
+              static_cast<std::uint64_t>(
+                  std::count_if(reference.begin(), reference.end(),
+                                [](const SmoothedWindow& w) { return w.smoothed; })));
+  }
+}
+
+TEST(DecodeEquivalence, FleetIsShardCountInvariant) {
+  const DecodeFixture& f = fixture();
+  SequenceDecoderConfig cfg;
+  cfg.lag = 4;
+  const std::vector<SmoothedWindow> reference = reference_smoothed(f, cfg);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    FleetConfig fc;
+    fc.shards = shards;
+    fc.workers_per_shard = 2;
+    FleetFrontend fleet(f.model, fc);
+    StreamOptions so;
+    so.decode_sequence = true;
+    so.decode = cfg;
+    so.decode_prior = f.prior;
+    const auto id = fleet.open_stream(so);
+    std::vector<FleetResult> out;
+    for (const sim::Trace& t : f.stream) {
+      AdmitResult a = fleet.submit(id, t);
+      while (!a.accepted()) {
+        while (auto r = fleet.poll(id)) out.push_back(std::move(*r));
+        a = fleet.submit(id, t);
+      }
+      while (auto r = fleet.poll(id)) out.push_back(std::move(*r));
+    }
+    for (FleetResult& r : fleet.close_stream(id)) out.push_back(std::move(r));
+    ASSERT_EQ(out.size(), f.stream.size()) << "shards " << shards;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].stream_sequence, i);
+      EXPECT_EQ(out[i].value.class_idx, reference[i].value.class_idx)
+          << "shards " << shards << " window " << i;
+      EXPECT_EQ(out[i].value.verdict, reference[i].value.verdict);
+      EXPECT_EQ(out[i].smoothed, reference[i].smoothed);
+      EXPECT_EQ(out[i].sequence_confidence, reference[i].confidence);
+    }
+    const FleetStats stats = fleet.stats();
+    EXPECT_EQ(stats.runtime.windows_decoded, f.stream.size());
+  }
+}
+
+TEST(DecodeEquivalence, EngineRejectsLateDecoderInstall) {
+  const DecodeFixture& f = fixture();
+  StreamingConfig sc;
+  sc.workers = 1;
+  StreamingDisassembler engine(StreamingDisassembler::make_scored_stage(f.model),
+                               sc);
+  ASSERT_TRUE(engine.submit(f.stream.front()).has_value());
+  EXPECT_THROW(
+      engine.enable_sequence_decoding(f.model->posterior_classes(), f.prior),
+      std::logic_error);
+  (void)engine.drain();
+}
+
+TEST(DecodeEquivalence, PlainStagePassesThroughUndecoded) {
+  // A decoder on an engine whose stage produces no posteriors must degrade
+  // gracefully: everything passes through unsmoothed.
+  const DecodeFixture& f = fixture();
+  StreamingConfig sc;
+  sc.workers = 1;
+  StreamingDisassembler engine(StreamingDisassembler::make_stage(f.model), sc);
+  engine.enable_sequence_decoding(f.model->posterior_classes(), f.prior);
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine.submit(f.stream[i]).has_value());
+  }
+  const std::vector<StreamResult> out = engine.drain();
+  ASSERT_EQ(out.size(), 8u);
+  for (const StreamResult& r : out) {
+    EXPECT_FALSE(r.smoothed);
+    EXPECT_EQ(r.sequence_confidence, kInf);
+    EXPECT_EQ(r.value.class_idx, f.model->classify(f.stream[r.sequence]).class_idx);
+  }
+}
+
+}  // namespace
+}  // namespace sidis::runtime
