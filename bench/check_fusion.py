@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff a bench_fusion run against the checked-in baseline.
+
+Usage: check_fusion.py CANDIDATE.json [BASELINE.json]
+
+Fails (exit 1) when a fusion acceptance criterion flips or the fused
+operating point collapses.  The hard gates are build-flavor independent:
+the calibrated fused point must not fall below the better single channel on
+the clean task, and under the compound-degradation sweep (power aging + EM
+probe misalignment) the fused curve must stay at or above the power-only
+curve at every severity -- these hold on any build or the fusion layer is
+wrong, full stop.  Accuracy levels are banded against the baseline with a
+small absolute tolerance (the SIDIS_FAST task is 16 classes with few eval
+windows, so rates quantize coarsely).  Stdlib only, so the CI job needs
+nothing beyond python3.
+"""
+import json
+import sys
+from pathlib import Path
+
+# Candidate accuracies may sit this far below baseline before counting as a
+# regression (SIDIS_FAST evaluates few windows per class).
+LEVEL_TOLERANCE = 0.06
+# The fused-over-power margin at the top degradation severity must retain
+# this much: fused may never dip below power-only by more than quantization.
+DEGRADATION_SLACK = 1e-9
+
+
+def lookup(doc, section, key):
+    node = doc if section is None else doc.get(section, {})
+    return node.get(key)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate = json.loads(Path(argv[1]).read_text())
+    baseline_path = argv[2] if len(argv) > 2 else str(
+        Path(__file__).parent / "BENCH_fusion.json")
+    baseline = json.loads(Path(baseline_path).read_text())
+
+    failures = []
+    rows = []
+
+    # Hard gates: both criteria must hold wherever the bench runs, and the
+    # baseline must have been pinned from a run where they did.
+    for doc, who in ((baseline, "baseline"), (candidate, "candidate")):
+        for crit in ("criterion_fusion_beats_singles",
+                     "criterion_degradation_holds"):
+            got = lookup(doc, None, crit)
+            if who == "candidate":
+                rows.append((crit, lookup(baseline, None, crit), got))
+            if got is not True:
+                failures.append(f"{who} {crit} is {got}")
+
+    # Re-derive the degradation gate from the candidate's own sweep so a
+    # bench that mis-reports its boolean still fails loudly.
+    sweep = candidate.get("degradation", [])
+    if not sweep:
+        failures.append("candidate degradation sweep is empty")
+    for point in sweep:
+        if point.get("fused", 0.0) < point.get("power", 1.0) - DEGRADATION_SLACK:
+            failures.append(
+                f"fused fell below power-only at severity {point.get('severity')}: "
+                f"{point.get('power')} -> {point.get('fused')}")
+
+    # Banded clean-task levels.
+    for key in ("power", "em", "fused", "heldout"):
+        name = f"clean_{key}"
+        base, got = lookup(baseline, "clean", key), lookup(candidate, "clean", key)
+        rows.append((name, base, got))
+        if base is None or got is None:
+            failures.append(f"metric '{name}' missing (baseline={base}, candidate={got})")
+        elif key == "fused" and got < base - LEVEL_TOLERANCE:
+            failures.append(f"'{name}' regressed: {base} -> {got} "
+                            f"(tolerance {LEVEL_TOLERANCE})")
+
+    # Degraded windows must be flagged: the top-severity point has to mark a
+    # visible fraction of its windows as not-kOk, or graceful degradation is
+    # silently lying about its confidence.
+    if sweep:
+        top = max(sweep, key=lambda p: p.get("severity", 0.0))
+        rows.append(("top_severity_flagged", None, top.get("degraded_fraction")))
+        if (top.get("degraded_fraction") or 0.0) < 0.25:
+            failures.append(
+                f"top severity flags only {top.get('degraded_fraction')} of "
+                f"windows (needs >= 0.25)")
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric'.ljust(width)}  baseline  candidate")
+    for key, base, got in rows:
+        fmt = lambda v: f"{v:.4f}" if isinstance(v, float) else str(v)
+        print(f"{key.ljust(width)}  {fmt(base):>8}  {fmt(got):>9}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: fusion metrics within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

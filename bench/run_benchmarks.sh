@@ -4,8 +4,12 @@
 # leaves a perf trajectory behind.
 #
 # Usage:
-#   bench/run_benchmarks.sh            # run + print ratio vs. baseline
-#   bench/run_benchmarks.sh --update   # run + overwrite the baseline
+#   bench/run_benchmarks.sh                  # run + print ratio vs. baseline
+#   bench/run_benchmarks.sh --update         # run + overwrite the baseline
+#   bench/run_benchmarks.sh fusion           # SIDIS_FAST fusion run, diffed
+#                                            # against bench/BENCH_fusion.json
+#   bench/run_benchmarks.sh fusion --update  # full-scale fusion run, then
+#                                            # overwrite the fusion baseline
 #
 # Environment:
 #   BUILD_DIR   build tree holding bench/bench_throughput (default: ./build)
@@ -17,6 +21,39 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 BIN="$BUILD/bench/bench_throughput"
 BASELINE="$ROOT/bench/BENCH_cwt.json"
 FILTER="${FILTER:-Cwt|FeatureExtraction|PipelineTransform}"
+
+# -- fusion workload ----------------------------------------------------------
+# The multimodal power+EM accuracy workload: a reduced run gated against the
+# checked-in baseline, or (--update) a full-scale Release run that becomes
+# the new baseline the CI coverage job diffs against.
+if [[ "${1:-}" == "fusion" ]]; then
+  FBIN="$BUILD/bench/bench_fusion"
+  FBASE="$ROOT/bench/BENCH_fusion.json"
+  if [[ ! -x "$FBIN" ]]; then
+    echo "error: $FBIN not found -- build it first:" >&2
+    echo "  cmake -B $BUILD && cmake --build $BUILD -j --target bench_fusion" >&2
+    exit 1
+  fi
+  if [[ "${2:-}" == "--update" ]]; then
+    BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:STRING=//p' "$BUILD/CMakeCache.txt")"
+    case "$BUILD_TYPE" in
+      Release|RelWithDebInfo|MinSizeRel) ;;
+      *)
+        echo "error: refusing --update from a '$BUILD_TYPE' build." >&2
+        echo "  rebuild with -DCMAKE_BUILD_TYPE=Release and re-run." >&2
+        exit 1
+        ;;
+    esac
+    SIDIS_BENCH_OUT="$FBASE" "$FBIN"
+    echo "baseline updated: $FBASE (build type: $BUILD_TYPE)"
+    exit 0
+  fi
+  FOUT="$(mktemp /tmp/bench_fusion.XXXXXX.json)"
+  trap 'rm -f "$FOUT"' EXIT
+  SIDIS_FAST=1 SIDIS_BENCH_OUT="$FOUT" "$FBIN"
+  python3 "$ROOT/bench/check_fusion.py" "$FOUT" "$FBASE"
+  exit $?
+fi
 
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not found -- build it first:" >&2

@@ -307,6 +307,11 @@ class HierarchicalDisassembler {
   };
 
  private:
+  /// The multimodal fusion layer reads the trained levels directly (per-level
+  /// pipelines for joint-feature heads, register levels for operand
+  /// recovery); see core/fusion.hpp.
+  friend class FusedDisassembler;
+
   struct Level {
     features::FeaturePipeline pipeline;
     std::unique_ptr<ml::Classifier> classifier;

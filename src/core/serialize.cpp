@@ -16,7 +16,11 @@ constexpr const char* kMagic = "sidis-template";
 //     level records; v2 archives still load, with empty moments.
 // v4: reject operating point (the named preset calibrate_reject ran at)
 //     appended after the moments; older archives load as kCustom.
-constexpr int kVersion = 4;
+// v5: a "kind plain|fused" tag follows the header; fused archives carry the
+//     per-level fusion selections, both channel models, and the joint
+//     feature heads.  Pre-v5 archives (no tag) load as plain, and
+//     load_fused_disassembler wraps any plain archive as power-only fusion.
+constexpr int kVersion = 5;
 constexpr int kOldestSupported = 2;
 
 [[noreturn]] void corrupt(const std::string& what) {
@@ -205,19 +209,125 @@ ml::Qda load_qda(std::istream& is) {
   return ml::Qda::from_parts(std::move(labels), std::move(models), std::move(priors));
 }
 
-void save_disassembler(std::ostream& os, const HierarchicalDisassembler& model) {
-  os << kMagic << ' ' << kVersion << '\n';
-  model.save(os);
-}
+namespace {
 
-HierarchicalDisassembler load_disassembler(std::istream& is) {
+/// Reads the archive header; returns the version and leaves `kind` holding
+/// "plain" or "fused" (pre-v5 archives carry no tag and read as "plain").
+int read_header(std::istream& is, std::string& kind) {
   expect_tag(is, kMagic);
   const std::size_t version = read_size(is);
   if (version < static_cast<std::size_t>(kOldestSupported) ||
       version > static_cast<std::size_t>(kVersion)) {
     corrupt("unsupported version");
   }
-  return HierarchicalDisassembler::load(is, static_cast<int>(version));
+  kind = "plain";
+  if (version >= 5) {
+    expect_tag(is, "kind");
+    if (!(is >> kind) || (kind != "plain" && kind != "fused")) {
+      corrupt("unknown archive kind");
+    }
+  }
+  return static_cast<int>(version);
+}
+
+}  // namespace
+
+void save_disassembler(std::ostream& os, const HierarchicalDisassembler& model) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "kind plain\n";
+  model.save(os);
+}
+
+HierarchicalDisassembler load_disassembler(std::istream& is) {
+  std::string kind;
+  const int version = read_header(is, kind);
+  if (kind == "fused") {
+    corrupt("archive holds a fused model; use load_fused_disassembler");
+  }
+  return HierarchicalDisassembler::load(is, version);
+}
+
+void save_fused_disassembler(std::ostream& os, const FusedDisassembler& model) {
+  if (model.power_model() == nullptr) {
+    throw std::invalid_argument("save_fused_disassembler: empty model");
+  }
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "kind fused\n";
+  const auto write_fusion = [&os](const char* tag, const LevelFusion& f) {
+    os << "fusion " << tag << ' ' << static_cast<int>(f.mode) << ' ';
+    write_double(os, f.power_weight);
+    os << ' ';
+    write_double(os, f.em_weight);
+    os << '\n';
+  };
+  write_fusion("group", model.group_fusion());
+  write_fusion("instruction", model.instruction_fusion());
+  os << "channel power\n";
+  model.power_model()->save(os);
+  os << "has_em " << (model.em_model() != nullptr ? 1 : 0) << '\n';
+  if (model.em_model() != nullptr) {
+    os << "channel em\n";
+    model.em_model()->save(os);
+  }
+  os << "group_head " << (model.group_head_ != nullptr ? 1 : 0) << '\n';
+  if (model.group_head_ != nullptr) save_qda(os, *model.group_head_);
+  os << "instruction_heads " << model.instruction_heads_.size() << '\n';
+  for (const auto& [group, head] : model.instruction_heads_) {
+    os << "head_group " << group << '\n';
+    save_qda(os, *head);
+  }
+}
+
+FusedDisassembler load_fused_disassembler(std::istream& is) {
+  std::string kind;
+  const int version = read_header(is, kind);
+  if (kind == "plain") {
+    // Legacy / single-channel archive: power-only fusion.
+    auto power = std::make_shared<const HierarchicalDisassembler>(
+        HierarchicalDisassembler::load(is, version));
+    return FusedDisassembler(std::move(power), nullptr);
+  }
+  const auto read_fusion = [&is](const char* tag) {
+    expect_tag(is, "fusion");
+    expect_tag(is, tag);
+    LevelFusion f;
+    const std::size_t mode = read_size(is);
+    if (mode > static_cast<std::size_t>(FusionMode::kFeature)) {
+      corrupt("unknown fusion mode");
+    }
+    f.mode = static_cast<FusionMode>(mode);
+    f.power_weight = read_double(is);
+    f.em_weight = read_double(is);
+    return f;
+  };
+  const LevelFusion group = read_fusion("group");
+  const LevelFusion instruction = read_fusion("instruction");
+  expect_tag(is, "channel");
+  expect_tag(is, "power");
+  auto power = std::make_shared<const HierarchicalDisassembler>(
+      HierarchicalDisassembler::load(is, version));
+  expect_tag(is, "has_em");
+  std::shared_ptr<const HierarchicalDisassembler> em;
+  if (read_size(is) != 0) {
+    expect_tag(is, "channel");
+    expect_tag(is, "em");
+    em = std::make_shared<const HierarchicalDisassembler>(
+        HierarchicalDisassembler::load(is, version));
+  }
+  FusedDisassembler fused(std::move(power), std::move(em), group, instruction);
+  expect_tag(is, "group_head");
+  if (read_size(is) != 0) {
+    fused.group_head_ = std::make_unique<ml::Qda>(load_qda(is));
+  }
+  expect_tag(is, "instruction_heads");
+  const std::size_t n = read_size(is);
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_tag(is, "head_group");
+    int group_id = 0;
+    if (!(is >> group_id)) corrupt("bad head group id");
+    fused.instruction_heads_[group_id] = std::make_unique<ml::Qda>(load_qda(is));
+  }
+  return fused;
 }
 
 // -- hierarchical model ------------------------------------------------------

@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 
+#include "core/fusion.hpp"
 #include "core/hierarchical.hpp"
 #include "features/pipeline.hpp"
 #include "ml/discriminant.hpp"
@@ -34,6 +35,19 @@ ml::Qda load_qda(std::istream& is);
 /// Serializes a trained hierarchical disassembler whose levels all use QDA.
 /// Throws std::invalid_argument when a level holds a different classifier.
 void save_disassembler(std::ostream& os, const HierarchicalDisassembler& model);
+/// Loads a single-channel archive.  Throws std::runtime_error when the
+/// archive holds a fused model (use load_fused_disassembler).
 HierarchicalDisassembler load_disassembler(std::istream& is);
+
+/// Serializes a fused power+EM model (v5): the per-level fusion selections,
+/// both channel models (each with its own pipelines and gates), and the
+/// joint feature heads when trained.  Same QDA-only restriction as
+/// save_disassembler.
+void save_fused_disassembler(std::ostream& os, const FusedDisassembler& model);
+/// Loads any archive as a fused model: v5 fused archives restore the full
+/// fusion state; plain archives (v5 "plain" or any pre-v5 version) load as
+/// a power-only fusion -- score mode, weights (1, 0), no EM channel -- so a
+/// fused serving tier consumes legacy single-channel templates unchanged.
+FusedDisassembler load_fused_disassembler(std::istream& is);
 
 }  // namespace sidis::core

@@ -133,9 +133,14 @@ RecalOutcome RecalibrationScheduler::on_drift(const DriftEvent& event,
   // Publish: the stage closures co-own the clone, so the model lives exactly
   // as long as some worker can still pin its stage.  The shared_ptr
   // swap_model overload installs classify AND classify_batch, keeping the
-  // batched serving path hot across the swap.
+  // batched serving path hot across the swap.  A custom publisher (fused
+  // deployments rebinding one channel) replaces the swap, not the telemetry.
   std::shared_ptr<const core::HierarchicalDisassembler> published = clone;
-  engine_.swap_model(published, stamp);
+  if (publisher_) {
+    publisher_(published, stamp);
+  } else {
+    engine_.swap_model(published, stamp);
+  }
   engine_.record_recalibration(fresh.size());
   traces_spent_ += fresh.size();
   model_ = published;

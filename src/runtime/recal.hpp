@@ -81,6 +81,27 @@ class CampaignCalibrationSource final : public CalibrationSource {
   std::size_t traces_captured_ = 0;
 };
 
+/// Adapter that narrows a paired-capture source to one channel: captured
+/// traces pass through sim::channel_views, so the consumer (a scheduler
+/// recalibrating the EM channel model of a fused deployment) sees the same
+/// single-channel shape that channel's model was profiled on.  The inner
+/// source must outlive the adapter.
+class ChannelCalibrationSource final : public CalibrationSource {
+ public:
+  ChannelCalibrationSource(CalibrationSource& inner, sim::Channel channel)
+      : inner_(inner), channel_(channel) {}
+
+  sim::TraceSet capture(std::size_t per_class) override {
+    return sim::channel_views(inner_.capture(per_class), channel_);
+  }
+
+  sim::Channel channel() const { return channel_; }
+
+ private:
+  CalibrationSource& inner_;
+  sim::Channel channel_;
+};
+
 struct RecalPolicy {
   /// Labeled traces per class requested from the source per drift event.
   std::size_t traces_per_class = 4;
@@ -145,6 +166,18 @@ class RecalibrationScheduler {
   /// engine either way.
   RecalOutcome on_drift(const DriftEvent& event, DriftMonitor& monitor);
 
+  /// How the recalibrated model reaches the serving tier.  Default: the
+  /// engine's shared-ptr swap_model (single-channel deployment).  A fused
+  /// deployment overrides this to rebind ONE channel of a FusedDisassembler
+  /// and republish a fused stage -- the other channel keeps serving
+  /// untouched; the scheduler itself stays channel-agnostic (it maintains
+  /// whichever channel model it was constructed around, with that channel's
+  /// CalibrationSource, e.g. a ChannelCalibrationSource).
+  using Publisher = std::function<void(
+      std::shared_ptr<const core::HierarchicalDisassembler> model,
+      std::uint64_t stamp)>;
+  void set_publisher(Publisher publisher) { publisher_ = std::move(publisher); }
+
   const std::shared_ptr<const core::HierarchicalDisassembler>& active_model() const {
     return model_;
   }
@@ -161,6 +194,7 @@ class RecalibrationScheduler {
   RecalPolicy policy_;
   ModelRegistry* registry_;
   const core::ProfilingData* refit_base_;
+  Publisher publisher_;  ///< empty = engine_.swap_model
   std::size_t traces_spent_ = 0;
   std::uint64_t local_stamp_ = 0;  ///< registry-less stamp sequence
   /// Monitor observation count at the last successful publish; drives the

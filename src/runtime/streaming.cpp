@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/fusion.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace sidis::runtime {
@@ -36,6 +37,30 @@ StreamingDisassembler::StageRef StreamingDisassembler::make_scored_stage(
   if (model == nullptr) {
     throw std::invalid_argument(
         "StreamingDisassembler::make_scored_stage: null model");
+  }
+  return std::make_shared<const Stage>(Stage{
+      [model](const sim::Trace& t) { return model->classify_scored(t); },
+      [model](const sim::TraceSet& ts) { return model->classify_batch_scored(ts); },
+      stamp});
+}
+
+StreamingDisassembler::StageRef StreamingDisassembler::make_fused_stage(
+    std::shared_ptr<const core::FusedDisassembler> model, std::uint64_t stamp) {
+  if (model == nullptr) {
+    throw std::invalid_argument(
+        "StreamingDisassembler::make_fused_stage: null model");
+  }
+  return std::make_shared<const Stage>(Stage{
+      [model](const sim::Trace& t) { return model->classify(t); },
+      [model](const sim::TraceSet& ts) { return model->classify_batch(ts); },
+      stamp});
+}
+
+StreamingDisassembler::StageRef StreamingDisassembler::make_fused_scored_stage(
+    std::shared_ptr<const core::FusedDisassembler> model, std::uint64_t stamp) {
+  if (model == nullptr) {
+    throw std::invalid_argument(
+        "StreamingDisassembler::make_fused_scored_stage: null model");
   }
   return std::make_shared<const Stage>(Stage{
       [model](const sim::Trace& t) { return model->classify_scored(t); },

@@ -38,6 +38,10 @@
 
 #include "core/hierarchical.hpp"
 #include "core/sequence.hpp"
+
+namespace sidis::core {
+class FusedDisassembler;
+}
 #include "runtime/bounded_queue.hpp"
 #include "runtime/decoder.hpp"
 #include "runtime/stats.hpp"
@@ -114,6 +118,19 @@ class StreamingDisassembler {
   /// needs.  Drop-in for make_stage everywhere a StageRef is accepted.
   static StageRef make_scored_stage(
       std::shared_ptr<const core::HierarchicalDisassembler> model,
+      std::uint64_t stamp = 0);
+
+  /// Multimodal stage backed by a core::FusedDisassembler: each submitted
+  /// trace is treated as a paired power+EM window (Trace::em_samples); a
+  /// window without an EM half degrades to the power channel per the fusion
+  /// contract.  Drop-in for make_stage -- the engine, FleetFrontend shards,
+  /// and swap paths are modality-agnostic.
+  static StageRef make_fused_stage(
+      std::shared_ptr<const core::FusedDisassembler> model,
+      std::uint64_t stamp = 0);
+  /// Scored variant (fused per-class log-posterior kept on every result).
+  static StageRef make_fused_scored_stage(
+      std::shared_ptr<const core::FusedDisassembler> model,
       std::uint64_t stamp = 0);
 
   /// The model must outlive the engine and is shared read-only by all

@@ -13,8 +13,11 @@ AcquisitionCampaign::AcquisitionCampaign(DeviceModel device, SessionContext sess
     : session_(session),
       synth_(device, leakage),
       scope_(scope),
+      em_scope_(em_scope_config(options.em)),
       options_(options),
-      reference_window_(compute_reference_window()) {}
+      reference_window_(compute_reference_window()),
+      em_reference_window_(options_.em.enabled ? compute_em_reference_window()
+                                               : std::vector<double>{}) {}
 
 std::vector<double> AcquisitionCampaign::compute_reference_window() const {
   // The paper averages many captures of SBI, NOP x5, CBI; averaging kills the
@@ -42,8 +45,75 @@ std::vector<double> AcquisitionCampaign::compute_reference_window() const {
           captured.begin() + static_cast<std::ptrdiff_t>(start + options_.window_samples)};
 }
 
+std::vector<double> AcquisitionCampaign::compute_em_reference_window() const {
+  // The EM reference mirrors the power one: averaged SBI/NOPx5/CBI pickup at
+  // the probe's *base* misalignment in a neutral environment, nondeterminism
+  // off.  Drift away from that position later survives subtraction.
+  avr::Program ref = avr::SegmentTemplate::reference_sequence();
+  avr::Cpu cpu;
+  cpu.load_program(ref);
+  const std::vector<avr::ExecRecord> records = cpu.run(ref.size());
+  const IssueMap issue = make_issue_map(ref);
+  const std::vector<double> wave =
+      synth_.synthesize_em(records, &issue, options_.em, options_.em.misalignment);
+
+  Environment env{};
+  std::mt19937_64 rng(0);  // unused: nondeterminism disabled
+  const std::vector<double> captured =
+      em_scope_.capture(wave, env, rng, /*add_nondeterminism=*/false);
+
+  const std::size_t start = synth_.sample_of_cycle(3.0);
+  if (start + options_.window_samples > captured.size()) {
+    throw std::logic_error("EM reference window exceeds captured trace");
+  }
+  return {captured.begin() + static_cast<std::ptrdiff_t>(start),
+          captured.begin() + static_cast<std::ptrdiff_t>(start + options_.window_samples)};
+}
+
 void AcquisitionCampaign::inject_faults(FaultProfile profile) {
   injector_.emplace(std::move(profile));
+}
+
+void AcquisitionCampaign::inject_em_faults(FaultProfile profile) {
+  em_injector_.emplace(std::move(profile));
+}
+
+void AcquisitionCampaign::capture_em_window(
+    const std::vector<avr::ExecRecord>& records, const IssueMap& issue,
+    std::size_t start, double campaign_progress, std::mt19937_64& em_rng,
+    Trace& trace) const {
+  const double mis = em_misalignment_at(options_.em, campaign_progress);
+  std::vector<double> wave = synth_.synthesize_em(records, &issue, options_.em, mis);
+  double severity = 0.0;
+  if (em_injector_ && !em_injector_->profile().empty()) {
+    wave = em_injector_->apply(wave, em_rng());
+    severity = em_injector_->profile().severity;
+  }
+  // The probe channel is deliberately decoupled from the power channel's
+  // environment drift: a neutral environment (gain 1, no thermal trend)
+  // means the only covariate shift the EM channel sees is its own
+  // misalignment process.
+  Environment env{};
+  const std::vector<double> captured = em_scope_.capture(wave, env, em_rng);
+  if (start + options_.window_samples > captured.size()) {
+    throw std::logic_error("EM window exceeds captured trace");
+  }
+  trace.em_samples.assign(
+      captured.begin() + static_cast<std::ptrdiff_t>(start),
+      captured.begin() + static_cast<std::ptrdiff_t>(start + options_.window_samples));
+  {
+    const std::size_t prefix_end =
+        std::min(synth_.sample_of_cycle(3.0), captured.size());
+    const std::vector<double> prefix(
+        captured.begin(), captured.begin() + static_cast<std::ptrdiff_t>(prefix_end));
+    trace.meta.em_gain_estimate = std::max(dsp::stddev(prefix), 1e-9);
+  }
+  trace.meta.em_fault_severity = severity;
+  if (options_.subtract_reference) {
+    for (std::size_t i = 0; i < trace.em_samples.size(); ++i) {
+      trace.em_samples[i] -= em_reference_window_[i];
+    }
+  }
 }
 
 double AcquisitionCampaign::maybe_inject(std::vector<double>& wave,
@@ -130,6 +200,14 @@ Trace AcquisitionCampaign::capture_trace(const avr::Instruction& target,
   trace.meta.fault_severity = fault_severity;
   if (cls && avr::class_uses_rd(*cls)) trace.meta.rd = target.rd;
   if (cls && avr::class_uses_rr(*cls)) trace.meta.rr = target.rr;
+
+  if (options_.em.enabled) {
+    // One draw from the capture stream keys the whole EM sub-stream, so the
+    // power samples above are bit-identical with the probe on or off, and
+    // paired corpora replay at any worker count.
+    std::mt19937_64 em_rng(rng());
+    capture_em_window(records, issue, start, campaign_progress, em_rng, trace);
+  }
   return trace;
 }
 
@@ -182,6 +260,30 @@ TraceSet AcquisitionCampaign::capture_program(const avr::Program& program,
     gain_estimate = std::max(dsp::stddev(prefix), 1e-9);
   }
 
+  // The paired EM capture of the whole run: one waveform, one scope pass,
+  // windows cut at the same offsets as the power windows below.
+  std::vector<double> em_captured;
+  double em_gain_estimate = 1.0;
+  double em_fault_severity = 0.0;
+  if (options_.em.enabled) {
+    std::mt19937_64 em_rng(rng());
+    const double mis = em_misalignment_at(options_.em, 0.0);
+    std::vector<double> em_wave =
+        synth_.synthesize_em(records, &issue, options_.em, mis);
+    if (em_injector_ && !em_injector_->profile().empty()) {
+      em_wave = em_injector_->apply(em_wave, em_rng());
+      em_fault_severity = em_injector_->profile().severity;
+    }
+    Environment em_env{};
+    em_captured = em_scope_.capture(em_wave, em_env, em_rng);
+    const std::size_t prefix_end =
+        std::min(synth_.sample_of_cycle(3.0), em_captured.size());
+    const std::vector<double> prefix(
+        em_captured.begin(),
+        em_captured.begin() + static_cast<std::ptrdiff_t>(prefix_end));
+    em_gain_estimate = std::max(dsp::stddev(prefix), 1e-9);
+  }
+
   TraceSet out;
   double cycle = 0.0;
   for (const avr::ExecRecord& rec : records) {
@@ -198,6 +300,18 @@ TraceSet AcquisitionCampaign::capture_program(const avr::Program& program,
       for (std::size_t i = 0; i < t.samples.size(); ++i) {
         t.samples[i] -= reference_window_[i];
       }
+    }
+    if (options_.em.enabled && start + options_.window_samples <= em_captured.size()) {
+      t.em_samples.assign(
+          em_captured.begin() + static_cast<std::ptrdiff_t>(start),
+          em_captured.begin() + static_cast<std::ptrdiff_t>(start + options_.window_samples));
+      if (options_.subtract_reference) {
+        for (std::size_t i = 0; i < t.em_samples.size(); ++i) {
+          t.em_samples[i] -= em_reference_window_[i];
+        }
+      }
+      t.meta.em_gain_estimate = em_gain_estimate;
+      t.meta.em_fault_severity = em_fault_severity;
     }
     const auto it = issue.find(rec.pc);
     const avr::Instruction& issued = it != issue.end() ? it->second : rec.instr;

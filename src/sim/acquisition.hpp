@@ -12,6 +12,7 @@
 #include <random>
 
 #include "avr/program.hpp"
+#include "sim/em_model.hpp"
 #include "sim/fault.hpp"
 #include "sim/oscilloscope.hpp"
 #include "sim/power_model.hpp"
@@ -24,6 +25,13 @@ struct AcquisitionOptions {
   /// (the paper's 315 = floor(2.5 G / 16 M * 2) + 2).
   std::size_t window_samples = 315;
   bool subtract_reference = true;
+  /// Optional paired EM probe (disabled by default).  When enabled, every
+  /// capture also records the aligned EM window into Trace::em_samples; the
+  /// EM chain has its own scope model, reference window, gain estimate and
+  /// fault injector, and all its random draws come from a sub-stream keyed
+  /// off one draw of the capture's RNG -- power samples within a capture are
+  /// bit-identical with the probe on or off.
+  EmProbeConfig em;
 };
 
 /// One acquisition campaign against one device in one measurement session.
@@ -76,6 +84,14 @@ class AcquisitionCampaign {
   /// and for the paper's Fig-4 discussion).
   const std::vector<double>& reference_window() const { return reference_window_; }
 
+  /// The EM channel's own averaged reference window (empty when the probe is
+  /// disabled).  Recorded at the probe's *base* misalignment, so drift away
+  /// from the profiling position survives subtraction -- same logic as
+  /// use_reference() on the power channel.
+  const std::vector<double>& em_reference_window() const {
+    return em_reference_window_;
+  }
+
   /// Arms fault injection for subsequent captures.  Faults corrupt the ideal
   /// current waveform after the power model and before the scope front-end
   /// (where supply disturbance, probe motion and clock drift enter a real
@@ -90,6 +106,15 @@ class AcquisitionCampaign {
     return injector_ ? &*injector_ : nullptr;
   }
 
+  /// Arms fault injection on the EM channel only -- probe knocks, loop
+  /// interference, preamp saturation.  Independent of inject_faults(), so a
+  /// sweep can degrade one modality while the other stays clean.
+  void inject_em_faults(FaultProfile profile);
+  void clear_em_faults() { em_injector_.reset(); }
+  const FaultInjector* em_injector() const {
+    return em_injector_ ? &*em_injector_ : nullptr;
+  }
+
   /// Replaces the campaign's own reference with an externally supplied one.
   ///
   /// This models the practical covariate-shift scenario of Sec. 4: a deployed
@@ -102,16 +127,28 @@ class AcquisitionCampaign {
 
  private:
   std::vector<double> compute_reference_window() const;
+  std::vector<double> compute_em_reference_window() const;
   /// Applies the armed fault profile (if any) to an ideal waveform, keyed by
   /// one draw from `rng`; returns the profile severity (0 when clean).
   double maybe_inject(std::vector<double>& wave, std::mt19937_64& rng) const;
+  /// Captures the EM window paired with a power capture: renders the EM
+  /// waveform for the same records, faults/captures it through the EM chain
+  /// (all draws from `em_rng`), cuts [start, start + window), and fills the
+  /// trace's em fields.
+  void capture_em_window(const std::vector<avr::ExecRecord>& records,
+                         const IssueMap& issue, std::size_t start,
+                         double campaign_progress, std::mt19937_64& em_rng,
+                         Trace& trace) const;
 
   SessionContext session_;
   PowerSynthesizer synth_;
   Oscilloscope scope_;
+  Oscilloscope em_scope_;
   AcquisitionOptions options_;
   std::vector<double> reference_window_;
+  std::vector<double> em_reference_window_;
   std::optional<FaultInjector> injector_;
+  std::optional<FaultInjector> em_injector_;
 };
 
 }  // namespace sidis::sim

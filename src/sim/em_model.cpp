@@ -1,0 +1,61 @@
+#include "sim/em_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidis::sim {
+
+namespace {
+// Second seed universe for the displaced coupling field misalignment slides
+// toward; fixed so misaligned corpora replay bit-identically.
+constexpr std::uint64_t kDisplacedField = 0x5ca77e12ull;
+}  // namespace
+
+double em_misalignment_at(const EmProbeConfig& em, double campaign_progress) {
+  const double p = std::clamp(campaign_progress, 0.0, 1.0);
+  return std::max(0.0, em.misalignment + em.misalignment_drift * p);
+}
+
+double em_attenuation(double misalignment) {
+  const double m = std::max(0.0, misalignment);
+  return 1.0 / (1.0 + 0.45 * m);
+}
+
+namespace {
+/// Blend fraction toward the displaced field: 0 at m = 0, -> 1 as m grows.
+double field_blend(double misalignment) {
+  const double m = std::max(0.0, misalignment);
+  return m / (1.0 + m);
+}
+}  // namespace
+
+double em_opcode_coupling(const EmProbeConfig& em, std::uint64_t okey,
+                          double misalignment) {
+  const double w0 = hash_range(hash_combine(em.probe_seed, okey),
+                               em.coupling_lo, em.coupling_hi);
+  const double w1 =
+      hash_range(hash_combine(em.probe_seed ^ kDisplacedField, okey),
+                 em.coupling_lo, em.coupling_hi);
+  const double t = field_blend(misalignment);
+  return ((1.0 - t) * w0 + t * w1) * em_attenuation(misalignment);
+}
+
+double em_bump_coupling(const EmProbeConfig& em, std::uint64_t key,
+                        std::uint64_t ordinal, double misalignment) {
+  const std::uint64_t h = hash_combine(hash_combine(em.probe_seed, key), ordinal);
+  const std::uint64_t hd = hash_combine(
+      hash_combine(em.probe_seed ^ kDisplacedField, key), ordinal);
+  const double c0 = 1.0 + em.bump_coupling_spread * hash_sym(h, 1.0);
+  const double c1 = 1.0 + em.bump_coupling_spread * hash_sym(hd, 1.0);
+  const double t = field_blend(misalignment);
+  return std::max(0.05, (1.0 - t) * c0 + t * c1);
+}
+
+ScopeConfig em_scope_config(const EmProbeConfig& em) {
+  ScopeConfig scope;
+  scope.noise_sigma = em.noise_sigma;
+  scope.bandwidth_fraction = em.bandwidth_fraction;
+  return scope;
+}
+
+}  // namespace sidis::sim

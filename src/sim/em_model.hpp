@@ -1,0 +1,83 @@
+// Simulated near-field EM probe channel.
+//
+// A small magnetic probe over the die does not see the summed supply current
+// the shunt resistor sees: it picks up a *spatially weighted* mix of the same
+// switching events, weighted by how strongly each micro-architectural block
+// couples into the loop at the probe's position.  This module models that
+// position as a hash-derived coupling field keyed on `probe_seed`: each
+// opcode's switching blocks get a per-opcode coupling weight (distinct from
+// the power model's per-opcode process corner -- different seed universe,
+// different support), and each bump within a cycle gets its own micro
+// coupling, so the EM waveform is a re-weighted -- not rescaled -- sibling of
+// the power waveform.  The probe has its own noise floor and its own
+// bandwidth pole (loop + preamp), and its own covariate-shift process:
+// *misalignment*.  Moving the probe off its profiling position both
+// attenuates the pickup and slides the coupling field toward a second,
+// displaced field -- a class-conditional shift that per-trace normalization
+// cannot cancel, independent of the power channel's gain/thermal drift.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/hash.hpp"
+#include "sim/oscilloscope.hpp"
+
+namespace sidis::sim {
+
+/// Configuration of the simulated EM probe.  Default-constructed = disabled:
+/// campaigns capture power-only traces and consume exactly the same RNG
+/// stream as before the channel existed.
+struct EmProbeConfig {
+  bool enabled = false;
+  /// Seeds the spatial coupling field (the probe's position over the die).
+  /// Distinct seeds = distinct probe placements with distinct per-opcode
+  /// weight supports.
+  std::uint64_t probe_seed = 0xE11E57ull;
+  /// Per-opcode coupling weight support [coupling_lo, coupling_hi]: how
+  /// strongly an opcode's switching blocks couple into the probe loop at the
+  /// profiling position.
+  double coupling_lo = 0.45;
+  double coupling_hi = 1.35;
+  /// Relative per-bump micro-coupling spread on top of the opcode weight
+  /// (individual blocks sit at different distances from the loop).
+  double bump_coupling_spread = 0.50;
+  /// Static pickup floor (capacitive feed-through of the clock rails).
+  double baseline = 0.12;
+  /// Probe front-end noise floor -- noisier than the shunt channel.
+  double noise_sigma = 0.016;
+  /// Loop + preamp low-pass pole as a fraction of the sample rate (the EM
+  /// scope's bandwidth limit; distinct from the power scope's 0.1).
+  double bandwidth_fraction = 0.16;
+  /// Static probe misalignment in arbitrary displacement units (0 = the
+  /// profiling position).  Attenuates pickup and morphs the coupling field.
+  double misalignment = 0.0;
+  /// Additional misalignment accumulated across a campaign (reached at
+  /// campaign_progress 1) -- the probe creeping on its mount, the EM
+  /// channel's counterpart of the power channel's thermal gain drift.
+  double misalignment_drift = 0.0;
+};
+
+/// Misalignment seen by a capture at `campaign_progress` in [0, 1].
+double em_misalignment_at(const EmProbeConfig& em, double campaign_progress);
+
+/// Monotone-decreasing pickup attenuation at misalignment `m` (1 at m = 0).
+double em_attenuation(double misalignment);
+
+/// Per-opcode spatial coupling weight at the given misalignment.  At m = 0
+/// this is a hash_range draw in [coupling_lo, coupling_hi] keyed on
+/// (probe_seed, okey); misalignment blends it toward a second displaced
+/// field and applies em_attenuation.  `okey` is the power model's opcode key
+/// (mnemonic << 8 | mode).
+double em_opcode_coupling(const EmProbeConfig& em, std::uint64_t okey,
+                          double misalignment);
+
+/// Per-bump relative micro-coupling (mean ~1) for bump `ordinal` of the
+/// cycle waveform keyed by `key` -- distinct blocks, distinct distances.
+double em_bump_coupling(const EmProbeConfig& em, std::uint64_t key,
+                        std::uint64_t ordinal, double misalignment);
+
+/// The EM acquisition front-end: the shared scope model parameterized with
+/// the probe's own noise floor and bandwidth pole.
+ScopeConfig em_scope_config(const EmProbeConfig& em);
+
+}  // namespace sidis::sim

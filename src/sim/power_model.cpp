@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "avr/codec.hpp"
+#include "sim/em_model.hpp"
 
 namespace sidis::sim {
 
@@ -164,11 +165,24 @@ void PowerSynthesizer::render_cycle(std::vector<double>& wave, double cycle_star
 
 std::vector<double> PowerSynthesizer::synthesize(
     const std::vector<avr::ExecRecord>& records, const IssueMap* issued) const {
+  return synthesize_impl(records, issued, nullptr, 0.0);
+}
+
+std::vector<double> PowerSynthesizer::synthesize_em(
+    const std::vector<avr::ExecRecord>& records, const IssueMap* issued,
+    const EmProbeConfig& em, double misalignment) const {
+  return synthesize_impl(records, issued, &em, misalignment);
+}
+
+std::vector<double> PowerSynthesizer::synthesize_impl(
+    const std::vector<avr::ExecRecord>& records, const IssueMap* issued,
+    const EmProbeConfig* em, double misalignment) const {
   unsigned total_cycles = 0;
   for (const auto& rec : records) total_cycles += rec.cycles;
   const auto total_samples =
       static_cast<std::size_t>(std::ceil(total_cycles * config_.samples_per_cycle)) + 1;
-  std::vector<double> wave(total_samples, config_.baseline);
+  std::vector<double> wave(total_samples,
+                           em != nullptr ? em->baseline : config_.baseline);
 
   std::vector<Bump> bumps;
   bumps.reserve(64);
@@ -208,8 +222,18 @@ std::vector<double> PowerSynthesizer::synthesize(
       if (corner_gain != 1.0) {
         for (Bump& b : bumps) b.amp *= corner_gain;
       }
+      if (em != nullptr) {
+        // Spatial re-weighting: the opcode's blocks couple into the probe
+        // loop with one overall weight, and each bump (block) with its own
+        // micro-coupling -- a re-shaped waveform, not a rescaled one.
+        const double w = em_opcode_coupling(*em, okey, misalignment);
+        const std::uint64_t cyc_key = hash_combine(okey, c);
+        for (std::size_t b = 0; b < bumps.size(); ++b) {
+          bumps[b].amp *= w * em_bump_coupling(*em, cyc_key, b, misalignment);
+        }
+      }
       render_cycle(wave, cycle_cursor, bumps);
-      if (corner_offset != 0.0) {
+      if (em == nullptr && corner_offset != 0.0) {
         const std::size_t lo = sample_of_cycle(cycle_cursor);
         const std::size_t hi = std::min(sample_of_cycle(cycle_cursor + 1.0), wave.size());
         for (std::size_t i = lo; i < hi; ++i) wave[i] += corner_offset;

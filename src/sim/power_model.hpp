@@ -38,6 +38,8 @@
 
 namespace sidis::sim {
 
+struct EmProbeConfig;  // sim/em_model.hpp
+
 /// All leakage amplitudes in one tunable bag (ablation benches tweak these).
 struct LeakageConfig {
   double samples_per_cycle = 156.25;  ///< 2.5 GS/s scope @ 16 MHz clock
@@ -92,6 +94,17 @@ class PowerSynthesizer {
   std::vector<double> synthesize(const std::vector<avr::ExecRecord>& records,
                                  const IssueMap* issued = nullptr) const;
 
+  /// Renders the EM-probe waveform for the same record stream: the identical
+  /// switching events, re-weighted by the probe's spatial coupling field at
+  /// the given `misalignment` (see sim/em_model.hpp).  Sample-aligned with
+  /// synthesize() so window cuts pair up.  The per-opcode process corner
+  /// still applies (the probe sees the same currents); the corner's
+  /// quiescent offset does not (a magnetic loop is blind to DC).
+  std::vector<double> synthesize_em(const std::vector<avr::ExecRecord>& records,
+                                    const IssueMap* issued,
+                                    const EmProbeConfig& em,
+                                    double misalignment) const;
+
   /// First output-sample index of a given cycle offset (for window cutting).
   std::size_t sample_of_cycle(double cycle) const;
 
@@ -113,6 +126,12 @@ class PowerSynthesizer {
   void memory_leakage(const avr::ExecRecord& rec, std::vector<Bump>& out) const;
   void render_cycle(std::vector<double>& wave, double cycle_start,
                     const std::vector<Bump>& bumps) const;
+  /// Shared renderer behind synthesize / synthesize_em; `em` selects the
+  /// channel (nullptr = power).
+  std::vector<double> synthesize_impl(const std::vector<avr::ExecRecord>& records,
+                                      const IssueMap* issued,
+                                      const EmProbeConfig* em,
+                                      double misalignment) const;
 
   DeviceModel device_;
   LeakageConfig config_;

@@ -10,6 +10,13 @@
 
 namespace sidis::sim {
 
+/// Acquisition modality of a capture.  kPower is the paper's shunt-resistor
+/// supply-current channel; kEm is the simulated near-field probe channel
+/// (see sim/em_model.hpp).  A paired Trace carries both, aligned sample for
+/// sample; channel_view() projects either one out as a plain single-channel
+/// trace for the per-channel classifier stack.
+enum class Channel : std::uint8_t { kPower = 0, kEm = 1 };
+
 /// Labels attached to one captured trace.  `class_idx` indexes the 112-entry
 /// avr::instruction_classes() table; register fields are present when the
 /// class uses them.
@@ -31,16 +38,42 @@ struct TraceMeta {
   /// Ground-truth bookkeeping for robustness sweeps and runtime telemetry;
   /// the classifier never reads it.
   double fault_severity = 0.0;
+  /// EM-channel counterparts of gain_estimate / fault_severity, filled only
+  /// when the campaign captured a paired EM window.  The EM probe has its own
+  /// front-end gain (and its own fault injector), so the channels carry
+  /// independent references.
+  double em_gain_estimate = 1.0;
+  double em_fault_severity = 0.0;
 };
 
-/// One captured power trace: the paper's 315-sample window plus its labels.
+/// One captured trace: the paper's 315-sample power window plus its labels,
+/// and -- when the campaign's EM probe is enabled -- the aligned EM window of
+/// the same instruction (same start sample, same length).
 struct Trace {
   std::vector<double> samples;
   TraceMeta meta;
+  /// Aligned EM-probe window; empty when the capture was power-only.
+  /// Declared after `meta` so a braced {samples, labels} pair keeps
+  /// aggregate-initializing {samples, meta} exactly as before the channel
+  /// existed (a second vector member in slot 2 would make such braces
+  /// ambiguous against the vector iterator-pair constructor).
+  std::vector<double> em_samples;
+
+  bool has_em() const { return !em_samples.empty(); }
 };
 
 /// A set of traces, usually one class or one experiment's worth.
 using TraceSet = std::vector<Trace>;
+
+/// Projects one channel of a (possibly paired) trace as a plain
+/// single-channel trace: `samples` holds the requested channel,
+/// `em_samples` is empty, and `gain_estimate`/`fault_severity` are the
+/// requested channel's values.  The power view of a power-only trace is the
+/// trace itself; the EM view of a power-only trace has empty samples.
+Trace channel_view(const Trace& trace, Channel channel);
+
+/// channel_view over a whole set.
+TraceSet channel_views(const TraceSet& traces, Channel channel);
 
 /// Splits a trace set by `program_id`; returned vector is indexed by the
 /// order program ids first appear.

@@ -9,6 +9,7 @@
 #include <random>
 #include <vector>
 
+#include "sim/em_model.hpp"
 #include "sim/environment.hpp"
 #include "sim/oscilloscope.hpp"
 
@@ -233,6 +234,107 @@ TEST(Oscilloscope, CaptureIsBitIdenticalForTheSameSeed) {
   const std::vector<double> a = scope.capture(ideal, env, rng_a);
   const std::vector<double> b = scope.capture(ideal, env, rng_b);
   EXPECT_EQ(a, b);
+}
+
+// -- EM probe coupling field (sim/em_model.hpp) ------------------------------
+
+std::vector<std::uint64_t> probe_okeys() {
+  // Opcode signature keys as the power model forms them (mnemonic << 8 |
+  // mode); a spread of arithmetic/logic/transfer opcodes.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t m : {3u, 7u, 11u, 19u, 23u, 29u, 31u, 37u, 41u, 47u, 53u, 59u}) {
+    keys.push_back((m << 8) | 1u);
+  }
+  return keys;
+}
+
+TEST(EmProbeModel, CouplingIsDeterministicAndOpcodeConditional) {
+  EmProbeConfig cfg;
+  const auto keys = probe_okeys();
+  double lo = 1e9, hi = -1e9;
+  for (const std::uint64_t k : keys) {
+    const double w = em_opcode_coupling(cfg, k, 0.0);
+    EXPECT_EQ(w, em_opcode_coupling(cfg, k, 0.0));  // deterministic
+    EXPECT_GE(w, cfg.coupling_lo);
+    EXPECT_LE(w, cfg.coupling_hi);
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_GT(hi - lo, 0.1) << "coupling field must be opcode-conditional";
+}
+
+TEST(EmProbeModel, SpatialWeightSupportDiffersFromThePowerCorners) {
+  // The EM coupling field and the power model's per-opcode process corners
+  // live in different seed universes: their per-opcode signatures must not
+  // share rank order (a shared ordering would make EM a rescaled power
+  // channel and fusion pointless).
+  EmProbeConfig cfg;
+  DeviceModel device = DeviceModel::make(3);
+  device.opcode_gain_spread = 0.2;  // arm the corner draws
+  const auto keys = probe_okeys();
+  std::size_t inversions = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      const bool em_up = em_opcode_coupling(cfg, keys[i], 0.0) <
+                         em_opcode_coupling(cfg, keys[j], 0.0);
+      const bool pw_up = device.opcode_gain(keys[i]) < device.opcode_gain(keys[j]);
+      if (em_up != pw_up) ++inversions;
+    }
+  }
+  EXPECT_GT(inversions, 0u);
+
+  // And two probe positions (seeds) disagree with each other the same way.
+  EmProbeConfig moved = cfg;
+  moved.probe_seed = 0xBADC0FFEull;
+  bool differs = false;
+  for (const std::uint64_t k : keys) {
+    differs |= em_opcode_coupling(cfg, k, 0.0) != em_opcode_coupling(moved, k, 0.0);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(EmProbeModel, MisalignmentAttenuatesAndIsMonotone) {
+  EmProbeConfig cfg;
+  cfg.misalignment_drift = 1.5;
+  // The realized misalignment ramps monotonically over the campaign...
+  EXPECT_EQ(em_misalignment_at(cfg, 0.0), 0.0);
+  EXPECT_LT(em_misalignment_at(cfg, 0.25), em_misalignment_at(cfg, 0.75));
+  EXPECT_EQ(em_misalignment_at(cfg, 1.0), 1.5);
+  // ... attenuation is strictly decreasing in misalignment ...
+  EXPECT_GT(em_attenuation(0.0), em_attenuation(0.5));
+  EXPECT_GT(em_attenuation(0.5), em_attenuation(2.0));
+  // ... and the mean coupling over opcodes shrinks with it (individual
+  // weights may wander as the field slides toward the displaced one).
+  const auto mean_coupling = [&cfg](double m) {
+    double acc = 0.0;
+    const auto keys = probe_okeys();
+    for (const std::uint64_t k : keys) acc += em_opcode_coupling(cfg, k, m);
+    return acc / static_cast<double>(keys.size());
+  };
+  EXPECT_GT(mean_coupling(0.0), mean_coupling(0.8));
+  EXPECT_GT(mean_coupling(0.8), mean_coupling(2.0));
+}
+
+TEST(EmProbeModel, ProbeBandwidthPoleAttenuatesHighFrequencies) {
+  EmProbeConfig wide, narrow;
+  wide.bandwidth_fraction = 0.3;
+  narrow.bandwidth_fraction = 0.06;
+  ScopeConfig wide_cfg = em_scope_config(wide);
+  ScopeConfig narrow_cfg = em_scope_config(narrow);
+  // Isolate the pole: freeze every stochastic stage.
+  for (ScopeConfig* c : {&wide_cfg, &narrow_cfg}) {
+    c->enable_noise = false;
+    c->enable_quantization = false;
+    c->trigger_jitter = 0;
+  }
+  std::mt19937_64 rng{4};
+  const std::vector<double> probe = tone(0.35, 512);
+  const Environment env;
+  const double wide_rms =
+      rms(Oscilloscope{wide_cfg}.capture(probe, env, rng, false), 64);
+  const double narrow_rms =
+      rms(Oscilloscope{narrow_cfg}.capture(probe, env, rng, false), 64);
+  EXPECT_LT(narrow_rms, 0.8 * wide_rms);
 }
 
 }  // namespace

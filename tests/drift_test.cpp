@@ -137,11 +137,11 @@ TEST_F(DriftFixture, V2ArchiveLoadsWithEmptyMoments) {
   std::stringstream ss;
   core::save_disassembler(ss, *model());
   std::string archive = ss.str();
-  // Rewrite the header version; the v2 reader stops before the moments
-  // trailer, which then simply goes unread.
-  const std::string current_header = "sidis-template 4";
+  // Rewrite the header version (dropping the v5 kind line); the v2 reader
+  // stops before the moments trailer, which then simply goes unread.
+  const std::string current_header = "sidis-template 5\nkind plain\n";
   ASSERT_EQ(archive.rfind(current_header, 0), 0u);
-  archive.replace(0, current_header.size(), "sidis-template 2");
+  archive.replace(0, current_header.size(), "sidis-template 2\n");
   std::stringstream old(archive);
   const core::HierarchicalDisassembler loaded = core::load_disassembler(old);
   EXPECT_FALSE(loaded.has_training_moments());

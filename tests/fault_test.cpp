@@ -12,6 +12,7 @@
 #include <random>
 
 #include "core/csa.hpp"
+#include "core/fusion.hpp"
 #include "core/profiler.hpp"
 #include "sim/acquisition.hpp"
 #include "sim/fault.hpp"
@@ -555,6 +556,77 @@ TEST(RejectOption, CompoundSeverityScheduleRaisesTheFlagRate) {
       << "flag rate did not rise across the severity schedule";
   EXPECT_GE(not_ok_fraction.back(), 0.6)
       << "2x-nominal gain_noise_clip should flag most windows";
+}
+
+/// EM-channel-only faults at severity 2: the fused stack must never fall
+/// below the power-only operating curve (the EM channel's reject gates throw
+/// the corrupted windows out and fusion degrades to the power result), and
+/// the windows whose EM half was rejected come back flagged -- silent
+/// degradation is the failure mode this contract forbids.
+TEST(FaultFusion, EmFaultsAloneNeverDropFusionBelowPowerOnly) {
+  sim::AcquisitionOptions opts;
+  opts.em.enabled = true;
+  const auto make_campaign = [&opts] {
+    return sim::AcquisitionCampaign(sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0),
+                                    sim::LeakageConfig{}, sim::ScopeConfig{},
+                                    opts);
+  };
+  sim::AcquisitionCampaign clean = make_campaign();
+  std::mt19937_64 rng{6021};
+  const std::vector<std::size_t> classes = {
+      *avr::class_index(avr::Mnemonic::kAdd),
+      *avr::class_index(avr::Mnemonic::kSub),
+      *avr::class_index(avr::Mnemonic::kLdi)};
+  ProfilingData power_data, em_data;
+  std::map<std::size_t, sim::TraceSet> paired;
+  for (std::size_t cls : classes) {
+    paired[cls] = clean.capture_class(cls, 50, 3, rng);
+    power_data.classes[cls] = sim::channel_views(paired[cls], sim::Channel::kPower);
+    em_data.classes[cls] = sim::channel_views(paired[cls], sim::Channel::kEm);
+  }
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 20;
+  cfg.group_components = 15;
+  cfg.instruction_components = 15;
+  cfg.factory.discriminant.shrinkage = 0.15;
+  auto p = HierarchicalDisassembler::train(power_data, cfg);
+  p.calibrate_reject(power_data);
+  auto e = HierarchicalDisassembler::train(em_data, cfg);
+  e.calibrate_reject(em_data);
+  auto power = std::make_shared<const HierarchicalDisassembler>(std::move(p));
+  auto em = std::make_shared<const HierarchicalDisassembler>(std::move(e));
+  const FusedDisassembler fused(power, em,
+                                LevelFusion{FusionMode::kScore, 0.5, 0.5},
+                                LevelFusion{FusionMode::kScore, 0.5, 0.5});
+
+  // Severity-2 compound on the EM channel ONLY; the power half of every
+  // paired capture stays clean.
+  sim::AcquisitionCampaign faulted = make_campaign();
+  faulted.inject_em_faults(sim::FaultProfile::compound(2.0));
+
+  std::size_t windows = 0, power_hits = 0, fused_hits = 0, flagged = 0;
+  for (std::size_t cls : classes) {
+    std::mt19937_64 eval_rng{0xfa57ed + cls};
+    const sim::TraceSet set = faulted.capture_class(cls, 20, 3, eval_rng);
+    for (const sim::Trace& t : set) {
+      EXPECT_EQ(t.meta.fault_severity, 0.0);
+      EXPECT_EQ(t.meta.em_fault_severity, 2.0);
+      ++windows;
+      const Disassembly pw =
+          power->classify(sim::channel_view(t, sim::Channel::kPower));
+      const Disassembly fu = fused.classify(t);
+      if (pw.class_idx == cls) ++power_hits;
+      if (fu.class_idx == cls) ++fused_hits;
+      if (fu.verdict != Verdict::kOk) ++flagged;
+    }
+  }
+  EXPECT_GE(fused_hits, power_hits)
+      << "EM-only faults dropped fusion below the power-only curve";
+  // The corrupted EM halves must surface in the verdicts, not vanish.
+  EXPECT_GE(static_cast<double>(flagged) / static_cast<double>(windows), 0.5)
+      << "severity-2 EM faults left most fused windows unflagged";
 }
 
 }  // namespace

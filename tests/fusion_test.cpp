@@ -1,0 +1,327 @@
+// Multimodal fusion battery: the equivalence and degradation contracts of
+// core::FusedDisassembler and its runtime wiring.
+//
+//  * weight corner (1, 0) is bit-identical to the power-only classifier --
+//    the guarantee that lets a fused serving tier consume single-channel
+//    templates with zero behavioural diff;
+//  * fused classify_batch is bit-identical to fused scalar classify across
+//    batch sizes, and streaming verdicts are worker- and shard-count
+//    invariant (fusion adds no scheduling-dependent arithmetic);
+//  * one channel recalibrates while the other keeps serving, and the fused
+//    drift monitor attributes drift to the channel that actually moved.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/csa.hpp"
+#include "core/fusion.hpp"
+#include "runtime/drift.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/recal.hpp"
+#include "runtime/streaming.hpp"
+#include "sim/acquisition.hpp"
+
+namespace sidis {
+namespace {
+
+using core::Disassembly;
+using core::FusedDisassembler;
+using core::FusionMode;
+using core::HierarchicalDisassembler;
+using core::LevelFusion;
+
+sim::AcquisitionOptions paired_options() {
+  sim::AcquisitionOptions o;
+  o.em.enabled = true;
+  return o;
+}
+
+/// Shared profiled world: one paired campaign, per-channel models trained
+/// once for the whole battery (training dominates the runtime).
+struct FusionWorld {
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0),
+                                    sim::LeakageConfig{}, sim::ScopeConfig{},
+                                    paired_options()};
+  std::vector<std::size_t> classes;
+  std::map<std::size_t, sim::TraceSet> paired;
+  std::shared_ptr<const HierarchicalDisassembler> power;
+  std::shared_ptr<const HierarchicalDisassembler> em;
+  sim::TraceSet probes;  ///< mixed-class paired evaluation windows
+
+  FusionWorld() {
+    std::mt19937_64 rng(41);
+    core::ProfilingData power_data, em_data;
+    for (avr::Mnemonic m : {avr::Mnemonic::kAdd, avr::Mnemonic::kAnd,
+                            avr::Mnemonic::kLdi, avr::Mnemonic::kCom,
+                            avr::Mnemonic::kLsr}) {
+      const std::size_t c = *avr::class_index(m);
+      classes.push_back(c);
+      paired[c] = campaign.capture_class(c, 60, 5, rng);
+      power_data.classes[c] = sim::channel_views(paired[c], sim::Channel::kPower);
+      em_data.classes[c] = sim::channel_views(paired[c], sim::Channel::kEm);
+    }
+    core::HierarchicalConfig cfg;
+    cfg.pipeline = core::csa_config();
+    cfg.pipeline.pca_components = 10;
+    cfg.group_components = 8;
+    cfg.instruction_components = 8;
+    auto p = HierarchicalDisassembler::train(power_data, cfg);
+    p.calibrate_reject(power_data);
+    auto e = HierarchicalDisassembler::train(em_data, cfg);
+    e.calibrate_reject(em_data);
+    power = std::make_shared<const HierarchicalDisassembler>(std::move(p));
+    em = std::make_shared<const HierarchicalDisassembler>(std::move(e));
+    for (int i = 0; i < 64; ++i) {
+      const std::size_t c = classes[static_cast<std::size_t>(i) % classes.size()];
+      probes.push_back(campaign.capture_trace(avr::random_instance(c, rng),
+                                              sim::ProgramContext::make(i % 5),
+                                              rng));
+    }
+  }
+};
+
+const FusionWorld& world() {
+  static FusionWorld w;
+  return w;
+}
+
+FusedDisassembler balanced_fused() {
+  return FusedDisassembler(world().power, world().em,
+                           LevelFusion{FusionMode::kScore, 0.5, 0.5},
+                           LevelFusion{FusionMode::kScore, 0.5, 0.5});
+}
+
+void expect_same(const Disassembly& a, const Disassembly& b) {
+  EXPECT_EQ(a.group, b.group);
+  EXPECT_EQ(a.class_idx, b.class_idx);
+  EXPECT_EQ(a.rd, b.rd);
+  EXPECT_EQ(a.rr, b.rr);
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.margin_headroom, b.margin_headroom);  // bit-exact, not NEAR
+  EXPECT_EQ(a.score_headroom, b.score_headroom);
+  ASSERT_EQ(a.log_posterior.size(), b.log_posterior.size());
+  for (std::size_t i = 0; i < a.log_posterior.size(); ++i) {
+    EXPECT_EQ(a.log_posterior[i], b.log_posterior[i]);
+  }
+}
+
+TEST(FusionEquivalence, PowerOnlyWeightsAreBitIdenticalToPowerModel) {
+  const FusedDisassembler fused(world().power, world().em,
+                                LevelFusion{FusionMode::kScore, 1.0, 0.0},
+                                LevelFusion{FusionMode::kScore, 1.0, 0.0});
+  ASSERT_TRUE(fused.degenerate_to(sim::Channel::kPower));
+  for (const sim::Trace& t : world().probes) {
+    const sim::Trace pview = sim::channel_view(t, sim::Channel::kPower);
+    expect_same(world().power->classify(pview), fused.classify(t));
+    expect_same(world().power->classify_scored(pview), fused.classify_scored(t));
+  }
+}
+
+TEST(FusionEquivalence, EmOnlyWeightsAreBitIdenticalToEmModel) {
+  const FusedDisassembler fused(world().power, world().em,
+                                LevelFusion{FusionMode::kScore, 0.0, 1.0},
+                                LevelFusion{FusionMode::kScore, 0.0, 1.0});
+  ASSERT_TRUE(fused.degenerate_to(sim::Channel::kEm));
+  for (const sim::Trace& t : world().probes) {
+    const sim::Trace eview = sim::channel_view(t, sim::Channel::kEm);
+    expect_same(world().em->classify_scored(eview), fused.classify_scored(t));
+  }
+}
+
+TEST(FusionEquivalence, FusedBatchMatchesFusedScalarAcrossBatchSizes) {
+  const FusedDisassembler fused = balanced_fused();
+  std::vector<Disassembly> scalar, scalar_scored;
+  for (const sim::Trace& t : world().probes) {
+    scalar.push_back(fused.classify(t));
+    scalar_scored.push_back(fused.classify_scored(t));
+  }
+  for (std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{16},
+                            std::size_t{64}}) {
+    for (std::size_t start = 0; start < world().probes.size(); start += batch) {
+      const std::size_t end = std::min(start + batch, world().probes.size());
+      sim::TraceSet chunk(world().probes.begin() + static_cast<long>(start),
+                          world().probes.begin() + static_cast<long>(end));
+      const std::vector<Disassembly> got = fused.classify_batch(chunk);
+      const std::vector<Disassembly> got_scored = fused.classify_batch_scored(chunk);
+      ASSERT_EQ(got.size(), chunk.size());
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        expect_same(scalar[start + i], got[i]);
+        expect_same(scalar_scored[start + i], got_scored[i]);
+      }
+    }
+  }
+}
+
+TEST(FusionEquivalence, MixedPresenceBatchMatchesScalar) {
+  const FusedDisassembler fused = balanced_fused();
+  // Strip the EM half from every third window: the batch path must fuse the
+  // paired windows and degrade the bare ones exactly like the scalar path.
+  sim::TraceSet mixed = world().probes;
+  for (std::size_t i = 0; i < mixed.size(); i += 3) mixed[i].em_samples.clear();
+  const std::vector<Disassembly> batch = fused.classify_batch_scored(mixed);
+  ASSERT_EQ(batch.size(), mixed.size());
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    expect_same(fused.classify_scored(mixed[i]), batch[i]);
+    if (!mixed[i].has_em() && batch[i].verdict == core::Verdict::kOk) {
+      ADD_FAILURE() << "bare power window must be flagged degraded";
+    }
+  }
+}
+
+std::vector<Disassembly> stream_all(const FusedDisassembler& fused,
+                                    std::size_t workers) {
+  auto model = std::make_shared<const FusedDisassembler>(
+      FusedDisassembler(fused.power_model(), fused.em_model(),
+                        fused.group_fusion(), fused.instruction_fusion()));
+  runtime::StreamingConfig cfg;
+  cfg.workers = workers;
+  runtime::StreamingDisassembler engine(
+      runtime::StreamingDisassembler::make_fused_scored_stage(model), cfg);
+  for (const sim::Trace& t : world().probes) {
+    EXPECT_TRUE(engine.submit(t).has_value());
+  }
+  std::vector<Disassembly> out;
+  for (runtime::StreamResult& r : engine.drain()) out.push_back(std::move(r.value));
+  return out;
+}
+
+TEST(FusionRuntime, StreamingVerdictsAreWorkerCountInvariant) {
+  const FusedDisassembler fused = balanced_fused();
+  const std::vector<Disassembly> one = stream_all(fused, 1);
+  ASSERT_EQ(one.size(), world().probes.size());
+  for (std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    const std::vector<Disassembly> many = stream_all(fused, workers);
+    ASSERT_EQ(many.size(), one.size());
+    for (std::size_t i = 0; i < one.size(); ++i) expect_same(one[i], many[i]);
+  }
+}
+
+std::vector<Disassembly> fleet_all(std::size_t shards) {
+  auto model = std::make_shared<const FusedDisassembler>(balanced_fused());
+  runtime::FleetConfig cfg;
+  cfg.shards = shards;
+  cfg.workers_per_shard = 2;
+  runtime::FleetFrontend fleet(
+      runtime::StreamingDisassembler::make_fused_scored_stage(model), cfg);
+  const auto id = fleet.open_stream();
+  std::vector<Disassembly> out;
+  for (const sim::Trace& t : world().probes) {
+    while (fleet.submit(id, t).status != runtime::AdmitStatus::kAccepted) {
+      while (auto r = fleet.poll(id)) out.push_back(std::move(r->value));
+    }
+  }
+  // poll() pumps the shard engines, so busy-polling drains the in-flight
+  // tail; close_stream would discard undelivered results.
+  while (out.size() < world().probes.size()) {
+    if (auto r = fleet.poll(id)) out.push_back(std::move(r->value));
+  }
+  fleet.close_stream(id);
+  return out;
+}
+
+TEST(FusionRuntime, FleetVerdictsAreShardCountInvariant) {
+  const std::vector<Disassembly> one = fleet_all(1);
+  ASSERT_EQ(one.size(), world().probes.size());
+  for (std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    const std::vector<Disassembly> many = fleet_all(shards);
+    ASSERT_EQ(many.size(), one.size());
+    for (std::size_t i = 0; i < one.size(); ++i) expect_same(one[i], many[i]);
+  }
+}
+
+TEST(FusionRuntime, OneChannelRecalibratesWhileTheOtherServes) {
+  auto current = std::make_shared<FusedDisassembler>(balanced_fused());
+  runtime::StreamingDisassembler engine(
+      runtime::StreamingDisassembler::make_fused_scored_stage(current));
+
+  runtime::CampaignCalibrationSource inner(world().campaign, world().classes,
+                                           /*num_programs=*/5, /*seed=*/99);
+  runtime::ChannelCalibrationSource em_source(inner, sim::Channel::kEm);
+  runtime::RecalPolicy policy;
+  policy.traces_per_class = 4;
+  runtime::RecalibrationScheduler scheduler(engine, world().em, em_source,
+                                            policy);
+
+  // The publisher rebinds ONLY the EM channel: a fresh fused model keeps the
+  // power channel pointer and gets published as the engine's next stage.
+  const std::shared_ptr<const HierarchicalDisassembler> old_power =
+      current->power_model();
+  const std::shared_ptr<const HierarchicalDisassembler> old_em =
+      current->em_model();
+  std::shared_ptr<const FusedDisassembler> published;
+  scheduler.set_publisher(
+      [&](std::shared_ptr<const HierarchicalDisassembler> em_model,
+          std::uint64_t stamp) {
+        auto next = std::make_shared<const FusedDisassembler>(
+            FusedDisassembler(current->power_model(), std::move(em_model),
+                              current->group_fusion(),
+                              current->instruction_fusion()));
+        published = next;
+        engine.swap_classifier(
+            [next](const sim::Trace& t) { return next->classify_scored(t); },
+            stamp);
+      });
+
+  runtime::FusedDriftMonitor monitor{
+      std::shared_ptr<const FusedDisassembler>(current)};
+  runtime::DriftEvent event;
+  event.trigger = runtime::DriftTrigger::kFeatureShift;
+  const runtime::RecalOutcome outcome =
+      scheduler.on_drift(event, *monitor.em_monitor());
+  ASSERT_TRUE(outcome.performed) << outcome.reason;
+  ASSERT_NE(published, nullptr);
+  // Power channel untouched, EM channel replaced, and the engine serves on.
+  EXPECT_EQ(published->power_model(), old_power);
+  EXPECT_NE(published->em_model(), old_em);
+  EXPECT_EQ(monitor.em_monitor()->model(), published->em_model());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine.submit(world().probes[static_cast<std::size_t>(i)])
+                    .has_value());
+  }
+  const auto results = engine.drain();
+  ASSERT_EQ(results.size(), 8u);
+  for (const auto& r : results) EXPECT_EQ(r.model_stamp, outcome.stamp);
+  EXPECT_EQ(engine.stats().model_swaps, 1u);
+  EXPECT_EQ(engine.stats().recalibrations, 1u);
+}
+
+TEST(FusionRuntime, DriftMonitorAttributesProbeDriftToTheEmChannel) {
+  // A fresh campaign whose only covariate-shift process is EM probe
+  // misalignment drift: the power channel is stationary (nominal device and
+  // session), so only the EM statistics may move.
+  sim::AcquisitionOptions opts = paired_options();
+  opts.em.misalignment_drift = 1.6;
+  sim::AcquisitionCampaign drifting(sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0),
+                                    sim::LeakageConfig{}, sim::ScopeConfig{},
+                                    opts);
+  auto fused = std::make_shared<const FusedDisassembler>(balanced_fused());
+  runtime::DriftConfig cfg;
+  cfg.warmup = 8;
+  cfg.consecutive = 3;
+  cfg.z_threshold = 6.0;
+  runtime::FusedDriftMonitor monitor(fused, cfg);
+  ASSERT_NE(monitor.em_monitor(), nullptr);
+
+  std::mt19937_64 rng(77);
+  for (int i = 0; i < 48; ++i) {
+    const std::size_t c =
+        world().classes[static_cast<std::size_t>(i) % world().classes.size()];
+    // Campaign end state: full misalignment on the probe, nominal power.
+    const sim::Trace t = drifting.capture_trace(
+        avr::random_instance(c, rng), sim::ProgramContext::make(i % 5), rng,
+        /*campaign_progress=*/1.0);
+    monitor.observe(t, fused->classify(t));
+  }
+  EXPECT_GT(monitor.em_monitor()->z_rms(), monitor.power_monitor().z_rms());
+  const auto event = monitor.poll_event();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->channel, sim::Channel::kEm);
+  EXPECT_EQ(monitor.power_monitor().events_raised(), 0u);
+}
+
+}  // namespace
+}  // namespace sidis

@@ -13,6 +13,7 @@
 #include "avr/assembler.hpp"
 #include "core/csa.hpp"
 #include "core/disassembler.hpp"
+#include "core/fusion.hpp"
 #include "core/profiler.hpp"
 #include "core/sequence.hpp"
 #include "core/transfer.hpp"
@@ -487,3 +488,108 @@ TEST(GoldenRegression, SequenceGoldenRunIsReproducible) {
 
 }  // namespace
 }  // namespace sidis::runtime
+
+// -- multimodal fusion golden ------------------------------------------------
+//
+// Paired power+EM capture -> per-channel training -> held-out fusion
+// calibration -> evaluation of all three operating points on fresh paired
+// windows.  The band pins the fusion contract the bench gates at full scale:
+// the fused point never falls below either single channel, and a fixed-seed
+// run is bit-reproducible.
+
+namespace sidis::core {
+namespace {
+
+constexpr double kMinFusedGoldenAccuracy = 0.90;
+constexpr std::size_t kFusionGoldenSeed = 20260808;
+
+struct FusionGoldenRun {
+  double power_accuracy = 0.0;
+  double em_accuracy = 0.0;
+  double fused_accuracy = 0.0;
+  double heldout_accuracy = 0.0;  ///< calibrate_fusion's selection score
+};
+
+FusionGoldenRun run_fusion_golden() {
+  sim::AcquisitionOptions opts;
+  opts.em.enabled = true;
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0),
+                                    sim::LeakageConfig{}, sim::ScopeConfig{},
+                                    opts};
+  std::mt19937_64 rng{kFusionGoldenSeed};
+  const std::vector<std::size_t> classes = {
+      *avr::class_index(avr::Mnemonic::kAdd), *avr::class_index(avr::Mnemonic::kEor),
+      *avr::class_index(avr::Mnemonic::kLdi), *avr::class_index(avr::Mnemonic::kCom)};
+  ProfilingData power_data, em_data;
+  std::map<std::size_t, sim::TraceSet> paired;
+  for (std::size_t cls : classes) {
+    paired[cls] = campaign.capture_class(cls, 60, 3, rng);
+    power_data.classes[cls] = sim::channel_views(paired[cls], sim::Channel::kPower);
+    em_data.classes[cls] = sim::channel_views(paired[cls], sim::Channel::kEm);
+  }
+  HierarchicalConfig cfg;
+  cfg.pipeline = csa_config();
+  cfg.pipeline.pca_components = 20;
+  cfg.group_components = 15;
+  cfg.instruction_components = 15;
+  cfg.factory.discriminant.shrinkage = 0.15;
+  auto p = HierarchicalDisassembler::train(power_data, cfg);
+  p.calibrate_reject(power_data);
+  auto e = HierarchicalDisassembler::train(em_data, cfg);
+  e.calibrate_reject(em_data);
+  auto power = std::make_shared<const HierarchicalDisassembler>(std::move(p));
+  auto em = std::make_shared<const HierarchicalDisassembler>(std::move(e));
+
+  FusedDisassembler fused(power, em);
+  fused.train_feature_heads(paired);
+  sim::TraceSet heldout;
+  for (std::size_t cls : classes) {
+    const sim::TraceSet h = campaign.capture_class(cls, 12, 3, rng);
+    heldout.insert(heldout.end(), h.begin(), h.end());
+  }
+  FusionGoldenRun out;
+  out.heldout_accuracy = fused.calibrate_fusion(heldout);
+
+  std::size_t windows = 0, p_hits = 0, e_hits = 0, f_hits = 0;
+  for (std::size_t cls : classes) {
+    const sim::TraceSet eval = campaign.capture_class(cls, 15, 3, rng);
+    for (const sim::Trace& t : eval) {
+      ++windows;
+      if (power->classify(sim::channel_view(t, sim::Channel::kPower)).class_idx == cls)
+        ++p_hits;
+      if (em->classify(sim::channel_view(t, sim::Channel::kEm)).class_idx == cls)
+        ++e_hits;
+      if (fused.classify(t).class_idx == cls) ++f_hits;
+    }
+  }
+  const double n = static_cast<double>(windows);
+  out.power_accuracy = static_cast<double>(p_hits) / n;
+  out.em_accuracy = static_cast<double>(e_hits) / n;
+  out.fused_accuracy = static_cast<double>(f_hits) / n;
+  return out;
+}
+
+TEST(GoldenRegression, FusionStaysInsideTheBand) {
+  const FusionGoldenRun run = run_fusion_golden();
+  std::cout << "[fusion golden] power=" << run.power_accuracy
+            << " em=" << run.em_accuracy << " fused=" << run.fused_accuracy
+            << " heldout=" << run.heldout_accuracy << "\n";
+  EXPECT_GE(run.fused_accuracy, kMinFusedGoldenAccuracy);
+  // The calibrated fused point must never sit below either single channel --
+  // calibration may *select* a single channel, in which case equality holds.
+  EXPECT_GE(run.fused_accuracy,
+            std::max(run.power_accuracy, run.em_accuracy) - 1e-12);
+}
+
+TEST(GoldenRegression, FusionGoldenRunIsReproducible) {
+  const FusionGoldenRun a = run_fusion_golden();
+  const FusionGoldenRun b = run_fusion_golden();
+  EXPECT_EQ(a.power_accuracy, b.power_accuracy);
+  EXPECT_EQ(a.em_accuracy, b.em_accuracy);
+  EXPECT_EQ(a.fused_accuracy, b.fused_accuracy);
+  EXPECT_EQ(a.heldout_accuracy, b.heldout_accuracy);
+}
+
+}  // namespace
+}  // namespace sidis::core

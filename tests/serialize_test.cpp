@@ -164,11 +164,12 @@ TEST_F(SerializeFixture, RejectOperatingPointRoundTripsAndDowngradesToCustom) {
 
   // A pre-v4 archive has no operating-point trailer: the gates still arm,
   // the point downgrades to kCustom (we cannot know which preset, if any,
-  // produced the stored floors).
+  // produced the stored floors).  Pre-v5 archives also carry no "kind" line,
+  // so the downgrade strips it along with the version.
   std::string archive = ss.str();
-  const std::string current_header = "sidis-template 4";
+  const std::string current_header = "sidis-template 5\nkind plain\n";
   ASSERT_EQ(archive.rfind(current_header, 0), 0u);
-  archive.replace(0, current_header.size(), "sidis-template 3");
+  archive.replace(0, current_header.size(), "sidis-template 3\n");
   std::stringstream old(archive);
   const auto legacy = load_disassembler(old);
   EXPECT_TRUE(legacy.reject_calibrated());
@@ -192,6 +193,118 @@ TEST_F(SerializeFixture, NonQdaModelRefusesToPersist) {
 
 TEST(Serialize, BadMagicRejected) {
   std::stringstream ss("not-a-template 1");
+  EXPECT_THROW(load_disassembler(ss), std::runtime_error);
+}
+
+/// Paired power+EM corpus and per-channel models for the v5 fused archives.
+class FusedSerializeFixture : public ::testing::Test {
+ protected:
+  FusedSerializeFixture() {
+    HierarchicalConfig cfg;
+    cfg.pipeline = csa_config();
+    cfg.pipeline.pca_components = 10;
+    cfg.group_components = 8;
+    cfg.instruction_components = 8;
+    ProfilingData power_data, em_data;
+    for (avr::Mnemonic m :
+         {avr::Mnemonic::kAdd, avr::Mnemonic::kLdi, avr::Mnemonic::kCom}) {
+      const std::size_t c = *avr::class_index(m);
+      paired_[c] = campaign_.capture_class(c, 60, 5, rng_);
+      power_data.classes[c] = sim::channel_views(paired_[c], sim::Channel::kPower);
+      em_data.classes[c] = sim::channel_views(paired_[c], sim::Channel::kEm);
+    }
+    power_ = std::make_shared<const HierarchicalDisassembler>(
+        HierarchicalDisassembler::train(power_data, cfg));
+    em_ = std::make_shared<const HierarchicalDisassembler>(
+        HierarchicalDisassembler::train(em_data, cfg));
+  }
+
+  sim::Trace probe(int i) {
+    return campaign_.capture_trace(
+        avr::random_instance(*avr::class_index(avr::Mnemonic::kAdd), rng_),
+        sim::ProgramContext::make(i % 5), rng_);
+  }
+
+  sim::AcquisitionCampaign campaign_{
+      sim::DeviceModel::make(0), sim::SessionContext::make(0),
+      sim::LeakageConfig{}, sim::ScopeConfig{}, [] {
+        sim::AcquisitionOptions o;
+        o.em.enabled = true;
+        return o;
+      }()};
+  std::mt19937_64 rng_{7};
+  std::map<std::size_t, sim::TraceSet> paired_;
+  std::shared_ptr<const HierarchicalDisassembler> power_, em_;
+};
+
+TEST_F(FusedSerializeFixture, FusedRoundTripClassifiesIdentically) {
+  FusedDisassembler original(power_, em_,
+                             LevelFusion{FusionMode::kScore, 0.5, 0.5},
+                             LevelFusion{FusionMode::kScore, 0.75, 0.25});
+  original.train_feature_heads(paired_);
+  original.set_group_fusion(LevelFusion{FusionMode::kFeature, 0.5, 0.5});
+  ASSERT_TRUE(original.has_feature_heads());
+
+  std::stringstream ss;
+  save_fused_disassembler(ss, original);
+  const FusedDisassembler restored = load_fused_disassembler(ss);
+  ASSERT_NE(restored.em_model(), nullptr);
+  EXPECT_TRUE(restored.has_feature_heads());
+  EXPECT_EQ(restored.group_fusion().mode, FusionMode::kFeature);
+  EXPECT_EQ(restored.instruction_fusion().mode, FusionMode::kScore);
+  EXPECT_EQ(restored.instruction_fusion().power_weight, 0.75);
+  EXPECT_EQ(restored.instruction_fusion().em_weight, 0.25);
+  EXPECT_EQ(restored.posterior_classes(), original.posterior_classes());
+
+  for (int i = 0; i < 25; ++i) {
+    const sim::Trace t = probe(i);
+    const Disassembly da = original.classify_scored(t);
+    const Disassembly db = restored.classify_scored(t);
+    EXPECT_EQ(da.group, db.group);
+    EXPECT_EQ(da.class_idx, db.class_idx);
+    EXPECT_EQ(da.verdict, db.verdict);
+    // Hex-float persistence keeps the fused posterior bit-exact too.
+    ASSERT_EQ(da.log_posterior.size(), db.log_posterior.size());
+    for (std::size_t c = 0; c < da.log_posterior.size(); ++c) {
+      EXPECT_EQ(da.log_posterior[c], db.log_posterior[c]);
+    }
+  }
+}
+
+TEST_F(FusedSerializeFixture, PlainArchiveLoadsAsPowerOnlyFusion) {
+  std::stringstream ss;
+  save_disassembler(ss, *power_);
+  std::string archive = ss.str();
+
+  // v5 plain archive -> power-only fusion, bit-identical to the plain model.
+  std::stringstream v5(archive);
+  const FusedDisassembler fused = load_fused_disassembler(v5);
+  EXPECT_EQ(fused.em_model(), nullptr);
+  EXPECT_TRUE(fused.degenerate_to(sim::Channel::kPower));
+  for (int i = 0; i < 10; ++i) {
+    const sim::Trace t = probe(i);
+    const Disassembly a = power_->classify(sim::channel_view(t, sim::Channel::kPower));
+    const Disassembly b = fused.classify(t);
+    EXPECT_EQ(a.class_idx, b.class_idx);
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_EQ(a.margin_headroom, b.margin_headroom);
+  }
+
+  // Previous-version archive (no "kind" line) -> same power-only wrap.
+  const std::string current_header = "sidis-template 5\nkind plain\n";
+  ASSERT_EQ(archive.rfind(current_header, 0), 0u);
+  archive.replace(0, current_header.size(), "sidis-template 4\n");
+  std::stringstream v4(archive);
+  const FusedDisassembler legacy = load_fused_disassembler(v4);
+  EXPECT_EQ(legacy.em_model(), nullptr);
+  EXPECT_TRUE(legacy.degenerate_to(sim::Channel::kPower));
+}
+
+TEST_F(FusedSerializeFixture, PlainLoaderRejectsFusedArchive) {
+  FusedDisassembler fused(power_, em_, LevelFusion{FusionMode::kScore, 0.5, 0.5},
+                          LevelFusion{FusionMode::kScore, 0.5, 0.5});
+  std::stringstream ss;
+  save_fused_disassembler(ss, fused);
   EXPECT_THROW(load_disassembler(ss), std::runtime_error);
 }
 
