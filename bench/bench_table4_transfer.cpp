@@ -16,6 +16,15 @@
 // sweeping K in {0, 1, 5, 10, 25} -- the accuracy-vs-K curve a field team
 // uses to decide how many captures a new device is worth.
 //
+// The matrix's natural endgame is the multi_device section: instead of one
+// profiling device, the whole fleet {dev0..dev4} is profiled -- at the
+// nominal acquisition configuration AND a 6-bit variant (config
+// augmentation) -- pooled into one template set, and evaluated with NO
+// recalibration budget on a corner-sampled device the pool never saw.  The
+// pooled model must strictly beat the best budget-matched single-device
+// baseline (the zero-shot lift CI gates); its reject gates, calibrated on
+// pooled data only, are measured on the same field corpus.
+//
 // The last act wires the result through the serving stack: the baseline and
 // recalibrated template sets are published to a runtime::ModelRegistry, and
 // a StreamingDisassembler hot-swaps to the recalibrated version mid-stream
@@ -169,11 +178,27 @@ HotSwapResult hot_swap_demo(const core::TransferEvaluator& evaluator,
   return out;
 }
 
+/// Fleet-pooled zero-shot transfer: devices {0..4} profiled at nominal +
+/// 6-bit acquisition, evaluated on corner-sampled device 7 with no budget.
+core::MultiDeviceResult run_multi_device(const core::TransferConfig& cfg_csa,
+                                         core::MultiDeviceConfig& md) {
+  md.train_devices = {0, 1, 2, 3, 4};
+  md.holdout_device = 7;
+  md.holdout_corner = true;
+  md.configs = {sim::AcquisitionConfig::nominal(),
+                sim::AcquisitionConfig::low_resolution(6)};
+  md.traces_per_class = static_cast<std::size_t>(fast_mode() ? 24 : 40);
+  md.test_traces_per_class = cfg_csa.test_traces_per_class;
+  return core::evaluate_multi_device(md, cfg_csa);
+}
+
 void write_json(const std::string& path,
                 const std::vector<std::vector<double>>& csa,
                 const std::vector<std::vector<double>>& nocsa,
                 const std::vector<core::BudgetPoint>& curve,
-                const HotSwapResult& swap, std::size_t test_per_class) {
+                const HotSwapResult& swap, std::size_t test_per_class,
+                const core::MultiDeviceConfig& md,
+                const core::MultiDeviceResult& zs) {
   const MatrixStats s_csa = matrix_stats(csa);
   const MatrixStats s_nocsa = matrix_stats(nocsa);
   const double drop_nocsa = s_nocsa.diag_mean - s_nocsa.offdiag_mean;
@@ -239,6 +264,29 @@ void write_json(const std::string& path,
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"criterion_curve_monotone\": %s,\n", monotone ? "true" : "false");
+  std::fprintf(f, "  \"multi_device\": {\n");
+  std::fprintf(f,
+               "    \"train_devices\": %zu, \"configs\": %zu, "
+               "\"holdout_device\": %d, \"holdout_corner\": true,\n",
+               md.train_devices.size(), md.configs.size(), zs.holdout_device);
+  std::fprintf(f, "    \"pooled_train_traces\": %zu,\n", zs.pooled_train_traces);
+  std::fprintf(f, "    \"pooled_accuracy\": %.4f,\n", zs.pooled_accuracy);
+  std::fprintf(f, "    \"pooled_accepted_fraction\": %.4f,\n",
+               zs.pooled_accepted_fraction);
+  std::fprintf(f, "    \"pooled_flagged_miss_fraction\": %.4f,\n",
+               zs.pooled_flagged_miss_fraction);
+  std::fprintf(f, "    \"singles\": [\n");
+  for (std::size_t i = 0; i < zs.singles.size(); ++i) {
+    std::fprintf(f, "      {\"train_device\": %d, \"accuracy\": %.4f}%s\n",
+                 zs.singles[i].train_device, zs.singles[i].accuracy,
+                 i + 1 < zs.singles.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"best_single_accuracy\": %.4f,\n", zs.best_single_accuracy);
+  std::fprintf(f, "    \"pooled_lift\": %.4f\n", zs.pooled_lift);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"criterion_zero_shot_lift\": %s,\n",
+               zs.pooled_lift > 0.0 ? "true" : "false");
   std::fprintf(f,
                "  \"hot_swap\": {\"accuracy_before\": %.4f, \"accuracy_after\": "
                "%.4f, \"model_swaps\": %llu, \"registry_versions\": %d}\n",
@@ -329,8 +377,21 @@ int main() {
               static_cast<unsigned long long>(swap.model_swaps),
               swap.registry_versions);
 
+  std::printf("\n  fleet-pooled zero-shot on corner device (no recal budget):\n");
+  core::MultiDeviceConfig md;
+  const core::MultiDeviceResult zs = run_multi_device(cfg_csa, md);
+  for (const core::SingleDeviceBaseline& s : zs.singles) {
+    std::printf("    single dev%-2d             %8.1f%%\n", s.train_device,
+                100.0 * s.accuracy);
+  }
+  std::printf("    pooled (%zu devs x %zu cfgs) %7.1f%%  (lift %+.1f pts, "
+              "accepted %.0f%%, flagged-miss %.0f%%)\n",
+              md.train_devices.size(), md.configs.size(), 100.0 * zs.pooled_accuracy,
+              100.0 * zs.pooled_lift, 100.0 * zs.pooled_accepted_fraction,
+              100.0 * zs.pooled_flagged_miss_fraction);
+
   const char* out = std::getenv("SIDIS_BENCH_OUT");
   write_json(out != nullptr && *out != '\0' ? out : "BENCH_transfer.json", m_csa,
-             m_nocsa, curve, swap, cfg_csa.test_traces_per_class);
+             m_nocsa, curve, swap, cfg_csa.test_traces_per_class, md, zs);
   return 0;
 }

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Diff a bench_acqsweep run against the checked-in baseline.
+
+Usage: check_acqsweep.py CANDIDATE.json [BASELINE.json]
+
+Hard gates (checked on the candidate's own data, not just its criterion
+flags, so a bench that mis-derives its booleans still fails):
+
+  * the accuracy-vs-cost frontier spans >= 4 configurations and is monotone
+    within noise along descending cost (a cheaper corner may tie, never win
+    by more than the band);
+  * the nominal configuration is a bit-exact identity against the legacy
+    acquisition path;
+  * config-augmented zero-shot transfer: the pooled multi-device model
+    strictly beats every budget-matched single-device baseline on the
+    held-out corner device.
+
+Per-config accuracies and the zero-shot metrics must also stay within
+tolerance of the baseline.  Improvements never fail; re-pin to lock them in.
+Stdlib only, so the CI job needs nothing beyond python3.
+"""
+import json
+import sys
+from pathlib import Path
+
+# Fast-mode frontier points aggregate 240 classifications each and the
+# zero-shot field 100 per model; CI runs are bit-deterministic, so two
+# points of slack is pure cross-platform headroom, not noise budget.
+TOLERANCE = 0.02
+# A cheaper config may beat a richer one by at most this much (sampling
+# jitter) before the frontier stops being credibly monotone.
+MONOTONE_SLACK = 0.03
+MIN_FRONTIER_CONFIGS = 4
+
+CRITERIA = [
+    "criterion_frontier_monotone",
+    "criterion_nominal_identity",
+    "criterion_zero_shot_lift",
+]
+
+
+def derive_failures(doc):
+    """Re-derive every gate from the candidate's raw data."""
+    failures = []
+    frontier = doc.get("frontier", [])
+    if len(frontier) < MIN_FRONTIER_CONFIGS:
+        failures.append(
+            f"frontier has {len(frontier)} configs, need >= {MIN_FRONTIER_CONFIGS}")
+    costs = [p["cost"] for p in frontier]
+    if costs != sorted(costs, reverse=True):
+        failures.append("frontier is not ordered by descending cost")
+    for prev, cur in zip(frontier, frontier[1:]):
+        if cur["accuracy"] > prev["accuracy"] + MONOTONE_SLACK:
+            failures.append(
+                f"cheaper config '{cur['label']}' beats '{prev['label']}' "
+                f"beyond noise: {prev['accuracy']:.4f} -> {cur['accuracy']:.4f}")
+    if frontier and frontier[0]["label"] != "nominal":
+        failures.append("frontier does not lead with the nominal config")
+
+    md = doc.get("multi_device", {})
+    singles = [s["accuracy"] for s in md.get("singles", [])]
+    if not singles:
+        failures.append("multi_device section has no single-device baselines")
+    else:
+        best = max(singles)
+        if abs(md.get("best_single_accuracy", -1.0) - best) > 1e-6:
+            failures.append("best_single_accuracy does not match the singles list")
+        pooled = md.get("pooled_accuracy", 0.0)
+        if pooled <= best:
+            failures.append(
+                f"pooled model does not strictly beat the best single-device "
+                f"baseline: {pooled:.4f} vs {best:.4f}")
+        if abs(md.get("pooled_lift", -1.0) - (pooled - best)) > 1e-6:
+            failures.append("pooled_lift does not equal pooled - best_single")
+    if not 0.0 < md.get("pooled_accepted_fraction", 0.0) <= 1.0:
+        failures.append("pooled model accepted no field windows on the holdout")
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate = json.loads(Path(argv[1]).read_text())
+    baseline_path = argv[2] if len(argv) > 2 else str(
+        Path(__file__).parent / "BENCH_acqsweep.json")
+    baseline = json.loads(Path(baseline_path).read_text())
+
+    failures = []
+    rows = []
+
+    for key in CRITERIA:
+        got = candidate.get(key)
+        rows.append((key, baseline.get(key), got))
+        if got is not True:
+            failures.append(f"acceptance criterion '{key}' is {got}, expected true")
+
+    failures += derive_failures(candidate)
+    for msg in derive_failures(baseline):
+        failures.append(f"baseline is self-inconsistent: {msg}")
+
+    base_frontier = {p["label"]: p for p in baseline.get("frontier", [])}
+    for point in candidate.get("frontier", []):
+        ref = base_frontier.get(point["label"])
+        if ref is None:
+            continue
+        rows.append((f"frontier[{point['label']}]", ref["accuracy"], point["accuracy"]))
+        if point["accuracy"] < ref["accuracy"] - TOLERANCE:
+            failures.append(
+                f"config '{point['label']}' regressed: "
+                f"{ref['accuracy']:.4f} -> {point['accuracy']:.4f}")
+
+    base_md = baseline.get("multi_device", {})
+    cand_md = candidate.get("multi_device", {})
+    for key in ("pooled_accuracy", "best_single_accuracy", "pooled_lift",
+                "pooled_flagged_miss_fraction"):
+        base, got = base_md.get(key), cand_md.get(key)
+        rows.append((key, base, got))
+        if base is None or got is None:
+            failures.append(f"metric '{key}' missing (baseline={base}, candidate={got})")
+        elif got < base - TOLERANCE:
+            failures.append(f"'{key}' regressed: {base:.4f} -> {got:.4f}")
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric'.ljust(width)}  baseline  candidate")
+    for key, base, got in rows:
+        fmt = lambda v: f"{v:.4f}" if isinstance(v, float) else str(v)
+        print(f"{key.ljust(width)}  {fmt(base):>8}  {fmt(got):>9}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} problem(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: acquisition sweep within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

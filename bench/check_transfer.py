@@ -22,6 +22,7 @@ CRITERIA = [
     ("summary", "criterion_cross_device_drop"),
     ("summary", "criterion_csa_recovery"),
     (None, "criterion_curve_monotone"),
+    (None, "criterion_zero_shot_lift"),
 ]
 
 METRICS = [
@@ -79,6 +80,25 @@ def main(argv):
             if point[arm] < ref[arm] - TOLERANCE:
                 failures.append(
                     f"budget curve K={k} {arm} regressed: {ref[arm]:.4f} -> {point[arm]:.4f}")
+
+    # Fleet-pooled zero-shot: re-derive the lift gate from the raw singles so
+    # a bench that mis-computes its own criterion flag still fails.
+    md = candidate.get("multi_device", {})
+    base_md = baseline.get("multi_device", {})
+    singles = [s["accuracy"] for s in md.get("singles", [])]
+    if not singles:
+        failures.append("multi_device section missing or has no single baselines")
+    else:
+        pooled = md.get("pooled_accuracy", 0.0)
+        if pooled <= max(singles):
+            failures.append(
+                f"pooled zero-shot model does not strictly beat the best "
+                f"single-device baseline: {pooled:.4f} vs {max(singles):.4f}")
+    for key in ("pooled_accuracy", "best_single_accuracy", "pooled_lift"):
+        base, got = base_md.get(key), md.get(key)
+        rows.append((key, base, got, "higher"))
+        if base is not None and got is not None and got < base - TOLERANCE:
+            failures.append(f"'{key}' regressed: {base:.4f} -> {got:.4f}")
 
     swap = candidate.get("hot_swap", {})
     if swap.get("model_swaps", 0) < 1:

@@ -44,6 +44,20 @@ sim::TraceSet interleave(const std::vector<sim::TraceSet>& per_class) {
   return out;
 }
 
+/// Fraction of `field` windows whose predicted class matches ground truth;
+/// parallel over traces, worker-count invariant (shared with the evaluator).
+double field_accuracy(const HierarchicalDisassembler& model,
+                      const sim::TraceSet& field, std::size_t workers) {
+  if (field.empty()) return 0.0;
+  std::vector<std::uint8_t> hit(field.size(), 0);
+  runtime::parallel_for(field.size(), workers, [&](std::size_t i) {
+    hit[i] = model.classify(field[i]).class_idx == field[i].meta.class_idx ? 1 : 0;
+  });
+  const std::size_t correct =
+      static_cast<std::size_t>(std::accumulate(hit.begin(), hit.end(), 0u));
+  return static_cast<double>(correct) / static_cast<double>(field.size());
+}
+
 }  // namespace
 
 std::string to_string(RecalMode mode) {
@@ -52,6 +66,160 @@ std::string to_string(RecalMode mode) {
     case RecalMode::kRefit: return "refit";
   }
   return "unknown";
+}
+
+MultiDeviceResult evaluate_multi_device(const MultiDeviceConfig& md,
+                                        const TransferConfig& base) {
+  if (md.train_devices.empty()) {
+    throw std::invalid_argument("evaluate_multi_device: empty fleet");
+  }
+  if (std::find(md.train_devices.begin(), md.train_devices.end(),
+                md.holdout_device) != md.train_devices.end()) {
+    throw std::invalid_argument(
+        "evaluate_multi_device: holdout device is in the training fleet");
+  }
+  if (base.classes.size() < 2) {
+    throw std::invalid_argument("evaluate_multi_device: need >= 2 classes");
+  }
+  if (base.model.classifier != ml::ClassifierKind::kQda) {
+    throw std::invalid_argument("evaluate_multi_device: QDA model required");
+  }
+  std::vector<sim::AcquisitionConfig> configs = md.configs;
+  if (configs.empty()) configs.push_back(sim::AcquisitionConfig::nominal());
+  for (const sim::AcquisitionConfig& c : configs) {
+    if (c.samples_per_cycle != configs.front().samples_per_cycle) {
+      throw std::invalid_argument(
+          "evaluate_multi_device: pooled configs must share one sample grid "
+          "(rate sweeps train per-rate models)");
+    }
+  }
+
+  // One model recipe serves every corpus here: all configs share the grid,
+  // so the CWT scale band is re-keyed once for the (possibly decimated) rate.
+  HierarchicalConfig model_config = base.model;
+  model_config.pipeline =
+      features::configured_for(model_config.pipeline, configs.front().samples_per_cycle);
+
+  // -- profile the fleet ------------------------------------------------------
+  // The pooled corpus spreads the same per-device budget over the config
+  // ladder; the single-device baselines spend their whole budget on config 0
+  // of their one device, so both see traces_per_class * |configs| windows
+  // per class and the comparison is budget-matched.
+  const std::size_t classes = base.classes.size();
+  ProfilingData pooled;
+  std::vector<ProfilingData> singles_data(md.train_devices.size());
+  std::vector<std::vector<double>> references(md.train_devices.size());
+  const std::size_t single_budget = md.traces_per_class * configs.size();
+  for (std::size_t di = 0; di < md.train_devices.size(); ++di) {
+    const int device = md.train_devices[di];
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      const sim::AcquisitionCampaign campaign(
+          sim::DeviceModel::make(device), sim::SessionContext{}, configs[ci],
+          base.leakage, base.scope);
+      if (ci == 0) references[di] = campaign.reference_window();
+      for (const std::size_t class_idx : base.classes) {
+        std::mt19937_64 rng = stream_rng(
+            base.seed, sim::hash_combine(0xAC5EE7ull, ci), device, class_idx);
+        sim::TraceSet set = campaign.capture_class(
+            class_idx, md.traces_per_class, base.num_programs, rng);
+        sim::TraceSet& pool = pooled.classes[class_idx];
+        pool.insert(pool.end(), set.begin(), set.end());
+        if (ci == 0 && configs.size() > 1) {
+          // Top the baseline up to the pooled per-class budget from a fresh
+          // stream on its own device (salted so it never replays the pooled
+          // draws).
+          std::mt19937_64 extra = stream_rng(
+              base.seed, sim::hash_combine(0xAC5EE7ull, 0x0Eull), device, class_idx);
+          sim::TraceSet top_up = campaign.capture_class(
+              class_idx, single_budget - md.traces_per_class, base.num_programs,
+              extra);
+          set.insert(set.end(), top_up.begin(), top_up.end());
+        }
+        if (ci == 0) singles_data[di].classes[class_idx] = std::move(set);
+      }
+    }
+  }
+
+  // -- train + calibrate ------------------------------------------------------
+  HierarchicalDisassembler pooled_model =
+      HierarchicalDisassembler::train(pooled, model_config);
+  pooled_model.calibrate_reject(pooled);
+  std::vector<double> pooled_reference(references.front().size(), 0.0);
+  for (const std::vector<double>& ref : references) {
+    for (std::size_t i = 0; i < pooled_reference.size(); ++i) {
+      pooled_reference[i] += ref[i] / static_cast<double>(references.size());
+    }
+  }
+
+  // -- zero-shot field on the held-out device --------------------------------
+  const sim::DeviceModel holdout =
+      md.holdout_corner ? sim::DeviceModel::make_corner(md.holdout_device)
+                        : sim::DeviceModel::make(md.holdout_device);
+  // Field RNG streams are keyed per class only, so every model scores the
+  // same physical captures -- only the subtracted reference (each monitor's
+  // own) differs.
+  const auto capture_holdout = [&](const std::vector<double>& reference) {
+    sim::AcquisitionCampaign field(holdout, sim::SessionContext{}, configs.front(),
+                                   base.leakage, base.scope);
+    field.use_reference(reference);
+    std::vector<sim::TraceSet> sets;
+    sets.reserve(classes);
+    for (const std::size_t class_idx : base.classes) {
+      std::mt19937_64 rng =
+          stream_rng(base.seed, 0xF0F1Dull, md.holdout_device, class_idx);
+      sets.push_back(field.capture_class(class_idx, md.test_traces_per_class,
+                                         base.num_programs, rng));
+    }
+    return interleave(sets);
+  };
+
+  MultiDeviceResult result;
+  result.holdout_device = md.holdout_device;
+  for (const auto& [class_idx, set] : pooled.classes) {
+    (void)class_idx;
+    result.pooled_train_traces += set.size();
+  }
+
+  const sim::TraceSet pooled_field = capture_holdout(pooled_reference);
+  {
+    std::vector<std::uint8_t> hit(pooled_field.size(), 0);
+    std::vector<std::uint8_t> verdicts(pooled_field.size(), 0);
+    runtime::parallel_for(pooled_field.size(), base.eval_workers, [&](std::size_t i) {
+      const Disassembly d = pooled_model.classify(pooled_field[i]);
+      hit[i] = d.class_idx == pooled_field[i].meta.class_idx ? 1 : 0;
+      verdicts[i] = static_cast<std::uint8_t>(d.verdict);
+    });
+    std::size_t correct = 0, accepted = 0, misses = 0, flagged_misses = 0;
+    for (std::size_t i = 0; i < pooled_field.size(); ++i) {
+      correct += hit[i];
+      if (verdicts[i] != static_cast<std::uint8_t>(Verdict::kRejected)) ++accepted;
+      if (!hit[i]) {
+        ++misses;
+        if (verdicts[i] != static_cast<std::uint8_t>(Verdict::kOk)) ++flagged_misses;
+      }
+    }
+    const double n = static_cast<double>(pooled_field.size());
+    result.pooled_accuracy = n > 0 ? static_cast<double>(correct) / n : 0.0;
+    result.pooled_accepted_fraction = n > 0 ? static_cast<double>(accepted) / n : 0.0;
+    result.pooled_flagged_miss_fraction =
+        misses > 0 ? static_cast<double>(flagged_misses) / static_cast<double>(misses)
+                   : 1.0;
+  }
+
+  result.best_single_accuracy = 0.0;
+  for (std::size_t di = 0; di < md.train_devices.size(); ++di) {
+    HierarchicalDisassembler model =
+        HierarchicalDisassembler::train(singles_data[di], model_config);
+    const sim::TraceSet field = capture_holdout(references[di]);
+    SingleDeviceBaseline baseline;
+    baseline.train_device = md.train_devices[di];
+    baseline.accuracy = field_accuracy(model, field, base.eval_workers);
+    result.best_single_accuracy =
+        std::max(result.best_single_accuracy, baseline.accuracy);
+    result.singles.push_back(baseline);
+  }
+  result.pooled_lift = result.pooled_accuracy - result.best_single_accuracy;
+  return result;
 }
 
 TransferEvaluator::TransferEvaluator(int train_device, TransferConfig config)
@@ -141,14 +309,7 @@ HierarchicalDisassembler TransferEvaluator::recalibrated(const sim::TraceSet& re
 
 double TransferEvaluator::accuracy(const HierarchicalDisassembler& model,
                                    const sim::TraceSet& field) const {
-  if (field.empty()) return 0.0;
-  std::vector<std::uint8_t> hit(field.size(), 0);
-  runtime::parallel_for(field.size(), config_.eval_workers, [&](std::size_t i) {
-    hit[i] = model.classify(field[i]).class_idx == field[i].meta.class_idx ? 1 : 0;
-  });
-  const std::size_t correct =
-      static_cast<std::size_t>(std::accumulate(hit.begin(), hit.end(), 0u));
-  return static_cast<double>(correct) / static_cast<double>(field.size());
+  return field_accuracy(model, field, config_.eval_workers);
 }
 
 TransferCell TransferEvaluator::evaluate(int test_device) const {

@@ -72,6 +72,66 @@ struct TransferCell {
   std::vector<BudgetPoint> curve;
 };
 
+/// Multi-device zero-shot protocol (the acquisition-sweep extension of the
+/// Table-4 matrix): profile a *fleet* of devices {A..E}, optionally at
+/// several acquisition configurations, pool the corpus into one template
+/// set, and evaluate -- with no recalibration budget at all -- on a held-out
+/// corner-sampled device F that no template ever saw.  The baselines are the
+/// same budget spent on each single device alone; the pooled model's lift
+/// over the *best* single baseline is the quantity the CI gates.
+struct MultiDeviceConfig {
+  /// Profiled fleet (DeviceModel::make ids).  Device 0 is nominal.
+  std::vector<int> train_devices = {0, 1, 2, 3, 4};
+  /// Held-out deployment device, never profiled.
+  int holdout_device = 7;
+  /// Draw the holdout from DeviceModel::make_corner (process-corner edges)
+  /// rather than make()'s interior.  The train/holdout seed-spaces are
+  /// disjoint either way.
+  bool holdout_corner = true;
+  /// Acquisition configurations pooled into the training corpus -- config
+  /// augmentation: resolution/bandwidth variants teach the templates which
+  /// spectral detail is device-furniture and which is signature.  All
+  /// entries must share the leading entry's sample grid (one fitted pipeline
+  /// serves one window length; rate sweeps train per-rate models instead);
+  /// evaluate_multi_device throws otherwise.  Empty = nominal only.  Field
+  /// captures on F always use the leading entry.
+  std::vector<sim::AcquisitionConfig> configs;
+  /// Traces per class per (device, config) cell of the pooled corpus.  The
+  /// single-device baselines get the same *total* budget on their one
+  /// device, so the comparison is budget-matched, not corpus-size-matched.
+  std::size_t traces_per_class = 24;
+  std::size_t test_traces_per_class = 24;
+};
+
+struct SingleDeviceBaseline {
+  int train_device = 0;
+  double accuracy = 0.0;  ///< zero-shot accuracy on the holdout device
+};
+
+struct MultiDeviceResult {
+  int holdout_device = 0;
+  std::size_t pooled_train_traces = 0;  ///< total windows behind the pooled fit
+  double pooled_accuracy = 0.0;
+  /// Reject-gate behaviour of the pooled model on F (gates calibrated on the
+  /// pooled profiling corpus): fraction of field windows not kRejected, and
+  /// the fraction of *misclassified* windows the gates flagged (!kOk).
+  double pooled_accepted_fraction = 0.0;
+  double pooled_flagged_miss_fraction = 0.0;
+  std::vector<SingleDeviceBaseline> singles;
+  double best_single_accuracy = 0.0;
+  double pooled_lift = 0.0;  ///< pooled_accuracy - best_single_accuracy
+};
+
+/// Runs the protocol above; `base` supplies classes, model recipe, leakage /
+/// scope bases, seed and eval workers (budgets are ignored -- the protocol
+/// is zero-shot by definition).  Each model classifies field traces against
+/// the reference its own profiling campaign recorded (the pooled model
+/// against the fleet-averaged reference), mirroring TransferEvaluator's
+/// deployed-monitor convention.  Throws std::invalid_argument on an empty
+/// fleet, a holdout inside the fleet, mixed sample grids, or a non-QDA model.
+MultiDeviceResult evaluate_multi_device(const MultiDeviceConfig& md,
+                                        const TransferConfig& base);
+
 class TransferEvaluator {
  public:
   /// Profiles `train_device` and trains the transferable model.  Throws

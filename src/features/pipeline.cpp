@@ -7,8 +7,20 @@
 #include "dsp/signal.hpp"
 #include "linalg/lanes.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sim/acq_config.hpp"
 
 namespace sidis::features {
+
+PipelineConfig configured_for(PipelineConfig base, double samples_per_cycle) {
+  const double ratio = samples_per_cycle / sim::kNominalSamplesPerCycle;
+  if (ratio == 1.0) return base;
+  if (!(ratio > 0.0)) {
+    throw std::invalid_argument("configured_for: samples_per_cycle must be > 0");
+  }
+  base.cwt.min_scale = std::max(1.0, base.cwt.min_scale * ratio);
+  base.cwt.max_scale = std::max(base.cwt.min_scale + 1.0, base.cwt.max_scale * ratio);
+  return base;
+}
 
 namespace {
 

@@ -57,6 +57,16 @@ struct PipelineConfig {
   std::size_t workers = 0;
 };
 
+/// Re-keys a pipeline recipe for a decimated acquisition grid
+/// (sim::AcquisitionConfig::samples_per_cycle): the CWT scale band is
+/// expressed in samples, so holding it fixed across rates would move it in
+/// *frequency*; this rescales min/max_scale by rate / nominal-rate (clamping
+/// the finest scale at one sample) so the selected feature points track the
+/// same absolute frequency band at every configuration.  Identity at the
+/// nominal 156.25 samples/cycle.  Each configuration gets its own fitted
+/// pipeline -- grids of different lengths are never mixed in one fit.
+PipelineConfig configured_for(PipelineConfig base, double samples_per_cycle);
+
 /// Labeled input: one TraceSet per class, parallel to `labels`.
 struct LabeledTraces {
   std::vector<int> labels;

@@ -218,6 +218,18 @@ std::optional<std::uint64_t> StreamingDisassembler::enqueue(sim::TraceSet traces
   if (traces.empty()) {
     throw std::invalid_argument("StreamingDisassembler: empty batch");
   }
+  if (config_.expected_acquisition) {
+    const sim::AcquisitionConfig& acq = *config_.expected_acquisition;
+    const std::size_t window = acq.window_samples();
+    for (const sim::Trace& t : traces) {
+      if (t.meta.samples_per_cycle != acq.samples_per_cycle ||
+          t.meta.adc_bits != acq.adc_bits || t.samples.size() != window) {
+        throw std::invalid_argument(
+            "StreamingDisassembler: trace acquisition stamp does not match "
+            "expected_acquisition (rate/resolution/window)");
+      }
+    }
+  }
   const std::uint64_t n = traces.size();
   Job job;
   {

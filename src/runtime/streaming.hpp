@@ -45,6 +45,7 @@ class FusedDisassembler;
 #include "runtime/bounded_queue.hpp"
 #include "runtime/decoder.hpp"
 #include "runtime/stats.hpp"
+#include "sim/acq_config.hpp"
 #include "sim/trace.hpp"
 
 namespace sidis::runtime {
@@ -63,6 +64,14 @@ struct StreamingConfig {
   /// part of this credit, or a producer thread that is also the consumer
   /// would deadlock itself at capacity.
   std::size_t max_in_flight = 0;
+  /// When set, every submitted window must carry this acquisition stamp
+  /// (TraceMeta::samples_per_cycle / adc_bits, written by the capture
+  /// campaign) and the matching window length; any submit/enqueue overload
+  /// throws std::invalid_argument otherwise, before a sequence number is
+  /// reserved.  Guards a fleet against mixing corpora captured at different
+  /// front-end configurations behind one model -- templates fitted on one
+  /// grid silently misclassify windows from another.
+  std::optional<sim::AcquisitionConfig> expected_acquisition;
 };
 
 /// One in-order result: `sequence` is the submit() ticket it answers.

@@ -1,0 +1,97 @@
+#include "sim/acq_config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sidis::sim {
+
+namespace {
+
+/// Relative epsilon guard shared with the synthesizer's window math: keeps
+/// exactly-representable spans (all nominal products are exact binary
+/// fractions) on the integer they already sit on, while absorbing the 1-ulp
+/// wobble of decimated grids whose products are inexact.
+double guard(double x) { return 1e-9 * std::max(1.0, x); }
+
+}  // namespace
+
+std::size_t AcquisitionConfig::window_samples() const {
+  const double span = 2.0 * samples_per_cycle;
+  return static_cast<std::size_t>(std::ceil(span - guard(span))) + 2;
+}
+
+LeakageConfig AcquisitionConfig::applied(LeakageConfig base) const {
+  base.samples_per_cycle = samples_per_cycle;
+  return base;
+}
+
+ScopeConfig AcquisitionConfig::applied(ScopeConfig base) const {
+  // The base fraction is the front-end's bandwidth on the *nominal* grid;
+  // scale it (different scope) then re-express on this grid (same absolute
+  // frequency, lower sample rate => larger fraction).  Both factors are
+  // exactly 1.0 at nominal, so the multiply is bit-exact there.
+  const double rate_ratio = kNominalSamplesPerCycle / samples_per_cycle;
+  base.bandwidth_fraction =
+      std::min(base.bandwidth_fraction * bandwidth_scale * rate_ratio, 0.49);
+  base.adc_bits = adc_bits;
+  return base;
+}
+
+const AcquisitionConfig& AcquisitionConfig::validated() const {
+  if (!(samples_per_cycle >= 4.0)) {
+    throw std::invalid_argument(
+        "AcquisitionConfig: samples_per_cycle < 4 cannot resolve a cycle");
+  }
+  if (adc_bits < 2 || adc_bits > 24) {
+    throw std::invalid_argument("AcquisitionConfig: adc_bits out of [2, 24]");
+  }
+  if (!(bandwidth_scale > 0.0)) {
+    throw std::invalid_argument("AcquisitionConfig: bandwidth_scale must be > 0");
+  }
+  const auto window = static_cast<long long>(window_samples());
+  if (window + window_offset < 4) {
+    throw std::invalid_argument(
+        "AcquisitionConfig: window_offset pushes the window before the capture");
+  }
+  return *this;
+}
+
+AcquisitionConfig AcquisitionConfig::nominal() { return {}; }
+
+AcquisitionConfig AcquisitionConfig::half_rate() {
+  AcquisitionConfig c;
+  c.label = "half-rate";
+  c.samples_per_cycle = kNominalSamplesPerCycle / 2.0;
+  return c;
+}
+
+AcquisitionConfig AcquisitionConfig::quarter_rate() {
+  AcquisitionConfig c;
+  c.label = "quarter-rate";
+  c.samples_per_cycle = kNominalSamplesPerCycle / 4.0;
+  return c;
+}
+
+AcquisitionConfig AcquisitionConfig::low_resolution(int bits) {
+  AcquisitionConfig c;
+  c.label = std::to_string(bits) + "-bit";
+  c.adc_bits = bits;
+  return c;
+}
+
+AcquisitionConfig AcquisitionConfig::narrowband(double scale) {
+  AcquisitionConfig c;
+  c.label = "narrowband";
+  c.bandwidth_scale = scale;
+  return c;
+}
+
+std::vector<AcquisitionConfig> AcquisitionConfig::standard_sweep() {
+  AcquisitionConfig half_low = half_rate();
+  half_low.label = "half-rate-6-bit";
+  half_low.adc_bits = 6;
+  return {nominal(), low_resolution(6), half_rate(), half_low, quarter_rate()};
+}
+
+}  // namespace sidis::sim

@@ -1,0 +1,98 @@
+// Acquisition configuration: the scope front-end as a sweepable first-class
+// parameter.
+//
+// The paper pins one collection setup (Tektronix MDO3102: 2.5 GS/s, 250 MHz,
+// 8-bit), hardcoded across the simulator as `samples_per_cycle = 156.25` and
+// the ScopeConfig defaults.  Gwinn/Matties/Rubin ("Configuration and
+// Collection Factors", arXiv 2204.04766) show those collection parameters
+// dominate side-channel model quality, so this bundle exposes the four knobs
+// a bench operator actually turns -- sample rate, analog bandwidth, ADC
+// resolution, trigger alignment -- and threads them through the synthesizer,
+// the scope model and the campaign in one coherent unit:
+//
+//  * sample rate is expressed as a decimation of the nominal 2.5 GS/s grid
+//    (samples_per_cycle of the 16 MHz clock); the 2-cycle window length
+//    follows from it, so every config cuts a complete fetch+execute view;
+//  * analog bandwidth is an absolute quantity: decimating the grid makes the
+//    same 250 MHz front-end a *larger* fraction of the (lower) sample rate,
+//    and applied() performs that conversion (clamped below Nyquist);
+//  * ADC resolution drives dsp::quantize in the scope;
+//  * window_offset shifts every window cut (including the reference windows,
+//    so subtraction stays aligned) by a fixed sample count -- deliberate
+//    trigger skew for alignment-sensitivity studies.
+//
+// The nominal config is an exact identity: a campaign built with
+// AcquisitionConfig::nominal() is bit-identical to one built without any
+// config (sim_test pins this for the power and EM channels).  The session /
+// device analog poles (probe_cutoff, decoupling_cutoff) are properties of
+// the bench, not of the scope setting, and stay expressed relative to the
+// actual sample grid.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/oscilloscope.hpp"
+#include "sim/power_model.hpp"
+
+namespace sidis::sim {
+
+/// The paper's collection setup, the identity element of every conversion.
+inline constexpr double kNominalSamplesPerCycle = 156.25;  ///< 2.5 GS/s @ 16 MHz
+inline constexpr int kNominalAdcBits = 8;
+
+struct AcquisitionConfig {
+  /// Human-readable tag carried into bench JSON ("nominal", "half-rate"...).
+  std::string label = "nominal";
+  /// Sample rate as samples per 16 MHz clock cycle (156.25 = 2.5 GS/s).
+  double samples_per_cycle = kNominalSamplesPerCycle;
+  /// Analog bandwidth as a multiple of the nominal 250 MHz front-end
+  /// (0.5 = a 125 MHz scope).  Absolute, not grid-relative: applied()
+  /// converts to the grid's bandwidth fraction.
+  double bandwidth_scale = 1.0;
+  /// ADC resolution in bits.
+  int adc_bits = kNominalAdcBits;
+  /// Fixed trigger skew in samples, applied to every window cut (signed).
+  int window_offset = 0;
+
+  /// Window length at this rate: 2 cycles plus 2 guard samples, i.e.
+  /// ceil(2 * samples_per_cycle) + 2 with an epsilon guard so exactly
+  /// integral spans don't round up (315 at nominal, 159 at half rate).
+  std::size_t window_samples() const;
+
+  /// Configuration cost in ADC bits per window (window_samples * adc_bits):
+  /// the storage/transfer budget one captured window costs the bench, the
+  /// x-axis of the accuracy-vs-cost frontier.
+  double cost() const { return static_cast<double>(window_samples()) * adc_bits; }
+
+  /// `base` re-pointed at this config's sample grid.
+  LeakageConfig applied(LeakageConfig base) const;
+  /// `base` with this config's ADC resolution and its bandwidth fraction
+  /// converted to the decimated grid (base fraction x bandwidth_scale x
+  /// nominal_rate / rate, clamped below Nyquist).  Exact identity for the
+  /// nominal config.  Serves both the power scope and the EM probe's scope
+  /// (each keeps its own base fraction / noise floor).
+  ScopeConfig applied(ScopeConfig base) const;
+
+  /// Throws std::invalid_argument on unusable knobs (rate too low for a
+  /// meaningful window, bits outside dsp::quantize's range, non-positive
+  /// bandwidth); returns *this for init-list chaining.
+  const AcquisitionConfig& validated() const;
+
+  // -- catalogue -------------------------------------------------------------
+  static AcquisitionConfig nominal();
+  /// 1.25 GS/s: the same scope at half the sample rate (159-sample windows).
+  static AcquisitionConfig half_rate();
+  /// 625 MS/s (81-sample windows).
+  static AcquisitionConfig quarter_rate();
+  /// Nominal grid, cheaper ADC (default 6 bits).
+  static AcquisitionConfig low_resolution(int bits = 6);
+  /// Nominal grid, narrower analog front-end (default a 125 MHz scope).
+  static AcquisitionConfig narrowband(double scale = 0.5);
+  /// The bench_acqsweep ladder, ordered by descending cost(): nominal,
+  /// 6-bit, half-rate, half-rate 6-bit, quarter-rate.
+  static std::vector<AcquisitionConfig> standard_sweep();
+};
+
+}  // namespace sidis::sim

@@ -7,10 +7,21 @@
 
 namespace sidis::sim {
 
+namespace {
+
+AcquisitionOptions apply_acq(const AcquisitionConfig& acq, AcquisitionOptions options) {
+  options.window_samples = acq.window_samples();
+  options.window_offset = acq.window_offset;
+  return options;
+}
+
+}  // namespace
+
 AcquisitionCampaign::AcquisitionCampaign(DeviceModel device, SessionContext session,
                                          LeakageConfig leakage, ScopeConfig scope,
                                          AcquisitionOptions options)
     : session_(session),
+      acq_(),
       synth_(device, leakage),
       scope_(scope),
       em_scope_(em_scope_config(options.em)),
@@ -18,6 +29,30 @@ AcquisitionCampaign::AcquisitionCampaign(DeviceModel device, SessionContext sess
       reference_window_(compute_reference_window()),
       em_reference_window_(options_.em.enabled ? compute_em_reference_window()
                                                : std::vector<double>{}) {}
+
+AcquisitionCampaign::AcquisitionCampaign(DeviceModel device, SessionContext session,
+                                         const AcquisitionConfig& acq,
+                                         LeakageConfig leakage, ScopeConfig scope,
+                                         AcquisitionOptions options)
+    : session_(session),
+      acq_(acq.validated()),
+      synth_(device, acq.applied(leakage)),
+      scope_(acq.applied(scope)),
+      em_scope_(acq.applied(em_scope_config(options.em))),
+      options_(apply_acq(acq, options)),
+      reference_window_(compute_reference_window()),
+      em_reference_window_(options_.em.enabled ? compute_em_reference_window()
+                                               : std::vector<double>{}) {}
+
+std::size_t AcquisitionCampaign::shifted(std::size_t base) const {
+  const long long start = static_cast<long long>(base) + options_.window_offset;
+  return start > 0 ? static_cast<std::size_t>(start) : 0u;
+}
+
+void AcquisitionCampaign::stamp_acquisition(TraceMeta& meta) const {
+  meta.samples_per_cycle = synth_.config().samples_per_cycle;
+  meta.adc_bits = scope_.config().adc_bits;
+}
 
 std::vector<double> AcquisitionCampaign::compute_reference_window() const {
   // The paper averages many captures of SBI, NOP x5, CBI; averaging kills the
@@ -37,7 +72,7 @@ std::vector<double> AcquisitionCampaign::compute_reference_window() const {
   // SBI takes 2 cycles; the reference window starts one cycle before the
   // third NOP, i.e. at cycle 3, mirroring the target window's position for a
   // one-cycle neighbour.
-  const std::size_t start = synth_.sample_of_cycle(3.0);
+  const std::size_t start = shifted(synth_.sample_of_cycle(3.0));
   if (start + options_.window_samples > captured.size()) {
     throw std::logic_error("reference window exceeds captured trace");
   }
@@ -62,7 +97,7 @@ std::vector<double> AcquisitionCampaign::compute_em_reference_window() const {
   const std::vector<double> captured =
       em_scope_.capture(wave, env, rng, /*add_nondeterminism=*/false);
 
-  const std::size_t start = synth_.sample_of_cycle(3.0);
+  const std::size_t start = shifted(synth_.sample_of_cycle(3.0));
   if (start + options_.window_samples > captured.size()) {
     throw std::logic_error("EM reference window exceeds captured trace");
   }
@@ -167,7 +202,7 @@ Trace AcquisitionCampaign::capture_trace(const avr::Instruction& target,
 
   // Window: the fetch/decode cycle (one before execution starts) plus the
   // first execution cycle -- the paper's 315-sample view of an instruction.
-  const std::size_t start = synth_.sample_of_cycle(target_start_cycle - 1.0);
+  const std::size_t start = shifted(synth_.sample_of_cycle(target_start_cycle - 1.0));
   if (start + options_.window_samples > captured.size()) {
     throw std::logic_error("target window exceeds captured trace");
   }
@@ -192,6 +227,7 @@ Trace AcquisitionCampaign::capture_trace(const avr::Instruction& target,
   }
 
   const auto cls = avr::class_of(target);
+  stamp_acquisition(trace.meta);
   trace.meta.class_idx = cls.value_or(0);
   trace.meta.instr = target;
   trace.meta.program_id = prog.id;
@@ -290,7 +326,7 @@ TraceSet AcquisitionCampaign::capture_program(const avr::Program& program,
     const double start_cycle = cycle;
     cycle += rec.cycles;
     if (start_cycle < 1.0) continue;  // no observable fetch cycle yet
-    const std::size_t start = synth_.sample_of_cycle(start_cycle - 1.0);
+    const std::size_t start = shifted(synth_.sample_of_cycle(start_cycle - 1.0));
     if (start + options_.window_samples > captured.size()) break;
     Trace t;
     t.samples.assign(
@@ -316,6 +352,7 @@ TraceSet AcquisitionCampaign::capture_program(const avr::Program& program,
     const auto it = issue.find(rec.pc);
     const avr::Instruction& issued = it != issue.end() ? it->second : rec.instr;
     const auto cls = avr::class_of(issued);
+    stamp_acquisition(t.meta);
     t.meta.class_idx = cls.value_or(0);
     t.meta.instr = issued;
     t.meta.program_id = prog.id;

@@ -12,6 +12,7 @@
 #include <random>
 
 #include "avr/program.hpp"
+#include "sim/acq_config.hpp"
 #include "sim/em_model.hpp"
 #include "sim/fault.hpp"
 #include "sim/oscilloscope.hpp"
@@ -32,6 +33,11 @@ struct AcquisitionOptions {
   /// off one draw of the capture's RNG -- power samples within a capture are
   /// bit-identical with the probe on or off.
   EmProbeConfig em;
+  /// Signed trigger skew in samples, applied to every window cut *including*
+  /// both reference windows (so subtraction stays aligned with the shifted
+  /// target windows).  The AcquisitionConfig constructor fills it from
+  /// AcquisitionConfig::window_offset.
+  int window_offset = 0;
 };
 
 /// One acquisition campaign against one device in one measurement session.
@@ -40,6 +46,16 @@ class AcquisitionCampaign {
   AcquisitionCampaign(DeviceModel device, SessionContext session,
                       LeakageConfig leakage = {}, ScopeConfig scope = {},
                       AcquisitionOptions options = {});
+
+  /// Campaign at an explicit acquisition configuration: `acq` re-points the
+  /// leakage model at its sample grid, applies its ADC resolution and
+  /// (grid-converted) bandwidth to the power *and* EM scope front-ends, and
+  /// overrides the options' window length/offset with its own.  The nominal
+  /// config reproduces the plain constructor bit-identically.  Throws
+  /// std::invalid_argument on an unusable config (validated()).
+  AcquisitionCampaign(DeviceModel device, SessionContext session,
+                      const AcquisitionConfig& acq, LeakageConfig leakage = {},
+                      ScopeConfig scope = {}, AcquisitionOptions options = {});
 
   /// Captures a single trace of `target` inside program context `prog`.
   /// `campaign_progress` in [0, 1] positions the capture on the device's
@@ -79,6 +95,10 @@ class AcquisitionCampaign {
   const SessionContext& session() const { return session_; }
   const AcquisitionOptions& options() const { return options_; }
   const PowerSynthesizer& synthesizer() const { return synth_; }
+  /// The configuration this campaign was built with (nominal for the plain
+  /// constructor).  Every captured trace's meta carries the truthful
+  /// rate/resolution stamp regardless, taken from the live chain.
+  const AcquisitionConfig& acquisition_config() const { return acq_; }
 
   /// The averaged reference window that gets subtracted (exposed for tests
   /// and for the paper's Fig-4 discussion).
@@ -128,6 +148,11 @@ class AcquisitionCampaign {
  private:
   std::vector<double> compute_reference_window() const;
   std::vector<double> compute_em_reference_window() const;
+  /// Window-cut start with the configured trigger skew applied (floored at
+  /// sample 0 -- validated() bounds how negative the skew can go).
+  std::size_t shifted(std::size_t base) const;
+  /// Fills the trace's acquisition stamp from the live capture chain.
+  void stamp_acquisition(TraceMeta& meta) const;
   /// Applies the armed fault profile (if any) to an ideal waveform, keyed by
   /// one draw from `rng`; returns the profile severity (0 when clean).
   double maybe_inject(std::vector<double>& wave, std::mt19937_64& rng) const;
@@ -141,6 +166,7 @@ class AcquisitionCampaign {
                          Trace& trace) const;
 
   SessionContext session_;
+  AcquisitionConfig acq_;
   PowerSynthesizer synth_;
   Oscilloscope scope_;
   Oscilloscope em_scope_;

@@ -65,6 +65,30 @@ DeviceModel DeviceModel::make(int device_id, std::uint64_t base_seed) {
   return d;
 }
 
+DeviceModel DeviceModel::make_corner(int device_id, std::uint64_t base_seed) {
+  DeviceModel d;
+  d.id = device_id;
+  const std::uint64_t h = splitmix64(hash_combine(
+      hash_combine(base_seed, 0xC02Dull), static_cast<std::uint64_t>(device_id)));
+  d.signature_seed = splitmix64(h);
+  // Sign-only rail draws: +-magnitude, never the benign middle of the band.
+  const auto rail = [&](std::uint64_t k, double mag) {
+    return (splitmix64(hash_combine(h, k)) & 1ull) != 0 ? mag : -mag;
+  };
+  d.gain = 1.0 + rail(1, 0.28);
+  d.offset = rail(2, 0.12);
+  d.noise_factor = hash_range(hash_combine(h, 3), 1.15, 1.35);
+  d.signature_spread = hash_range(hash_combine(h, 4), 0.020, 0.035);
+  d.corner_seed = splitmix64(hash_combine(h, 5));
+  d.opcode_gain_spread = hash_range(hash_combine(h, 6), 0.09, 0.13);
+  d.opcode_offset_spread = hash_range(hash_combine(h, 7), 0.012, 0.018);
+  d.thermal_drift = rail(8, 0.05);
+  // Below make()'s [0.09, 0.22] band: a slower pole filters *more* of the
+  // signature band, the harshest spectral reshaping a board can impose.
+  d.decoupling_cutoff = hash_range(hash_combine(h, 9), 0.055, 0.085);
+  return d;
+}
+
 SessionContext SessionContext::make(int session_id, std::uint64_t base_seed) {
   SessionContext s;
   s.id = session_id;

@@ -78,6 +78,16 @@ struct DeviceModel {
   /// Device 0 is the training/profiling device with nominal parameters;
   /// devices 1..N are targets with hash-derived variation.
   static DeviceModel make(int device_id, std::uint64_t base_seed = 0x5eed);
+
+  /// A corner-sampled deployment device: every structured variation knob is
+  /// drawn from the *edges* of (or beyond) make()'s distribution -- gain at
+  /// the tolerance rails, wider per-opcode corners, stronger thermal drift,
+  /// a heavier decoupling pole below make()'s band.  This is the held-out
+  /// device F of the zero-shot generalization protocol: a fleet profiled on
+  /// make() devices {A..E} never sees anything this far out, so accuracy
+  /// here measures extrapolation, not interpolation.  Ids live in their own
+  /// seed-space (make(id) and make_corner(id) never collide).
+  static DeviceModel make_corner(int device_id, std::uint64_t base_seed = 0x5eed);
 };
 
 /// A measurement session: one oscilloscope setup at one time.

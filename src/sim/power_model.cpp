@@ -23,7 +23,15 @@ PowerSynthesizer::PowerSynthesizer(DeviceModel device, LeakageConfig config)
     : device_(device), config_(config) {}
 
 std::size_t PowerSynthesizer::sample_of_cycle(double cycle) const {
-  return static_cast<std::size_t>(cycle * config_.samples_per_cycle);
+  // Guarded floor: on decimated grids `cycle * samples_per_cycle` is inexact,
+  // and a product that lands 1 ulp *below* a mathematically integral sample
+  // index would truncate one sample early -- drifting window cuts against
+  // synthesize()'s ceil-sized waveform over a long campaign.  The relative
+  // epsilon snaps such products up without moving genuinely fractional
+  // positions (nominal products are exact binary fractions, ending in
+  // .0/.25/.5/.75, so this is bit-identical at 156.25).
+  const double pos = cycle * config_.samples_per_cycle;
+  return static_cast<std::size_t>(std::floor(pos + 1e-9 * std::max(1.0, pos)));
 }
 
 void PowerSynthesizer::opcode_signature(const avr::Instruction& issued,
@@ -179,8 +187,12 @@ std::vector<double> PowerSynthesizer::synthesize_impl(
     const EmProbeConfig* em, double misalignment) const {
   unsigned total_cycles = 0;
   for (const auto& rec : records) total_cycles += rec.cycles;
+  // Guarded ceil, the dual of sample_of_cycle's guarded floor: a span 1 ulp
+  // *above* an integral sample count must not gain a phantom sample on
+  // decimated grids (exact at nominal, where all spans are binary fractions).
+  const double span = total_cycles * config_.samples_per_cycle;
   const auto total_samples =
-      static_cast<std::size_t>(std::ceil(total_cycles * config_.samples_per_cycle)) + 1;
+      static_cast<std::size_t>(std::ceil(span - 1e-9 * std::max(1.0, span))) + 1;
   std::vector<double> wave(total_samples,
                            em != nullptr ? em->baseline : config_.baseline);
 

@@ -44,6 +44,13 @@ struct TraceMeta {
   /// independent references.
   double em_gain_estimate = 1.0;
   double em_fault_severity = 0.0;
+  /// Acquisition-configuration stamp (sim/acq_config.hpp): the sample rate
+  /// and ADC resolution the capture chain ran at.  The streaming runtime can
+  /// validate these at submit so a fleet never mixes corpora captured at
+  /// different front-end configurations behind one model.  Defaults are the
+  /// nominal scope, so hand-built test traces pass nominal validation.
+  double samples_per_cycle = 156.25;
+  int adc_bits = 8;
 };
 
 /// One captured trace: the paper's 315-sample power window plus its labels,

@@ -4,12 +4,15 @@
 
 #include <random>
 
+#include <stdexcept>
+
 #include "avr/assembler.hpp"
 #include "baseline/baselines.hpp"
 #include "core/csa.hpp"
 #include "core/disassembler.hpp"
 #include "core/hierarchical.hpp"
 #include "core/majority_vote.hpp"
+#include "core/transfer.hpp"
 #include "sim/acquisition.hpp"
 
 namespace sidis::core {
@@ -426,6 +429,97 @@ TEST_F(CoreFixture, BaselinesTrainAndClassify) {
   // ADD vs LDI cross 2 groups: easy for everyone under matched conditions.
   EXPECT_GE(msgna.accuracy(test), 0.9);
   EXPECT_GE(eisenbarth.accuracy(test), 0.9);
+}
+
+// -- multi-device zero-shot protocol ----------------------------------------
+
+TransferConfig small_transfer_base() {
+  TransferConfig base;
+  base.classes = {*avr::class_index(avr::Mnemonic::kAdd),
+                  *avr::class_index(avr::Mnemonic::kAdc),
+                  *avr::class_index(avr::Mnemonic::kSub)};
+  base.num_programs = 3;
+  base.model.pipeline = csa_config();
+  base.model.pipeline.pca_components = 18;
+  base.model.group_components = 15;
+  base.model.instruction_components = 15;
+  base.model.factory.discriminant.shrinkage = 0.15;
+  base.eval_workers = 2;
+  return base;
+}
+
+TEST(MultiDevice, PooledZeroShotProtocolIsAccountedAndGated) {
+  MultiDeviceConfig md;
+  md.train_devices = {0, 1};
+  md.holdout_device = 7;
+  md.holdout_corner = true;
+  md.configs = {sim::AcquisitionConfig::nominal(),
+                sim::AcquisitionConfig::low_resolution(6)};
+  md.traces_per_class = 18;
+  md.test_traces_per_class = 15;
+
+  const MultiDeviceResult result =
+      evaluate_multi_device(md, small_transfer_base());
+
+  EXPECT_EQ(result.holdout_device, 7);
+  // Pooled corpus accounting: classes x fleet x configs x budget.
+  EXPECT_EQ(result.pooled_train_traces, 3u * 2u * 2u * 18u);
+  ASSERT_EQ(result.singles.size(), 2u);
+  double best = 0.0;
+  for (const SingleDeviceBaseline& s : result.singles) {
+    EXPECT_GE(s.accuracy, 0.0);
+    EXPECT_LE(s.accuracy, 1.0);
+    best = std::max(best, s.accuracy);
+  }
+  EXPECT_EQ(result.best_single_accuracy, best);
+  EXPECT_EQ(result.pooled_lift,
+            result.pooled_accuracy - result.best_single_accuracy);
+  // The zero-shot claim on the corner device: pooling devices and configs
+  // never loses to the best budget-matched single profile (the *strict* lift
+  // is gated on the full 112-class bench; the smoke corpus pins no-regress).
+  EXPECT_GE(result.pooled_lift, 0.0)
+      << "pooled " << result.pooled_accuracy << " vs best single "
+      << result.best_single_accuracy;
+  // Reject gates were calibrated on the pooled profiling corpus only, yet on
+  // the unseen corner device they must stay useful: some windows accepted,
+  // and at least half of the misclassified windows flagged (!kOk).
+  EXPECT_GT(result.pooled_accepted_fraction, 0.0);
+  EXPECT_LE(result.pooled_accepted_fraction, 1.0);
+  EXPECT_GE(result.pooled_flagged_miss_fraction, 0.5)
+      << "gates calibrated on pooled data lost track of holdout misses";
+}
+
+TEST(MultiDevice, ValidationRejectsDegenerateProtocols) {
+  const TransferConfig base = small_transfer_base();
+  {
+    MultiDeviceConfig md;
+    md.train_devices = {};
+    EXPECT_THROW((void)evaluate_multi_device(md, base), std::invalid_argument);
+  }
+  {
+    MultiDeviceConfig md;
+    md.train_devices = {0, 1, 7};  // holdout profiled: nothing is zero-shot
+    md.holdout_device = 7;
+    EXPECT_THROW((void)evaluate_multi_device(md, base), std::invalid_argument);
+  }
+  {
+    MultiDeviceConfig md;
+    md.configs = {sim::AcquisitionConfig::nominal(),
+                  sim::AcquisitionConfig::half_rate()};  // mixed sample grids
+    EXPECT_THROW((void)evaluate_multi_device(md, base), std::invalid_argument);
+  }
+  {
+    TransferConfig degenerate = base;
+    degenerate.classes.resize(1);
+    EXPECT_THROW((void)evaluate_multi_device(MultiDeviceConfig{}, degenerate),
+                 std::invalid_argument);
+  }
+  {
+    TransferConfig non_qda = base;
+    non_qda.model.classifier = ml::ClassifierKind::kKnn;
+    EXPECT_THROW((void)evaluate_multi_device(MultiDeviceConfig{}, non_qda),
+                 std::invalid_argument);
+  }
 }
 
 }  // namespace

@@ -64,6 +64,93 @@ features::LabeledTraces labeled(const std::vector<sim::TraceSet>& sets) {
   return input;
 }
 
+/// Additive-gap ladder: class c carries a burst of height gain * (0.5 +
+/// 0.35 * c).  Unlike the multiplicative ladder above, the rung *spacing*
+/// stretches with the device gain, so a profile built at one gain misreads
+/// rung identity on a device at another gain -- while a pool spanning the
+/// gain range brackets every intermediate device.  This is the microcosm of
+/// the multi-device acquisition sweep's zero-shot claim.
+sim::Trace rung_trace(int cls, double gain, int program, std::mt19937_64& rng) {
+  std::normal_distribution<double> noise(0.0, 0.05);
+  sim::Trace t;
+  t.samples.assign(315, 0.0);
+  for (double& v : t.samples) v = noise(rng);
+  const double height = gain * (0.5 + 0.45 * static_cast<double>(cls));
+  for (int i = 95; i < 105; ++i) t.samples[static_cast<std::size_t>(i)] += height;
+  t.meta.class_idx = static_cast<std::size_t>(cls);
+  t.meta.program_id = program;
+  return t;
+}
+
+sim::TraceSet rung_set(int cls, double gain, int num_programs,
+                       std::size_t per_program, std::mt19937_64& rng) {
+  sim::TraceSet out;
+  for (int p = 0; p < num_programs; ++p) {
+    for (std::size_t i = 0; i < per_program; ++i) {
+      out.push_back(rung_trace(cls, gain, p, rng));
+    }
+  }
+  return out;
+}
+
+TEST(ZeroShotGain, PooledGainProfileBeatsEveryBudgetMatchedSingle) {
+  // Two profiling devices at the gain rails, one unseen field device in
+  // between.  Budgets are matched: each single-gain profile gets as many
+  // traces as the whole pool, so any pooled win is diversity, not volume.
+  const std::vector<double> kPoolGains = {0.7, 1.4};
+  const double kFieldGain = 1.05;
+  constexpr std::size_t kPerGain = 12;
+
+  std::mt19937_64 rng{15};
+  std::vector<sim::TraceSet> field_sets;
+  for (int c = 0; c < kClasses; ++c) {
+    field_sets.push_back(rung_set(c, kFieldGain, 3, 10, rng));
+  }
+
+  features::PipelineConfig cfg = csa_without_norm_config();
+  cfg.pca_components = 8;
+  cfg.workers = 1;
+  ml::DiscriminantConfig qcfg;
+  qcfg.shrinkage = 0.1;
+
+  const auto field_accuracy = [&](const std::vector<sim::TraceSet>& train) {
+    const features::FeaturePipeline pipeline =
+        features::FeaturePipeline::fit(labeled(train), cfg);
+    ml::Qda qda{qcfg};
+    qda.fit(pipeline.transform(labeled(train)));
+    return qda.accuracy(pipeline.transform(labeled(field_sets)));
+  };
+
+  std::vector<sim::TraceSet> pooled;
+  for (int c = 0; c < kClasses; ++c) {
+    sim::TraceSet set;
+    for (const double gain : kPoolGains) {
+      for (sim::Trace& t : rung_set(c, gain, 3, kPerGain, rng)) {
+        set.push_back(std::move(t));
+      }
+    }
+    pooled.push_back(std::move(set));
+  }
+  const double pooled_acc = field_accuracy(pooled);
+
+  double best_single = 0.0;
+  for (const double gain : kPoolGains) {
+    std::vector<sim::TraceSet> single;
+    for (int c = 0; c < kClasses; ++c) {
+      single.push_back(rung_set(c, gain, 3, kPerGain * kPoolGains.size(), rng));
+    }
+    const double acc = field_accuracy(single);
+    best_single = std::max(best_single, acc);
+  }
+
+  EXPECT_GE(pooled_acc, 0.75)
+      << "gain pool spanning the field device failed to generalize "
+      << "(pooled " << pooled_acc << ", best single " << best_single << ")";
+  EXPECT_GE(pooled_acc, best_single + 0.25)
+      << "pooled profile did not clearly beat the best single-gain profile: "
+      << pooled_acc << " vs " << best_single;
+}
+
 TEST(CsaConfigs, TableThreeRecipesAreWiredAsDocumented) {
   const features::PipelineConfig initial = without_csa_config();
   EXPECT_EQ(initial.kl_threshold, kInitialKlThreshold);

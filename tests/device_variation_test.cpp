@@ -7,8 +7,10 @@
 
 #include <cmath>
 #include <random>
+#include <set>
 #include <vector>
 
+#include "sim/acq_config.hpp"
 #include "sim/em_model.hpp"
 #include "sim/environment.hpp"
 #include "sim/oscilloscope.hpp"
@@ -335,6 +337,65 @@ TEST(EmProbeModel, ProbeBandwidthPoleAttenuatesHighFrequencies) {
   const double narrow_rms =
       rms(Oscilloscope{narrow_cfg}.capture(probe, env, rng, false), 64);
   EXPECT_LT(narrow_rms, 0.8 * wide_rms);
+}
+
+// ---------------------------------------------------------------------------
+// Statistical footprints of the acquisition-configuration knobs: a reduced
+// ADC must leave its wider quantization grid in the samples, and a narrower
+// analog front-end must leave its spectral rolloff -- so a mislabeled corpus
+// cannot masquerade as another configuration.
+// ---------------------------------------------------------------------------
+
+TEST(AcquisitionFootprint, ReducedResolutionWidensTheQuantizationGrid) {
+  ScopeConfig base = transparent_scope();
+  base.enable_quantization = true;
+  const ScopeConfig full = AcquisitionConfig::nominal().applied(base);
+  const ScopeConfig coarse = AcquisitionConfig::low_resolution(6).applied(base);
+  // A ramp spanning the full-scale range exercises every code.
+  std::vector<double> ramp(2048);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = base.range_lo +
+              (base.range_hi - base.range_lo) * static_cast<double>(i) /
+                  static_cast<double>(ramp.size() - 1);
+  }
+  std::mt19937_64 rng{5};
+  const Environment env;
+  const auto codes = [&](const ScopeConfig& cfg) {
+    const std::vector<double> out = Oscilloscope{cfg}.capture(ramp, env, rng, false);
+    const double step =
+        (cfg.range_hi - cfg.range_lo) / static_cast<double>((1u << cfg.adc_bits) - 1u);
+    std::set<long long> distinct;
+    for (const double v : out) {
+      const double k = (v - cfg.range_lo) / step;
+      EXPECT_NEAR(k, std::round(k), 1e-9) << "sample off the " << cfg.adc_bits
+                                          << "-bit grid";
+      distinct.insert(static_cast<long long>(std::llround(k)));
+    }
+    return distinct.size();
+  };
+  const std::size_t full_codes = codes(full);
+  const std::size_t coarse_codes = codes(coarse);
+  EXPECT_LE(coarse_codes, 64u);
+  EXPECT_GT(full_codes, 3u * coarse_codes);
+}
+
+TEST(AcquisitionFootprint, NarrowbandConfigRollsOffTheSignatureBand) {
+  ScopeConfig base = transparent_scope();
+  base.enable_bandwidth = true;
+  const ScopeConfig nominal = AcquisitionConfig::nominal().applied(base);
+  const ScopeConfig narrow = AcquisitionConfig::narrowband(0.3).applied(base);
+  std::mt19937_64 rng{6};
+  const Environment env;
+  // A tone above the narrowband pole (0.03) but near the nominal one (0.1).
+  const std::vector<double> probe = tone(0.12, 512);
+  const double nominal_rms = rms(Oscilloscope{nominal}.capture(probe, env, rng, false), 64);
+  const double narrow_rms = rms(Oscilloscope{narrow}.capture(probe, env, rng, false), 64);
+  EXPECT_LT(narrow_rms, 0.55 * nominal_rms);
+  // The passband survives both front-ends.
+  const std::vector<double> lo = tone(0.005, 512);
+  const double lo_nominal = rms(Oscilloscope{nominal}.capture(lo, env, rng, false), 64);
+  const double lo_narrow = rms(Oscilloscope{narrow}.capture(lo, env, rng, false), 64);
+  EXPECT_GT(lo_narrow, 0.8 * lo_nominal);
 }
 
 }  // namespace

@@ -76,5 +76,51 @@ TEST_F(ProfilerFixture, ProgressCallbackCountsAndCanAbort) {
                std::runtime_error);
 }
 
+TEST(ProfilerAcquisition, DecimatedCampaignIsWorkerCountInvariant) {
+  // The per-item RNG streams that make profiling bit-identical at any worker
+  // count must survive a non-nominal acquisition configuration: decimated
+  // windows change the trace length, not the stream keying.
+  ProfilerConfig cfg;
+  cfg.classes = {*avr::class_index(avr::Mnemonic::kAdd),
+                 *avr::class_index(avr::Mnemonic::kLdi)};
+  cfg.registers = {5};
+  cfg.traces_per_class = 8;
+  cfg.traces_per_register = 6;
+  cfg.num_programs = 2;
+
+  const sim::AcquisitionConfig acq = sim::AcquisitionConfig::half_rate();
+  const auto run = [&](std::size_t workers) {
+    sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                      sim::SessionContext::make(0), acq};
+    std::mt19937_64 rng{8};
+    ProfilerConfig local = cfg;
+    local.workers = workers;
+    return profile_device(campaign, local, rng);
+  };
+  const ProfilingData inline_run = run(1);
+  const ProfilingData pooled_run = run(3);
+
+  const auto expect_identical = [](const sim::TraceSet& a, const sim::TraceSet& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].samples, b[i].samples);
+      EXPECT_EQ(a[i].meta.samples_per_cycle, b[i].meta.samples_per_cycle);
+      EXPECT_EQ(a[i].meta.adc_bits, b[i].meta.adc_bits);
+    }
+  };
+  ASSERT_EQ(inline_run.classes.size(), pooled_run.classes.size());
+  for (const auto& [cls, traces] : inline_run.classes) {
+    ASSERT_EQ(traces.front().samples.size(), acq.window_samples());
+    EXPECT_EQ(traces.front().meta.samples_per_cycle, acq.samples_per_cycle);
+    expect_identical(traces, pooled_run.classes.at(cls));
+  }
+  for (const auto& [rd, traces] : inline_run.rd_classes) {
+    expect_identical(traces, pooled_run.rd_classes.at(rd));
+  }
+  for (const auto& [rr, traces] : inline_run.rr_classes) {
+    expect_identical(traces, pooled_run.rr_classes.at(rr));
+  }
+}
+
 }  // namespace
 }  // namespace sidis::core

@@ -39,9 +39,13 @@ struct GoldenRun {
   std::size_t windows = 0;
 };
 
-GoldenRun run_golden_pipeline() {
+GoldenRun run_golden_pipeline(
+    const sim::AcquisitionConfig& acq = sim::AcquisitionConfig::nominal()) {
+  // The nominal run takes the acquisition-configured constructor on purpose:
+  // its band was recorded through the legacy constructor, so staying inside
+  // it re-proves the nominal config is a bit-exact identity every CI run.
   sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
-                                    sim::SessionContext::make(0)};
+                                    sim::SessionContext::make(0), acq};
   std::mt19937_64 rng{kGoldenSeed};
 
   ProfilerConfig pcfg;
@@ -55,7 +59,7 @@ GoldenRun run_golden_pipeline() {
   const ProfilingData data = profile_device(campaign, pcfg, rng);
 
   HierarchicalConfig cfg;
-  cfg.pipeline = csa_config();
+  cfg.pipeline = features::configured_for(csa_config(), acq.samples_per_cycle);
   cfg.pipeline.pca_components = 20;
   cfg.group_components = 15;
   cfg.instruction_components = 15;
@@ -204,6 +208,51 @@ TEST(GoldenRegression, FixedSeedRunIsReproducible) {
   EXPECT_EQ(a.windows, b.windows);
   EXPECT_EQ(a.window_accuracy, b.window_accuracy);
   EXPECT_EQ(a.accepted_fraction, b.accepted_fraction);
+}
+
+// -- acquisition-configuration golden ----------------------------------------
+//
+// The same end-to-end chain at two degraded acquisition corners: half the
+// sample rate (159-sample windows, CWT grid rescaled to the decimated clock)
+// and a 6-bit digitizer.  Each corner carries its own checked-in band -- a
+// cheaper configuration is allowed to cost accuracy, but the cost must stay
+// where it was recorded, and every corner must remain bit-reproducible.
+// Recorded run: half-rate 1.00/1.00, 6-bit 1.00/1.00 over 32 windows (the
+// four-group golden task keeps full separation at both corners; the floors
+// below only bound legitimate cross-platform drift).
+
+TEST(GoldenRegression, DegradedAcquisitionConfigsStayInsideTheirBands) {
+  const struct {
+    sim::AcquisitionConfig acq;
+    double min_accuracy;
+    double min_accepted;
+  } bands[] = {
+      {sim::AcquisitionConfig::half_rate(), 0.85, 0.75},
+      {sim::AcquisitionConfig::low_resolution(6), 0.85, 0.75},
+  };
+  for (const auto& band : bands) {
+    const GoldenRun run = run_golden_pipeline(band.acq);
+    std::cout << "[config golden] " << band.acq.label << " accuracy="
+              << run.window_accuracy << " accepted=" << run.accepted_fraction
+              << " windows=" << run.windows << '\n';
+    ASSERT_GE(run.windows, 28u) << band.acq.label;
+    EXPECT_GE(run.window_accuracy, band.min_accuracy)
+        << band.acq.label << " config regressed past its recorded cost";
+    EXPECT_GE(run.accepted_fraction, band.min_accepted)
+        << band.acq.label << " gates fire too eagerly on clean traces";
+  }
+}
+
+TEST(GoldenRegression, DegradedAcquisitionRunsAreReproducible) {
+  for (const sim::AcquisitionConfig& acq :
+       {sim::AcquisitionConfig::half_rate(),
+        sim::AcquisitionConfig::low_resolution(6)}) {
+    const GoldenRun a = run_golden_pipeline(acq);
+    const GoldenRun b = run_golden_pipeline(acq);
+    EXPECT_EQ(a.windows, b.windows) << acq.label;
+    EXPECT_EQ(a.window_accuracy, b.window_accuracy) << acq.label;
+    EXPECT_EQ(a.accepted_fraction, b.accepted_fraction) << acq.label;
+  }
 }
 
 }  // namespace

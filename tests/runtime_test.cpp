@@ -154,6 +154,65 @@ TEST(Streaming, OrderedOutputUnderAdversarialDelays) {
   EXPECT_EQ(stats.end_to_end.count(), kTraces);
 }
 
+TEST(Streaming, ExpectedAcquisitionStampIsEnforcedAtSubmit) {
+  // A monitor pinned to one acquisition configuration must refuse windows
+  // captured under another: rate, resolution and window length are all part
+  // of the contract, and a refused submission consumes no sequence number.
+  const sim::AcquisitionConfig acq = sim::AcquisitionConfig::half_rate();
+  StreamingConfig cfg;
+  cfg.workers = 1;
+  cfg.expected_acquisition = acq;
+  StreamingDisassembler engine(
+      [](const sim::Trace&) { return core::Disassembly{}; }, cfg);
+
+  sim::Trace good;
+  good.samples.assign(acq.window_samples(), 0.0);
+  good.meta.samples_per_cycle = acq.samples_per_cycle;
+  good.meta.adc_bits = acq.adc_bits;
+  ASSERT_TRUE(engine.submit(good).has_value());
+
+  sim::Trace wrong_rate = good;
+  wrong_rate.meta.samples_per_cycle = sim::kNominalSamplesPerCycle;
+  EXPECT_THROW((void)engine.submit(wrong_rate), std::invalid_argument);
+
+  sim::Trace wrong_bits = good;
+  wrong_bits.meta.adc_bits = 6;
+  EXPECT_THROW((void)engine.submit(wrong_bits), std::invalid_argument);
+
+  sim::Trace wrong_window = good;
+  wrong_window.samples.push_back(0.0);
+  EXPECT_THROW((void)engine.submit(wrong_window), std::invalid_argument);
+
+  // One mismatched window poisons a whole batch before it reserves anything.
+  sim::TraceSet batch;
+  batch.push_back(good);
+  batch.push_back(wrong_bits);
+  EXPECT_THROW((void)engine.submit_batch(std::move(batch)), std::invalid_argument);
+
+  (void)engine.drain();
+  EXPECT_EQ(engine.stats().traces_submitted, 1u)
+      << "rejected submissions must not consume sequence numbers";
+}
+
+TEST(Streaming, CampaignStampsSatisfyTheMatchingExpectation) {
+  // Traces from an acquisition-configured campaign carry the stamp the
+  // runtime validates against, so the contract holds end-to-end by default.
+  const sim::AcquisitionConfig acq = sim::AcquisitionConfig::low_resolution(6);
+  sim::AcquisitionCampaign campaign{sim::DeviceModel::make(0),
+                                    sim::SessionContext::make(0), acq};
+  std::mt19937_64 rng{29};
+  const sim::TraceSet windows = campaign.capture_class(
+      *avr::class_index(avr::Mnemonic::kAdd), 3, 2, rng);
+
+  StreamingConfig cfg;
+  cfg.workers = 1;
+  cfg.expected_acquisition = acq;
+  StreamingDisassembler engine(
+      [](const sim::Trace&) { return core::Disassembly{}; }, cfg);
+  for (const sim::Trace& t : windows) ASSERT_TRUE(engine.submit(t).has_value());
+  EXPECT_EQ(engine.drain().size(), windows.size());
+}
+
 TEST(Streaming, BackpressureBlocksProducerAtCapacity) {
   StreamingConfig cfg;
   cfg.workers = 1;

@@ -373,5 +373,204 @@ TEST_F(EmAcquisitionFixture, CaptureProgramPairsEveryWindow) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Acquisition-configuration sweep (sim/acq_config.hpp): window geometry,
+// grid conversions, nominal bit-identity, stamps, trigger skew.
+// ---------------------------------------------------------------------------
+
+TEST(AcquisitionConfig, WindowGeometryFollowsTheRate) {
+  EXPECT_EQ(AcquisitionConfig::nominal().window_samples(), 315u);  // the paper's window
+  EXPECT_EQ(AcquisitionConfig::half_rate().window_samples(), 159u);
+  EXPECT_EQ(AcquisitionConfig::quarter_rate().window_samples(), 81u);
+  // Exactly integral spans must not round up through the epsilon guard.
+  AcquisitionConfig integral;
+  integral.samples_per_cycle = 150.0;
+  EXPECT_EQ(integral.window_samples(), 302u);
+  EXPECT_DOUBLE_EQ(AcquisitionConfig::nominal().cost(), 315.0 * 8.0);
+  EXPECT_DOUBLE_EQ(AcquisitionConfig::low_resolution(6).cost(), 315.0 * 6.0);
+}
+
+TEST(AcquisitionConfig, ValidationRejectsUnusableKnobs) {
+  AcquisitionConfig bad;
+  bad.samples_per_cycle = 2.0;
+  EXPECT_THROW(bad.validated(), std::invalid_argument);
+  bad = {};
+  bad.adc_bits = 1;
+  EXPECT_THROW(bad.validated(), std::invalid_argument);
+  bad = {};
+  bad.bandwidth_scale = 0.0;
+  EXPECT_THROW(bad.validated(), std::invalid_argument);
+  bad = {};
+  bad.window_offset = -400;
+  EXPECT_THROW(bad.validated(), std::invalid_argument);
+  EXPECT_NO_THROW(AcquisitionConfig::nominal().validated());
+}
+
+TEST(AcquisitionConfig, AppliedIsBitExactIdentityAtNominal) {
+  const AcquisitionConfig nominal = AcquisitionConfig::nominal();
+  const ScopeConfig scope;
+  const ScopeConfig out = nominal.applied(scope);
+  EXPECT_EQ(out.bandwidth_fraction, scope.bandwidth_fraction);
+  EXPECT_EQ(out.adc_bits, scope.adc_bits);
+  const LeakageConfig leak;
+  EXPECT_EQ(nominal.applied(leak).samples_per_cycle, leak.samples_per_cycle);
+  // The EM probe's scope derivation is an identity too (0.16 base fraction).
+  const ScopeConfig em = em_scope_config(EmProbeConfig{});
+  EXPECT_EQ(nominal.applied(em).bandwidth_fraction, em.bandwidth_fraction);
+}
+
+TEST(AcquisitionConfig, AppliedConvertsAbsoluteBandwidthToTheDecimatedGrid) {
+  // The same 250 MHz front-end is a larger fraction of a lower sample rate.
+  const ScopeConfig scope;
+  EXPECT_NEAR(AcquisitionConfig::half_rate().applied(scope).bandwidth_fraction,
+              0.2, 1e-12);
+  EXPECT_NEAR(AcquisitionConfig::quarter_rate().applied(scope).bandwidth_fraction,
+              0.4, 1e-12);
+  EXPECT_NEAR(AcquisitionConfig::narrowband(0.5).applied(scope).bandwidth_fraction,
+              0.05, 1e-12);
+  // Decimating far enough pushes the pole to Nyquist; the clamp holds it.
+  AcquisitionConfig extreme;
+  extreme.samples_per_cycle = kNominalSamplesPerCycle / 8.0;
+  EXPECT_DOUBLE_EQ(extreme.applied(scope).bandwidth_fraction, 0.49);
+}
+
+TEST(AcquisitionConfig, NominalCampaignIsBitIdenticalToPlainCampaign) {
+  // The tentpole invariant: threading AcquisitionConfig::nominal() through
+  // the campaign reproduces the pre-config pipeline bit for bit, on the
+  // power AND EM channels, including the reference windows and meta.
+  AcquisitionOptions em_opts;
+  em_opts.em.enabled = true;
+  const AcquisitionCampaign plain(DeviceModel::make(0), SessionContext::make(0),
+                                  LeakageConfig{}, ScopeConfig{}, em_opts);
+  const AcquisitionCampaign configured(DeviceModel::make(0), SessionContext::make(0),
+                                       AcquisitionConfig::nominal(), LeakageConfig{},
+                                       ScopeConfig{}, em_opts);
+  EXPECT_EQ(plain.reference_window(), configured.reference_window());
+  EXPECT_EQ(plain.em_reference_window(), configured.em_reference_window());
+  std::mt19937_64 a(99), b(99);
+  const std::size_t cls = *avr::class_index(avr::Mnemonic::kAdd);
+  const TraceSet ta = plain.capture_class(cls, 6, 2, a);
+  const TraceSet tb = configured.capture_class(cls, 6, 2, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].samples, tb[i].samples);
+    EXPECT_EQ(ta[i].em_samples, tb[i].em_samples);
+    EXPECT_EQ(ta[i].meta.gain_estimate, tb[i].meta.gain_estimate);
+    EXPECT_EQ(tb[i].meta.samples_per_cycle, kNominalSamplesPerCycle);
+    EXPECT_EQ(tb[i].meta.adc_bits, kNominalAdcBits);
+  }
+}
+
+TEST(AcquisitionConfig, CampaignStampsTheLiveChainIntoEveryMeta) {
+  AcquisitionConfig half_low = AcquisitionConfig::half_rate();
+  half_low.adc_bits = 6;
+  const AcquisitionCampaign campaign(DeviceModel::make(0), SessionContext::make(0),
+                                     half_low);
+  EXPECT_EQ(campaign.acquisition_config().label, "half-rate");
+  std::mt19937_64 r(7);
+  const std::size_t cls = *avr::class_index(avr::Mnemonic::kEor);
+  const Trace t = campaign.capture_trace(avr::random_instance(cls, r),
+                                         ProgramContext::make(0), r);
+  EXPECT_EQ(t.samples.size(), half_low.window_samples());
+  EXPECT_EQ(t.meta.samples_per_cycle, half_low.samples_per_cycle);
+  EXPECT_EQ(t.meta.adc_bits, 6);
+  const avr::Program p =
+      avr::assemble("SBI 5, 5\nNOP\nLDI r16, 1\nADD r0, r16\nCBI 5, 5").program;
+  for (const Trace& w : campaign.capture_program(p, ProgramContext::make(0), r)) {
+    EXPECT_EQ(w.samples.size(), half_low.window_samples());
+    EXPECT_EQ(w.meta.samples_per_cycle, half_low.samples_per_cycle);
+    EXPECT_EQ(w.meta.adc_bits, 6);
+  }
+}
+
+TEST(AcquisitionConfig, DecimatedCaptureIsSeedDeterministic) {
+  const AcquisitionCampaign campaign(DeviceModel::make(2), SessionContext::make(0),
+                                     AcquisitionConfig::half_rate());
+  std::mt19937_64 a(11), b(11);
+  const std::size_t cls = *avr::class_index(avr::Mnemonic::kSub);
+  const TraceSet ta = campaign.capture_class(cls, 8, 3, a);
+  const TraceSet tb = campaign.capture_class(cls, 8, 3, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].samples, tb[i].samples);
+    EXPECT_EQ(ta[i].meta.gain_estimate, tb[i].meta.gain_estimate);
+  }
+}
+
+TEST(AcquisitionConfig, WindowOffsetShiftsTheCutExactly) {
+  // Only the cut position depends on the offset: all RNG draws happen before
+  // cutting, so the offset window is the unshifted capture slid by the skew.
+  AcquisitionOptions raw;
+  raw.subtract_reference = false;
+  AcquisitionConfig skewed;
+  skewed.window_offset = 3;
+  const AcquisitionCampaign base(DeviceModel::make(0), SessionContext::make(0),
+                                 AcquisitionConfig::nominal(), LeakageConfig{},
+                                 ScopeConfig{}, raw);
+  const AcquisitionCampaign shifted(DeviceModel::make(0), SessionContext::make(0),
+                                    skewed, LeakageConfig{}, ScopeConfig{}, raw);
+  std::mt19937_64 a(21), b(21);
+  const std::size_t cls = *avr::class_index(avr::Mnemonic::kAdd);
+  const Trace t0 = base.capture_trace(avr::random_instance(cls, a),
+                                      ProgramContext::make(0), a);
+  const Trace t3 = shifted.capture_trace(avr::random_instance(cls, b),
+                                         ProgramContext::make(0), b);
+  ASSERT_EQ(t0.samples.size(), t3.samples.size());
+  for (std::size_t i = 0; i + 3 < t0.samples.size(); ++i) {
+    ASSERT_EQ(t3.samples[i], t0.samples[i + 3]) << "at sample " << i;
+  }
+}
+
+TEST(PowerModel, WindowMathHoldsAcrossFractionalRates) {
+  // The satellite property test for the guarded floor/ceil pair: on any
+  // fractional grid, per-cycle window starts advance by floor(spc) or
+  // ceil(spc), never drift more than a sample off the exact position, and
+  // every cut the campaign can request stays inside the synthesized
+  // waveform -- across cycle counts long enough to accumulate rounding.
+  for (const double spc : {156.25, 78.125, 52.6, 39.0625, 31.1, 150.0, 17.3, 11.75}) {
+    LeakageConfig leak;
+    leak.samples_per_cycle = spc;
+    const PowerSynthesizer synth(DeviceModel::make(0), leak);
+    std::size_t prev = 0;
+    for (unsigned c = 1; c <= 96; ++c) {
+      const std::size_t s = synth.sample_of_cycle(static_cast<double>(c));
+      const std::size_t step = s - prev;
+      EXPECT_GE(step, static_cast<std::size_t>(std::floor(spc))) << spc << " @ " << c;
+      EXPECT_LE(step, static_cast<std::size_t>(std::ceil(spc))) << spc << " @ " << c;
+      EXPECT_LT(std::abs(static_cast<double>(s) - c * spc), 1.0 + 1e-6)
+          << spc << " @ " << c;
+      prev = s;
+    }
+    // Waveform sizing matches the same guarded arithmetic end to end.
+    std::string sled;
+    for (int i = 0; i < 37; ++i) sled += "NOP\n";
+    avr::Cpu cpu;
+    cpu.load_program(avr::assemble(sled).program);
+    const auto records = cpu.run(37);
+    unsigned total_cycles = 0;
+    for (const auto& rec : records) total_cycles += rec.cycles;
+    const auto wave = synth.synthesize(records);
+    EXPECT_GE(wave.size(), synth.sample_of_cycle(static_cast<double>(total_cycles)) + 1)
+        << spc;
+  }
+}
+
+TEST(Environment, CornerDeviceSitsOnTheRails) {
+  const DeviceModel corner = DeviceModel::make_corner(7);
+  const DeviceModel again = DeviceModel::make_corner(7);
+  EXPECT_EQ(corner.gain, again.gain);
+  EXPECT_EQ(corner.corner_seed, again.corner_seed);
+  // Rails, not interior: the magnitudes sit at or beyond make()'s band.
+  EXPECT_DOUBLE_EQ(std::abs(corner.gain - 1.0), 0.28);
+  EXPECT_DOUBLE_EQ(std::abs(corner.thermal_drift), 0.05);
+  EXPECT_GE(corner.opcode_gain_spread, 0.09);
+  EXPECT_GE(corner.opcode_offset_spread, 0.012);
+  // Heavier decoupling pole than any make() device.
+  EXPECT_LT(corner.decoupling_cutoff, 0.09);
+  EXPECT_GT(corner.decoupling_cutoff, 0.0);
+  // Disjoint seed-space: the corner device is not make(7) in disguise.
+  EXPECT_NE(corner.signature_seed, DeviceModel::make(7).signature_seed);
+}
+
 }  // namespace
 }  // namespace sidis::sim
